@@ -1,0 +1,65 @@
+// E6: Theorem 3.6's big matrix — exact build, determinant, and solve cost
+// as m (the number of P2CNF clauses) grows. The determinant is verified
+// non-zero on every run: that is the theorem's content for these series.
+
+#include <benchmark/benchmark.h>
+
+#include "hardness/big_matrix.h"
+#include "hardness/small_matrix.h"
+#include "logic/parser.h"
+
+namespace {
+
+std::vector<std::vector<gmc::Rational>> H1Series(int max_p) {
+  gmc::Query q = gmc::ParseQueryOrDie(
+      "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+  return gmc::ZSeries(gmc::ComputeA1(q), max_p);
+}
+
+void BM_BuildSymmetricBigMatrix(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  auto z = H1Series(m + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmc::BuildSymmetricBigMatrix(z, m));
+  }
+  state.counters["size"] = (m + 1) * (m + 2) / 2;
+}
+BENCHMARK(BM_BuildSymmetricBigMatrix)->DenseRange(1, 6);
+
+void BM_BigMatrixDeterminant(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  auto z = H1Series(m + 1);
+  gmc::SymmetricBigMatrix big = gmc::BuildSymmetricBigMatrix(z, m);
+  for (auto _ : state) {
+    gmc::Rational det = big.matrix.Determinant();
+    if (det.IsZero()) state.SkipWithError("singular (contradicts Thm 3.6)");
+    benchmark::DoNotOptimize(det);
+  }
+  state.counters["size"] = big.matrix.rows();
+}
+BENCHMARK(BM_BigMatrixDeterminant)->DenseRange(1, 5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BigMatrixSolve(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  auto z = H1Series(m + 1);
+  gmc::SymmetricBigMatrix big = gmc::BuildSymmetricBigMatrix(z, m);
+  // rhs = M · 1 so the solve has a known answer.
+  std::vector<gmc::Rational> rhs(big.matrix.rows(), gmc::Rational::Zero());
+  for (int r = 0; r < big.matrix.rows(); ++r) {
+    for (int c = 0; c < big.matrix.cols(); ++c) {
+      rhs[r] += big.matrix.At(r, c);
+    }
+  }
+  for (auto _ : state) {
+    auto solution = big.matrix.Solve(rhs);
+    if (!solution.has_value()) state.SkipWithError("singular");
+    benchmark::DoNotOptimize(solution);
+  }
+  state.counters["size"] = big.matrix.rows();
+}
+BENCHMARK(BM_BigMatrixSolve)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// E4/E5/E7/E8: the gadget-block small matrix.
+//
+// Lemma 3.19 (A(p) = A(1)^p / 2^{p-1}) turns the per-block probabilities
+// into 2×2 matrix powers; the series below compare it against the direct
+// WMC definition, whose cost grows with the block. Also timed: the exact
+// ℚ(√d) design-condition verification (Theorem 3.14) and Corollary 3.18's
+// determinant-polynomial computation.
+
+#include <benchmark/benchmark.h>
+
+#include "hardness/small_matrix.h"
+#include "logic/parser.h"
+
+namespace {
+
+gmc::Query H1() {
+  return gmc::ParseQueryOrDie(
+      "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+void BM_TransferMatrixAp(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  gmc::RationalMatrix a1 = gmc::ComputeA1(H1());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmc::ComputeAp(a1, p));
+  }
+}
+BENCHMARK(BM_TransferMatrixAp)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DirectWmcAp(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  gmc::Query q = H1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmc::ComputeApDirect(q, p));
+  }
+}
+BENCHMARK(BM_DirectWmcAp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DesignConditions(benchmark::State& state) {
+  gmc::RationalMatrix a1 = gmc::ComputeA1(H1());
+  for (auto _ : state) {
+    gmc::DesignConditionReport report = gmc::CheckDesignConditions(a1);
+    if (!report.AllHold()) state.SkipWithError("conditions failed");
+  }
+}
+BENCHMARK(BM_DesignConditions);
+
+void BM_DetPolynomial(benchmark::State& state) {
+  gmc::Query q = H1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmc::SmallMatrixDetPolynomial(q));
+  }
+}
+BENCHMARK(BM_DetPolynomial);
+
+}  // namespace
+
+BENCHMARK_MAIN();

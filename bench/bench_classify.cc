@@ -1,0 +1,56 @@
+// E10: static analysis — parsing, safety (Def. 2.4), finality (Def. 2.8),
+// and the MakeFinal simplification walk, over the paper's query suite.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dichotomy.h"
+#include "logic/parser.h"
+
+namespace {
+
+const char* const kSuite[] = {
+    "Ax Ay (R(x) | S(x,y) | T(y))",
+    "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))",
+    "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S1(x,y) | S2(x,y)) & "
+    "Ax Ay (S2(x,y) | T(y))",
+    "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax Ay (S1(x,y) | S3(x,y)) & "
+    "Ay (Ax (S3(x,y)) | Ax (S4(x,y)))",
+    "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S2(x,y) | T(y))",
+    "Ax Ay (R(x) | S1(x,y) | S2(x,y)) & Ax Ay (S1(x,y) | T(y))",
+};
+
+void BM_ParseAndClassify(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const char* text : kSuite) {
+      gmc::Query q = gmc::ParseQueryOrDie(text);
+      benchmark::DoNotOptimize(gmc::Classify(q));
+    }
+  }
+  state.counters["queries"] = std::size(kSuite);
+}
+BENCHMARK(BM_ParseAndClassify);
+
+void BM_FinalityCheck(benchmark::State& state) {
+  // IsFinal tries all 2·|symbols| substitutions.
+  gmc::Query q = gmc::ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S1(x,y) | S2(x,y)) & "
+      "Ax Ay (S2(x,y) | T(y))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmc::IsFinal(q));
+  }
+}
+BENCHMARK(BM_FinalityCheck);
+
+void BM_MakeFinalWalk(benchmark::State& state) {
+  gmc::Query q = gmc::ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y) | S2(x,y) | S3(x,y)) & "
+      "Ax Ay (S1(x,y) | T(y))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmc::MakeFinal(q));
+  }
+}
+BENCHMARK(BM_MakeFinalWalk);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E2/E3: the algebraic lemmas of §1.
+//
+// Lemma 1.1 — finding a {0, 1/2, 1} non-root of a degree-≤2 polynomial —
+// and Lemma 1.2 — the small-matrix determinant test versus the syntactic
+// connectivity test — over randomly generated inputs of growing size.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "poly/lemmas.h"
+
+namespace {
+
+gmc::Polynomial RandomDegreeTwo(int num_vars, std::mt19937_64* rng) {
+  auto multilinear = [&]() {
+    gmc::Polynomial p = gmc::Polynomial::Constant(
+        gmc::Rational(static_cast<int64_t>((*rng)() % 3) - 1));
+    for (int v = 0; v < num_vars; ++v) {
+      if ((*rng)() % 2) {
+        p += gmc::Polynomial::Variable(v).ScaledBy(
+            gmc::Rational(static_cast<int64_t>((*rng)() % 5) - 2));
+      }
+    }
+    return p;
+  };
+  gmc::Polynomial f = multilinear() * multilinear();
+  if (f.IsZero()) f = gmc::Polynomial::Variable(0);
+  return f;
+}
+
+void BM_Lemma11NonRoot(benchmark::State& state) {
+  const int num_vars = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(42);
+  std::vector<gmc::Polynomial> inputs;
+  for (int i = 0; i < 16; ++i) {
+    inputs.push_back(RandomDegreeTwo(num_vars, &rng));
+  }
+  size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gmc::FindNonRoot(inputs[index++ % inputs.size()], gmc::Rational(0),
+                         gmc::Rational::Half(), gmc::Rational(1)));
+  }
+}
+BENCHMARK(BM_Lemma11NonRoot)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_Lemma12Determinant(benchmark::State& state) {
+  // Arithmetize a random monotone CNF and test the small-matrix det.
+  const int num_vars = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(7);
+  gmc::Cnf cnf;
+  cnf.num_vars = num_vars;
+  for (int c = 0; c < num_vars; ++c) {
+    std::vector<int> clause;
+    for (int l = 0; l < 2; ++l) {
+      clause.push_back(static_cast<int>(rng() % num_vars));
+    }
+    cnf.AddClause(std::move(clause));
+  }
+  cnf.RemoveSubsumed();
+  for (auto _ : state) {
+    gmc::Polynomial y = gmc::ArithmetizeCnf(cnf);
+    bool singular = gmc::SmallMatrixSingular(y, 0, num_vars - 1);
+    bool disconnected = cnf.Disconnects({0}, {num_vars - 1});
+    if (singular != disconnected) state.SkipWithError("Lemma 1.2 violated");
+  }
+}
+BENCHMARK(BM_Lemma12Determinant)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

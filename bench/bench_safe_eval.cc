@@ -1,0 +1,85 @@
+// E11: the PTIME side of the dichotomy.
+//
+// The lifted evaluator scales polynomially with the domain while generic
+// exact WMC on the same safe queries grows exponentially; the series below
+// regenerate the crossover. The paper's claim being exercised: safe ⇒
+// GFOMC ∈ PTIME (Theorem 2.1 / 2.2), with the Möbius machinery of §C.2 for
+// Type-II left parts.
+
+#include <benchmark/benchmark.h>
+
+#include "logic/parser.h"
+#include "safe/safe_eval.h"
+#include "wmc/wmc.h"
+
+namespace {
+
+gmc::Tid HalfTid(const gmc::Query& q, int n) {
+  gmc::Tid tid(q.vocab_ptr(), n, n, gmc::Rational::One());
+  const gmc::Vocabulary& vocab = q.vocab();
+  for (gmc::SymbolId s = 0; s < vocab.size(); ++s) {
+    switch (vocab.kind(s)) {
+      case gmc::SymbolKind::kUnaryLeft:
+        for (int u = 0; u < n; ++u) {
+          tid.SetUnaryLeft(s, u, gmc::Rational::Half());
+        }
+        break;
+      case gmc::SymbolKind::kUnaryRight:
+        for (int v = 0; v < n; ++v) {
+          tid.SetUnaryRight(s, v, gmc::Rational::Half());
+        }
+        break;
+      case gmc::SymbolKind::kBinary:
+        for (int u = 0; u < n; ++u) {
+          for (int v = 0; v < n; ++v) {
+            tid.SetBinary(s, u, v, gmc::Rational::Half());
+          }
+        }
+        break;
+    }
+  }
+  return tid;
+}
+
+constexpr const char* kTypeIiLeft =
+    "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax (Ay (S1(x,y)) | Ay (S3(x,y)))";
+
+void BM_LiftedSafeEval(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  gmc::Query q = gmc::ParseQueryOrDie(kTypeIiLeft);
+  gmc::Tid tid = HalfTid(q, n);
+  for (auto _ : state) {
+    gmc::SafeEvaluator evaluator;
+    auto result = evaluator.Evaluate(q, tid);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LiftedSafeEval)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_WmcOnSafeQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  gmc::Query q = gmc::ParseQueryOrDie(kTypeIiLeft);
+  gmc::Tid tid = HalfTid(q, n);
+  for (auto _ : state) {
+    gmc::WmcEngine engine;
+    benchmark::DoNotOptimize(engine.QueryProbability(q, tid));
+  }
+}
+BENCHMARK(BM_WmcOnSafeQuery)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_LiftedTypeILeft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  gmc::Query q = gmc::ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y) | S2(x,y)) & Ax Ay (S1(x,y) | S2(x,y))");
+  gmc::Tid tid = HalfTid(q, n);
+  for (auto _ : state) {
+    gmc::SafeEvaluator evaluator;
+    auto result = evaluator.Evaluate(q, tid);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LiftedTypeILeft)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

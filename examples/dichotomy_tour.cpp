@@ -1,0 +1,57 @@
+// A tour of the dichotomy on the paper's example queries: classification
+// (safe / unsafe, Type I/II, length, finality) for every query shape that
+// appears in the text.
+//
+//   ./dichotomy_tour
+
+#include <cstdio>
+#include <vector>
+
+#include "core/dichotomy.h"
+#include "logic/parser.h"
+
+int main() {
+  using namespace gmc;
+  struct Entry {
+    const char* label;
+    const char* text;
+  };
+  const std::vector<Entry> queries = {
+      {"H0 (Sec. 2)", "Ax Ay (R(x) | S(x,y) | T(y))"},
+      {"H1 (Sec. 1.6)",
+       "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))"},
+      {"chain length 2",
+       "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S1(x,y) | S2(x,y)) & "
+       "Ax Ay (S2(x,y) | T(y))"},
+      {"intro example (Sec. 1.4)",
+       "Ax Ay (R(x) | S(x,y) | T(y) | A(x)) & Ay (B(y))"},
+      {"Example C.9 (Type II-II)",
+       "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax Ay (S1(x,y) | S3(x,y)) & "
+       "Ay (Ax (S3(x,y)) | Ax (S4(x,y)))"},
+      {"safe: left only", "Ax Ay (R(x) | S(x,y))"},
+      {"safe: disconnected",
+       "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S2(x,y) | T(y))"},
+      {"safe: middle only", "Ax Ay (S(x,y))"},
+      {"non-final unsafe",
+       "Ax Ay (R(x) | S1(x,y) | S2(x,y)) & Ax Ay (S1(x,y) | T(y))"},
+      {"Type I-II mix",
+       "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S1(x,y) | S2(x,y)) & "
+       "Ay (Ax (S2(x,y)) | Ax (S3(x,y)))"},
+  };
+  std::printf("%-28s %s\n", "query", "verdict");
+  std::printf("%-28s %s\n", "-----", "-------");
+  for (const Entry& entry : queries) {
+    Query q = ParseQueryOrDie(entry.text);
+    DichotomyReport report = Classify(q);
+    std::printf("%-28s %s\n", entry.label, report.summary.c_str());
+  }
+
+  // Walk a non-final unsafe query down to a final one (Lemma 2.7).
+  Query q = ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y) | S2(x,y)) & Ax Ay (S1(x,y) | T(y))");
+  std::printf("\nsimplifying to a final query:\n  start: %s\n",
+              q.ToString().c_str());
+  Query final_query = MakeFinal(q);
+  std::printf("  final: %s\n", final_query.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "core/dichotomy.h"
+
+#include "util/check.h"
+#include "wmc/wmc.h"
+
+namespace gmc {
+
+DichotomyReport Classify(const Query& query) {
+  DichotomyReport report;
+  report.analysis = AnalyzeBipartite(query);
+  if (report.analysis.safe) {
+    report.summary = "safe: PQE/GFOMC computable in PTIME (lifted)";
+    return report;
+  }
+  report.is_final = IsFinal(query);
+  report.summary = "unsafe (length " +
+                   std::to_string(report.analysis.length) + ", type " +
+                   PartTypeName(report.analysis.left_type) + "-" +
+                   PartTypeName(report.analysis.right_type) +
+                   "): GFOMC is #P-hard (Theorem 2.2)";
+  if (report.is_final) report.summary += "; final (Def. 2.8)";
+  return report;
+}
+
+GfomcResult Gfomc(const Query& query, const Tid& tid) {
+  GfomcResult result;
+  SafeEvaluator evaluator;
+  if (auto lifted = evaluator.Evaluate(query, tid); lifted.has_value()) {
+    result.probability = *lifted;
+    result.used_lifted = true;
+    return result;
+  }
+  WmcEngine engine;
+  result.probability = engine.QueryProbability(query, tid);
+  result.used_lifted = false;
+  return result;
+}
+
+Type1ReductionResult DemonstrateHardness(const Query& query,
+                                         const P2Cnf& phi, Oracle* oracle) {
+  BipartiteAnalysis analysis = AnalyzeBipartite(query);
+  GMC_CHECK_MSG(!analysis.safe,
+                "safe queries are PTIME; there is no hardness to show");
+  GMC_CHECK_MSG(analysis.left_type == PartType::kTypeI &&
+                    analysis.right_type == PartType::kTypeI,
+                "the executable reduction covers Type I-I queries");
+  Query target = IsFinal(query) ? query : MakeFinal(query);
+  Type1Reduction reduction(target);
+  return reduction.Run(phi, oracle);
+}
+
+}  // namespace gmc

@@ -1,0 +1,55 @@
+// Public façade: the dichotomy, end to end.
+//
+// * Classify(Q): the static analysis of Theorem 2.2 — safe queries are
+//   PTIME, unsafe ones #P-hard even with probabilities in {0, 1/2, 1}.
+// * Gfomc(Q, ∆): one-call probability evaluation. Safe queries route to the
+//   lifted PTIME evaluator; unsafe ones fall back to exact (worst-case
+//   exponential) weighted model counting, as the dichotomy promises nothing
+//   better.
+// * DemonstrateHardness(Q, Φ): constructive witness of #P-hardness for
+//   unsafe Type I-I queries — simplifies Q to a final query (Def. 2.8) if
+//   needed, then runs the Cook reduction of §3 to count Φ's models through
+//   a Pr(Q) oracle.
+
+#ifndef GMC_CORE_DICHOTOMY_H_
+#define GMC_CORE_DICHOTOMY_H_
+
+#include <string>
+
+#include "hardness/reduction_type1.h"
+#include "logic/bipartite.h"
+#include "logic/query.h"
+#include "prob/tid.h"
+#include "safe/safe_eval.h"
+
+namespace gmc {
+
+struct DichotomyReport {
+  BipartiteAnalysis analysis;
+  bool is_final = false;
+  // Human-readable verdict, e.g.
+  // "unsafe (length 1, type I-I): GFOMC is #P-hard; final".
+  std::string summary;
+};
+
+DichotomyReport Classify(const Query& query);
+
+struct GfomcResult {
+  Rational probability;
+  // True if the lifted PTIME algorithm was used (query safe); false means
+  // the exact WMC fallback ran (query unsafe — expected exponential).
+  bool used_lifted = false;
+};
+
+GfomcResult Gfomc(const Query& query, const Tid& tid);
+
+// Runs #P2CNF ≤P FOMC(Q) for an unsafe Type I-I query `query` (it is first
+// simplified to a final query if needed, per Lemma 2.7) and returns the
+// reduction's result on `phi`; aborts if `query` is safe or not Type I-I.
+Type1ReductionResult DemonstrateHardness(const Query& query,
+                                         const P2Cnf& phi,
+                                         Oracle* oracle = nullptr);
+
+}  // namespace gmc
+
+#endif  // GMC_CORE_DICHOTOMY_H_

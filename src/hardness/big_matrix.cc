@@ -1,0 +1,105 @@
+#include "hardness/big_matrix.h"
+
+#include "util/check.h"
+
+namespace gmc {
+
+int BigMatrixRowIndex(const std::vector<int>& p, int m) {
+  int index = 0;
+  for (int pj : p) {
+    GMC_CHECK(pj >= 1 && pj <= m + 1);
+    index = index * (m + 1) + (pj - 1);
+  }
+  return index;
+}
+
+int BigMatrixColIndex(const std::vector<int>& k, int m) {
+  int index = 0;
+  for (int ki : k) {
+    GMC_CHECK(ki >= 0 && ki <= m);
+    index = index * (m + 1) + ki;
+  }
+  return index;
+}
+
+RationalMatrix BuildBigMatrix(
+    const std::vector<std::vector<Rational>>& z_series, int m, int h) {
+  GMC_CHECK(h >= 1 && m >= 1);
+  GMC_CHECK(static_cast<int>(z_series.size()) >= m + 1);
+  const int num_kinds = h + 1;
+  for (const auto& row : z_series) {
+    GMC_CHECK(static_cast<int>(row.size()) == num_kinds);
+  }
+  int size = 1;
+  for (int j = 0; j < h; ++j) size *= (m + 1);
+  RationalMatrix matrix(size, size);
+
+  // Odometers over p ∈ {1..m+1}^h (rows) and k ∈ {0..m}^h (columns).
+  std::vector<int> p(h, 1);
+  while (true) {
+    // y_i(p) = Π_j z_i(p_j).
+    std::vector<Rational> y(num_kinds, Rational::One());
+    for (int i = 0; i < num_kinds; ++i) {
+      for (int j = 0; j < h; ++j) y[i] *= z_series[p[j] - 1][i];
+    }
+    GMC_CHECK_MSG(!y[0].IsZero(), "y0(p) must be non-zero");
+    const int row = BigMatrixRowIndex(p, m);
+
+    std::vector<int> k(h, 0);
+    while (true) {
+      int k_sum = 0;
+      for (int ki : k) k_sum += ki;
+      // k0 = m − Σk may be negative; y0^{k0} is then a genuine rational.
+      Rational entry = y[0].Pow(m - k_sum);
+      for (int i = 0; i < h; ++i) entry *= y[i + 1].Pow(k[i]);
+      matrix.At(row, BigMatrixColIndex(k, m)) = entry;
+      // Advance k.
+      int pos = h - 1;
+      while (pos >= 0 && k[pos] == m) k[pos--] = 0;
+      if (pos < 0) break;
+      ++k[pos];
+    }
+    // Advance p.
+    int pos = h - 1;
+    while (pos >= 0 && p[pos] == m + 1) p[pos--] = 1;
+    if (pos < 0) break;
+    ++p[pos];
+  }
+  return matrix;
+}
+
+SymmetricBigMatrix BuildSymmetricBigMatrix(
+    const std::vector<std::vector<Rational>>& z_series, int m) {
+  GMC_CHECK(m >= 1);
+  GMC_CHECK(static_cast<int>(z_series.size()) >= m + 1);
+  for (const auto& row : z_series) {
+    GMC_CHECK(static_cast<int>(row.size()) == 3);  // z00, z01=z10, z11
+  }
+  SymmetricBigMatrix out{RationalMatrix(1, 1), {}, {}};
+  for (int p1 = 1; p1 <= m + 1; ++p1) {
+    for (int p2 = p1; p2 <= m + 1; ++p2) {
+      out.row_params.emplace_back(p1, p2);
+    }
+  }
+  for (int k00 = m; k00 >= 0; --k00) {
+    for (int k1 = 0; k1 <= m - k00; ++k1) {
+      out.col_signatures.push_back({k00, k1, m - k00 - k1});
+    }
+  }
+  const int size = static_cast<int>(out.row_params.size());
+  GMC_CHECK(size == static_cast<int>(out.col_signatures.size()));
+  out.matrix = RationalMatrix(size, size);
+  for (int r = 0; r < size; ++r) {
+    const auto& [p1, p2] = out.row_params[r];
+    const Rational y0 = z_series[p1 - 1][0] * z_series[p2 - 1][0];
+    const Rational y1 = z_series[p1 - 1][1] * z_series[p2 - 1][1];
+    const Rational y2 = z_series[p1 - 1][2] * z_series[p2 - 1][2];
+    for (int c = 0; c < size; ++c) {
+      const auto& [k00, k1, k11] = out.col_signatures[c];
+      out.matrix.At(r, c) = y0.Pow(k00) * y1.Pow(k1) * y2.Pow(k11);
+    }
+  }
+  return out;
+}
+
+}  // namespace gmc

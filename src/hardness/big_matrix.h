@@ -1,0 +1,58 @@
+// The "big matrix" M of Theorem 3.6.
+//
+// Rows are indexed by parameter vectors p = (p1, …, ph) ∈ {1..m+1}^h, and
+// columns by exponent vectors k = (k1, …, kh) ∈ {0..m}^h with
+// k0 := m − (k1 + … + kh) (possibly negative, giving a rational negative
+// power of y0 — exactly the normalization used in the paper's proof). Entry:
+//
+//     M_{p,k} = Π_{i=0..h} y_i(p)^{k_i},   y_i(p) = Π_j z_i(p_j).
+//
+// REPRODUCTION NOTE. As literally transcribed, this matrix is singular
+// whenever the same value set {1..m+1} is used on every coordinate of p:
+// y_i(p) is symmetric under permutations of (p1,…,ph), so rows p and σ(p)
+// coincide (Lemma 3.12 needs the per-coordinate value sets A_i to make all
+// rows distinct, e.g. pairwise disjoint). The system the reduction actually
+// solves is the *symmetric* one: one equation per multiset {p1 ≤ … ≤ ph}
+// and one unknown per feasible undirected signature — both C(m+h, h) many,
+// matching Eq. (10)'s unknowns #k′ exactly. BuildSymmetricBigMatrix builds
+// that square system (for h = 2); its non-singularity is re-verified
+// exactly at run time by the solver on every reduction.
+
+#ifndef GMC_HARDNESS_BIG_MATRIX_H_
+#define GMC_HARDNESS_BIG_MATRIX_H_
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace gmc {
+
+// z_series[p-1][i] = z_i(p) for p = 1..m+1 and i = 0..h (h+1 value kinds).
+// Returns the (m+1)^h × (m+1)^h matrix described above (singular by row
+// symmetry when h > 1; kept as the literal Theorem 3.6 object for study).
+RationalMatrix BuildBigMatrix(
+    const std::vector<std::vector<Rational>>& z_series, int m, int h);
+
+// Row index of p = (p1, …, ph), each in 1..m+1; column index of
+// k = (k1, …, kh), each in 0..m.
+int BigMatrixRowIndex(const std::vector<int>& p, int m);
+int BigMatrixColIndex(const std::vector<int>& k, int m);
+
+// The square system of the Type-I reduction (h = 2): rows are multisets
+// {p1 ≤ p2} ⊆ {1..m+1}, columns are feasible undirected signatures
+// (k00, k01_10, k11) with all parts ≥ 0 summing to m. Both number
+// C(m+2, 2) = (m+1)(m+2)/2.
+struct SymmetricBigMatrix {
+  RationalMatrix matrix;
+  std::vector<std::pair<int, int>> row_params;       // (p1, p2), p1 ≤ p2
+  std::vector<std::array<int, 3>> col_signatures;    // (k00, k01_10, k11)
+};
+
+SymmetricBigMatrix BuildSymmetricBigMatrix(
+    const std::vector<std::vector<Rational>>& z_series, int m);
+
+}  // namespace gmc
+
+#endif  // GMC_HARDNESS_BIG_MATRIX_H_

@@ -1,0 +1,126 @@
+#include "hardness/ccp.h"
+
+#include <random>
+#include <set>
+
+#include "util/check.h"
+
+namespace gmc {
+
+BipartiteGraph BipartiteGraph::Random(int num_u, int num_v, int num_edges,
+                                      uint64_t seed) {
+  GMC_CHECK(num_u >= 1 && num_v >= 1);
+  GMC_CHECK(num_edges <= num_u * num_v);
+  std::mt19937_64 rng(seed);
+  BipartiteGraph out;
+  out.num_u = num_u;
+  out.num_v = num_v;
+  std::set<std::pair<int, int>> seen;
+  while (static_cast<int>(out.edges.size()) < num_edges) {
+    int u = static_cast<int>(rng() % num_u);
+    int v = static_cast<int>(rng() % num_v);
+    if (!seen.insert({u, v}).second) continue;
+    out.edges.emplace_back(u, v);
+  }
+  return out;
+}
+
+std::string BipartiteGraph::ToString() const {
+  std::string out = "U=" + std::to_string(num_u) +
+                    " V=" + std::to_string(num_v) + " E={";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "(" + std::to_string(edges[i].first) + "," +
+           std::to_string(edges[i].second) + ")";
+  }
+  return out + "}";
+}
+
+BigInt CountPP2Cnf(const BipartiteGraph& graph) {
+  GMC_CHECK_MSG(graph.num_u + graph.num_v <= 25,
+                "brute force limited to 25 variables");
+  BigInt count(0);
+  const uint64_t limit = uint64_t{1} << (graph.num_u + graph.num_v);
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    bool satisfied = true;
+    for (const auto& [u, v] : graph.edges) {
+      const bool xu = (mask >> u) & 1;
+      const bool yv = (mask >> (graph.num_u + v)) & 1;
+      if (!xu && !yv) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) count += BigInt(1);
+  }
+  return count;
+}
+
+int SignatureIndex(int alpha, int beta, int n) {
+  return alpha * (n + 1) + beta;
+}
+
+std::map<ColoringSignature, BigInt> ColoringCounts(
+    const BipartiteGraph& graph, int m, int n) {
+  GMC_CHECK(m >= 2 && n >= 2);
+  // Enumerate all colorings (odometers over σ and τ).
+  double work = 1;
+  for (int i = 0; i < graph.num_u; ++i) work *= m;
+  for (int i = 0; i < graph.num_v; ++i) work *= n;
+  GMC_CHECK_MSG(work <= 4e7, "coloring enumeration too large");
+
+  std::map<ColoringSignature, BigInt> counts;
+  std::vector<int> sigma(graph.num_u, 0);
+  while (true) {
+    std::vector<int> tau(graph.num_v, 0);
+    while (true) {
+      ColoringSignature signature((m + 1) * (n + 1), 0);
+      for (const auto& [u, v] : graph.edges) {
+        ++signature[SignatureIndex(sigma[u], tau[v], n)];
+      }
+      for (int u = 0; u < graph.num_u; ++u) {
+        ++signature[SignatureIndex(sigma[u], n, n)];  // k_{α,1̂}
+      }
+      for (int v = 0; v < graph.num_v; ++v) {
+        ++signature[SignatureIndex(m, tau[v], n)];  // k_{1̂,β}
+      }
+      auto [it, inserted] = counts.emplace(signature, BigInt(1));
+      if (!inserted) it->second += BigInt(1);
+      int pos = graph.num_v - 1;
+      while (pos >= 0 && tau[pos] == n - 1) tau[pos--] = 0;
+      if (pos < 0) break;
+      ++tau[pos];
+    }
+    int pos = graph.num_u - 1;
+    while (pos >= 0 && sigma[pos] == m - 1) sigma[pos--] = 0;
+    if (pos < 0) break;
+    ++sigma[pos];
+  }
+  return counts;
+}
+
+BigInt PP2CnfFromColoringCounts(
+    const BipartiteGraph& graph,
+    const std::map<ColoringSignature, BigInt>& counts, int m, int n) {
+  // Valid colorings use colors {0, 1} (paper's {1, 2}); color 0 = false.
+  // Satisfying ⟺ no edge colored (0, 0).
+  BigInt total(0);
+  for (const auto& [signature, count] : counts) {
+    bool valid = true;
+    for (int alpha = 0; alpha <= m && valid; ++alpha) {
+      for (int beta = 0; beta <= n && valid; ++beta) {
+        const int value = signature[SignatureIndex(alpha, beta, n)];
+        if (value == 0) continue;
+        const bool alpha_high = alpha >= 2 && alpha < m;
+        const bool beta_high = beta >= 2 && beta < n;
+        if (alpha_high || beta_high) valid = false;        // extra colors
+        if (alpha == 0 && beta == 0) valid = false;        // violated clause
+      }
+    }
+    if (valid) total += count;
+  }
+  (void)graph;
+  return total;
+}
+
+}  // namespace gmc

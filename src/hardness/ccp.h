@@ -1,0 +1,57 @@
+// The Coloring Count Problem CCP(m, n) of Definition C.2 and its link to
+// #PP2CNF (Theorem C.3) — the source problem of the Type-II reduction.
+//
+// For a bipartite graph (U, V, E) a coloring assigns one of m colors to
+// each U-node and one of n colors to each V-node; its signature counts, for
+// every color pair (α, β), the edges colored (α, β) plus the per-side color
+// tallies k_{α,1̂}, k_{1̂,β}. CCP asks for the number of colorings of every
+// signature. Theorem C.3: an oracle for CCP(m, n), m, n ≥ 2, recovers
+// #PP2CNF — restrict to colorings using colors {1, 2} only, read color 1 as
+// false, and sum the counts of signatures with k_{1,1} = 0.
+
+#ifndef GMC_HARDNESS_CCP_H_
+#define GMC_HARDNESS_CCP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bigint.h"
+
+namespace gmc {
+
+struct BipartiteGraph {
+  int num_u = 0;
+  int num_v = 0;
+  std::vector<std::pair<int, int>> edges;  // (u, v)
+
+  static BipartiteGraph Random(int num_u, int num_v, int num_edges,
+                               uint64_t seed);
+  std::string ToString() const;
+};
+
+// #PP2CNF: satisfying assignments of ∧_{(u,v)∈E}(X_u ∨ Y_v), brute force.
+BigInt CountPP2Cnf(const BipartiteGraph& graph);
+
+// A coloring signature, flattened row-major over ([m]∪{1̂}) × ([n]∪{1̂});
+// index (α, β) ↦ α·(n+1)+β with α = m and β = n playing 1̂ (so the k_{1̂,1̂}
+// cell is always 0).
+using ColoringSignature = std::vector<int>;
+
+int SignatureIndex(int alpha, int beta, int n);
+
+// All coloring counts of CCP(m, n) by exhaustive enumeration (m^|U| · n^|V|
+// colorings; for validation only). Zero-count signatures are omitted.
+std::map<ColoringSignature, BigInt> ColoringCounts(
+    const BipartiteGraph& graph, int m, int n);
+
+// Theorem C.3's extraction: #PP2CNF from the CCP(m, n) counts.
+BigInt PP2CnfFromColoringCounts(
+    const BipartiteGraph& graph,
+    const std::map<ColoringSignature, BigInt>& counts, int m, int n);
+
+}  // namespace gmc
+
+#endif  // GMC_HARDNESS_CCP_H_

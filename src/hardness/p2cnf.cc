@@ -1,0 +1,80 @@
+#include "hardness/p2cnf.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gmc {
+
+P2Cnf P2Cnf::Random(int num_vars, int num_edges, uint64_t seed) {
+  GMC_CHECK(num_vars >= 2);
+  GMC_CHECK(num_edges <= num_vars * (num_vars - 1) / 2);
+  std::mt19937_64 rng(seed);
+  P2Cnf out;
+  out.num_vars = num_vars;
+  std::set<std::pair<int, int>> seen;
+  while (static_cast<int>(out.edges.size()) < num_edges) {
+    int i = static_cast<int>(rng() % num_vars);
+    int j = static_cast<int>(rng() % num_vars);
+    if (i == j) continue;
+    auto undirected = std::minmax(i, j);
+    if (!seen.insert({undirected.first, undirected.second}).second) continue;
+    out.edges.emplace_back(i, j);
+  }
+  return out;
+}
+
+std::string P2Cnf::ToString() const {
+  std::string out;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if (e > 0) out += " & ";
+    out += "(X" + std::to_string(edges[e].first) + " | X" +
+           std::to_string(edges[e].second) + ")";
+  }
+  return out.empty() ? "TRUE" : out;
+}
+
+BigInt CountSatisfying(const P2Cnf& phi) {
+  GMC_CHECK_MSG(phi.num_vars <= 25, "brute force limited to 25 variables");
+  BigInt count(0);
+  const uint64_t limit = uint64_t{1} << phi.num_vars;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    bool satisfied = true;
+    for (const auto& [i, j] : phi.edges) {
+      if (((mask >> i) & 1) == 0 && ((mask >> j) & 1) == 0) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) count += BigInt(1);
+  }
+  return count;
+}
+
+std::map<Signature, BigInt> SignatureCounts(const P2Cnf& phi) {
+  GMC_CHECK_MSG(phi.num_vars <= 25, "brute force limited to 25 variables");
+  std::map<Signature, BigInt> counts;
+  const uint64_t limit = uint64_t{1} << phi.num_vars;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    Signature signature = {0, 0, 0};
+    for (const auto& [i, j] : phi.edges) {
+      const int a = (mask >> i) & 1;
+      const int b = (mask >> j) & 1;
+      if (a == 0 && b == 0) {
+        ++signature[0];
+      } else if (a == 1 && b == 1) {
+        ++signature[2];
+      } else {
+        ++signature[1];
+      }
+    }
+    auto [it, inserted] = counts.emplace(signature, BigInt(1));
+    if (!inserted) it->second += BigInt(1);
+  }
+  return counts;
+}
+
+}  // namespace gmc

@@ -1,0 +1,52 @@
+// Positive 2CNF instances and their (brute-force) counting problems.
+//
+// #P2CNF — count satisfying assignments of Φ = ∧_{(i,j)∈E}(X_i ∨ X_j) — is
+// the #P-hard source problem of the Type-I reduction (§3). The *signature*
+// of an assignment records how many clauses have 0, 1 (either side), or 2
+// true variables (Eq. 2–3); the reduction recovers all undirected signature
+// counts #k′ and reads off #Φ = Σ_{k′: k00=0} #k′.
+//
+// #PP2CNF (bipartite variable sets, Provan & Ball) is the source problem of
+// the Type-II reduction; see hardness/ccp.h.
+
+#ifndef GMC_HARDNESS_P2CNF_H_
+#define GMC_HARDNESS_P2CNF_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bigint.h"
+
+namespace gmc {
+
+struct P2Cnf {
+  int num_vars = 0;
+  // Clauses (X_i ∨ X_j); i ≠ j, at most one orientation per pair.
+  std::vector<std::pair<int, int>> edges;
+
+  int num_clauses() const { return static_cast<int>(edges.size()); }
+
+  // Random instance with distinct edges (no isolated checking of
+  // connectivity; duplicates and self-loops are avoided).
+  static P2Cnf Random(int num_vars, int num_edges, uint64_t seed);
+
+  std::string ToString() const;
+};
+
+// Undirected signature (k00, k01+k10, k11); entries sum to |E|.
+using Signature = std::array<int, 3>;
+
+// Brute-force #Φ (2^n enumeration; n ≤ 25).
+BigInt CountSatisfying(const P2Cnf& phi);
+
+// Brute-force undirected signature counts #k′ (Eq. 3). Keys with zero count
+// are omitted.
+std::map<Signature, BigInt> SignatureCounts(const P2Cnf& phi);
+
+}  // namespace gmc
+
+#endif  // GMC_HARDNESS_P2CNF_H_

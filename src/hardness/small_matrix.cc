@@ -1,0 +1,173 @@
+#include "hardness/small_matrix.h"
+
+#include <array>
+#include <utility>
+
+#include "lineage/grounder.h"
+#include "poly/lemmas.h"
+#include "prob/block.h"
+#include "util/check.h"
+#include "util/quadratic.h"
+#include "wmc/wmc.h"
+
+namespace gmc {
+
+namespace {
+
+struct BlockLineage {
+  Lineage lineage;
+  int var_ru = -1;
+  int var_rv = -1;
+};
+
+// Grounds the query over the isolated block with the given branch lengths
+// and locates the lineage variables of R(u), R(v).
+BlockLineage GroundIsolatedBlock(const Query& query,
+                                 const std::vector<int>& branch_lengths) {
+  const std::vector<SymbolId> left_unaries =
+      query.vocab().IdsOfKind(SymbolKind::kUnaryLeft);
+  GMC_CHECK_MSG(left_unaries.size() == 1,
+                "Type-I block analysis expects exactly one R symbol");
+  const SymbolId r_symbol = left_unaries[0];
+
+  IsolatedBlock block = MakeIsolatedBlock(query.vocab_ptr(), branch_lengths);
+  BlockLineage out;
+  out.lineage = Ground(query, block.tid);
+  GMC_CHECK_MSG(!out.lineage.is_false, "block lineage is unsatisfiable");
+  out.var_ru = out.lineage.VarOf(TupleKey{r_symbol, block.u(), -1});
+  out.var_rv = out.lineage.VarOf(TupleKey{r_symbol, block.v(), -1});
+  GMC_CHECK_MSG(out.var_ru >= 0 && out.var_rv >= 0,
+                "R(u)/R(v) do not occur in the block lineage");
+  return out;
+}
+
+}  // namespace
+
+RationalMatrix ComputeApDirect(const Query& query, int p) {
+  BlockLineage block = GroundIsolatedBlock(query, {p});
+  WmcEngine engine;
+  RationalMatrix out(2, 2);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      Cnf conditioned = block.lineage.cnf.Condition(block.var_ru, a == 1)
+                            .Condition(block.var_rv, b == 1);
+      out.At(a, b) = engine.Probability(conditioned,
+                                        block.lineage.probabilities);
+    }
+  }
+  return out;
+}
+
+RationalMatrix ComputeA1(const Query& query) {
+  return ComputeApDirect(query, 1);
+}
+
+RationalMatrix ComputeAp(const RationalMatrix& a1, int p) {
+  GMC_CHECK(p >= 1);
+  // Lemma 3.19: A(p) = A(1)^p / 2^{p-1}.
+  return a1.Pow(static_cast<uint64_t>(p))
+      .ScaledBy(Rational::Half().Pow(p - 1));
+}
+
+Polynomial SmallMatrixDetPolynomial(const Query& query) {
+  BlockLineage block = GroundIsolatedBlock(query, {1});
+  Polynomial y = ArithmetizeCnf(block.lineage.cnf);
+  return SmallMatrix(y, block.var_ru, block.var_rv).Determinant();
+}
+
+std::string DesignConditionReport::ToString() const {
+  std::string out;
+  auto flag = [&out](const char* name, bool value) {
+    out += std::string(name) + "=" + (value ? "yes" : "NO") + " ";
+  };
+  flag("det(A1)!=0", det_a1_nonzero);
+  flag("z00<z01=z10<z11", ordering_holds && symmetric);
+  flag("eigen(22)", eigen_conditions);
+  flag("pairwise(23)(24)", pairwise_independent);
+  out += "lambda1=" + std::to_string(lambda1) +
+         " lambda2=" + std::to_string(lambda2);
+  return out;
+}
+
+DesignConditionReport CheckDesignConditions(const RationalMatrix& a1) {
+  GMC_CHECK(a1.rows() == 2 && a1.cols() == 2);
+  DesignConditionReport report;
+  const Rational z00 = a1.At(0, 0), z01 = a1.At(0, 1);
+  const Rational z10 = a1.At(1, 0), z11 = a1.At(1, 1);
+
+  report.symmetric = z01 == z10;
+  report.ordering_holds = Rational::Zero() < z00 && z00 < z01 && z01 < z11 &&
+                          z11 <= Rational::One();
+  const Rational det = z00 * z11 - z01 * z10;
+  report.det_a1_nonzero = !det.IsZero();
+
+  // Exact spectral analysis in ℚ(√disc): λ = (tr ± √disc)/2.
+  const Rational trace = z00 + z11;
+  const Rational disc = trace * trace - Rational(4) * det;
+  GMC_CHECK_MSG(disc >= Rational::Zero(),
+                "symmetric matrix must have real eigenvalues");
+  using Q = QuadraticNumber;
+  const Q root = Q::Root(disc);
+  const Q half = Q::FromRational(Rational::Half(), disc);
+  const Q lambda1 = (Q::FromRational(trace, disc) - root) * half;
+  const Q lambda2 = (Q::FromRational(trace, disc) + root) * half;
+  report.lambda1 = lambda1.ToDouble();
+  report.lambda2 = lambda2.ToDouble();
+  report.eigen_conditions = lambda1.Sign() != 0 && lambda2.Sign() != 0 &&
+                            (lambda1 - lambda2).Sign() != 0 &&
+                            (lambda1 + lambda2).Sign() != 0;
+
+  if (!report.det_a1_nonzero || !report.eigen_conditions) return report;
+
+  // Spectral projectors: A^p = λ1^p E1 + λ2^p E2 with
+  // E1 = (A − λ2 I)/(λ1 − λ2), E2 = (A − λ1 I)/(λ2 − λ1). Entry (r,c) of Ei
+  // gives the coefficient of λi^p in z_rc(p) (up to the uniform 1/2^{p-1}
+  // scaling, which cancels from every condition below).
+  const Q denom1 = lambda1 - lambda2;
+  const Q denom2 = lambda2 - lambda1;
+  std::array<std::array<Q, 2>, 2> e1, e2;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      Q entry = Q::FromRational(a1.At(r, c), disc);
+      Q diag1 = r == c ? lambda2 : Q::FromRational(Rational::Zero(), disc);
+      Q diag2 = r == c ? lambda1 : Q::FromRational(Rational::Zero(), disc);
+      e1[r][c] = (entry - diag1) / denom1;
+      e2[r][c] = (entry - diag2) / denom2;
+    }
+  }
+  // Conditions (23) and (24) over i ∈ {00, 10, 11} (z01 = z10): bᵢ ≠ 0 and
+  // aᵢbⱼ ≠ aⱼbᵢ, where aᵢ = E1 entry, bᵢ = E2 entry (λ2 is the larger).
+  const std::array<std::pair<int, int>, 3> indices = {
+      std::make_pair(0, 0), std::make_pair(1, 0), std::make_pair(1, 1)};
+  bool ok = true;
+  for (const auto& [r, c] : indices) {
+    if (e2[r][c].Sign() == 0) ok = false;
+  }
+  for (size_t i = 0; i < indices.size() && ok; ++i) {
+    for (size_t j = i + 1; j < indices.size() && ok; ++j) {
+      const auto& [ri, ci] = indices[i];
+      const auto& [rj, cj] = indices[j];
+      Q lhs = e1[ri][ci] * e2[rj][cj];
+      Q rhs = e1[rj][cj] * e2[ri][ci];
+      if ((lhs - rhs).Sign() == 0) ok = false;
+    }
+  }
+  report.pairwise_independent = ok;
+  return report;
+}
+
+std::vector<std::vector<Rational>> ZSeries(const RationalMatrix& a1,
+                                           int max_p) {
+  GMC_CHECK(max_p >= 1);
+  std::vector<std::vector<Rational>> out;
+  RationalMatrix ap = a1;
+  for (int p = 1; p <= max_p; ++p) {
+    GMC_CHECK_MSG(ap.At(0, 1) == ap.At(1, 0),
+                  "blocks must be symmetric (Prop 3.20)");
+    out.push_back({ap.At(0, 0), ap.At(0, 1), ap.At(1, 1)});
+    ap = (ap * a1).ScaledBy(Rational::Half());  // A(p+1) = A(p)·A(1)/2
+  }
+  return out;
+}
+
+}  // namespace gmc

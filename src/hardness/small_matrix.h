@@ -1,0 +1,67 @@
+// The "small matrix" A(p) of §3.3 and its design conditions.
+//
+// For a final Type-I query Q, z_ab(p) is the probability of the block
+// lineage Y^(p)(u,v) with R(u), R(v) fixed to a, b and every other tuple at
+// probability 1/2 (Eq. 20). The matrix A(p) = [[z00, z01], [z10, z11]](p)
+// obeys the transfer-matrix identity A(p) = A(1)^p / 2^{p−1} (Lemma 3.19),
+// and Theorem 3.14 shows z_i(p) = a_i λ1^p + b_i λ2^p with the three
+// conditions (22)–(24) that make the big matrix non-singular.
+//
+// Everything here is exact rational arithmetic; the eigenvalues themselves
+// (typically irrational) are only exposed as double diagnostics, while the
+// conditions are verified exactly via 2×2 determinant identities
+// (Lemma C.35: det[[z_i(p), z_j(p)], [z_i(p+1), z_j(p+1)]] =
+//  λ1^p λ2^p (λ2−λ1)(a_i b_j − a_j b_i)).
+
+#ifndef GMC_HARDNESS_SMALL_MATRIX_H_
+#define GMC_HARDNESS_SMALL_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "logic/query.h"
+#include "poly/polynomial.h"
+
+namespace gmc {
+
+// A(1): z_ab(1) computed by exact WMC over the one-link block B_1(u,v).
+RationalMatrix ComputeA1(const Query& query);
+
+// A(p) = A(1)^p / 2^{p-1} (Lemma 3.19).
+RationalMatrix ComputeAp(const RationalMatrix& a1, int p);
+
+// A(p) computed directly: WMC over the isolated block B_p(u,v) with R(u),
+// R(v) conditioned — the definition, used to validate Lemma 3.19 (E5).
+RationalMatrix ComputeApDirect(const Query& query, int p);
+
+// The determinant polynomial f_A of Eq. (28): det of the small matrix of
+// the arithmetization of Y^(1)(u,v) w.r.t. the R(u), R(v) variables.
+// Theorem 3.16 / Corollary 3.18: for final queries f_A = c·Π u_i(1−u_i).
+Polynomial SmallMatrixDetPolynomial(const Query& query);
+
+// Design-condition report for Theorem 3.14 (E7/E8).
+struct DesignConditionReport {
+  bool det_a1_nonzero = false;          // Theorem 3.16 at 1/2,…,1/2
+  bool ordering_holds = false;          // Prop 3.20: z00 < z01 = z10 < z11
+  bool symmetric = false;               // z01 == z10
+  bool pairwise_independent = false;    // (24): a_i b_j ≠ a_j b_i, all i ≠ j
+  bool eigen_conditions = false;        // (22): λ1 ≠ ±λ2, both non-zero
+  double lambda1 = 0.0, lambda2 = 0.0;  // diagnostics only
+
+  bool AllHold() const {
+    return det_a1_nonzero && ordering_holds && symmetric &&
+           pairwise_independent && eigen_conditions;
+  }
+  std::string ToString() const;
+};
+
+DesignConditionReport CheckDesignConditions(const RationalMatrix& a1);
+
+// z-values for p = 1..max_p as rows {z00, z01_10, z11} via Lemma 3.19.
+std::vector<std::vector<Rational>> ZSeries(const RationalMatrix& a1,
+                                           int max_p);
+
+}  // namespace gmc
+
+#endif  // GMC_HARDNESS_SMALL_MATRIX_H_

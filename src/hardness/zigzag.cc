@@ -1,0 +1,236 @@
+#include "hardness/zigzag.h"
+
+#include <algorithm>
+#include <string>
+
+#include "logic/bipartite.h"
+#include "util/check.h"
+
+namespace gmc {
+
+namespace {
+
+// Branch copies of a set of binary symbols.
+std::vector<SymbolId> CopyOf(const ZigzagQuery& zigzag,
+                             const std::vector<SymbolId>& symbols,
+                             int branch) {
+  std::vector<SymbolId> out;
+  out.reserve(symbols.size());
+  for (SymbolId s : symbols) {
+    out.push_back(zigzag.binary_copies.at(s)[branch - 1]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ZigzagQuery MakeZigzagQuery(const Query& query) {
+  BipartiteAnalysis analysis = AnalyzeBipartite(query);
+  GMC_CHECK_MSG(!analysis.safe, "zg(Q) is defined for unsafe queries");
+
+  ZigzagQuery out{Query(query.vocab_ptr()), 0, query, {}, -1, {}, -1, -1};
+
+  // n = 2 for Type I right parts; otherwise max(3, widest right clause).
+  int n = 2;
+  if (analysis.right_type != PartType::kTypeI) {
+    n = 3;
+    for (const Clause& clause : query.clauses()) {
+      if (clause.IsRightClause() && clause.base() == Side::kRight) {
+        n = std::max(n, clause.NumSubclauses());
+      }
+    }
+  }
+  out.n = n;
+
+  // Fresh vocabulary.
+  auto zg_vocab = std::make_shared<Vocabulary>();
+  const Vocabulary& vocab = query.vocab();
+  for (SymbolId s : query.Symbols()) {
+    const std::string& name = vocab.name(s);
+    switch (vocab.kind(s)) {
+      case SymbolKind::kBinary: {
+        std::vector<SymbolId> copies;
+        for (int i = 1; i <= n; ++i) {
+          copies.push_back(zg_vocab->Add(name + "_" + std::to_string(i),
+                                         SymbolKind::kBinary));
+        }
+        out.binary_copies[s] = std::move(copies);
+        break;
+      }
+      case SymbolKind::kUnaryLeft: {
+        GMC_CHECK_MSG(out.r_original == -1, "more than one R symbol");
+        out.r_original = s;
+        for (int i = 1; i <= n; ++i) {
+          SymbolKind kind = i == 1   ? SymbolKind::kUnaryLeft
+                            : i == n ? SymbolKind::kUnaryRight
+                                     : SymbolKind::kBinary;
+          out.r_copies.push_back(
+              zg_vocab->Add(name + "_" + std::to_string(i), kind));
+        }
+        break;
+      }
+      case SymbolKind::kUnaryRight: {
+        GMC_CHECK_MSG(out.t_original == -1, "more than one T symbol");
+        out.t_original = s;
+        out.t12 = zg_vocab->Add(name + "_12", SymbolKind::kBinary);
+        break;
+      }
+    }
+  }
+
+  // Clause translation (Eqs. 38–45).
+  std::vector<Clause> clauses;
+  for (const Clause& clause : query.clauses()) {
+    const bool is_left = clause.IsLeftClause();
+    const bool is_right = clause.IsRightClause();
+    GMC_CHECK_MSG(!(is_left && is_right),
+                  "H0-shaped clauses are excluded (handled separately in "
+                  "the paper)");
+    if (is_left && clause.HasUnaryOfSide(Side::kLeft)) {
+      // Type I left: R(x) ∨ S_J(x,y) — one clause per branch (38)-(39).
+      GMC_CHECK(clause.NumSubclauses() == 1);
+      const std::vector<SymbolId>& j_set = clause.subclauses()[0].binaries;
+      for (int i = 1; i <= n; ++i) {
+        std::vector<SymbolId> s_copy = CopyOf(out, j_set, i);
+        if (i == 1) {
+          clauses.push_back(
+              Clause(Side::kLeft, {out.r_copies[0]}, {Subclause{s_copy, {}}}));
+        } else if (i == n) {
+          clauses.push_back(Clause(Side::kLeft, {},
+                                   {Subclause{s_copy, {out.r_copies[n - 1]}}}));
+        } else {
+          s_copy.push_back(out.r_copies[i - 1]);  // R^(i) is binary
+          clauses.push_back(
+              Clause(Side::kLeft, {}, {Subclause{s_copy, {}}}));
+        }
+      }
+    } else if (is_left) {
+      // Type II left (40)-(41).
+      for (int i = 1; i <= n; ++i) {
+        if (i == 1 || i == n) {
+          std::vector<Subclause> subs;
+          for (const Subclause& sub : clause.subclauses()) {
+            subs.push_back(Subclause{CopyOf(out, sub.binaries, i), {}});
+          }
+          clauses.push_back(Clause(i == 1 ? Side::kLeft : Side::kRight, {},
+                                   std::move(subs)));
+        } else {
+          std::vector<SymbolId> merged;
+          for (const Subclause& sub : clause.subclauses()) {
+            std::vector<SymbolId> copy = CopyOf(out, sub.binaries, i);
+            merged.insert(merged.end(), copy.begin(), copy.end());
+          }
+          clauses.push_back(
+              Clause(Side::kLeft, {}, {Subclause{merged, {}}}));
+        }
+      }
+    } else if (is_right && clause.HasUnaryOfSide(Side::kRight) &&
+               clause.NumSubclauses() == 1) {
+      // Type I right: S_J ∨ T(y) → two middle clauses (43)-(44).
+      GMC_CHECK(n == 2);
+      const std::vector<SymbolId>& j_set = clause.subclauses()[0].binaries;
+      for (int i = 1; i <= 2; ++i) {
+        std::vector<SymbolId> s_copy = CopyOf(out, j_set, i);
+        s_copy.push_back(out.t12);
+        clauses.push_back(Clause(Side::kLeft, {}, {Subclause{s_copy, {}}}));
+      }
+    } else if (is_right && clause.base() == Side::kRight) {
+      // Type II right: one middle clause per φ : [ℓ] → [n] (45).
+      const int ell = clause.NumSubclauses();
+      std::vector<int> phi(ell, 1);
+      while (true) {
+        std::vector<SymbolId> merged;
+        for (int i = 0; i < ell; ++i) {
+          std::vector<SymbolId> copy =
+              CopyOf(out, clause.subclauses()[i].binaries, phi[i]);
+          merged.insert(merged.end(), copy.begin(), copy.end());
+        }
+        clauses.push_back(Clause(Side::kLeft, {}, {Subclause{merged, {}}}));
+        int pos = ell - 1;
+        while (pos >= 0 && phi[pos] == n) phi[pos--] = 1;
+        if (pos < 0) break;
+        ++phi[pos];
+      }
+    } else {
+      // Middle clause: n branch copies (42). Pure-unary clauses (outside
+      // Def. 2.3) are not supported here.
+      GMC_CHECK_MSG(clause.IsMiddleClause(),
+                    "unsupported clause shape for zg()");
+      const std::vector<SymbolId>& j_set = clause.subclauses()[0].binaries;
+      for (int i = 1; i <= n; ++i) {
+        clauses.push_back(
+            Clause(Side::kLeft, {}, {Subclause{CopyOf(out, j_set, i), {}}}));
+      }
+    }
+  }
+  out.query = Query(zg_vocab, std::move(clauses));
+  return out;
+}
+
+Tid MakeZigzagTid(const ZigzagQuery& zigzag, const Tid& delta) {
+  const int n = zigzag.n;
+  const int v1 = delta.num_left();
+  const int v2 = delta.num_right();
+  // Left constants of zg(∆): the V1 constants, then the V2 constants, then
+  // the dead-end branches f^(i)_uv (i = 2..n-1). Right constants: e_uv.
+  const int num_left = v1 + v2 + v1 * v2 * (n - 2);
+  const int num_right = v1 * v2;
+  Tid out(zigzag.original.vocab_ptr(), num_left, num_right,
+          Rational::One());
+  auto f_constant = [&](int u, int v, int i) {
+    return v1 + v2 + (u * v2 + v) * (n - 2) + (i - 2);
+  };
+  auto e_constant = [&](int u, int v) { return u * v2 + v; };
+
+  auto set_if_uncertain = [&out](const TupleKey& key, const Rational& p) {
+    if (!p.IsOne()) out.Set(key, p);
+  };
+
+  if (zigzag.r_original != -1) {
+    for (int u = 0; u < v1; ++u) {
+      set_if_uncertain(
+          TupleKey{zigzag.r_original, u, -1},
+          delta.Probability(TupleKey{zigzag.r_copies[0], u, -1}));
+    }
+    for (int v = 0; v < v2; ++v) {
+      set_if_uncertain(
+          TupleKey{zigzag.r_original, v1 + v, -1},
+          delta.Probability(TupleKey{zigzag.r_copies[n - 1], -1, v}));
+    }
+    for (int u = 0; u < v1; ++u) {
+      for (int v = 0; v < v2; ++v) {
+        for (int i = 2; i <= n - 1; ++i) {
+          set_if_uncertain(
+              TupleKey{zigzag.r_original, f_constant(u, v, i), -1},
+              delta.Probability(TupleKey{zigzag.r_copies[i - 1], u, v}));
+        }
+      }
+    }
+  }
+  if (zigzag.t_original != -1) {
+    for (int u = 0; u < v1; ++u) {
+      for (int v = 0; v < v2; ++v) {
+        set_if_uncertain(TupleKey{zigzag.t_original, -1, e_constant(u, v)},
+                         delta.Probability(TupleKey{zigzag.t12, u, v}));
+      }
+    }
+  }
+  for (const auto& [original, copies] : zigzag.binary_copies) {
+    for (int u = 0; u < v1; ++u) {
+      for (int v = 0; v < v2; ++v) {
+        const int e = e_constant(u, v);
+        set_if_uncertain(TupleKey{original, u, e},
+                         delta.Probability(TupleKey{copies[0], u, v}));
+        set_if_uncertain(TupleKey{original, v1 + v, e},
+                         delta.Probability(TupleKey{copies[n - 1], u, v}));
+        for (int i = 2; i <= n - 1; ++i) {
+          set_if_uncertain(TupleKey{original, f_constant(u, v, i), e},
+                           delta.Probability(TupleKey{copies[i - 1], u, v}));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gmc

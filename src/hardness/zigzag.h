@@ -1,0 +1,58 @@
+// The zig-zag rewriting of Appendix A (Lemma 2.6, Fig. 2).
+//
+// Given an unsafe bipartite query Q of type A−B and length k, zg(Q) is an
+// unsafe bipartite query of type A−A and length ≥ 2k over a fresh
+// vocabulary of n branch copies per symbol, together with a polynomial-time
+// database mapping ∆ ↦ zg(∆) such that
+//
+//     Pr_∆(zg(Q)) = Pr_{zg(∆)}(Q)              (Lemma A.1)
+//
+// with identical probability values — hence GFOMC_bi(zg(Q)) ≤Pm
+// GFOMC_bi(Q). This is how the main theorem turns hardness of Type I-I /
+// Type II-II *final* queries into hardness of every unsafe query: the
+// rewriting doubles length and aligns the left/right types.
+
+#ifndef GMC_HARDNESS_ZIGZAG_H_
+#define GMC_HARDNESS_ZIGZAG_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "logic/query.h"
+#include "prob/tid.h"
+
+namespace gmc {
+
+struct ZigzagQuery {
+  // zg(Q), over the fresh vocabulary zg(R).
+  Query query;
+  // Branch fan-out: 2 when Q's right part is Type I, else max(3, widest
+  // right clause).
+  int n = 0;
+
+  // Original query/vocabulary (the target of the reduction).
+  Query original;
+
+  // Vocabulary correspondence. Binary S ↦ S^(1..n) (all binary);
+  // unary-left R ↦ R^(1) (unary-left), R^(2..n-1) (binary), R^(n)
+  // (unary-right); unary-right T ↦ T^(12) (binary).
+  std::map<SymbolId, std::vector<SymbolId>> binary_copies;
+  SymbolId r_original = -1;
+  std::vector<SymbolId> r_copies;
+  SymbolId t_original = -1;
+  SymbolId t12 = -1;
+};
+
+// Builds zg(Q). `query` must be an unsafe bipartite query.
+ZigzagQuery MakeZigzagQuery(const Query& query);
+
+// The database mapping: a bipartite TID ∆ over zg(R) becomes the TID zg(∆)
+// over the original vocabulary, with the same multiset of probability
+// values (Appendix A's 1-to-1 tuple correspondence; everything else gets
+// probability 1).
+Tid MakeZigzagTid(const ZigzagQuery& zigzag, const Tid& delta);
+
+}  // namespace gmc
+
+#endif  // GMC_HARDNESS_ZIGZAG_H_

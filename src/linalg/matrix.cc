@@ -1,0 +1,256 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gmc {
+
+RationalMatrix::RationalMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols), entries_(rows * cols) {
+  GMC_CHECK(rows > 0 && cols > 0);
+}
+
+RationalMatrix RationalMatrix::Identity(int n) {
+  RationalMatrix out(n, n);
+  for (int i = 0; i < n; ++i) out.At(i, i) = Rational::One();
+  return out;
+}
+
+RationalMatrix RationalMatrix::Vandermonde(
+    const std::vector<Rational>& values) {
+  const int n = static_cast<int>(values.size());
+  GMC_CHECK(n > 0);
+  RationalMatrix out(n, n);
+  for (int i = 0; i < n; ++i) {
+    Rational power = Rational::One();
+    for (int j = 0; j < n; ++j) {
+      out.At(i, j) = power;
+      power *= values[i];
+    }
+  }
+  return out;
+}
+
+RationalMatrix RationalMatrix::Kronecker(const RationalMatrix& a,
+                                         const RationalMatrix& b) {
+  RationalMatrix out(a.rows_ * b.rows_, a.cols_ * b.cols_);
+  for (int i = 0; i < a.rows_; ++i) {
+    for (int j = 0; j < a.cols_; ++j) {
+      for (int k = 0; k < b.rows_; ++k) {
+        for (int l = 0; l < b.cols_; ++l) {
+          out.At(i * b.rows_ + k, j * b.cols_ + l) = a.At(i, j) * b.At(k, l);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Rational& RationalMatrix::At(int r, int c) {
+  GMC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return entries_[r * cols_ + c];
+}
+
+const Rational& RationalMatrix::At(int r, int c) const {
+  GMC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return entries_[r * cols_ + c];
+}
+
+RationalMatrix RationalMatrix::operator*(const RationalMatrix& other) const {
+  GMC_CHECK(cols_ == other.rows_);
+  RationalMatrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const Rational& aik = At(i, k);
+      if (aik.IsZero()) continue;
+      for (int j = 0; j < other.cols_; ++j) {
+        if (other.At(k, j).IsZero()) continue;
+        out.At(i, j) += aik * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+RationalMatrix RationalMatrix::operator+(const RationalMatrix& other) const {
+  GMC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  RationalMatrix out(rows_, cols_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out.entries_[i] = entries_[i] + other.entries_[i];
+  }
+  return out;
+}
+
+RationalMatrix RationalMatrix::operator-(const RationalMatrix& other) const {
+  GMC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  RationalMatrix out(rows_, cols_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out.entries_[i] = entries_[i] - other.entries_[i];
+  }
+  return out;
+}
+
+RationalMatrix RationalMatrix::ScaledBy(const Rational& factor) const {
+  RationalMatrix out(rows_, cols_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out.entries_[i] = entries_[i] * factor;
+  }
+  return out;
+}
+
+RationalMatrix RationalMatrix::Transposed() const {
+  RationalMatrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+RationalMatrix RationalMatrix::Pow(uint64_t exponent) const {
+  GMC_CHECK(rows_ == cols_);
+  RationalMatrix result = Identity(rows_);
+  RationalMatrix base = *this;
+  while (exponent > 0) {
+    if (exponent & 1) result = result * base;
+    base = base * base;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+Rational RationalMatrix::Determinant() const {
+  GMC_CHECK(rows_ == cols_);
+  RationalMatrix work = *this;
+  Rational det = Rational::One();
+  for (int col = 0; col < cols_; ++col) {
+    int pivot = -1;
+    for (int row = col; row < rows_; ++row) {
+      if (!work.At(row, col).IsZero()) {
+        pivot = row;
+        break;
+      }
+    }
+    if (pivot == -1) return Rational::Zero();
+    if (pivot != col) {
+      for (int j = 0; j < cols_; ++j) {
+        std::swap(work.At(pivot, j), work.At(col, j));
+      }
+      det = -det;
+    }
+    const Rational pivot_value = work.At(col, col);
+    det *= pivot_value;
+    for (int row = col + 1; row < rows_; ++row) {
+      if (work.At(row, col).IsZero()) continue;
+      const Rational factor = work.At(row, col) / pivot_value;
+      work.At(row, col) = Rational::Zero();
+      for (int j = col + 1; j < cols_; ++j) {
+        work.At(row, j) -= factor * work.At(col, j);
+      }
+    }
+  }
+  return det;
+}
+
+int RationalMatrix::Rank() const {
+  RationalMatrix work = *this;
+  int rank = 0;
+  int pivot_row = 0;
+  for (int col = 0; col < cols_ && pivot_row < rows_; ++col) {
+    int pivot = -1;
+    for (int row = pivot_row; row < rows_; ++row) {
+      if (!work.At(row, col).IsZero()) {
+        pivot = row;
+        break;
+      }
+    }
+    if (pivot == -1) continue;
+    for (int j = 0; j < cols_; ++j) {
+      std::swap(work.At(pivot, j), work.At(pivot_row, j));
+    }
+    const Rational pivot_value = work.At(pivot_row, col);
+    for (int row = pivot_row + 1; row < rows_; ++row) {
+      if (work.At(row, col).IsZero()) continue;
+      const Rational factor = work.At(row, col) / pivot_value;
+      for (int j = col; j < cols_; ++j) {
+        work.At(row, j) -= factor * work.At(pivot_row, j);
+      }
+    }
+    ++rank;
+    ++pivot_row;
+  }
+  return rank;
+}
+
+std::optional<std::vector<Rational>> RationalMatrix::Solve(
+    const std::vector<Rational>& rhs) const {
+  GMC_CHECK(rows_ == cols_);
+  GMC_CHECK(static_cast<int>(rhs.size()) == rows_);
+  RationalMatrix work = *this;
+  std::vector<Rational> b = rhs;
+  for (int col = 0; col < cols_; ++col) {
+    int pivot = -1;
+    for (int row = col; row < rows_; ++row) {
+      if (!work.At(row, col).IsZero()) {
+        pivot = row;
+        break;
+      }
+    }
+    if (pivot == -1) return std::nullopt;
+    if (pivot != col) {
+      for (int j = 0; j < cols_; ++j) {
+        std::swap(work.At(pivot, j), work.At(col, j));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    const Rational pivot_value = work.At(col, col);
+    for (int row = col + 1; row < rows_; ++row) {
+      if (work.At(row, col).IsZero()) continue;
+      const Rational factor = work.At(row, col) / pivot_value;
+      work.At(row, col) = Rational::Zero();
+      for (int j = col + 1; j < cols_; ++j) {
+        work.At(row, j) -= factor * work.At(col, j);
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<Rational> x(cols_);
+  for (int row = rows_ - 1; row >= 0; --row) {
+    Rational acc = b[row];
+    for (int j = row + 1; j < cols_; ++j) {
+      acc -= work.At(row, j) * x[j];
+    }
+    x[row] = acc / work.At(row, row);
+  }
+  return x;
+}
+
+std::optional<RationalMatrix> RationalMatrix::Inverse() const {
+  GMC_CHECK(rows_ == cols_);
+  RationalMatrix out(rows_, cols_);
+  // Solve column by column against unit vectors.
+  for (int c = 0; c < cols_; ++c) {
+    std::vector<Rational> unit(rows_);
+    unit[c] = Rational::One();
+    std::optional<std::vector<Rational>> column = Solve(unit);
+    if (!column.has_value()) return std::nullopt;
+    for (int r = 0; r < rows_; ++r) out.At(r, c) = (*column)[r];
+  }
+  return out;
+}
+
+std::string RationalMatrix::ToString() const {
+  std::string out;
+  for (int i = 0; i < rows_; ++i) {
+    out += "[ ";
+    for (int j = 0; j < cols_; ++j) {
+      out += At(i, j).ToString() + " ";
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace gmc

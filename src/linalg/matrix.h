@@ -1,0 +1,67 @@
+// Dense exact-rational linear algebra.
+//
+// The Cook reduction of §3.2 recovers the signature counts #k′ by solving a
+// linear system whose matrix (Theorem 3.6's "big matrix") must be inverted
+// exactly — the unknowns are integers obtained from rationals with huge
+// numerators, so floating point is useless here. Plain Gaussian elimination
+// over Rational suffices at the sizes the reductions produce ((m+1)² rows).
+
+#ifndef GMC_LINALG_MATRIX_H_
+#define GMC_LINALG_MATRIX_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace gmc {
+
+class RationalMatrix {
+ public:
+  RationalMatrix(int rows, int cols);
+  static RationalMatrix Identity(int n);
+  // Square Vandermonde matrix: entry (i, j) = values[i]^j.
+  static RationalMatrix Vandermonde(const std::vector<Rational>& values);
+  static RationalMatrix Kronecker(const RationalMatrix& a,
+                                  const RationalMatrix& b);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  Rational& At(int r, int c);
+  const Rational& At(int r, int c) const;
+
+  RationalMatrix operator*(const RationalMatrix& other) const;
+  RationalMatrix operator+(const RationalMatrix& other) const;
+  RationalMatrix operator-(const RationalMatrix& other) const;
+  RationalMatrix ScaledBy(const Rational& factor) const;
+  RationalMatrix Transposed() const;
+  RationalMatrix Pow(uint64_t exponent) const;
+
+  bool operator==(const RationalMatrix& other) const = default;
+
+  // Exact determinant (square matrices) via fraction-preserving Gaussian
+  // elimination with pivoting.
+  Rational Determinant() const;
+
+  int Rank() const;
+  bool IsSingular() const { return Rank() < std::min(rows_, cols_); }
+
+  // Solves A·x = b for square non-singular A; nullopt when singular.
+  std::optional<std::vector<Rational>> Solve(
+      const std::vector<Rational>& rhs) const;
+
+  // Exact inverse; nullopt when singular.
+  std::optional<RationalMatrix> Inverse() const;
+
+  std::string ToString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<Rational> entries_;  // row-major
+};
+
+}  // namespace gmc
+
+#endif  // GMC_LINALG_MATRIX_H_

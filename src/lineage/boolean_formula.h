@@ -1,0 +1,65 @@
+// Monotone CNF formulas — the shape of every ∀CNF lineage.
+//
+// Positive ∀CNF queries ground to monotone (negation-free) CNFs, which have
+// a unique minimal clause representation (no clause contains another). On
+// minimized monotone CNFs, syntactic structure matches semantics exactly:
+// connectivity of the clause/variable graph is the unique factorization into
+// independent conjuncts (Lemma B.5), which Lemma 1.2's algebraic test is
+// validated against.
+
+#ifndef GMC_LINEAGE_BOOLEAN_FORMULA_H_
+#define GMC_LINEAGE_BOOLEAN_FORMULA_H_
+
+#include <string>
+#include <vector>
+
+namespace gmc {
+
+// A monotone CNF over variables 0..num_vars-1. Clauses are sorted vectors of
+// distinct variable ids. An empty clause list means TRUE; any empty clause
+// means FALSE.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+
+  bool IsTrue() const { return clauses.empty(); }
+  bool HasEmptyClause() const;
+
+  // Adds a clause (sorted and deduped). Aborts on out-of-range variables.
+  void AddClause(std::vector<int> clause);
+
+  // Removes clauses that are supersets of other clauses, yielding the
+  // canonical minimal form of the monotone function. Also sorts the clause
+  // list for canonical comparison.
+  void RemoveSubsumed();
+
+  // Conditions on var := value. For value=true removes satisfied clauses;
+  // for value=false removes the literal (possibly creating empty clauses).
+  Cnf Condition(int var, bool value) const;
+
+  // Variables that actually occur, sorted.
+  std::vector<int> UsedVariables() const;
+
+  // Component index per clause under the shares-a-variable relation.
+  std::vector<int> ClauseComponents() const;
+
+  // True if all clauses are in a single connected component and the formula
+  // depends on at least one variable. (Constant formulas count as
+  // connected-trivially.)
+  bool IsConnected() const;
+
+  // Definition B.2: does the (minimized) formula disconnect variable sets
+  // `u` and `v`, i.e. factor as F1 ∧ F2 with u only in F1 and v only in F2?
+  // Exact on minimized monotone CNFs via component decomposition.
+  bool Disconnects(const std::vector<int>& u, const std::vector<int>& v) const;
+
+  // Canonical byte-string key (used by the WMC cache). Variables keep their
+  // global ids, so equal keys mean equal formulas over the same tuples.
+  std::string CacheKey() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_LINEAGE_BOOLEAN_FORMULA_H_

@@ -1,0 +1,161 @@
+#include "lineage/grounder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gmc {
+
+int Lineage::VarOf(const TupleKey& key) const {
+  auto it = var_ids.find(key);
+  return it == var_ids.end() ? -1 : it->second;
+}
+
+Grounder::Grounder(const Tid* tid) : tid_(tid) { GMC_CHECK(tid != nullptr); }
+
+int Grounder::VarFor(const TupleKey& key, const Rational& p) {
+  auto it = lineage_.var_ids.find(key);
+  if (it != lineage_.var_ids.end()) return it->second;
+  const int id = static_cast<int>(lineage_.variables.size());
+  lineage_.var_ids[key] = id;
+  lineage_.variables.push_back(key);
+  lineage_.probabilities.push_back(p);
+  return id;
+}
+
+void Grounder::AddClause(const Clause& clause,
+                         std::optional<ConstantId> only_base) {
+  if (lineage_.is_false) return;
+  const int num_base =
+      clause.base() == Side::kLeft ? tid_->num_left() : tid_->num_right();
+  if (only_base.has_value()) {
+    GMC_CHECK(*only_base >= 0 && *only_base < num_base);
+    GroundAt(clause, *only_base);
+    return;
+  }
+  for (ConstantId b = 0; b < num_base; ++b) {
+    GroundAt(clause, b);
+    if (lineage_.is_false) return;
+  }
+}
+
+void Grounder::AddQuery(const Query& query) {
+  GMC_CHECK_MSG(!query.IsFalse(), "grounding a FALSE query");
+  for (const Clause& clause : query.clauses()) AddClause(clause);
+}
+
+void Grounder::GroundAt(const Clause& clause, ConstantId base) {
+  const Side base_side = clause.base();
+  const int num_inner =
+      base_side == Side::kLeft ? tid_->num_right() : tid_->num_left();
+
+  auto unary_key = [&](SymbolId s, Side side, ConstantId c) {
+    return side == Side::kLeft ? TupleKey{s, c, -1} : TupleKey{s, -1, c};
+  };
+  auto binary_key = [&](SymbolId s, ConstantId inner) {
+    return base_side == Side::kLeft ? TupleKey{s, base, inner}
+                                    : TupleKey{s, inner, base};
+  };
+
+  // Base unary literals.
+  std::vector<int> unary_lits;
+  for (SymbolId s : clause.base_unaries()) {
+    TupleKey key = unary_key(s, base_side, base);
+    const Rational& p = tid_->Probability(key);
+    if (p.IsOne()) return;  // clause satisfied at this base constant
+    if (p.IsZero()) continue;
+    unary_lits.push_back(VarFor(key, p));
+  }
+
+  // Ground each subclause into its list of per-inner-constant disjunctions.
+  // A subclause whose event is false disappears as a disjunct; one whose
+  // event is true satisfies the whole clause.
+  std::vector<std::vector<std::vector<int>>> surviving_subclauses;
+  for (const Subclause& sub : clause.subclauses()) {
+    std::vector<std::vector<int>> conjuncts;
+    bool subclause_false = false;
+    for (ConstantId i = 0; i < num_inner && !subclause_false; ++i) {
+      std::vector<int> lits;
+      bool conjunct_true = false;
+      for (SymbolId s : sub.binaries) {
+        TupleKey key = binary_key(s, i);
+        const Rational& p = tid_->Probability(key);
+        if (p.IsOne()) {
+          conjunct_true = true;
+          break;
+        }
+        if (!p.IsZero()) lits.push_back(VarFor(key, p));
+      }
+      if (!conjunct_true) {
+        for (SymbolId s : sub.inner_unaries) {
+          TupleKey key = unary_key(s, Opposite(base_side), i);
+          const Rational& p = tid_->Probability(key);
+          if (p.IsOne()) {
+            conjunct_true = true;
+            break;
+          }
+          if (!p.IsZero()) lits.push_back(VarFor(key, p));
+        }
+      }
+      if (conjunct_true) continue;
+      if (lits.empty()) {
+        subclause_false = true;
+        break;
+      }
+      conjuncts.push_back(std::move(lits));
+    }
+    if (subclause_false) continue;
+    if (conjuncts.empty()) return;  // ∀i event is vacuously true
+    surviving_subclauses.push_back(std::move(conjuncts));
+  }
+
+  if (surviving_subclauses.empty()) {
+    if (unary_lits.empty()) {
+      lineage_.is_false = true;
+      return;
+    }
+    lineage_.cnf.clauses.push_back(std::move(unary_lits));
+    return;
+  }
+
+  // Distribute the disjunction of conjunctions into CNF: one output clause
+  // per choice of conjunct from each surviving subclause.
+  std::vector<size_t> choice(surviving_subclauses.size(), 0);
+  while (true) {
+    std::vector<int> out = unary_lits;
+    for (size_t s = 0; s < surviving_subclauses.size(); ++s) {
+      const auto& lits = surviving_subclauses[s][choice[s]];
+      out.insert(out.end(), lits.begin(), lits.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    lineage_.cnf.clauses.push_back(std::move(out));
+    // Next choice vector.
+    size_t pos = 0;
+    while (pos < choice.size()) {
+      if (++choice[pos] < surviving_subclauses[pos].size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == choice.size()) break;
+  }
+}
+
+Lineage Grounder::Take(bool minimize) {
+  lineage_.cnf.num_vars = static_cast<int>(lineage_.variables.size());
+  if (lineage_.is_false) {
+    lineage_.cnf.clauses = {{}};
+    return std::move(lineage_);
+  }
+  if (minimize) lineage_.cnf.RemoveSubsumed();
+  return std::move(lineage_);
+}
+
+Lineage Ground(const Query& query, const Tid& tid, bool minimize) {
+  Grounder grounder(&tid);
+  grounder.AddQuery(query);
+  return grounder.Take(minimize);
+}
+
+}  // namespace gmc

@@ -1,0 +1,68 @@
+// Lineage computation: grounding a ∀CNF query over a TID into monotone CNF.
+//
+// Implements Φ_∆(Q) from §2 (footnote 4). Tuples with probability exactly 1
+// or 0 are folded away during grounding (true/false constants), so lineage
+// variables are exactly the "uncertain" tuples — this is what makes the
+// paper's gadget databases, whose bulk has probability 1, tractable.
+//
+// Type II clauses ∀b(∨_ℓ ∀i D_ℓ(b,i)) are disjunctions of conjunctions after
+// grounding; they are converted to CNF by distribution (the blow-up is
+// |Dom|^m for m subclauses, polynomial for fixed queries, per §C.4).
+
+#ifndef GMC_LINEAGE_GROUNDER_H_
+#define GMC_LINEAGE_GROUNDER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lineage/boolean_formula.h"
+#include "logic/query.h"
+#include "prob/tid.h"
+
+namespace gmc {
+
+// A grounded query: CNF over lineage variables plus their tuple identities
+// and probabilities.
+struct Lineage {
+  Cnf cnf;
+  std::vector<TupleKey> variables;      // var id -> tuple
+  std::vector<Rational> probabilities;  // var id -> probability in (0, 1)
+  std::unordered_map<TupleKey, int, TupleKeyHash> var_ids;
+  // True if some ground clause is unsatisfiable (so Pr(Q) = 0).
+  bool is_false = false;
+
+  // Lineage variable of a tuple, or -1 if the tuple was folded away.
+  int VarOf(const TupleKey& key) const;
+};
+
+// Incremental lineage builder; lets callers ground a query plus extra
+// clauses pinned to particular constants (needed by the Type II machinery,
+// which grounds G_α(u) at a single u — Eq. (53)).
+class Grounder {
+ public:
+  explicit Grounder(const Tid* tid);
+
+  // Grounds ∀b clause(b) over all base constants, or only at `only_base`.
+  void AddClause(const Clause& clause,
+                 std::optional<ConstantId> only_base = std::nullopt);
+  void AddQuery(const Query& query);
+
+  // Finalizes: optionally removes subsumed clauses (canonical minimal CNF).
+  Lineage Take(bool minimize = true);
+
+ private:
+  // Grounds one (clause, base constant) pair into zero or more CNF clauses.
+  void GroundAt(const Clause& clause, ConstantId base);
+  int VarFor(const TupleKey& key, const Rational& p);
+
+  const Tid* tid_;
+  Lineage lineage_;
+};
+
+// One-shot convenience: the lineage Φ_∆(Q).
+Lineage Ground(const Query& query, const Tid& tid, bool minimize = true);
+
+}  // namespace gmc
+
+#endif  // GMC_LINEAGE_GROUNDER_H_

@@ -1,0 +1,200 @@
+#include "logic/bipartite.h"
+
+#include <algorithm>
+#include <deque>
+#include <iterator>
+
+#include "util/check.h"
+
+namespace gmc {
+
+namespace {
+
+// Adjacency by shared symbols.
+std::vector<std::vector<int>> ClauseGraph(const Query& query) {
+  const auto& clauses = query.clauses();
+  const int n = static_cast<int>(clauses.size());
+  std::vector<std::vector<SymbolId>> symbols(n);
+  for (int i = 0; i < n; ++i) symbols[i] = clauses[i].Symbols();
+  std::vector<std::vector<int>> adjacency(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      std::vector<SymbolId> shared;
+      std::set_intersection(symbols[i].begin(), symbols[i].end(),
+                            symbols[j].begin(), symbols[j].end(),
+                            std::back_inserter(shared));
+      if (!shared.empty()) {
+        adjacency[i].push_back(j);
+        adjacency[j].push_back(i);
+      }
+    }
+  }
+  return adjacency;
+}
+
+// Matches a clause against the five shapes of Def. 2.3 (or H0's shape,
+// which is outside it).
+bool MatchesDef23(const Clause& c) {
+  const bool has_base_unary = !c.base_unaries().empty();
+  bool any_inner_unary = false;
+  bool all_binary_nonempty = true;
+  for (const Subclause& sub : c.subclauses()) {
+    if (!sub.inner_unaries.empty()) any_inner_unary = true;
+    if (sub.binaries.empty()) all_binary_nonempty = false;
+  }
+  const int k = c.NumSubclauses();
+  if (k == 0) return false;  // pure unary clause: not a Def 2.3 shape
+  if (k == 1) {
+    const Subclause& sub = c.subclauses()[0];
+    if (sub.binaries.empty()) return false;
+    if (has_base_unary && any_inner_unary) return false;  // H0-like
+    return true;  // left I / middle / right I
+  }
+  // Type II (left or right): no unaries anywhere, all subclauses binary.
+  return !has_base_unary && !any_inner_unary && all_binary_nonempty;
+}
+
+}  // namespace
+
+const char* PartTypeName(PartType type) {
+  switch (type) {
+    case PartType::kNone:
+      return "none";
+    case PartType::kTypeI:
+      return "I";
+    case PartType::kTypeII:
+      return "II";
+    case PartType::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+std::string BipartiteAnalysis::ToString() const {
+  std::string out = safe ? "safe" : "unsafe";
+  if (!safe) {
+    out += " (length " + std::to_string(length) + ", type " +
+           PartTypeName(left_type) + "-" + PartTypeName(right_type) + ")";
+  }
+  if (!conforms_def23) out += " [outside Def 2.3 shapes]";
+  return out;
+}
+
+BipartiteAnalysis AnalyzeBipartite(const Query& query) {
+  BipartiteAnalysis out;
+  if (query.IsFalse() || query.IsTrue()) return out;
+  const auto& clauses = query.clauses();
+  const int n = static_cast<int>(clauses.size());
+
+  std::vector<bool> is_left(n), is_right(n);
+  bool left_unary = false, left_multi = false;
+  bool right_unary = false, right_multi = false;
+  for (int i = 0; i < n; ++i) {
+    is_left[i] = clauses[i].IsLeftClause();
+    is_right[i] = clauses[i].IsRightClause();
+    if (is_left[i]) {
+      if (clauses[i].HasUnaryOfSide(Side::kLeft)) {
+        left_unary = true;
+      } else {
+        left_multi = true;
+      }
+    }
+    if (is_right[i]) {
+      if (clauses[i].HasUnaryOfSide(Side::kRight)) {
+        right_unary = true;
+      } else {
+        right_multi = true;
+      }
+    }
+    if (!MatchesDef23(clauses[i])) out.conforms_def23 = false;
+  }
+  auto part_type = [](bool unary, bool multi) {
+    if (unary && multi) return PartType::kMixed;
+    if (unary) return PartType::kTypeI;
+    if (multi) return PartType::kTypeII;
+    return PartType::kNone;
+  };
+  out.left_type = part_type(left_unary, left_multi);
+  out.right_type = part_type(right_unary, right_multi);
+
+  // BFS from all left clauses simultaneously to the nearest right clause.
+  std::vector<std::vector<int>> adjacency = ClauseGraph(query);
+  std::vector<int> dist(n, -1), pred(n, -1);
+  std::deque<int> frontier;
+  for (int i = 0; i < n; ++i) {
+    if (is_left[i]) {
+      dist[i] = 0;
+      frontier.push_back(i);
+    }
+  }
+  int best = -1, best_dist = -1;
+  for (int i = 0; i < n; ++i) {
+    if (is_left[i] && is_right[i]) {
+      best = i;
+      best_dist = 0;
+      break;
+    }
+  }
+  while (best == -1 && !frontier.empty()) {
+    int cur = frontier.front();
+    frontier.pop_front();
+    if (is_right[cur]) {
+      best = cur;
+      best_dist = dist[cur];
+      break;
+    }
+    for (int next : adjacency[cur]) {
+      if (dist[next] == -1) {
+        dist[next] = dist[cur] + 1;
+        pred[next] = cur;
+        frontier.push_back(next);
+      }
+    }
+  }
+  if (best != -1) {
+    out.safe = false;
+    out.length = best_dist;
+    for (int cur = best; cur != -1; cur = pred[cur]) {
+      out.witness_path.push_back(cur);
+    }
+    std::reverse(out.witness_path.begin(), out.witness_path.end());
+  }
+  return out;
+}
+
+bool IsSafe(const Query& query) { return AnalyzeBipartite(query).safe; }
+
+bool IsFinal(const Query& query) {
+  BipartiteAnalysis analysis = AnalyzeBipartite(query);
+  if (analysis.safe) return false;
+  for (SymbolId s : query.Symbols()) {
+    if (!IsSafe(query.Substitute(s, false))) return false;
+    if (!IsSafe(query.Substitute(s, true))) return false;
+  }
+  return true;
+}
+
+Query SimplifyTowardsFinal(const Query& query) {
+  if (IsSafe(query)) return query;
+  for (SymbolId s : query.Symbols()) {
+    for (bool value : {false, true}) {
+      Query simplified = query.Substitute(s, value);
+      if (!IsSafe(simplified)) return simplified;
+    }
+  }
+  return query;  // already final
+}
+
+Query MakeFinal(const Query& query) {
+  Query current = query;
+  GMC_CHECK_MSG(!IsSafe(current), "MakeFinal requires an unsafe query");
+  while (!IsFinal(current)) {
+    Query next = SimplifyTowardsFinal(current);
+    GMC_CHECK_MSG(next.ToString() != current.ToString(),
+                  "simplification made no progress");
+    current = next;
+  }
+  return current;
+}
+
+}  // namespace gmc

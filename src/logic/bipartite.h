@@ -1,0 +1,66 @@
+// Static analysis of bipartite queries: the syntactic side of the dichotomy.
+//
+// Implements Definition 2.3 (clause shapes and Type I/II classification),
+// Definition 2.4 (a bipartite query is unsafe iff a left clause and a right
+// clause are connected by a shared-symbol path; its length is the minimal
+// such path length), and Definition 2.8 (a *final* query is an unsafe query
+// such that every substitution Q[S := 0] / Q[S := 1] is safe).
+
+#ifndef GMC_LOGIC_BIPARTITE_H_
+#define GMC_LOGIC_BIPARTITE_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/query.h"
+
+namespace gmc {
+
+enum class PartType {
+  kNone,    // no clauses on this side
+  kTypeI,   // unary-anchored (R(x) / T(y)) clauses
+  kTypeII,  // multi-subclause clauses, no unary on this side
+  kMixed,   // both shapes present (outside Def. 2.3)
+};
+
+const char* PartTypeName(PartType type);
+
+struct BipartiteAnalysis {
+  // Def. 2.4: safe iff no left clause is connected to a right clause.
+  bool safe = true;
+  // Minimal left-to-right path length k (number of edges in C0,…,Ck);
+  // -1 when safe. A clause that is simultaneously left and right (as in H0)
+  // yields length 0.
+  int length = -1;
+  // Witness path of clause indices C0,…,Ck (empty when safe).
+  std::vector<int> witness_path;
+  PartType left_type = PartType::kNone;
+  PartType right_type = PartType::kNone;
+  // True if every clause matches one of the five shapes of Def. 2.3
+  // exactly (left/middle/right of Type I/II).
+  bool conforms_def23 = true;
+
+  std::string ToString() const;
+};
+
+BipartiteAnalysis AnalyzeBipartite(const Query& query);
+
+// Shorthands.
+bool IsSafe(const Query& query);
+
+// Def. 2.8. Requires the query to be unsafe; checks all 2·|symbols|
+// substitutions for safety.
+bool IsFinal(const Query& query);
+
+// If Q is unsafe but not final, returns one simplification Q[S := v] that is
+// still unsafe (used to walk any unsafe query down to a final one, as in the
+// proof of Theorem 2.2). Identity when Q is final or safe.
+Query SimplifyTowardsFinal(const Query& query);
+
+// Iterates SimplifyTowardsFinal until final (or safe, which cannot happen
+// for unsafe inputs by Lemma 2.7(3)).
+Query MakeFinal(const Query& query);
+
+}  // namespace gmc
+
+#endif  // GMC_LOGIC_BIPARTITE_H_

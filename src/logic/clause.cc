@@ -1,0 +1,262 @@
+#include "logic/clause.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gmc {
+
+namespace {
+
+void SortUnique(std::vector<SymbolId>* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+bool Contains(const std::vector<SymbolId>& ids, SymbolId id) {
+  return std::binary_search(ids.begin(), ids.end(), id);
+}
+
+bool IsSubset(const std::vector<SymbolId>& a, const std::vector<SymbolId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool Erase(std::vector<SymbolId>* ids, SymbolId id) {
+  auto it = std::lower_bound(ids->begin(), ids->end(), id);
+  if (it != ids->end() && *it == id) {
+    ids->erase(it);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Subclause::SubsetOf(const Subclause& other) const {
+  return IsSubset(binaries, other.binaries) &&
+         IsSubset(inner_unaries, other.inner_unaries);
+}
+
+bool Subclause::operator<(const Subclause& other) const {
+  if (binaries != other.binaries) return binaries < other.binaries;
+  return inner_unaries < other.inner_unaries;
+}
+
+Clause::Clause(Side base, std::vector<SymbolId> base_unaries,
+               std::vector<Subclause> subclauses)
+    : base_(base),
+      base_unaries_(std::move(base_unaries)),
+      subclauses_(std::move(subclauses)) {
+  Normalize();
+}
+
+void Clause::Normalize() {
+  SortUnique(&base_unaries_);
+  for (Subclause& sub : subclauses_) {
+    SortUnique(&sub.binaries);
+    SortUnique(&sub.inner_unaries);
+  }
+  // A subclause that (pointwise) implies a sibling is absorbed by it:
+  // ∀i D(b,i) ∨ ∀i D'(b,i) ≡ ∀i D'(b,i) whenever D ⊆ D'. Remove strict
+  // subsets and duplicates.
+  std::sort(subclauses_.begin(), subclauses_.end());
+  subclauses_.erase(std::unique(subclauses_.begin(), subclauses_.end()),
+                    subclauses_.end());
+  std::vector<bool> removed(subclauses_.size(), false);
+  for (size_t i = 0; i < subclauses_.size(); ++i) {
+    if (removed[i]) continue;
+    for (size_t j = 0; j < subclauses_.size(); ++j) {
+      if (i == j || removed[j]) continue;
+      if (subclauses_[i].SubsetOf(subclauses_[j])) {
+        removed[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<Subclause> kept;
+  for (size_t i = 0; i < subclauses_.size(); ++i) {
+    if (!removed[i]) kept.push_back(std::move(subclauses_[i]));
+  }
+  subclauses_ = std::move(kept);
+
+  // Canonical base: prenex-simple clauses (≤ 1 subclause) are based on the
+  // left, so that syntactically different but equivalent forms compare equal
+  // (∀y∀x(S ∨ T(y)) vs ∀x∀y(S ∨ T(y))). Pure-unary clauses keep the side of
+  // their unaries.
+  if (base_ == Side::kRight && subclauses_.size() == 1) {
+    Subclause sub = std::move(subclauses_[0]);
+    std::vector<SymbolId> new_base = std::move(sub.inner_unaries);
+    sub.inner_unaries = std::move(base_unaries_);
+    base_unaries_ = std::move(new_base);
+    subclauses_[0] = std::move(sub);
+    base_ = Side::kLeft;
+  } else if (base_ == Side::kRight && subclauses_.empty() &&
+             base_unaries_.empty()) {
+    base_ = Side::kLeft;  // canonical empty (false) clause
+  }
+}
+
+std::vector<SymbolId> Clause::Symbols() const {
+  std::vector<SymbolId> out = base_unaries_;
+  for (const Subclause& sub : subclauses_) {
+    out.insert(out.end(), sub.binaries.begin(), sub.binaries.end());
+    out.insert(out.end(), sub.inner_unaries.begin(), sub.inner_unaries.end());
+  }
+  SortUnique(&out);
+  return out;
+}
+
+bool Clause::HasSymbol(SymbolId id) const {
+  if (Contains(base_unaries_, id)) return true;
+  for (const Subclause& sub : subclauses_) {
+    if (Contains(sub.binaries, id) || Contains(sub.inner_unaries, id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Clause::HasUnaryOfSide(Side side) const {
+  if (base_ == side && !base_unaries_.empty()) return true;
+  if (Opposite(base_) == side) {
+    for (const Subclause& sub : subclauses_) {
+      if (!sub.inner_unaries.empty()) return true;
+    }
+  }
+  return false;
+}
+
+bool Clause::IsLeftClause() const {
+  if (HasUnaryOfSide(Side::kLeft)) return true;
+  return base_ == Side::kLeft && subclauses_.size() > 1;
+}
+
+bool Clause::IsRightClause() const {
+  if (HasUnaryOfSide(Side::kRight)) return true;
+  return base_ == Side::kRight && subclauses_.size() > 1;
+}
+
+bool Clause::IsMiddleClause() const {
+  return base_unaries_.empty() && subclauses_.size() == 1 &&
+         subclauses_[0].inner_unaries.empty();
+}
+
+SubstituteOutcome Clause::Substitute(SymbolId symbol, bool value) {
+  if (value) {
+    // symbol := true. Any disjunct containing it makes the clause valid.
+    if (Contains(base_unaries_, symbol)) return SubstituteOutcome::kTrue;
+    for (const Subclause& sub : subclauses_) {
+      if (Contains(sub.binaries, symbol) ||
+          Contains(sub.inner_unaries, symbol)) {
+        return SubstituteOutcome::kTrue;
+      }
+    }
+    return SubstituteOutcome::kClause;
+  }
+  // symbol := false. Remove every occurrence; empty subclauses are false
+  // disjuncts and disappear; an empty clause is false.
+  Erase(&base_unaries_, symbol);
+  std::vector<Subclause> kept;
+  for (Subclause& sub : subclauses_) {
+    Erase(&sub.binaries, symbol);
+    Erase(&sub.inner_unaries, symbol);
+    if (!sub.Empty()) kept.push_back(std::move(sub));
+  }
+  subclauses_ = std::move(kept);
+  if (base_unaries_.empty() && subclauses_.empty()) {
+    return SubstituteOutcome::kFalse;
+  }
+  Normalize();
+  return SubstituteOutcome::kClause;
+}
+
+bool Clause::HomomorphismExists(const Clause& from, const Clause& to) {
+  // A homomorphism maps the base variable of `from` either to the base
+  // variable of `to` (same side) or to the inner variable of one subclause
+  // of `to` (opposite side); inner variables of `from` then map to inner
+  // variables of `to`, resp. collapse onto the base of `to`. See clause.h.
+  if (from.base_ == to.base_) {
+    if (!IsSubset(from.base_unaries_, to.base_unaries_)) return false;
+    for (const Subclause& s : from.subclauses_) {
+      bool found = false;
+      for (const Subclause& t : to.subclauses_) {
+        if (s.SubsetOf(t)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+  // Opposite sides: base(from) ↦ inner var of some subclause t0 of `to`;
+  // every inner var of `from` ↦ base(to).
+  for (const Subclause& t0 : to.subclauses_) {
+    if (!IsSubset(from.base_unaries_, t0.inner_unaries)) continue;
+    bool ok = true;
+    for (const Subclause& s : from.subclauses_) {
+      if (!IsSubset(s.binaries, t0.binaries) ||
+          !IsSubset(s.inner_unaries, to.base_unaries_)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+bool Clause::Equivalent(const Clause& a, const Clause& b) {
+  return HomomorphismExists(a, b) && HomomorphismExists(b, a);
+}
+
+std::string Clause::ToString(const Vocabulary& vocab) const {
+  const char* base_var = base_ == Side::kLeft ? "x" : "y";
+  const char* inner_var = base_ == Side::kLeft ? "y" : "x";
+  auto binary_atom = [&](SymbolId s) {
+    return vocab.name(s) + "(x,y)";  // binary atoms are always (x, y)
+  };
+  std::string out = "A";
+  out += base_var;
+  out += " ";
+  const bool simple = subclauses_.size() <= 1;
+  if (simple && subclauses_.size() == 1) {
+    out += "A";
+    out += inner_var;
+    out += " ";
+  }
+  out += "(";
+  bool first = true;
+  auto append = [&out, &first](const std::string& text) {
+    if (!first) out += " | ";
+    first = false;
+    out += text;
+  };
+  for (SymbolId s : base_unaries_) {
+    append(vocab.name(s) + "(" + base_var + ")");
+  }
+  for (const Subclause& sub : subclauses_) {
+    std::string part;
+    if (!simple) {
+      part += "A";
+      part += inner_var;
+      part += " (";
+    }
+    bool sub_first = true;
+    auto sub_append = [&part, &sub_first](const std::string& text) {
+      if (!sub_first) part += " | ";
+      sub_first = false;
+      part += text;
+    };
+    for (SymbolId s : sub.binaries) sub_append(binary_atom(s));
+    for (SymbolId s : sub.inner_unaries) {
+      sub_append(vocab.name(s) + "(" + std::string(inner_var) + ")");
+    }
+    if (!simple) part += ")";
+    append(part);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gmc

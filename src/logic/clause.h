@@ -1,0 +1,112 @@
+// Universally quantified clauses of the bipartite ∀CNF fragment (Def. 2.3).
+//
+// A clause has a *base* variable (left side x, or right side y) and consists
+// of a disjunction of (a) unary atoms over the base variable and (b)
+// subclauses, each carrying its own inner universally-quantified variable of
+// the opposite side:
+//
+//     ∀b ( A1(b) ∨ … ∨ Ak(b) ∨ ∀i1 D1(b,i1) ∨ … ∨ ∀im Dm(b,im) )
+//
+// where each D is a disjunction of binary atoms over (b, i) and unary atoms
+// over i. This uniformly represents every clause shape in the paper:
+//   * Type I left    ∀x∀y(R(x) ∨ S_J(x,y))      — base x, one subclause
+//   * middle         ∀x∀y S_J(x,y)               — base x, one subclause
+//   * Type I right   ∀y∀x(S_J(x,y) ∨ T(y))      — canonicalized to base x
+//   * Type II left   ∀x(∨_ℓ ∀y S_{J_ℓ}(x,y))    — base x, m > 1 subclauses
+//   * Type II right  ∀y(∨_ℓ ∀x S_{J_ℓ}(x,y))    — base y, m > 1 subclauses
+//   * H0's clause    ∀x∀y(R(x) ∨ S(x,y) ∨ T(y)) — base x, unary + subclause
+// plus the generalized left clauses with several unary symbols produced by
+// the shattering step (Appendix C, Claim 1).
+//
+// Clauses are kept in a canonical, minimized form: symbol lists sorted,
+// subclauses deduplicated and subsumption-free (a subclause that implies a
+// sibling is removed, per the clause-minimization convention of §2), and
+// clauses with at most one subclause are re-based to the left side.
+
+#ifndef GMC_LOGIC_CLAUSE_H_
+#define GMC_LOGIC_CLAUSE_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/symbol.h"
+
+namespace gmc {
+
+enum class Side : uint8_t { kLeft, kRight };
+
+inline Side Opposite(Side s) {
+  return s == Side::kLeft ? Side::kRight : Side::kLeft;
+}
+
+// One disjunct of the form ∀i ( ⋁_{S∈binaries} S(b,i) ∨ ⋁_{U∈inner} U(i) ).
+struct Subclause {
+  std::vector<SymbolId> binaries;        // sorted, unique
+  std::vector<SymbolId> inner_unaries;   // sorted, unique
+
+  bool Empty() const { return binaries.empty() && inner_unaries.empty(); }
+  // Component-wise subset test: does *this imply `other` (pointwise)?
+  bool SubsetOf(const Subclause& other) const;
+  bool operator==(const Subclause& other) const = default;
+  bool operator<(const Subclause& other) const;
+};
+
+// Result of substituting a symbol with false/true inside a clause.
+enum class SubstituteOutcome : uint8_t {
+  kClause,  // clause survives (possibly smaller)
+  kTrue,    // clause became valid — drop it from the query
+  kFalse,   // clause became unsatisfiable — the whole query is false
+};
+
+class Clause {
+ public:
+  Clause() = default;
+  Clause(Side base, std::vector<SymbolId> base_unaries,
+         std::vector<Subclause> subclauses);
+
+  Side base() const { return base_; }
+  const std::vector<SymbolId>& base_unaries() const { return base_unaries_; }
+  const std::vector<Subclause>& subclauses() const { return subclauses_; }
+
+  // All distinct symbols occurring anywhere in the clause, sorted.
+  std::vector<SymbolId> Symbols() const;
+  bool HasSymbol(SymbolId id) const;
+  // True if some unary symbol of the given side occurs (as base or inner).
+  bool HasUnaryOfSide(Side side) const;
+
+  // Classification per Def. 2.3 (on the canonical form).
+  bool IsLeftClause() const;    // contains a left unary, or ≥2 left subclauses
+  bool IsRightClause() const;   // mirror image
+  bool IsMiddleClause() const;  // binary-only single subclause
+  // Number of subclauses (1 for prenex-simple clauses).
+  int NumSubclauses() const { return static_cast<int>(subclauses_.size()); }
+
+  // Replaces `symbol` by the constant `value` and re-normalizes.
+  SubstituteOutcome Substitute(SymbolId symbol, bool value);
+
+  // Is there a homomorphism `from` → `to` (a side-respecting variable map
+  // sending every atom of `from` to an atom of `to`)? Witnesses logical
+  // implication ∀(from) ⇒ ∀(to).
+  static bool HomomorphismExists(const Clause& from, const Clause& to);
+
+  // Logical equivalence via homomorphisms both ways (clauses are minimized).
+  static bool Equivalent(const Clause& a, const Clause& b);
+
+  bool operator==(const Clause& other) const = default;
+
+  // Renders in ASCII, e.g. "Ax Ay (R(x) | S(x,y) | T(y))" or
+  // "Ax (Ay (S1(x,y)) | Ay (S2(x,y)))".
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  // Sorts, dedupes, removes subsumed subclauses, re-bases simple clauses.
+  void Normalize();
+
+  Side base_ = Side::kLeft;
+  std::vector<SymbolId> base_unaries_;
+  std::vector<Subclause> subclauses_;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_LOGIC_CLAUSE_H_

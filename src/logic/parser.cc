@@ -1,0 +1,344 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gmc {
+namespace {
+
+enum class TokenKind {
+  kIdent,   // names, 'forall', 'x', 'y', 'Ax', 'Ay'
+  kLParen,
+  kRParen,
+  kComma,
+  kPipe,
+  kAmp,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token Next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return {TokenKind::kEnd, "", pos_};
+    const size_t start = pos_;
+    const char c = text_[pos_];
+    switch (c) {
+      case '(':
+        ++pos_;
+        return {TokenKind::kLParen, "(", start};
+      case ')':
+        ++pos_;
+        return {TokenKind::kRParen, ")", start};
+      case ',':
+        ++pos_;
+        return {TokenKind::kComma, ",", start};
+      case '|':
+        ++pos_;
+        return {TokenKind::kPipe, "|", start};
+      case '&':
+        ++pos_;
+        return {TokenKind::kAmp, "&", start};
+      default:
+        break;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      Token t{TokenKind::kIdent, text_.substr(pos_, end - pos_), start};
+      pos_ = end;
+      return t;
+    }
+    return {TokenKind::kEnd, std::string(1, c), start};  // caught as error
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+struct ParsedAtom {
+  std::string name;
+  bool has_x = false;
+  bool has_y = false;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::shared_ptr<Vocabulary> vocab)
+      : lexer_(text), vocab_(std::move(vocab)) {
+    Advance();
+  }
+
+  std::optional<Query> Parse(std::string* error) {
+    std::vector<Clause> clauses;
+    while (true) {
+      std::optional<Clause> clause = ParseSentence();
+      if (!clause.has_value()) {
+        *error = error_;
+        return std::nullopt;
+      }
+      clauses.push_back(std::move(*clause));
+      if (token_.kind == TokenKind::kAmp) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (token_.kind != TokenKind::kEnd) {
+      *error = "unexpected trailing input at position " +
+               std::to_string(token_.pos);
+      return std::nullopt;
+    }
+    return Query(vocab_, std::move(clauses));
+  }
+
+ private:
+  void Advance() { token_ = lexer_.Next(); }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at position " + std::to_string(token_.pos);
+    }
+    return false;
+  }
+
+  // Parses an optional quantifier token; returns 'x', 'y', or 0 when the
+  // next token is not a quantifier. 'Ax' / 'Ay' / 'forall x' / 'forall y'.
+  char TryQuantifier() {
+    if (token_.kind != TokenKind::kIdent) return 0;
+    if (token_.text == "Ax") {
+      Advance();
+      return 'x';
+    }
+    if (token_.text == "Ay") {
+      Advance();
+      return 'y';
+    }
+    if (token_.text == "forall") {
+      Advance();
+      if (token_.kind == TokenKind::kIdent &&
+          (token_.text == "x" || token_.text == "y")) {
+        char v = token_.text[0];
+        Advance();
+        return v;
+      }
+      Fail("expected variable after 'forall'");
+      return 0;
+    }
+    return 0;
+  }
+
+  bool ParseAtom(ParsedAtom* atom) {
+    if (token_.kind != TokenKind::kIdent) return Fail("expected atom name");
+    atom->name = token_.text;
+    Advance();
+    if (token_.kind != TokenKind::kLParen) return Fail("expected '('");
+    Advance();
+    for (int i = 0; i < 2; ++i) {
+      if (token_.kind != TokenKind::kIdent ||
+          (token_.text != "x" && token_.text != "y")) {
+        return Fail("expected variable 'x' or 'y'");
+      }
+      if (token_.text == "x") {
+        if (atom->has_x) return Fail("duplicate variable in atom");
+        atom->has_x = true;
+      } else {
+        if (atom->has_y) return Fail("duplicate variable in atom");
+        atom->has_y = true;
+      }
+      Advance();
+      if (token_.kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (token_.kind != TokenKind::kRParen) return Fail("expected ')'");
+    Advance();
+    return true;
+  }
+
+  // Resolves an atom to a symbol id, inferring its kind; -1 on conflict.
+  SymbolId ResolveSymbol(const ParsedAtom& atom) {
+    SymbolKind kind;
+    if (atom.has_x && atom.has_y) {
+      kind = SymbolKind::kBinary;
+    } else if (atom.has_x) {
+      kind = SymbolKind::kUnaryLeft;
+    } else {
+      kind = SymbolKind::kUnaryRight;
+    }
+    SymbolId existing = vocab_->Find(atom.name);
+    if (existing >= 0) {
+      if (vocab_->kind(existing) != kind) {
+        Fail("symbol '" + atom.name + "' used with inconsistent arguments");
+        return -1;
+      }
+      return existing;
+    }
+    return vocab_->Add(atom.name, kind);
+  }
+
+  // sentence := quant* '(' body ')'
+  std::optional<Clause> ParseSentence() {
+    bool saw_x = false, saw_y = false;
+    char first = 0;
+    while (true) {
+      char q = TryQuantifier();
+      if (q == 0) break;
+      if (first == 0) first = q;
+      if (q == 'x') saw_x = true;
+      if (q == 'y') saw_y = true;
+    }
+    if (!error_.empty()) return std::nullopt;
+    if (token_.kind != TokenKind::kLParen) {
+      Fail("expected '(' after quantifier prefix");
+      return std::nullopt;
+    }
+    Advance();
+    // The base variable: the first outer quantifier; when only one variable
+    // is quantified outside, that one. Default to x.
+    const char base_var = first == 0 ? 'x' : first;
+    const Side base_side = base_var == 'x' ? Side::kLeft : Side::kRight;
+
+    std::vector<SymbolId> base_unaries;
+    std::vector<Subclause> subclauses;
+    // Flat atoms over both variables accumulate into one implicit subclause
+    // (the prenex-simple form ∀x∀y(...)).
+    Subclause flat;
+    bool flat_used = false;
+
+    while (true) {
+      char q = TryQuantifier();
+      if (!error_.empty()) return std::nullopt;
+      if (q != 0) {
+        // Inner-quantified subclause: quant '(' atom ('|' atom)* ')'.
+        if ((q == 'x') == (base_var == 'x')) {
+          Fail("inner quantifier must bind the other variable");
+          return std::nullopt;
+        }
+        if (token_.kind != TokenKind::kLParen) {
+          Fail("expected '(' after inner quantifier");
+          return std::nullopt;
+        }
+        Advance();
+        Subclause sub;
+        while (true) {
+          ParsedAtom atom;
+          if (!ParseAtom(&atom)) return std::nullopt;
+          SymbolId id = ResolveSymbol(atom);
+          if (id < 0) return std::nullopt;
+          if (atom.has_x && atom.has_y) {
+            sub.binaries.push_back(id);
+          } else if ((atom.has_x && q == 'x') || (atom.has_y && q == 'y')) {
+            sub.inner_unaries.push_back(id);
+          } else {
+            Fail("unary atom over the outer variable inside a subclause");
+            return std::nullopt;
+          }
+          if (token_.kind == TokenKind::kPipe) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        if (token_.kind != TokenKind::kRParen) {
+          Fail("expected ')' closing subclause");
+          return std::nullopt;
+        }
+        Advance();
+        subclauses.push_back(std::move(sub));
+      } else {
+        ParsedAtom atom;
+        if (!ParseAtom(&atom)) return std::nullopt;
+        SymbolId id = ResolveSymbol(atom);
+        if (id < 0) return std::nullopt;
+        if (atom.has_x && atom.has_y) {
+          if (!saw_x || !saw_y) {
+            Fail("binary atom mentions an unquantified variable");
+            return std::nullopt;
+          }
+          flat.binaries.push_back(id);
+          flat_used = true;
+        } else if ((atom.has_x && base_var == 'x') ||
+                   (atom.has_y && base_var == 'y')) {
+          base_unaries.push_back(id);
+        } else {
+          // Unary over the non-base variable inside a prenex-simple clause.
+          if (!(saw_x && saw_y)) {
+            Fail("unary atom over an unquantified variable");
+            return std::nullopt;
+          }
+          flat.inner_unaries.push_back(id);
+          flat_used = true;
+        }
+      }
+      if (token_.kind == TokenKind::kPipe) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (token_.kind != TokenKind::kRParen) {
+      Fail("expected ')' closing clause");
+      return std::nullopt;
+    }
+    Advance();
+    if (flat_used) {
+      if (!subclauses.empty()) {
+        Fail("cannot mix prenex binary atoms with inner-quantified "
+             "subclauses in one clause");
+        return std::nullopt;
+      }
+      subclauses.push_back(std::move(flat));
+    }
+    return Clause(base_side, std::move(base_unaries), std::move(subclauses));
+  }
+
+  Lexer lexer_;
+  std::shared_ptr<Vocabulary> vocab_;
+  Token token_{TokenKind::kEnd, "", 0};
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Query> ParseQuery(const std::string& text,
+                                std::shared_ptr<Vocabulary> vocab,
+                                std::string* error) {
+  Parser parser(text, std::move(vocab));
+  return parser.Parse(error);
+}
+
+Query ParseQueryOrDie(const std::string& text) {
+  return ParseQueryOrDie(text, std::make_shared<Vocabulary>());
+}
+
+Query ParseQueryOrDie(const std::string& text,
+                      std::shared_ptr<Vocabulary> vocab) {
+  std::string error;
+  std::optional<Query> query = ParseQuery(text, std::move(vocab), &error);
+  GMC_CHECK_MSG(query.has_value(), error.c_str());
+  return *query;
+}
+
+}  // namespace gmc

@@ -1,0 +1,49 @@
+// Text syntax for ∀CNF queries.
+//
+// Grammar (ASCII; '&' separates clauses, '|' separates disjuncts):
+//
+//   query    := sentence ('&' sentence)*
+//   sentence := quant* '(' body ')'
+//   quant    := 'Ax' | 'Ay' | 'forall' ('x'|'y')
+//   body     := disjunct ('|' disjunct)*
+//   disjunct := atom | quant '(' atom ('|' atom)* ')'
+//   atom     := name '(' ('x' | 'y' | 'x,y') ')'
+//
+// Examples (matching the paper):
+//   H0:  "Ax Ay (R(x) | S(x,y) | T(y))"
+//   H1:  "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))"
+//   Type II left clause:  "Ax (Ay (S1(x,y)) | Ay (S2(x,y)))"
+//
+// Symbol kinds are inferred from usage: name(x) is a left unary, name(y) a
+// right unary, name(x,y) binary. Reusing a name at a different kind is an
+// error.
+
+#ifndef GMC_LOGIC_PARSER_H_
+#define GMC_LOGIC_PARSER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "logic/query.h"
+
+namespace gmc {
+
+// Parses `text` into a query, registering symbols in `vocab` (which may
+// already contain symbols, e.g. when several queries must share one
+// vocabulary). Returns std::nullopt and sets *error on malformed input.
+std::optional<Query> ParseQuery(const std::string& text,
+                                std::shared_ptr<Vocabulary> vocab,
+                                std::string* error);
+
+// Convenience for tests and examples: parses over a fresh vocabulary and
+// aborts on error.
+Query ParseQueryOrDie(const std::string& text);
+
+// As above but parses into an existing vocabulary.
+Query ParseQueryOrDie(const std::string& text,
+                      std::shared_ptr<Vocabulary> vocab);
+
+}  // namespace gmc
+
+#endif  // GMC_LOGIC_PARSER_H_

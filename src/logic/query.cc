@@ -1,0 +1,156 @@
+#include "logic/query.h"
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gmc {
+
+Query::Query(std::shared_ptr<const Vocabulary> vocab)
+    : vocab_(std::move(vocab)) {
+  GMC_CHECK(vocab_ != nullptr);
+}
+
+Query::Query(std::shared_ptr<const Vocabulary> vocab,
+             std::vector<Clause> clauses)
+    : vocab_(std::move(vocab)), clauses_(std::move(clauses)) {
+  GMC_CHECK(vocab_ != nullptr);
+  Reduce();
+}
+
+void Query::Reduce() {
+  // Cj is redundant when some other kept clause maps homomorphically into it
+  // (Ci ⇒ Cj, so the conjunction keeps the stronger Ci). For mutually
+  // equivalent clauses the first one wins.
+  std::vector<bool> removed(clauses_.size(), false);
+  for (size_t j = 0; j < clauses_.size(); ++j) {
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+      if (i == j || removed[i] || removed[j]) continue;
+      if (!Clause::HomomorphismExists(clauses_[i], clauses_[j])) continue;
+      // Ci ⇒ Cj. Drop Cj unless they are equivalent and j comes first.
+      if (Clause::HomomorphismExists(clauses_[j], clauses_[i]) && j < i) {
+        continue;
+      }
+      removed[j] = true;
+      break;
+    }
+  }
+  std::vector<Clause> kept;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (!removed[i]) kept.push_back(std::move(clauses_[i]));
+  }
+  clauses_ = std::move(kept);
+}
+
+std::vector<SymbolId> Query::Symbols() const {
+  std::vector<SymbolId> out;
+  for (const Clause& c : clauses_) {
+    std::vector<SymbolId> symbols = c.Symbols();
+    out.insert(out.end(), symbols.begin(), symbols.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Query Query::Substitute(SymbolId symbol, bool value) const {
+  Query out(vocab_);
+  if (is_false_) {
+    out.is_false_ = true;
+    return out;
+  }
+  std::vector<Clause> clauses;
+  for (const Clause& c : clauses_) {
+    Clause copy = c;
+    switch (copy.Substitute(symbol, value)) {
+      case SubstituteOutcome::kTrue:
+        break;  // clause is valid; drop it
+      case SubstituteOutcome::kFalse:
+        out.is_false_ = true;
+        return out;
+      case SubstituteOutcome::kClause:
+        clauses.push_back(std::move(copy));
+        break;
+    }
+  }
+  out.clauses_ = std::move(clauses);
+  out.Reduce();
+  return out;
+}
+
+std::vector<int> Query::ClauseComponents() const {
+  const int n = static_cast<int>(clauses_.size());
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  std::vector<int> rank(n, 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (rank[a] < rank[b]) std::swap(a, b);
+    parent[b] = a;
+    if (rank[a] == rank[b]) ++rank[a];
+  };
+  std::vector<std::vector<SymbolId>> symbols(n);
+  for (int i = 0; i < n; ++i) symbols[i] = clauses_[i].Symbols();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      std::vector<SymbolId> shared;
+      std::set_intersection(symbols[i].begin(), symbols[i].end(),
+                            symbols[j].begin(), symbols[j].end(),
+                            std::back_inserter(shared));
+      if (!shared.empty()) unite(i, j);
+    }
+  }
+  std::vector<int> component(n, -1);
+  int next = 0;
+  for (int i = 0; i < n; ++i) {
+    int root = find(i);
+    if (component[root] == -1) component[root] = next++;
+    component[i] = component[root];
+  }
+  return component;
+}
+
+bool Query::Implies(const Query& stronger, const Query& weaker) {
+  if (stronger.IsFalse()) return true;
+  if (weaker.IsFalse()) return false;
+  for (const Clause& target : weaker.clauses_) {
+    bool covered = false;
+    for (const Clause& source : stronger.clauses_) {
+      if (Clause::HomomorphismExists(source, target)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool Query::Equivalent(const Query& a, const Query& b) {
+  return Implies(a, b) && Implies(b, a);
+}
+
+std::string Query::ToString() const {
+  if (is_false_) return "FALSE";
+  if (clauses_.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += clauses_[i].ToString(*vocab_);
+  }
+  return out;
+}
+
+}  // namespace gmc

@@ -1,0 +1,62 @@
+// ∀CNF queries: conjunctions of universally quantified clauses (duals of
+// UCQs, §2). A query is kept *reduced*: every clause minimized and no clause
+// redundant (no homomorphism from another clause into it), matching the
+// standing assumption of the paper.
+
+#ifndef GMC_LOGIC_QUERY_H_
+#define GMC_LOGIC_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/clause.h"
+#include "logic/symbol.h"
+
+namespace gmc {
+
+class Query {
+ public:
+  // An empty (trivially true) query over the given vocabulary.
+  explicit Query(std::shared_ptr<const Vocabulary> vocab);
+  Query(std::shared_ptr<const Vocabulary> vocab, std::vector<Clause> clauses);
+
+  const Vocabulary& vocab() const { return *vocab_; }
+  std::shared_ptr<const Vocabulary> vocab_ptr() const { return vocab_; }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  // True if the query is the constant TRUE (no clauses) / FALSE (a clause
+  // became empty under substitution).
+  bool IsTrue() const { return !is_false_ && clauses_.empty(); }
+  bool IsFalse() const { return is_false_; }
+
+  // All symbols occurring in the query, sorted.
+  std::vector<SymbolId> Symbols() const;
+
+  // Q[S := value], reduced (Lemma 2.7's rewriting).
+  Query Substitute(SymbolId symbol, bool value) const;
+
+  // Partition of clauses into connected components of the "shares a symbol"
+  // graph; component(i) is the component index of clauses()[i].
+  std::vector<int> ClauseComponents() const;
+
+  // Syntactic implication: every clause of `weaker` is implied (via a clause
+  // homomorphism) by some clause of `stronger`. Sound for ∀CNF; complete on
+  // reduced queries of this fragment.
+  static bool Implies(const Query& stronger, const Query& weaker);
+  static bool Equivalent(const Query& a, const Query& b);
+
+  std::string ToString() const;
+
+ private:
+  // Removes redundant clauses (Ci → Cj homomorphism makes Cj redundant).
+  void Reduce();
+
+  std::shared_ptr<const Vocabulary> vocab_;
+  std::vector<Clause> clauses_;
+  bool is_false_ = false;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_LOGIC_QUERY_H_

@@ -1,0 +1,39 @@
+#include "logic/symbol.h"
+
+#include "util/check.h"
+
+namespace gmc {
+
+SymbolId Vocabulary::Add(const std::string& name, SymbolKind kind) {
+  GMC_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                "duplicate symbol name");
+  SymbolId id = static_cast<SymbolId>(symbols_.size());
+  symbols_.push_back(Symbol{name, kind});
+  by_name_[name] = id;
+  return id;
+}
+
+SymbolId Vocabulary::AddOrGet(const std::string& name, SymbolKind kind) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    GMC_CHECK_MSG(symbols_[it->second].kind == kind,
+                  "symbol re-registered with a different kind");
+    return it->second;
+  }
+  return Add(name, kind);
+}
+
+SymbolId Vocabulary::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+std::vector<SymbolId> Vocabulary::IdsOfKind(SymbolKind kind) const {
+  std::vector<SymbolId> out;
+  for (SymbolId id = 0; id < size(); ++id) {
+    if (symbols_[id].kind == kind) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace gmc

@@ -1,0 +1,69 @@
+// Relational vocabulary for the bipartite ∀CNF fragment.
+//
+// The paper (§2) works over vocabularies with unary symbols R(x), T(y) and
+// binary symbols S_j(x, y). Domains are bipartite: left constants (ranged
+// over by x) and right constants (ranged over by y). A unary symbol applies
+// to exactly one side; a binary symbol always takes (left, right) in that
+// order. The zig-zag construction of Appendix A also stays inside this
+// fragment (its R^(i) copies for 1 < i < n are binary).
+
+#ifndef GMC_LOGIC_SYMBOL_H_
+#define GMC_LOGIC_SYMBOL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gmc {
+
+// Index of a relation symbol within a Vocabulary.
+using SymbolId = int32_t;
+
+enum class SymbolKind : uint8_t {
+  kUnaryLeft,   // R(x): applies to left-domain constants
+  kUnaryRight,  // T(y): applies to right-domain constants
+  kBinary,      // S(x, y)
+};
+
+struct Symbol {
+  std::string name;
+  SymbolKind kind;
+};
+
+// An append-only registry of relation symbols. Queries and TIDs hold
+// SymbolIds into a shared Vocabulary.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Registers a new symbol; aborts if the name is already taken.
+  SymbolId Add(const std::string& name, SymbolKind kind);
+  // Returns the existing id, or adds the symbol if absent. Aborts if the
+  // name exists with a different kind.
+  SymbolId AddOrGet(const std::string& name, SymbolKind kind);
+
+  // Returns the id for `name`, or -1 if absent.
+  SymbolId Find(const std::string& name) const;
+
+  const Symbol& symbol(SymbolId id) const { return symbols_.at(id); }
+  const std::string& name(SymbolId id) const { return symbols_.at(id).name; }
+  SymbolKind kind(SymbolId id) const { return symbols_.at(id).kind; }
+  bool IsBinary(SymbolId id) const {
+    return kind(id) == SymbolKind::kBinary;
+  }
+  bool IsUnary(SymbolId id) const { return !IsBinary(id); }
+
+  int size() const { return static_cast<int>(symbols_.size()); }
+
+  // All ids of a given kind, in registration order.
+  std::vector<SymbolId> IdsOfKind(SymbolKind kind) const;
+
+ private:
+  std::vector<Symbol> symbols_;
+  std::unordered_map<std::string, SymbolId> by_name_;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_LOGIC_SYMBOL_H_

@@ -1,0 +1,111 @@
+#include "poly/lemmas.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+
+namespace gmc {
+
+namespace {
+
+Polynomial ArithmetizeRecurse(const Cnf& cnf,
+                              std::unordered_map<std::string, Polynomial>*
+                                  cache) {
+  if (cnf.clauses.empty()) return Polynomial::Constant(Rational::One());
+  for (const auto& clause : cnf.clauses) {
+    if (clause.empty()) return Polynomial();
+  }
+  const std::string key = cnf.CacheKey();
+  if (auto it = cache->find(key); it != cache->end()) return it->second;
+
+  std::vector<int> component = cnf.ClauseComponents();
+  int num_components = 0;
+  for (int c : component) num_components = std::max(num_components, c + 1);
+  Polynomial result;
+  if (num_components > 1) {
+    result = Polynomial::Constant(Rational::One());
+    std::vector<Cnf> parts(num_components);
+    for (auto& part : parts) part.num_vars = cnf.num_vars;
+    for (size_t i = 0; i < cnf.clauses.size(); ++i) {
+      parts[component[i]].clauses.push_back(cnf.clauses[i]);
+    }
+    for (const Cnf& part : parts) {
+      result *= ArithmetizeRecurse(part, cache);
+    }
+  } else {
+    // Shannon on the most frequent variable.
+    std::unordered_map<int, int> counts;
+    for (const auto& clause : cnf.clauses) {
+      for (int v : clause) ++counts[v];
+    }
+    int best_var = -1, best_count = -1;
+    for (const auto& [v, c] : counts) {
+      if (c > best_count || (c == best_count && v < best_var)) {
+        best_var = v;
+        best_count = c;
+      }
+    }
+    Polynomial high = ArithmetizeRecurse(cnf.Condition(best_var, true), cache);
+    Polynomial low = ArithmetizeRecurse(cnf.Condition(best_var, false), cache);
+    result = Polynomial::Variable(best_var) * high +
+             Polynomial::OneMinusVariable(best_var) * low;
+  }
+  cache->emplace(key, result);
+  return result;
+}
+
+}  // namespace
+
+Polynomial ArithmetizeCnf(const Cnf& cnf) {
+  std::unordered_map<std::string, Polynomial> cache;
+  return ArithmetizeRecurse(cnf, &cache);
+}
+
+std::unordered_map<int, Rational> FindNonRoot(const Polynomial& f,
+                                              const Rational& c1,
+                                              const Rational& c2,
+                                              const Rational& c3) {
+  GMC_CHECK_MSG(!f.IsZero(), "Lemma 1.1 requires f not identically zero");
+  GMC_CHECK_MSG(c1 != c2 && c1 != c3 && c2 != c3,
+                "Lemma 1.1 requires three distinct constants");
+  GMC_CHECK_MSG(f.MaxVariableDegree() <= 2,
+                "Lemma 1.1 requires degree <= 2 per variable");
+  std::unordered_map<int, Rational> assignment;
+  Polynomial current = f;
+  // Eliminate variables one at a time. A degree-≤2 polynomial in x_n over
+  // the ring of remaining variables has at most two roots among any three
+  // distinct constants, so some substitution keeps the rest non-zero.
+  for (int var : f.Variables()) {
+    bool found = false;
+    for (const Rational& c : {c1, c2, c3}) {
+      Polynomial next = current.SubstituteValue(var, c);
+      if (!next.IsZero()) {
+        assignment[var] = c;
+        current = std::move(next);
+        found = true;
+        break;
+      }
+    }
+    GMC_CHECK_MSG(found, "no non-root value found (violates Lemma 1.1)");
+  }
+  GMC_CHECK(current.IsConstant() && !current.IsZero());
+  return assignment;
+}
+
+PolyMatrix SmallMatrix(const Polynomial& y, int var_r, int var_t) {
+  PolyMatrix out(2, 2);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      out.At(a, b) = y.SubstituteValue(var_r, Rational(a))
+                         .SubstituteValue(var_t, Rational(b));
+    }
+  }
+  return out;
+}
+
+bool SmallMatrixSingular(const Polynomial& y, int var_r, int var_t) {
+  return SmallMatrix(y, var_r, var_t).Determinant().IsZero();
+}
+
+}  // namespace gmc

@@ -1,0 +1,96 @@
+#include "poly/poly_matrix.h"
+
+#include "util/check.h"
+
+namespace gmc {
+
+PolyMatrix::PolyMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols), entries_(rows * cols) {
+  GMC_CHECK(rows > 0 && cols > 0);
+}
+
+PolyMatrix PolyMatrix::Identity(int n) {
+  PolyMatrix out(n, n);
+  for (int i = 0; i < n; ++i) {
+    out.At(i, i) = Polynomial::Constant(Rational::One());
+  }
+  return out;
+}
+
+Polynomial& PolyMatrix::At(int r, int c) {
+  GMC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return entries_[r * cols_ + c];
+}
+
+const Polynomial& PolyMatrix::At(int r, int c) const {
+  GMC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return entries_[r * cols_ + c];
+}
+
+PolyMatrix PolyMatrix::operator*(const PolyMatrix& other) const {
+  GMC_CHECK(cols_ == other.rows_);
+  PolyMatrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < other.cols_; ++j) {
+      Polynomial sum;
+      for (int k = 0; k < cols_; ++k) {
+        sum += At(i, k) * other.At(k, j);
+      }
+      out.At(i, j) = std::move(sum);
+    }
+  }
+  return out;
+}
+
+PolyMatrix PolyMatrix::operator+(const PolyMatrix& other) const {
+  GMC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  PolyMatrix out(rows_, cols_);
+  for (int i = 0; i < rows_ * cols_; ++i) {
+    out.entries_[i] = entries_[i] + other.entries_[i];
+  }
+  return out;
+}
+
+PolyMatrix PolyMatrix::ScaledBy(const Rational& factor) const {
+  PolyMatrix out(rows_, cols_);
+  for (int i = 0; i < rows_ * cols_; ++i) {
+    out.entries_[i] = entries_[i].ScaledBy(factor);
+  }
+  return out;
+}
+
+Polynomial PolyMatrix::Determinant() const {
+  GMC_CHECK(rows_ == cols_);
+  if (rows_ == 1) return At(0, 0);
+  if (rows_ == 2) {
+    return At(0, 0) * At(1, 1) - At(0, 1) * At(1, 0);
+  }
+  Polynomial det;
+  for (int j = 0; j < cols_; ++j) {
+    PolyMatrix minor(rows_ - 1, cols_ - 1);
+    for (int r = 1; r < rows_; ++r) {
+      int cc = 0;
+      for (int c = 0; c < cols_; ++c) {
+        if (c == j) continue;
+        minor.At(r - 1, cc++) = At(r, c);
+      }
+    }
+    Polynomial term = At(0, j) * minor.Determinant();
+    if (j % 2 == 0) {
+      det += term;
+    } else {
+      det -= term;
+    }
+  }
+  return det;
+}
+
+PolyMatrix PolyMatrix::SubstituteValue(int var, const Rational& value) const {
+  PolyMatrix out(rows_, cols_);
+  for (int i = 0; i < rows_ * cols_; ++i) {
+    out.entries_[i] = entries_[i].SubstituteValue(var, value);
+  }
+  return out;
+}
+
+}  // namespace gmc

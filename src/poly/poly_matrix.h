@@ -1,0 +1,43 @@
+// Small square matrices of polynomials.
+//
+// Used for the "small matrix" of Lemma 1.2 / Eq. (1) and for the chained
+// 2×2 transfer matrices of Definition C.29 (the zig-zag block's z-matrices).
+
+#ifndef GMC_POLY_POLY_MATRIX_H_
+#define GMC_POLY_POLY_MATRIX_H_
+
+#include <vector>
+
+#include "poly/polynomial.h"
+
+namespace gmc {
+
+class PolyMatrix {
+ public:
+  PolyMatrix(int rows, int cols);
+  static PolyMatrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  Polynomial& At(int r, int c);
+  const Polynomial& At(int r, int c) const;
+
+  PolyMatrix operator*(const PolyMatrix& other) const;
+  PolyMatrix operator+(const PolyMatrix& other) const;
+  PolyMatrix ScaledBy(const Rational& factor) const;
+
+  // Determinant by cofactor expansion (intended for n ≤ 4).
+  Polynomial Determinant() const;
+
+  // Entry-wise partial evaluation.
+  PolyMatrix SubstituteValue(int var, const Rational& value) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<Polynomial> entries_;  // row-major
+};
+
+}  // namespace gmc
+
+#endif  // GMC_POLY_POLY_MATRIX_H_

@@ -1,0 +1,212 @@
+#include "poly/polynomial.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gmc {
+
+Polynomial Polynomial::Constant(Rational value) {
+  Polynomial out;
+  if (!value.IsZero()) out.terms_[{}] = std::move(value);
+  return out;
+}
+
+Polynomial Polynomial::Variable(int var) {
+  Polynomial out;
+  out.terms_[{{var, 1}}] = Rational::One();
+  return out;
+}
+
+Polynomial Polynomial::OneMinusVariable(int var) {
+  Polynomial out;
+  out.terms_[{}] = Rational::One();
+  out.terms_[{{var, 1}}] = Rational(-1);
+  return out;
+}
+
+bool Polynomial::IsConstant() const {
+  return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first.empty());
+}
+
+Rational Polynomial::ConstantTerm() const {
+  auto it = terms_.find({});
+  return it == terms_.end() ? Rational::Zero() : it->second;
+}
+
+void Polynomial::Insert(const Monomial& monomial,
+                        const Rational& coefficient) {
+  if (coefficient.IsZero()) return;
+  auto [it, inserted] = terms_.emplace(monomial, coefficient);
+  if (!inserted) {
+    it->second += coefficient;
+    if (it->second.IsZero()) terms_.erase(it);
+  }
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  Polynomial out = *this;
+  for (const auto& [monomial, coefficient] : other.terms_) {
+    out.Insert(monomial, coefficient);
+  }
+  return out;
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial out;
+  for (const auto& [monomial, coefficient] : terms_) {
+    out.terms_[monomial] = -coefficient;
+  }
+  return out;
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  return *this + (-other);
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  Polynomial out;
+  for (const auto& [ma, ca] : terms_) {
+    for (const auto& [mb, cb] : other.terms_) {
+      // Merge the two sorted exponent lists.
+      Monomial merged;
+      merged.reserve(ma.size() + mb.size());
+      size_t i = 0, j = 0;
+      while (i < ma.size() || j < mb.size()) {
+        if (j == mb.size() || (i < ma.size() && ma[i].first < mb[j].first)) {
+          merged.push_back(ma[i++]);
+        } else if (i == ma.size() || mb[j].first < ma[i].first) {
+          merged.push_back(mb[j++]);
+        } else {
+          merged.emplace_back(ma[i].first, ma[i].second + mb[j].second);
+          ++i;
+          ++j;
+        }
+      }
+      out.Insert(merged, ca * cb);
+    }
+  }
+  return out;
+}
+
+Polynomial Polynomial::ScaledBy(const Rational& factor) const {
+  if (factor.IsZero()) return Polynomial();
+  Polynomial out;
+  for (const auto& [monomial, coefficient] : terms_) {
+    out.terms_[monomial] = coefficient * factor;
+  }
+  return out;
+}
+
+Polynomial Polynomial::SubstituteValue(int var, const Rational& value) const {
+  Polynomial out;
+  for (const auto& [monomial, coefficient] : terms_) {
+    Rational coeff = coefficient;
+    Monomial reduced;
+    reduced.reserve(monomial.size());
+    for (const auto& [v, e] : monomial) {
+      if (v == var) {
+        coeff *= value.Pow(e);
+      } else {
+        reduced.emplace_back(v, e);
+      }
+    }
+    out.Insert(reduced, coeff);
+  }
+  return out;
+}
+
+Polynomial Polynomial::SubstituteVariable(int var, int new_var) const {
+  Polynomial out;
+  for (const auto& [monomial, coefficient] : terms_) {
+    int moved_exponent = 0;
+    Monomial reduced;
+    reduced.reserve(monomial.size());
+    for (const auto& [v, e] : monomial) {
+      if (v == var) {
+        moved_exponent = e;
+      } else {
+        reduced.push_back({v, e});
+      }
+    }
+    if (moved_exponent > 0) {
+      bool merged = false;
+      for (auto& [v, e] : reduced) {
+        if (v == new_var) {
+          e += moved_exponent;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        reduced.push_back({new_var, moved_exponent});
+        std::sort(reduced.begin(), reduced.end());
+      }
+    }
+    out.Insert(reduced, coefficient);
+  }
+  return out;
+}
+
+Rational Polynomial::Evaluate(
+    const std::unordered_map<int, Rational>& assignment) const {
+  Rational total = Rational::Zero();
+  for (const auto& [monomial, coefficient] : terms_) {
+    Rational term = coefficient;
+    for (const auto& [v, e] : monomial) {
+      auto it = assignment.find(v);
+      const Rational value = it == assignment.end() ? Rational::Zero()
+                                                    : it->second;
+      term *= value.Pow(e);
+      if (term.IsZero()) break;
+    }
+    total += term;
+  }
+  return total;
+}
+
+int Polynomial::DegreeIn(int var) const {
+  int best = 0;
+  for (const auto& [monomial, coefficient] : terms_) {
+    for (const auto& [v, e] : monomial) {
+      if (v == var) best = std::max(best, e);
+    }
+  }
+  return best;
+}
+
+int Polynomial::MaxVariableDegree() const {
+  int best = 0;
+  for (const auto& [monomial, coefficient] : terms_) {
+    for (const auto& [v, e] : monomial) best = std::max(best, e);
+  }
+  return best;
+}
+
+std::vector<int> Polynomial::Variables() const {
+  std::vector<int> out;
+  for (const auto& [monomial, coefficient] : terms_) {
+    for (const auto& [v, e] : monomial) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Polynomial::ToString() const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  bool first = true;
+  for (const auto& [monomial, coefficient] : terms_) {
+    if (!first) out += " + ";
+    first = false;
+    out += coefficient.ToString();
+    for (const auto& [v, e] : monomial) {
+      out += "*x" + std::to_string(v);
+      if (e > 1) out += "^" + std::to_string(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace gmc

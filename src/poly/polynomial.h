@@ -1,0 +1,80 @@
+// Sparse multivariate polynomials over ℚ.
+//
+// The arithmetization of a Boolean formula Y (§1.6) is the multilinear
+// polynomial y agreeing with Y on {0,1}^n — equivalently, the formula for
+// Pr(Y) in the tuple probabilities. Products of arithmetizations (e.g. the
+// determinant y00·y11 − y01·y10 of Lemma 1.2) have degree up to 2 per
+// variable, which is exactly the class Lemma 1.1 applies to.
+
+#ifndef GMC_POLY_POLYNOMIAL_H_
+#define GMC_POLY_POLYNOMIAL_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace gmc {
+
+// A monomial: sorted (variable, exponent>0) pairs; empty means the constant
+// monomial 1.
+using Monomial = std::vector<std::pair<int, int>>;
+
+class Polynomial {
+ public:
+  Polynomial() = default;  // zero
+
+  static Polynomial Constant(Rational value);
+  static Polynomial Variable(int var);
+  // 1 - x_var.
+  static Polynomial OneMinusVariable(int var);
+
+  bool IsZero() const { return terms_.empty(); }
+  bool IsConstant() const;
+  // The constant term (0 if absent).
+  Rational ConstantTerm() const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator-() const;
+  Polynomial& operator+=(const Polynomial& o) { return *this = *this + o; }
+  Polynomial& operator-=(const Polynomial& o) { return *this = *this - o; }
+  Polynomial& operator*=(const Polynomial& o) { return *this = *this * o; }
+  Polynomial ScaledBy(const Rational& factor) const;
+
+  bool operator==(const Polynomial& other) const {
+    return terms_ == other.terms_;
+  }
+
+  // Partial evaluation x_var := value.
+  Polynomial SubstituteValue(int var, const Rational& value) const;
+  // Variable renaming x_var := x_new_var (merging exponents if present).
+  Polynomial SubstituteVariable(int var, int new_var) const;
+
+  // Full evaluation; missing variables default to 0.
+  Rational Evaluate(const std::unordered_map<int, Rational>& assignment) const;
+
+  // Degree of x_var (0 if absent); maximum degree over all variables.
+  int DegreeIn(int var) const;
+  int MaxVariableDegree() const;
+
+  // Sorted list of variables that occur.
+  std::vector<int> Variables() const;
+
+  const std::map<Monomial, Rational>& terms() const { return terms_; }
+
+  std::string ToString() const;
+
+ private:
+  void Insert(const Monomial& monomial, const Rational& coefficient);
+
+  std::map<Monomial, Rational> terms_;  // no zero coefficients stored
+};
+
+}  // namespace gmc
+
+#endif  // GMC_POLY_POLYNOMIAL_H_

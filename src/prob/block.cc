@@ -1,0 +1,76 @@
+#include "prob/block.h"
+
+#include "util/check.h"
+
+namespace gmc {
+
+PathBlock AddPathBlock(Tid* tid, ConstantId u, ConstantId v, int p) {
+  GMC_CHECK(tid != nullptr);
+  GMC_CHECK_MSG(p >= 1, "path blocks need p >= 1");
+  GMC_CHECK(u >= 0 && u < tid->num_left());
+  GMC_CHECK(v >= 0 && v < tid->num_left());
+  GMC_CHECK_MSG(u != v, "block endpoints must be distinct");
+
+  PathBlock block;
+  block.u = u;
+  block.v = v;
+  block.p = p;
+  block.lefts.push_back(u);
+  for (int k = 1; k <= p - 1; ++k) {
+    block.lefts.push_back(tid->AddLeft());  // r_k
+  }
+  block.lefts.push_back(v);
+  for (int k = 1; k <= p; ++k) {
+    block.rights.push_back(tid->AddRight());  // t_k
+  }
+
+  const Vocabulary& vocab = tid->vocab();
+  const Rational half = Rational::Half();
+  for (SymbolId s = 0; s < vocab.size(); ++s) {
+    switch (vocab.kind(s)) {
+      case SymbolKind::kUnaryLeft:
+        for (ConstantId r : block.lefts) tid->SetUnaryLeft(s, r, half);
+        break;
+      case SymbolKind::kUnaryRight:
+        for (ConstantId t : block.rights) tid->SetUnaryRight(s, t, half);
+        break;
+      case SymbolKind::kBinary:
+        // Path edges: r_{k-1} − t_k and r_k − t_k for k = 1..p
+        // (r_0 = u, r_p = v), i.e. S(u,t_1), S(r_k,t_k), S(r_k,t_{k+1}),
+        // S(v,t_p) — the 2p edges of §3.3.
+        for (int k = 1; k <= p; ++k) {
+          tid->SetBinary(s, block.lefts[k - 1], block.rights[k - 1], half);
+          tid->SetBinary(s, block.lefts[k], block.rights[k - 1], half);
+        }
+        break;
+    }
+  }
+  return block;
+}
+
+IsolatedBlock MakeIsolatedBlock(std::shared_ptr<const Vocabulary> vocab,
+                                const std::vector<int>& branch_lengths) {
+  GMC_CHECK(!branch_lengths.empty());
+  IsolatedBlock out(std::move(vocab));
+  ConstantId u = out.tid.AddLeft();
+  ConstantId v = out.tid.AddLeft();
+  for (int p : branch_lengths) {
+    out.paths.push_back(AddPathBlock(&out.tid, u, v, p));
+  }
+  return out;
+}
+
+Tid MakeBlockTidForGraph(std::shared_ptr<const Vocabulary> vocab,
+                         int num_vertices,
+                         const std::vector<std::pair<int, int>>& edges,
+                         int p1, int p2) {
+  Tid tid(std::move(vocab), num_vertices, 0);
+  for (const auto& [i, j] : edges) {
+    GMC_CHECK(i >= 0 && i < num_vertices && j >= 0 && j < num_vertices);
+    AddPathBlock(&tid, i, j, p1);
+    AddPathBlock(&tid, i, j, p2);
+  }
+  return tid;
+}
+
+}  // namespace gmc

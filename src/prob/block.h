@@ -1,0 +1,66 @@
+// The gadget databases of the hardness proof (§3.3, Fig. 1).
+//
+// A path block B_p(u,v) is the bipartite TID over the path
+//     u = r_0 − t_1 − r_1 − … − r_{p−1} − t_p − r_p = v
+// where all unary tuples in the block and all binary tuples on the 2p path
+// edges have probability 1/2, and everything else keeps probability 1. Both
+// endpoints u, v are left constants carrying R-atoms.
+//
+// A composite block B_{p1,p2}(u,v) is two disjoint path blocks in parallel
+// between the same endpoints, giving y_ab(p) = y_ab(p1)·y_ab(p2) (Eq. 25).
+//
+// A block TID for a graph G(U, E) places one composite block per edge and
+// the trivial all-probability-1 block on non-edges (§3.1), yielding
+// Theorem 3.4's factorized probability.
+
+#ifndef GMC_PROB_BLOCK_H_
+#define GMC_PROB_BLOCK_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "prob/tid.h"
+
+namespace gmc {
+
+// Handles to a path block's constants inside some TID.
+struct PathBlock {
+  ConstantId u = -1;  // left endpoint (= lefts.front())
+  ConstantId v = -1;  // left endpoint (= lefts.back())
+  int p = 0;
+  std::vector<ConstantId> lefts;   // r_0 … r_p (endpoints included)
+  std::vector<ConstantId> rights;  // t_1 … t_p
+};
+
+// Adds the internal constants and probability-1/2 tuples of B_p(u,v) to
+// `tid`, between existing left constants u and v. Every unary-left symbol is
+// set to 1/2 on all block left constants (including the endpoints), every
+// unary-right symbol to 1/2 on all block right constants, and every binary
+// symbol to 1/2 on the 2p path edges.
+PathBlock AddPathBlock(Tid* tid, ConstantId u, ConstantId v, int p);
+
+// A TID containing exactly one block between two fresh endpoints.
+struct IsolatedBlock {
+  IsolatedBlock(std::shared_ptr<const Vocabulary> vocab)
+      : tid(std::move(vocab), 0, 0) {}
+  Tid tid;
+  std::vector<PathBlock> paths;  // one per parallel branch
+  ConstantId u() const { return paths.front().u; }
+  ConstantId v() const { return paths.front().v; }
+};
+
+IsolatedBlock MakeIsolatedBlock(std::shared_ptr<const Vocabulary> vocab,
+                                const std::vector<int>& branch_lengths);
+
+// Block-disjoint TID for a directed graph on `num_vertices` left endpoints:
+// one composite block B_{p1,p2}(u_i, u_j) per edge (i, j). Vertices are the
+// left constants 0..num_vertices-1.
+Tid MakeBlockTidForGraph(std::shared_ptr<const Vocabulary> vocab,
+                         int num_vertices,
+                         const std::vector<std::pair<int, int>>& edges,
+                         int p1, int p2);
+
+}  // namespace gmc
+
+#endif  // GMC_PROB_BLOCK_H_

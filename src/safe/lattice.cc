@@ -1,0 +1,162 @@
+#include "safe/lattice.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace gmc {
+
+SymbolCnf SymbolCnf::FromClauses(
+    std::vector<std::vector<SymbolId>> clauses) {
+  SymbolCnf out;
+  out.clauses = std::move(clauses);
+  out.Minimize();
+  return out;
+}
+
+SymbolCnf SymbolCnf::And(const SymbolCnf& a, const SymbolCnf& b) {
+  SymbolCnf out;
+  out.clauses = a.clauses;
+  out.clauses.insert(out.clauses.end(), b.clauses.begin(), b.clauses.end());
+  out.Minimize();
+  return out;
+}
+
+void SymbolCnf::Minimize() {
+  for (auto& clause : clauses) {
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  }
+  std::sort(clauses.begin(), clauses.end(),
+            [](const std::vector<SymbolId>& a, const std::vector<SymbolId>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  clauses.erase(std::unique(clauses.begin(), clauses.end()), clauses.end());
+  std::vector<std::vector<SymbolId>> kept;
+  for (const auto& clause : clauses) {
+    bool subsumed = false;
+    for (const auto& keeper : kept) {
+      if (std::includes(clause.begin(), clause.end(), keeper.begin(),
+                        keeper.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(clause);
+  }
+  clauses = std::move(kept);
+  std::sort(clauses.begin(), clauses.end());
+}
+
+bool SymbolCnf::Implies(const SymbolCnf& f, const SymbolCnf& g) {
+  for (const auto& target : g.clauses) {
+    bool covered = false;
+    for (const auto& source : f.clauses) {
+      if (std::includes(target.begin(), target.end(), source.begin(),
+                        source.end())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::string SymbolCnf::ToString(const Vocabulary& vocab) const {
+  if (clauses.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += "(";
+    for (size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) out += "|";
+      out += vocab.name(clauses[i][j]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+ImplicationLattice::ImplicationLattice(std::vector<SymbolCnf> formulas)
+    : formulas_(std::move(formulas)) {
+  const int m = static_cast<int>(formulas_.size());
+  GMC_CHECK_MSG(m >= 1 && m <= 20, "lattice limited to 20 formulas");
+  // Compute the closure of every subset; collect distinct closed sets.
+  std::map<uint32_t, SymbolCnf> closed;  // closed subset -> F_α
+  const uint32_t limit = uint32_t{1} << m;
+  for (uint32_t alpha = 1; alpha < limit; ++alpha) {
+    SymbolCnf conjunction;
+    for (int i = 0; i < m; ++i) {
+      if (alpha & (uint32_t{1} << i)) {
+        conjunction = SymbolCnf::And(conjunction, formulas_[i]);
+      }
+    }
+    uint32_t closure = 0;
+    for (int i = 0; i < m; ++i) {
+      if (SymbolCnf::Implies(conjunction, formulas_[i])) {
+        closure |= uint32_t{1} << i;
+      }
+    }
+    GMC_CHECK((closure & alpha) == alpha);
+    closed.emplace(closure, conjunction);
+  }
+  // Order: 1̂ = ∅ first, then by increasing cardinality (any linear
+  // extension of < works for the Möbius recursion; α < β iff β ⊊ α).
+  elements_.push_back(LatticeElement{0, SymbolCnf{}, 1});
+  std::vector<std::pair<uint32_t, SymbolCnf>> rest(closed.begin(),
+                                                   closed.end());
+  std::sort(rest.begin(), rest.end(),
+            [](const auto& a, const auto& b) {
+              int pa = __builtin_popcount(a.first);
+              int pb = __builtin_popcount(b.first);
+              if (pa != pb) return pa < pb;
+              return a.first < b.first;
+            });
+  for (auto& [subset, formula] : rest) {
+    elements_.push_back(LatticeElement{subset, std::move(formula), 0});
+  }
+  // µ(α) = −Σ_{β>α} µ(β), β > α ⟺ β ⊊ α (with 1̂ = ∅ above everything).
+  for (size_t i = 1; i < elements_.size(); ++i) {
+    int64_t sum = 0;
+    for (size_t j = 0; j < i; ++j) {
+      const uint32_t a = elements_[i].subset;
+      const uint32_t b = elements_[j].subset;
+      if ((b & a) == b && b != a) sum += elements_[j].mobius;
+    }
+    elements_[i].mobius = -sum;
+  }
+}
+
+std::vector<int> ImplicationLattice::StrictSupport() const {
+  std::vector<int> out;
+  for (size_t i = 1; i < elements_.size(); ++i) {
+    if (elements_[i].mobius != 0) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int64_t ImplicationLattice::MobiusSum() const {
+  int64_t sum = 0;
+  for (const auto& element : elements_) sum += element.mobius;
+  return sum;
+}
+
+std::string ImplicationLattice::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (const auto& element : elements_) {
+    out += "{";
+    for (int i = 0; i < num_formulas(); ++i) {
+      if (element.subset & (uint32_t{1} << i)) {
+        out += std::to_string(i + 1);
+      }
+    }
+    out += "} mu=" + std::to_string(element.mobius) + "  " +
+           element.formula.ToString(vocab) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gmc

@@ -1,0 +1,78 @@
+// The implication lattice and Möbius function of Definition C.6.
+//
+// Given CNF formulas F = {F1, …, Fm} over relation symbols (one generic
+// (x,y) pair), the lattice Lˆ(F) consists of the closed subsets α ⊆ [m]
+// under logical closure ᾱ = {i : F_α ⇒ F_i}, ordered by reverse inclusion
+// with top element 1̂ = ∅. The Möbius function µ(1̂) = 1,
+// µ(α) = −Σ_{β>α} µ(β) drives both the lifted (PTIME) evaluation of safe
+// Type-II query parts (Möbius' inversion, §C.2) and the Type-II hardness
+// machinery (Theorem C.19).
+//
+// Monotone CNF implication is clause subsumption: F ⇒ G iff every clause of
+// G contains some clause of F — exact for the positive fragment.
+
+#ifndef GMC_SAFE_LATTICE_H_
+#define GMC_SAFE_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/symbol.h"
+
+namespace gmc {
+
+// A monotone CNF over symbols at one generic (x,y) pair.
+struct SymbolCnf {
+  std::vector<std::vector<SymbolId>> clauses;  // each sorted; list sorted
+
+  static SymbolCnf FromClauses(std::vector<std::vector<SymbolId>> clauses);
+  static SymbolCnf And(const SymbolCnf& a, const SymbolCnf& b);
+
+  // Canonicalizes: sorts, dedupes, removes subsumed clauses.
+  void Minimize();
+
+  bool IsTrue() const { return clauses.empty(); }
+  // f ⇒ g for monotone CNFs.
+  static bool Implies(const SymbolCnf& f, const SymbolCnf& g);
+
+  bool operator==(const SymbolCnf& other) const = default;
+  bool operator<(const SymbolCnf& other) const { return clauses < other.clauses; }
+
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+struct LatticeElement {
+  uint32_t subset = 0;   // closed subset of [m], bit i ↔ F_{i+1}
+  SymbolCnf formula;     // F_α (minimized conjunction); F_1̂ is NOT stored
+                         // as a CNF (it is the disjunction of the inputs)
+  int64_t mobius = 0;    // µ(α)
+};
+
+// Lˆ(F) with its Möbius function. The top element 1̂ (empty subset) is
+// always elements()[0] with µ = 1.
+class ImplicationLattice {
+ public:
+  // At most 20 formulas (subset enumeration is 2^m).
+  explicit ImplicationLattice(std::vector<SymbolCnf> formulas);
+
+  const std::vector<LatticeElement>& elements() const { return elements_; }
+  int num_formulas() const { return static_cast<int>(formulas_.size()); }
+
+  // Indices into elements() of the strict support L0 = {α < 1̂ : µ(α) ≠ 0}.
+  std::vector<int> StrictSupport() const;
+
+  // Σ_{α} µ(α) over all elements is 0 when the lattice has > 1 element
+  // (a standard Möbius identity, used as a self-check in tests).
+  int64_t MobiusSum() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::vector<SymbolCnf> formulas_;
+  std::vector<LatticeElement> elements_;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_SAFE_LATTICE_H_

@@ -1,0 +1,580 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.h"
+
+namespace gmc {
+
+namespace {
+
+constexpr uint64_t kBase = uint64_t{1} << 32;
+constexpr size_t kKaratsubaThreshold = 32;  // limbs
+
+void TrimZeros(std::vector<uint32_t>* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+}
+
+// Shifts a magnitude left by `s` bits, 0 <= s < 32, appending a limb if
+// needed.
+std::vector<uint32_t> ShiftLeftSmall(const std::vector<uint32_t>& a, int s) {
+  if (s == 0) return a;
+  std::vector<uint32_t> out(a.size() + 1, 0);
+  uint32_t carry = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = (a[i] << s) | carry;
+    carry = static_cast<uint32_t>(static_cast<uint64_t>(a[i]) >> (32 - s));
+  }
+  out[a.size()] = carry;
+  TrimZeros(&out);
+  return out;
+}
+
+std::vector<uint32_t> ShiftRightSmall(const std::vector<uint32_t>& a, int s) {
+  if (s == 0) {
+    std::vector<uint32_t> out = a;
+    TrimZeros(&out);
+    return out;
+  }
+  std::vector<uint32_t> out(a.size(), 0);
+  uint32_t carry = 0;
+  for (size_t i = a.size(); i-- > 0;) {
+    out[i] = (a[i] >> s) | carry;
+    carry = a[i] << (32 - s);
+  }
+  TrimZeros(&out);
+  return out;
+}
+
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  if (value == 0) return;
+  sign_ = value > 0 ? 1 : -1;
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t magnitude =
+      value > 0 ? static_cast<uint64_t>(value)
+                : ~static_cast<uint64_t>(value) + 1;  // two's complement abs
+  limbs_.push_back(static_cast<uint32_t>(magnitude & 0xffffffffu));
+  if (magnitude >> 32) limbs_.push_back(static_cast<uint32_t>(magnitude >> 32));
+}
+
+void BigInt::Normalize() {
+  TrimZeros(&limbs_);
+  if (limbs_.empty()) sign_ = 0;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> out(longer.size() + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0);
+    out[i] = static_cast<uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  out[longer.size()] = static_cast<uint32_t>(carry);
+  TrimZeros(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  GMC_DCHECK(CompareMagnitude(a, b) >= 0);
+  std::vector<uint32_t> out(a.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0) - borrow;
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<uint32_t>(diff);
+  }
+  GMC_DCHECK(borrow == 0);
+  TrimZeros(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulSchoolbook(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  TrimZeros(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulKaratsuba(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return MulSchoolbook(a, b);
+  }
+  const size_t half = std::max(a.size(), b.size()) / 2;
+  auto lower = [half](const std::vector<uint32_t>& x) {
+    std::vector<uint32_t> out(x.begin(),
+                              x.begin() + std::min(half, x.size()));
+    TrimZeros(&out);
+    return out;
+  };
+  auto upper = [half](const std::vector<uint32_t>& x) {
+    if (x.size() <= half) return std::vector<uint32_t>{};
+    std::vector<uint32_t> out(x.begin() + half, x.end());
+    TrimZeros(&out);
+    return out;
+  };
+  std::vector<uint32_t> a0 = lower(a), a1 = upper(a);
+  std::vector<uint32_t> b0 = lower(b), b1 = upper(b);
+  std::vector<uint32_t> z0 = MulKaratsuba(a0, b0);
+  std::vector<uint32_t> z2 = MulKaratsuba(a1, b1);
+  std::vector<uint32_t> sum_a = AddMagnitude(a0, a1);
+  std::vector<uint32_t> sum_b = AddMagnitude(b0, b1);
+  std::vector<uint32_t> z1 = MulKaratsuba(sum_a, sum_b);
+  z1 = SubMagnitude(z1, AddMagnitude(z0, z2));
+  // result = z2 << (2*half limbs) + z1 << (half limbs) + z0. The product of
+  // an m-limb and an n-limb magnitude has at most m + n limbs, so this buffer
+  // bounds all carry propagation.
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  auto accumulate = [&out](const std::vector<uint32_t>& x, size_t offset) {
+    uint64_t carry = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      uint64_t cur = static_cast<uint64_t>(out[offset + i]) + x[i] + carry;
+      out[offset + i] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = offset + x.size();
+    while (carry) {
+      GMC_DCHECK(k < out.size());
+      uint64_t cur = static_cast<uint64_t>(out[k]) + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  };
+  accumulate(z0, 0);
+  accumulate(z1, half);
+  accumulate(z2, 2 * half);
+  TrimZeros(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (a.size() >= kKaratsubaThreshold && b.size() >= kKaratsubaThreshold) {
+    return MulKaratsuba(a, b);
+  }
+  return MulSchoolbook(a, b);
+}
+
+// Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
+void BigInt::DivModMagnitude(const std::vector<uint32_t>& u_in,
+                             const std::vector<uint32_t>& v_in,
+                             std::vector<uint32_t>* quotient,
+                             std::vector<uint32_t>* remainder) {
+  GMC_CHECK_MSG(!v_in.empty(), "division by zero");
+  if (CompareMagnitude(u_in, v_in) < 0) {
+    quotient->clear();
+    *remainder = u_in;
+    TrimZeros(remainder);
+    return;
+  }
+  if (v_in.size() == 1) {
+    // Single-limb fast path.
+    const uint64_t d = v_in[0];
+    std::vector<uint32_t> q(u_in.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = u_in.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | u_in[i];
+      q[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    TrimZeros(&q);
+    *quotient = std::move(q);
+    remainder->clear();
+    if (rem) remainder->push_back(static_cast<uint32_t>(rem));
+    return;
+  }
+  // Normalize so that the top limb of v has its high bit set.
+  int shift = 0;
+  {
+    uint32_t top = v_in.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  std::vector<uint32_t> u = ShiftLeftSmall(u_in, shift);
+  std::vector<uint32_t> v = ShiftLeftSmall(v_in, shift);
+  const size_t n = v.size();
+  const size_t m = u.size() - n;  // u.size() >= n because |u| >= |v|
+  u.resize(u_in.size() + 1 + (u.size() - u_in.size() ? 0 : 0), 0);
+  // Ensure u has m + n + 1 limbs.
+  u.resize(m + n + 1, 0);
+  std::vector<uint32_t> q(m + 1, 0);
+  const uint64_t v1 = v[n - 1];
+  const uint64_t v2 = v[n - 2];
+  for (size_t j = m + 1; j-- > 0;) {
+    const uint64_t numerator =
+        (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    uint64_t qhat = numerator / v1;
+    uint64_t rhat = numerator % v1;
+    while (qhat >= kBase ||
+           qhat * v2 > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v1;
+      if (rhat >= kBase) break;
+    }
+    // Multiply and subtract: u[j..j+n] -= qhat * v.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t product = qhat * v[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(u[i + j]) -
+                     static_cast<int64_t>(product & 0xffffffffu) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    if (diff < 0) {
+      // qhat was one too large: add v back.
+      diff += static_cast<int64_t>(kBase);
+      u[j + n] = static_cast<uint32_t>(diff);
+      --qhat;
+      uint64_t carry2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u[i + j]) + v[i] + carry2;
+        u[i + j] = static_cast<uint32_t>(sum & 0xffffffffu);
+        carry2 = sum >> 32;
+      }
+      u[j + n] = static_cast<uint32_t>(u[j + n] + carry2);
+    } else {
+      u[j + n] = static_cast<uint32_t>(diff);
+    }
+    q[j] = static_cast<uint32_t>(qhat);
+  }
+  TrimZeros(&q);
+  *quotient = std::move(q);
+  u.resize(n);
+  *remainder = ShiftRightSmall(u, shift);
+  TrimZeros(remainder);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  out.sign_ = -out.sign_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  if (out.sign_ < 0) out.sign_ = 1;
+  return out;
+}
+
+bool BigInt::IsPowerOfTwo() const {
+  if (sign_ == 0) return false;
+  for (size_t i = 0; i + 1 < limbs_.size(); ++i) {
+    if (limbs_[i] != 0) return false;
+  }
+  uint32_t top = limbs_.back();
+  return (top & (top - 1)) == 0;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (sign_ == 0) return other;
+  if (other.sign_ == 0) return *this;
+  BigInt out;
+  if (sign_ == other.sign_) {
+    out.sign_ = sign_;
+    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      out.sign_ = sign_;
+      out.limbs_ = SubMagnitude(limbs_, other.limbs_);
+    } else {
+      out.sign_ = other.sign_;
+      out.limbs_ = SubMagnitude(other.limbs_, limbs_);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (sign_ == 0 || other.sign_ == 0) return BigInt();
+  BigInt out;
+  out.sign_ = sign_ * other.sign_;
+  out.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  out.Normalize();
+  return out;
+}
+
+void BigInt::DivMod(const BigInt& numerator, const BigInt& denominator,
+                    BigInt* quotient, BigInt* remainder) {
+  GMC_CHECK_MSG(!denominator.IsZero(), "division by zero");
+  BigInt q, r;
+  DivModMagnitude(numerator.limbs_, denominator.limbs_, &q.limbs_, &r.limbs_);
+  q.sign_ = q.limbs_.empty() ? 0 : numerator.sign_ * denominator.sign_;
+  r.sign_ = r.limbs_.empty() ? 0 : numerator.sign_;
+  if (quotient != nullptr) *quotient = std::move(q);
+  if (remainder != nullptr) *remainder = std::move(r);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q;
+  DivMod(*this, other, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt r;
+  DivMod(*this, other, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::ShiftLeft(uint64_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  const size_t limb_shift = static_cast<size_t>(bits / 32);
+  const int small = static_cast<int>(bits % 32);
+  BigInt out;
+  out.sign_ = sign_;
+  out.limbs_.assign(limb_shift, 0);
+  std::vector<uint32_t> shifted = ShiftLeftSmall(limbs_, small);
+  out.limbs_.insert(out.limbs_.end(), shifted.begin(), shifted.end());
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(uint64_t bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const size_t limb_shift = static_cast<size_t>(bits / 32);
+  if (limb_shift >= limbs_.size()) return BigInt();
+  const int small = static_cast<int>(bits % 32);
+  BigInt out;
+  out.sign_ = sign_;
+  out.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
+  out.limbs_ = ShiftRightSmall(out.limbs_, small);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Gcd(const BigInt& a_in, const BigInt& b_in) {
+  BigInt a = a_in.Abs();
+  BigInt b = b_in.Abs();
+  if (a.IsZero()) return b;
+  if (b.IsZero()) return a;
+  // Binary (Stein) GCD: strips common factors of two, then subtract-and-shift.
+  uint64_t common_twos = 0;
+  auto trailing_zero_bits = [](const BigInt& x) -> uint64_t {
+    uint64_t count = 0;
+    for (size_t i = 0; i < x.limbs_.size(); ++i) {
+      if (x.limbs_[i] == 0) {
+        count += 32;
+      } else {
+        uint32_t limb = x.limbs_[i];
+        while ((limb & 1) == 0) {
+          limb >>= 1;
+          ++count;
+        }
+        break;
+      }
+    }
+    return count;
+  };
+  uint64_t za = trailing_zero_bits(a);
+  uint64_t zb = trailing_zero_bits(b);
+  common_twos = std::min(za, zb);
+  a = a.ShiftRight(za);
+  b = b.ShiftRight(zb);
+  while (true) {
+    int cmp = CompareMagnitude(a.limbs_, b.limbs_);
+    if (cmp == 0) break;
+    if (cmp < 0) std::swap(a, b);
+    a = a - b;
+    a = a.ShiftRight(trailing_zero_bits(a));
+  }
+  return a.ShiftLeft(common_twos);
+}
+
+BigInt BigInt::Pow(uint64_t exponent) const {
+  BigInt result(1);
+  BigInt base = *this;
+  while (exponent > 0) {
+    if (exponent & 1) result *= base;
+    base *= base;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+uint64_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint64_t bits = (limbs_.size() - 1) * 32ull;
+  uint32_t top = limbs_.back();
+  while (top) {
+    top >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+BigInt BigInt::ISqrt() const {
+  GMC_CHECK_MSG(sign_ >= 0, "ISqrt of negative number");
+  if (IsZero()) return BigInt(0);
+  // Newton's method with a power-of-two seed above the true root.
+  BigInt x = BigInt(1).ShiftLeft(BitLength() / 2 + 1);
+  while (true) {
+    BigInt next = (x + *this / x).ShiftRight(1);
+    if (next >= x) break;
+    x = next;
+  }
+  return x;
+}
+
+bool BigInt::IsPerfectSquare() const {
+  if (sign_ < 0) return false;
+  BigInt root = ISqrt();
+  return root * root == *this;
+}
+
+bool BigInt::operator==(const BigInt& other) const {
+  return sign_ == other.sign_ && limbs_ == other.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& other) const {
+  if (sign_ != other.sign_) return sign_ < other.sign_;
+  int cmp = CompareMagnitude(limbs_, other.limbs_);
+  return sign_ >= 0 ? cmp < 0 : cmp > 0;
+}
+
+BigInt BigInt::FromDecimal(const std::string& text) {
+  GMC_CHECK_MSG(!text.empty(), "empty decimal string");
+  size_t pos = 0;
+  int sign = 1;
+  if (text[0] == '-') {
+    sign = -1;
+    pos = 1;
+  } else if (text[0] == '+') {
+    pos = 1;
+  }
+  GMC_CHECK_MSG(pos < text.size(), "decimal string has no digits");
+  BigInt out;
+  size_t i = pos;
+  while (i < text.size()) {
+    size_t take = std::min<size_t>(9, text.size() - i);
+    uint64_t chunk = 0;
+    for (size_t k = 0; k < take; ++k) {
+      GMC_CHECK_MSG(std::isdigit(static_cast<unsigned char>(text[i + k])),
+                    "non-digit in decimal string");
+      chunk = chunk * 10 + static_cast<uint64_t>(text[i + k] - '0');
+    }
+    out = out * BigInt(10).Pow(take) + BigInt(static_cast<int64_t>(chunk));
+    i += take;
+  }
+  if (sign < 0) out = -out;
+  return out;
+}
+
+std::string BigInt::ToString() const {
+  if (IsZero()) return "0";
+  std::vector<uint32_t> mag = limbs_;
+  std::string digits;
+  // Repeatedly divide by 1e9 and emit 9-digit groups.
+  while (!mag.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = mag.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<uint32_t>(cur / 1000000000ull);
+      rem = cur % 1000000000ull;
+    }
+    TrimZeros(&mag);
+    for (int k = 0; k < 9; ++k) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+double BigInt::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return sign_ < 0 ? -out : out;
+}
+
+int64_t BigInt::ToInt64() const {
+  GMC_CHECK_MSG(limbs_.size() <= 2, "BigInt out of int64 range");
+  uint64_t magnitude = 0;
+  if (limbs_.size() >= 1) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (sign_ >= 0) {
+    GMC_CHECK_MSG(magnitude <= static_cast<uint64_t>(INT64_MAX),
+                  "BigInt out of int64 range");
+    return static_cast<int64_t>(magnitude);
+  }
+  GMC_CHECK_MSG(magnitude <= static_cast<uint64_t>(INT64_MAX) + 1,
+                "BigInt out of int64 range");
+  return -static_cast<int64_t>(magnitude - 1) - 1;
+}
+
+size_t BigInt::Hash() const {
+  size_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(sign_ + 1));
+  for (uint32_t limb : limbs_) mix(limb);
+  return h;
+}
+
+}  // namespace gmc

@@ -1,0 +1,129 @@
+// Arbitrary-precision signed integers.
+//
+// The hardness reductions in this library recover integer model counts by
+// exact Gaussian elimination over rationals whose numerators/denominators
+// grow to thousands of bits, so an exact big-integer type is the foundation
+// of everything else. Representation is sign-magnitude with little-endian
+// 32-bit limbs. Multiplication switches to Karatsuba above a threshold;
+// division is Knuth's Algorithm D; gcd is binary (Stein), which avoids
+// divisions entirely.
+
+#ifndef GMC_UTIL_BIGINT_H_
+#define GMC_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmc {
+
+class BigInt {
+ public:
+  // Zero.
+  BigInt() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): ints are the same value set.
+  BigInt(int64_t value);
+
+  BigInt(const BigInt&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  // Parses a decimal string with optional leading '-'. Aborts on malformed
+  // input; use FromString for fallible parsing.
+  static BigInt FromDecimal(const std::string& text);
+
+  // -1, 0, +1.
+  int sign() const { return sign_; }
+  bool IsZero() const { return sign_ == 0; }
+  bool IsOne() const { return sign_ == 1 && limbs_.size() == 1 && limbs_[0] == 1; }
+  bool IsNegative() const { return sign_ < 0; }
+  // True iff |*this| is a power of two (and *this != 0).
+  bool IsPowerOfTwo() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  // Truncated division (C++ semantics): quotient rounds toward zero and the
+  // remainder has the sign of the dividend. Aborts on division by zero.
+  BigInt operator/(const BigInt& other) const;
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  // Computes quotient and remainder in one pass.
+  static void DivMod(const BigInt& numerator, const BigInt& denominator,
+                     BigInt* quotient, BigInt* remainder);
+
+  // Left/right shift by an arbitrary bit count (logical, on the magnitude).
+  BigInt ShiftLeft(uint64_t bits) const;
+  BigInt ShiftRight(uint64_t bits) const;
+
+  // Greatest common divisor of magnitudes; Gcd(0, 0) == 0.
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  // *this raised to a non-negative power (Pow(0) == 1, including 0^0).
+  BigInt Pow(uint64_t exponent) const;
+
+  // Number of bits in the magnitude (BitLength(0) == 0).
+  uint64_t BitLength() const;
+
+  // Floor square root of the magnitude (requires *this >= 0).
+  BigInt ISqrt() const;
+  // True iff *this is a perfect square (0 and 1 included).
+  bool IsPerfectSquare() const;
+
+  bool operator==(const BigInt& other) const;
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const;
+  bool operator<=(const BigInt& other) const { return !(other < *this); }
+  bool operator>(const BigInt& other) const { return other < *this; }
+  bool operator>=(const BigInt& other) const { return !(*this < other); }
+
+  // Decimal representation (with '-' for negatives).
+  std::string ToString() const;
+
+  // Best-effort conversion to double (may overflow to +/-inf).
+  double ToDouble() const;
+
+  // Exact conversion to int64_t; aborts if out of range.
+  int64_t ToInt64() const;
+
+  // FNV-style hash of the canonical representation.
+  size_t Hash() const;
+
+ private:
+  // Invariant: limbs_ has no trailing zero limbs; sign_ == 0 iff limbs_ empty.
+  int sign_ = 0;
+  std::vector<uint32_t> limbs_;
+
+  void Normalize();
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulSchoolbook(const std::vector<uint32_t>& a,
+                                             const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulKaratsuba(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static void DivModMagnitude(const std::vector<uint32_t>& u,
+                              const std::vector<uint32_t>& v,
+                              std::vector<uint32_t>* quotient,
+                              std::vector<uint32_t>* remainder);
+};
+
+}  // namespace gmc
+
+#endif  // GMC_UTIL_BIGINT_H_

@@ -1,0 +1,50 @@
+// Lightweight checked-assertion macros.
+//
+// Library code does not use exceptions (Google style); internal invariants
+// abort with a source location and message instead. GMC_CHECK is always on
+// (the reductions' correctness claims are exact, so silently continuing after
+// a violated invariant would be worse than stopping); GMC_DCHECK compiles out
+// in NDEBUG builds and is reserved for hot paths.
+
+#ifndef GMC_UTIL_CHECK_H_
+#define GMC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmc {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "GMC_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace gmc
+
+#define GMC_CHECK(cond)                                            \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::gmc::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                              \
+  } while (0)
+
+#define GMC_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::gmc::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define GMC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define GMC_DCHECK(cond) GMC_CHECK(cond)
+#endif
+
+#endif  // GMC_UTIL_CHECK_H_

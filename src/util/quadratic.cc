@@ -1,0 +1,129 @@
+#include "util/quadratic.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gmc {
+
+QuadraticNumber::QuadraticNumber(Rational a, Rational b, Rational d)
+    : a_(std::move(a)), b_(std::move(b)), d_(std::move(d)) {
+  GMC_CHECK_MSG(d_ >= Rational::Zero(), "radicand must be non-negative");
+  if (d_.IsZero()) {
+    b_ = Rational::Zero();  // √0 contributes nothing
+    return;
+  }
+  // Fold perfect-square radicands into the rational part so that zero and
+  // equality tests stay coefficient-wise exact.
+  if (d_.numerator().IsPerfectSquare() && d_.denominator().IsPerfectSquare()) {
+    Rational root(d_.numerator().ISqrt(), d_.denominator().ISqrt());
+    a_ += b_ * root;
+    b_ = Rational::Zero();
+  }
+}
+
+QuadraticNumber QuadraticNumber::FromRational(Rational a, Rational d) {
+  return QuadraticNumber(std::move(a), Rational::Zero(), std::move(d));
+}
+
+QuadraticNumber QuadraticNumber::Root(Rational d) {
+  return QuadraticNumber(Rational::Zero(), Rational::One(), std::move(d));
+}
+
+void QuadraticNumber::AlignRadicand(const QuadraticNumber& other) {
+  // Numbers with b == 0 are plain rationals and may adopt any radicand.
+  if (d_ == other.d_) return;
+  if (b_.IsZero()) {
+    d_ = other.d_;
+    return;
+  }
+  GMC_CHECK_MSG(other.b_.IsZero(), "mixed radicands in quadratic arithmetic");
+}
+
+QuadraticNumber QuadraticNumber::operator+(const QuadraticNumber& o) const {
+  QuadraticNumber lhs = *this, rhs = o;
+  lhs.AlignRadicand(rhs);
+  rhs.AlignRadicand(lhs);
+  return QuadraticNumber(lhs.a_ + rhs.a_, lhs.b_ + rhs.b_, lhs.d_);
+}
+
+QuadraticNumber QuadraticNumber::operator-(const QuadraticNumber& o) const {
+  return *this + (-o);
+}
+
+QuadraticNumber QuadraticNumber::operator-() const {
+  return QuadraticNumber(-a_, -b_, d_);
+}
+
+QuadraticNumber QuadraticNumber::operator*(const QuadraticNumber& o) const {
+  QuadraticNumber lhs = *this, rhs = o;
+  lhs.AlignRadicand(rhs);
+  rhs.AlignRadicand(lhs);
+  // (a1 + b1√d)(a2 + b2√d) = a1a2 + b1b2·d + (a1b2 + a2b1)√d.
+  return QuadraticNumber(lhs.a_ * rhs.a_ + lhs.b_ * rhs.b_ * lhs.d_,
+                         lhs.a_ * rhs.b_ + lhs.b_ * rhs.a_, lhs.d_);
+}
+
+QuadraticNumber QuadraticNumber::Conjugate() const {
+  return QuadraticNumber(a_, -b_, d_);
+}
+
+Rational QuadraticNumber::Norm() const { return a_ * a_ - d_ * b_ * b_; }
+
+QuadraticNumber QuadraticNumber::operator/(const QuadraticNumber& o) const {
+  GMC_CHECK_MSG(!o.IsZero(), "division by zero quadratic number");
+  QuadraticNumber lhs = *this, rhs = o;
+  lhs.AlignRadicand(rhs);
+  rhs.AlignRadicand(lhs);
+  // x / y = x·conj(y) / Norm(y).
+  const Rational norm = rhs.Norm();
+  GMC_CHECK_MSG(!norm.IsZero(), "zero norm (d is a perfect square of b/a?)");
+  QuadraticNumber numerator = lhs * rhs.Conjugate();
+  return QuadraticNumber(numerator.a_ / norm, numerator.b_ / norm, lhs.d_);
+}
+
+QuadraticNumber QuadraticNumber::Pow(uint64_t exponent) const {
+  QuadraticNumber result = FromRational(Rational::One(), d_);
+  QuadraticNumber base = *this;
+  while (exponent > 0) {
+    if (exponent & 1) result = result * base;
+    base = base * base;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+bool QuadraticNumber::operator==(const QuadraticNumber& other) const {
+  // a1 + b1√d = a2 + b2√d iff equal coefficients, unless √d is rational —
+  // we treat d as an opaque radicand, which is exact whenever d is not a
+  // perfect square; for perfect squares callers should not use this class.
+  if (b_.IsZero() && other.b_.IsZero()) return a_ == other.a_;
+  return a_ == other.a_ && b_ == other.b_ && d_ == other.d_;
+}
+
+int QuadraticNumber::Sign() const {
+  // sign(a + b√d), d ≥ 0, exactly:
+  if (b_.IsZero()) return a_.sign();
+  if (a_.IsZero()) return d_.IsZero() ? 0 : b_.sign();
+  if (a_.sign() > 0 && b_.sign() > 0) return 1;
+  if (a_.sign() < 0 && b_.sign() < 0) return -1;
+  // Opposite signs: compare a² with d·b².
+  const Rational lhs = a_ * a_;
+  const Rational rhs = d_ * b_ * b_;
+  if (lhs == rhs) return 0;
+  const bool a_dominates = lhs > rhs;
+  return a_dominates ? a_.sign() : b_.sign();
+}
+
+double QuadraticNumber::ToDouble() const {
+  return a_.ToDouble() + b_.ToDouble() * std::sqrt(d_.ToDouble());
+}
+
+std::string QuadraticNumber::ToString() const {
+  if (b_.IsZero()) return a_.ToString();
+  return a_.ToString() + " + " + b_.ToString() + "*sqrt(" + d_.ToString() +
+         ")";
+}
+
+}  // namespace gmc

@@ -1,0 +1,71 @@
+// Exact arithmetic in the real quadratic field ℚ(√d).
+//
+// The eigenvalues λ1, λ2 of the small matrix A(1) (Lemma 3.21) are roots of
+// a rational quadratic and generally irrational, but they live in ℚ(√disc).
+// Representing numbers as a + b·√d with a, b ∈ ℚ lets the library verify
+// Theorem 3.14's conditions (22)–(24) — λ1 ≠ ±λ2 ≠ 0, b_i ≠ 0,
+// a_i·b_j ≠ a_j·b_i — exactly rather than in floating point.
+
+#ifndef GMC_UTIL_QUADRATIC_H_
+#define GMC_UTIL_QUADRATIC_H_
+
+#include <string>
+
+#include "util/rational.h"
+
+namespace gmc {
+
+// A number a + b√d for a fixed non-negative square-free-ish radicand d
+// (d need not be square-free; d = 0 degenerates to ℚ). All operands of a
+// binary operation must share the same d (checked).
+class QuadraticNumber {
+ public:
+  QuadraticNumber() : a_(0), b_(0), d_(0) {}
+  QuadraticNumber(Rational a, Rational b, Rational d);
+
+  static QuadraticNumber FromRational(Rational a, Rational d);
+  // √d itself.
+  static QuadraticNumber Root(Rational d);
+
+  const Rational& rational_part() const { return a_; }
+  const Rational& root_part() const { return b_; }
+  const Rational& radicand() const { return d_; }
+
+  bool IsZero() const { return a_.IsZero() && b_.IsZero(); }
+  bool IsRational() const { return b_.IsZero(); }
+
+  QuadraticNumber operator+(const QuadraticNumber& other) const;
+  QuadraticNumber operator-(const QuadraticNumber& other) const;
+  QuadraticNumber operator*(const QuadraticNumber& other) const;
+  QuadraticNumber operator/(const QuadraticNumber& other) const;
+  QuadraticNumber operator-() const;
+  QuadraticNumber Conjugate() const;  // a − b√d
+  // Norm a² − d·b² (rational).
+  Rational Norm() const;
+  QuadraticNumber Pow(uint64_t exponent) const;
+
+  bool operator==(const QuadraticNumber& other) const;
+  bool operator!=(const QuadraticNumber& other) const {
+    return !(*this == other);
+  }
+
+  // Sign of the real value a + b√d (d ≥ 0), computed exactly.
+  int Sign() const;
+  bool operator<(const QuadraticNumber& other) const {
+    return (*this - other).Sign() < 0;
+  }
+
+  double ToDouble() const;
+  std::string ToString() const;
+
+ private:
+  void AlignRadicand(const QuadraticNumber& other);
+
+  Rational a_;
+  Rational b_;
+  Rational d_;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_UTIL_QUADRATIC_H_

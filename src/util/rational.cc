@@ -1,0 +1,156 @@
+#include "util/rational.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace gmc {
+
+Rational::Rational(int64_t numerator, int64_t denominator)
+    : numerator_(numerator), denominator_(denominator) {
+  GMC_CHECK_MSG(denominator != 0, "zero denominator");
+  Reduce();
+}
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  GMC_CHECK_MSG(!denominator_.IsZero(), "zero denominator");
+  Reduce();
+}
+
+Rational Rational::FromBigInt(BigInt value) {
+  return Rational(std::move(value), BigInt(1));
+}
+
+Rational Rational::Dyadic(BigInt numerator, uint64_t log2_denominator) {
+  return Rational(std::move(numerator), BigInt(1).ShiftLeft(log2_denominator));
+}
+
+Rational Rational::FromString(const std::string& text) {
+  size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    return FromBigInt(BigInt::FromDecimal(text));
+  }
+  return Rational(BigInt::FromDecimal(text.substr(0, slash)),
+                  BigInt::FromDecimal(text.substr(slash + 1)));
+}
+
+void Rational::Reduce() {
+  if (denominator_.IsNegative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.IsZero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(numerator_, denominator_);
+  if (!g.IsOne()) {
+    numerator_ /= g;
+    denominator_ /= g;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.numerator_ = -out.numerator_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(numerator_ * other.denominator_ +
+                      other.numerator_ * denominator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return Rational(numerator_ * other.denominator_ -
+                      other.numerator_ * denominator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  // Cross-reduce before multiplying to keep intermediates small.
+  BigInt g1 = BigInt::Gcd(numerator_, other.denominator_);
+  BigInt g2 = BigInt::Gcd(other.numerator_, denominator_);
+  BigInt num = (g1.IsOne() ? numerator_ : numerator_ / g1) *
+               (g2.IsOne() ? other.numerator_ : other.numerator_ / g2);
+  BigInt den = (g2.IsOne() ? denominator_ : denominator_ / g2) *
+               (g1.IsOne() ? other.denominator_ : other.denominator_ / g1);
+  Rational out;
+  out.numerator_ = std::move(num);
+  out.denominator_ = std::move(den);
+  // Inputs were reduced and cross-reduced, so the product is reduced, except
+  // for sign normalization (inputs have positive denominators, so none
+  // needed). Re-normalize zero for safety.
+  if (out.numerator_.IsZero()) out.denominator_ = BigInt(1);
+  return out;
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  GMC_CHECK_MSG(!other.IsZero(), "division by zero rational");
+  return *this * other.Inverse();
+}
+
+Rational Rational::Inverse() const {
+  GMC_CHECK_MSG(!IsZero(), "inverse of zero");
+  Rational out;
+  out.numerator_ = denominator_;
+  out.denominator_ = numerator_;
+  if (out.denominator_.IsNegative()) {
+    out.numerator_ = -out.numerator_;
+    out.denominator_ = -out.denominator_;
+  }
+  return out;
+}
+
+Rational Rational::Abs() const {
+  Rational out = *this;
+  out.numerator_ = out.numerator_.Abs();
+  return out;
+}
+
+Rational Rational::Pow(int64_t exponent) const {
+  if (exponent == 0) return One();
+  if (exponent < 0) return Inverse().Pow(-exponent);
+  Rational out;
+  out.numerator_ = numerator_.Pow(static_cast<uint64_t>(exponent));
+  out.denominator_ = denominator_.Pow(static_cast<uint64_t>(exponent));
+  return out;  // powers of a reduced fraction stay reduced
+}
+
+bool Rational::operator==(const Rational& other) const {
+  return numerator_ == other.numerator_ && denominator_ == other.denominator_;
+}
+
+bool Rational::operator<(const Rational& other) const {
+  return numerator_ * other.denominator_ < other.numerator_ * denominator_;
+}
+
+std::string Rational::ToString() const {
+  if (denominator_.IsOne()) return numerator_.ToString();
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+double Rational::ToDouble() const {
+  // Scale to keep precision when both parts are huge.
+  const uint64_t nbits = numerator_.BitLength();
+  const uint64_t dbits = denominator_.BitLength();
+  if (nbits > 900 || dbits > 900) {
+    const uint64_t shift =
+        (nbits > dbits ? nbits : dbits) > 900
+            ? (nbits > dbits ? nbits : dbits) - 512
+            : 0;
+    return numerator_.ShiftRight(shift).ToDouble() /
+           denominator_.ShiftRight(shift).ToDouble();
+  }
+  return numerator_.ToDouble() / denominator_.ToDouble();
+}
+
+size_t Rational::Hash() const {
+  size_t h = numerator_.Hash();
+  h ^= denominator_.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace gmc

@@ -1,0 +1,76 @@
+#include "wmc/brute_force.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gmc {
+
+namespace {
+
+// Evaluates the CNF under the assignment encoded by `mask` over used_vars.
+bool Satisfies(const Cnf& cnf, const std::vector<int>& used_vars,
+               uint64_t mask) {
+  std::vector<bool> value(cnf.num_vars, false);
+  for (size_t i = 0; i < used_vars.size(); ++i) {
+    value[used_vars[i]] = (mask >> i) & 1;
+  }
+  for (const auto& clause : cnf.clauses) {
+    bool satisfied = false;
+    for (int v : clause) {
+      if (value[v]) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Rational BruteForceProbability(const Cnf& cnf,
+                               const std::vector<Rational>& probabilities) {
+  const std::vector<int> used = cnf.UsedVariables();
+  GMC_CHECK_MSG(used.size() <= 30, "brute force limited to 30 variables");
+  for (const auto& clause : cnf.clauses) {
+    if (clause.empty()) return Rational::Zero();
+  }
+  Rational total = Rational::Zero();
+  const uint64_t limit = uint64_t{1} << used.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    if (!Satisfies(cnf, used, mask)) continue;
+    Rational world = Rational::One();
+    for (size_t i = 0; i < used.size(); ++i) {
+      const Rational& p = probabilities[used[i]];
+      world *= ((mask >> i) & 1) ? p : Rational::One() - p;
+    }
+    total += world;
+  }
+  return total;
+}
+
+Rational BruteForceProbability(const Lineage& lineage) {
+  if (lineage.is_false) return Rational::Zero();
+  return BruteForceProbability(lineage.cnf, lineage.probabilities);
+}
+
+Rational BruteForceQueryProbability(const Query& query, const Tid& tid) {
+  if (query.IsFalse()) return Rational::Zero();
+  if (query.IsTrue()) return Rational::One();
+  return BruteForceProbability(Ground(query, tid));
+}
+
+BigInt BruteForceModelCount(const Cnf& cnf) {
+  const std::vector<int> used = cnf.UsedVariables();
+  GMC_CHECK_MSG(used.size() <= 30, "brute force limited to 30 variables");
+  BigInt count(0);
+  const uint64_t limit = uint64_t{1} << used.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    if (Satisfies(cnf, used, mask)) count += BigInt(1);
+  }
+  return count;
+}
+
+}  // namespace gmc

@@ -1,0 +1,31 @@
+// Brute-force reference implementations: exhaustive enumeration over all
+// assignments / possible worlds. Exponential; used only to validate the WMC
+// engine, the lifted evaluator, and the reductions on small instances.
+
+#ifndef GMC_WMC_BRUTE_FORCE_H_
+#define GMC_WMC_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "lineage/grounder.h"
+#include "logic/query.h"
+#include "prob/tid.h"
+#include "util/bigint.h"
+#include "util/rational.h"
+
+namespace gmc {
+
+// Pr(cnf) by enumerating all 2^|used vars| assignments.
+Rational BruteForceProbability(const Cnf& cnf,
+                               const std::vector<Rational>& probabilities);
+Rational BruteForceProbability(const Lineage& lineage);
+
+// Pr_∆(Q) via grounding + enumeration.
+Rational BruteForceQueryProbability(const Query& query, const Tid& tid);
+
+// Number of satisfying assignments of a monotone CNF (unweighted).
+BigInt BruteForceModelCount(const Cnf& cnf);
+
+}  // namespace gmc
+
+#endif  // GMC_WMC_BRUTE_FORCE_H_

@@ -1,0 +1,222 @@
+#include "util/bigint.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gmc {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.ToString(), "0");
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-987654321}, INT64_MAX, INT64_MIN + 1, INT64_MIN}) {
+    BigInt b(v);
+    EXPECT_EQ(b.ToInt64(), v) << v;
+    EXPECT_EQ(b.ToString(), std::to_string(v)) << v;
+  }
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  const std::vector<std::string> cases = {
+      "0",
+      "1",
+      "-1",
+      "4294967295",
+      "4294967296",
+      "18446744073709551616",
+      "123456789012345678901234567890",
+      "-99999999999999999999999999999999999999",
+  };
+  for (const std::string& s : cases) {
+    EXPECT_EQ(BigInt::FromDecimal(s).ToString(), s) << s;
+  }
+}
+
+TEST(BigIntTest, AdditionSmall) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).ToInt64(), 5);
+  EXPECT_EQ((BigInt(-2) + BigInt(3)).ToInt64(), 1);
+  EXPECT_EQ((BigInt(2) + BigInt(-3)).ToInt64(), -1);
+  EXPECT_EQ((BigInt(-2) + BigInt(-3)).ToInt64(), -5);
+  EXPECT_TRUE((BigInt(7) + BigInt(-7)).IsZero());
+}
+
+TEST(BigIntTest, CarryPropagation) {
+  BigInt a = BigInt::FromDecimal("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).ToString(), "4294967296");
+  BigInt b = BigInt::FromDecimal("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, MultiplicationKnownValues) {
+  EXPECT_EQ((BigInt(123456789) * BigInt(987654321)).ToString(),
+            "121932631112635269");
+  BigInt big = BigInt::FromDecimal("340282366920938463463374607431768211456");
+  EXPECT_EQ((big * big).ToString(),
+            "115792089237316195423570985008687907853"
+            "269984665640564039457584007913129639936");  // 2^256
+}
+
+TEST(BigIntTest, PowMatchesRepeatedMultiplication) {
+  BigInt three(3);
+  BigInt expect(1);
+  for (uint64_t e = 0; e < 40; ++e) {
+    EXPECT_EQ(three.Pow(e), expect) << e;
+    expect *= three;
+  }
+}
+
+TEST(BigIntTest, DivisionSmall) {
+  EXPECT_EQ((BigInt(17) / BigInt(5)).ToInt64(), 3);
+  EXPECT_EQ((BigInt(17) % BigInt(5)).ToInt64(), 2);
+  // Truncation toward zero, remainder takes the dividend's sign.
+  EXPECT_EQ((BigInt(-17) / BigInt(5)).ToInt64(), -3);
+  EXPECT_EQ((BigInt(-17) % BigInt(5)).ToInt64(), -2);
+  EXPECT_EQ((BigInt(17) / BigInt(-5)).ToInt64(), -3);
+  EXPECT_EQ((BigInt(17) % BigInt(-5)).ToInt64(), 2);
+}
+
+TEST(BigIntTest, DivisionMultiLimb) {
+  BigInt n = BigInt::FromDecimal("123456789012345678901234567890123456789");
+  BigInt d = BigInt::FromDecimal("987654321098765432109");
+  BigInt q, r;
+  BigInt::DivMod(n, d, &q, &r);
+  EXPECT_EQ(q * d + r, n);
+  EXPECT_TRUE(r >= BigInt(0));
+  EXPECT_TRUE(r < d);
+}
+
+TEST(BigIntTest, DivisionKnuthAddBackCase) {
+  // Exercise the rare "add back" branch: numerator close to divisor * base.
+  BigInt base = BigInt(1).ShiftLeft(32);
+  BigInt v = base.Pow(2) * BigInt(0x80000000LL) + BigInt(1);
+  BigInt u = v * (base - BigInt(1)) - BigInt(1);
+  BigInt q, r;
+  BigInt::DivMod(u, v, &q, &r);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_TRUE(r < v);
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  BigInt x = BigInt::FromDecimal("123456789123456789123456789");
+  for (uint64_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(x.ShiftLeft(s).ShiftRight(s), x) << s;
+    EXPECT_EQ(x.ShiftLeft(s), x * BigInt(2).Pow(s)) << s;
+  }
+}
+
+TEST(BigIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(5), BigInt(0)).ToInt64(), 5);
+  EXPECT_TRUE(BigInt::Gcd(BigInt(0), BigInt(0)).IsZero());
+  EXPECT_EQ(BigInt::Gcd(BigInt(17).Pow(10) * BigInt(2).Pow(20),
+                        BigInt(17).Pow(7) * BigInt(3).Pow(9)),
+            BigInt(17).Pow(7));
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LT(BigInt(0), BigInt::FromDecimal("99999999999999999999"));
+  EXPECT_LT(BigInt::FromDecimal("-99999999999999999999"), BigInt(0));
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(2).BitLength(), 2u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt(1).ShiftLeft(1000).BitLength(), 1001u);
+}
+
+TEST(BigIntTest, IsPowerOfTwo) {
+  EXPECT_FALSE(BigInt(0).IsPowerOfTwo());
+  EXPECT_TRUE(BigInt(1).IsPowerOfTwo());
+  EXPECT_TRUE(BigInt(2).IsPowerOfTwo());
+  EXPECT_FALSE(BigInt(3).IsPowerOfTwo());
+  EXPECT_TRUE(BigInt(1).ShiftLeft(100).IsPowerOfTwo());
+  EXPECT_FALSE((BigInt(1).ShiftLeft(100) + BigInt(2)).IsPowerOfTwo());
+}
+
+TEST(BigIntTest, KaratsubaMatchesSchoolbookViaIdentity) {
+  // Numbers large enough to trigger Karatsuba (>= 32 limbs = 1024 bits).
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    BigInt a(0), b(0);
+    for (int i = 0; i < 40; ++i) {
+      a = a.ShiftLeft(32) + BigInt(static_cast<int64_t>(rng() & 0xffffffff));
+      b = b.ShiftLeft(32) + BigInt(static_cast<int64_t>(rng() & 0xffffffff));
+    }
+    BigInt prod = a * b;
+    // Verify via division both ways.
+    EXPECT_EQ(prod / a, b);
+    EXPECT_EQ(prod / b, a);
+    EXPECT_TRUE((prod % a).IsZero());
+    // And the distributive law against a shifted split of b.
+    BigInt b_hi = b.ShiftRight(640);
+    BigInt b_lo = b - b_hi.ShiftLeft(640);
+    EXPECT_EQ(prod, a * b_hi.ShiftLeft(640) + a * b_lo);
+  }
+}
+
+// Property sweep: random arithmetic identities at multiple magnitudes.
+class BigIntRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntRandomTest, RingAndDivisionProperties) {
+  const int bits = GetParam();
+  std::mt19937_64 rng(7 + bits);
+  auto random_bigint = [&rng, bits]() {
+    BigInt x(0);
+    for (int i = 0; i < bits / 32 + 1; ++i) {
+      x = x.ShiftLeft(32) + BigInt(static_cast<int64_t>(rng() & 0xffffffff));
+    }
+    if (rng() & 1) x = -x;
+    return x;
+  };
+  for (int trial = 0; trial < 25; ++trial) {
+    BigInt a = random_bigint();
+    BigInt b = random_bigint();
+    BigInt c = random_bigint();
+    // Ring axioms.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt(0));
+    // Division identity.
+    if (!b.IsZero()) {
+      BigInt q, r;
+      BigInt::DivMod(a, b, &q, &r);
+      EXPECT_EQ(q * b + r, a);
+      EXPECT_LT(r.Abs(), b.Abs());
+      if (!r.IsZero()) EXPECT_EQ(r.sign(), a.sign());
+    }
+    // Gcd divides both.
+    BigInt g = BigInt::Gcd(a, b);
+    if (!g.IsZero()) {
+      EXPECT_TRUE((a % g).IsZero());
+      EXPECT_TRUE((b % g).IsZero());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, BigIntRandomTest,
+                         ::testing::Values(16, 64, 128, 512, 2048));
+
+}  // namespace
+}  // namespace gmc

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "core/dichotomy.h"
+#include "logic/parser.h"
+#include "wmc/brute_force.h"
+
+namespace gmc {
+namespace {
+
+TEST(DichotomyTest, ClassifySafe) {
+  Query q = ParseQueryOrDie("Ax Ay (R(x) | S(x,y))");
+  DichotomyReport report = Classify(q);
+  EXPECT_TRUE(report.analysis.safe);
+  EXPECT_NE(report.summary.find("PTIME"), std::string::npos);
+}
+
+TEST(DichotomyTest, ClassifyUnsafeFinal) {
+  Query h1 =
+      ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+  DichotomyReport report = Classify(h1);
+  EXPECT_FALSE(report.analysis.safe);
+  EXPECT_TRUE(report.is_final);
+  EXPECT_NE(report.summary.find("#P-hard"), std::string::npos);
+}
+
+TEST(DichotomyTest, GfomcRoutesSafeToLifted) {
+  Query q = ParseQueryOrDie("Ax Ay (R(x) | S(x,y))");
+  Tid tid(q.vocab_ptr(), 2, 2);
+  const Vocabulary& v = q.vocab();
+  tid.SetUnaryLeft(v.Find("R"), 0, Rational::Half());
+  tid.SetBinary(v.Find("S"), 0, 0, Rational::Half());
+  tid.SetBinary(v.Find("S"), 0, 1, Rational::Half());
+  GfomcResult result = Gfomc(q, tid);
+  EXPECT_TRUE(result.used_lifted);
+  EXPECT_EQ(result.probability, BruteForceQueryProbability(q, tid));
+}
+
+TEST(DichotomyTest, GfomcFallsBackForUnsafe) {
+  Query h1 =
+      ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+  Tid tid(h1.vocab_ptr(), 2, 2, Rational::Half());
+  GfomcResult result = Gfomc(h1, tid);
+  EXPECT_FALSE(result.used_lifted);
+  EXPECT_EQ(result.probability, BruteForceQueryProbability(h1, tid));
+}
+
+TEST(DichotomyTest, DemonstrateHardnessOnNonFinalQuery) {
+  // (R ∨ S1 ∨ S2) ∧ (S1 ∨ T) is unsafe but not final; the façade first
+  // walks it down to a final query, then reduces.
+  Query q = ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y) | S2(x,y)) & Ax Ay (S1(x,y) | T(y))");
+  P2Cnf phi;
+  phi.num_vars = 3;
+  phi.edges = {{0, 1}, {1, 2}};
+  Type1ReductionResult result = DemonstrateHardness(q, phi);
+  EXPECT_EQ(result.model_count, CountSatisfying(phi));
+}
+
+}  // namespace
+}  // namespace gmc

@@ -1,0 +1,125 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+
+namespace gmc {
+namespace {
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  RationalMatrix id = RationalMatrix::Identity(3);
+  RationalMatrix a(3, 3);
+  int value = 1;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a.At(i, j) = Rational(value++);
+  }
+  EXPECT_EQ(a * id, a);
+  EXPECT_EQ(id * a, a);
+}
+
+TEST(MatrixTest, DeterminantKnown) {
+  RationalMatrix a(2, 2);
+  a.At(0, 0) = Rational(1);
+  a.At(0, 1) = Rational(2);
+  a.At(1, 0) = Rational(3);
+  a.At(1, 1) = Rational(4);
+  EXPECT_EQ(a.Determinant(), Rational(-2));
+
+  // Singular 3×3 (rows linearly dependent).
+  RationalMatrix b(3, 3);
+  int value = 1;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) b.At(i, j) = Rational(value++);
+  }
+  EXPECT_EQ(b.Determinant(), Rational(0));
+  EXPECT_EQ(b.Rank(), 2);
+  EXPECT_TRUE(b.IsSingular());
+}
+
+TEST(MatrixTest, VandermondeDeterminant) {
+  // det = Π_{i<j} (v_j − v_i).
+  std::vector<Rational> values = {Rational(1), Rational(2), Rational(1, 2),
+                                  Rational(-3)};
+  RationalMatrix v = RationalMatrix::Vandermonde(values);
+  Rational expected = Rational::One();
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      expected *= values[j] - values[i];
+    }
+  }
+  EXPECT_EQ(v.Determinant(), expected);
+}
+
+TEST(MatrixTest, KroneckerDeterminant) {
+  // det(A ⊗ B) = det(A)^n · det(B)^m for A m×m, B n×n.
+  RationalMatrix a(2, 2);
+  a.At(0, 0) = Rational(2);
+  a.At(0, 1) = Rational(1);
+  a.At(1, 0) = Rational(0);
+  a.At(1, 1) = Rational(3);
+  RationalMatrix b(2, 2);
+  b.At(0, 0) = Rational(1);
+  b.At(0, 1) = Rational(1);
+  b.At(1, 0) = Rational(1);
+  b.At(1, 1) = Rational(2);
+  RationalMatrix kron = RationalMatrix::Kronecker(a, b);
+  EXPECT_EQ(kron.rows(), 4);
+  EXPECT_EQ(kron.Determinant(),
+            a.Determinant().Pow(2) * b.Determinant().Pow(2));
+}
+
+TEST(MatrixTest, PowMatchesRepeatedMultiplication) {
+  RationalMatrix a(2, 2);
+  a.At(0, 0) = Rational(1, 2);
+  a.At(0, 1) = Rational(1, 3);
+  a.At(1, 0) = Rational(1);
+  a.At(1, 1) = Rational(0);
+  RationalMatrix expected = RationalMatrix::Identity(2);
+  for (int p = 0; p <= 6; ++p) {
+    EXPECT_EQ(a.Pow(p), expected) << p;
+    expected = expected * a;
+  }
+}
+
+class MatrixRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixRandomTest, SolveAndInverseRoundTrip) {
+  const int n = GetParam();
+  std::mt19937_64 rng(1000 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    RationalMatrix a(n, n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        a.At(i, j) = Rational(static_cast<int64_t>(rng() % 19) - 9,
+                              1 + static_cast<int64_t>(rng() % 7));
+      }
+    }
+    std::vector<Rational> x_true(n);
+    for (int i = 0; i < n; ++i) {
+      x_true[i] = Rational(static_cast<int64_t>(rng() % 21) - 10,
+                           1 + static_cast<int64_t>(rng() % 5));
+    }
+    // b = A x.
+    std::vector<Rational> b(n, Rational::Zero());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) b[i] += a.At(i, j) * x_true[j];
+    }
+    auto solved = a.Solve(b);
+    if (a.Determinant().IsZero()) {
+      EXPECT_FALSE(solved.has_value());
+      continue;
+    }
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(*solved, x_true);
+    auto inverse = a.Inverse();
+    ASSERT_TRUE(inverse.has_value());
+    EXPECT_EQ(a * *inverse, RationalMatrix::Identity(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace gmc

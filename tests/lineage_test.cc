@@ -1,0 +1,141 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "lineage/boolean_formula.h"
+#include "lineage/grounder.h"
+#include "logic/parser.h"
+#include "prob/tid.h"
+
+namespace gmc {
+namespace {
+
+// --- Cnf -------------------------------------------------------------------
+
+TEST(CnfTest, ConditionTrueRemovesClause) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.AddClause({0, 1});
+  cnf.AddClause({1, 2});
+  Cnf high = cnf.Condition(1, true);
+  EXPECT_TRUE(high.IsTrue());
+  Cnf low = cnf.Condition(1, false);
+  ASSERT_EQ(low.clauses.size(), 2u);
+  EXPECT_EQ(low.clauses[0], (std::vector<int>{0}));
+  EXPECT_EQ(low.clauses[1], (std::vector<int>{2}));
+}
+
+TEST(CnfTest, RemoveSubsumed) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.AddClause({0, 1, 2});
+  cnf.AddClause({0, 1});
+  cnf.AddClause({0, 1});  // duplicate
+  cnf.AddClause({2});
+  cnf.RemoveSubsumed();
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(cnf.clauses[1], (std::vector<int>{2}));
+}
+
+TEST(CnfTest, Components) {
+  Cnf cnf;
+  cnf.num_vars = 5;
+  cnf.AddClause({0, 1});
+  cnf.AddClause({1, 2});
+  cnf.AddClause({3, 4});
+  std::vector<int> comp = cnf.ClauseComponents();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(cnf.IsConnected());
+  EXPECT_TRUE(cnf.Disconnects({0}, {3}));
+  EXPECT_FALSE(cnf.Disconnects({0}, {2}));
+}
+
+// --- Grounding -------------------------------------------------------------
+
+TEST(GrounderTest, DefaultProbabilityOneGivesTrueLineage) {
+  Query h0 = ParseQueryOrDie("Ax Ay (R(x) | S(x,y) | T(y))");
+  Tid tid(h0.vocab_ptr(), 3, 3);  // default probability 1
+  Lineage lineage = Ground(h0, tid);
+  EXPECT_TRUE(lineage.cnf.IsTrue());
+  EXPECT_FALSE(lineage.is_false);
+}
+
+TEST(GrounderTest, PaperSection16Lineage) {
+  // §1.6: Q = (R ∨ S) ∧ (S ∨ T) on one pair has lineage (R∨S)∧(S∨T).
+  Query q =
+      ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+  const Vocabulary& v = q.vocab();
+  Tid tid(q.vocab_ptr(), 1, 1);
+  tid.SetUnaryLeft(v.Find("R"), 0, Rational::Half());
+  tid.SetBinary(v.Find("S"), 0, 0, Rational::Half());
+  tid.SetUnaryRight(v.Find("T"), 0, Rational::Half());
+  Lineage lineage = Ground(q, tid);
+  EXPECT_EQ(lineage.variables.size(), 3u);
+  EXPECT_EQ(lineage.cnf.clauses.size(), 2u);
+  EXPECT_TRUE(lineage.cnf.IsConnected());
+}
+
+TEST(GrounderTest, ZeroProbabilityDropsLiteral) {
+  Query q = ParseQueryOrDie("Ax Ay (R(x) | S(x,y))");
+  const Vocabulary& v = q.vocab();
+  Tid tid(q.vocab_ptr(), 1, 1);
+  tid.SetUnaryLeft(v.Find("R"), 0, Rational::Zero());
+  tid.SetBinary(v.Find("S"), 0, 0, Rational::Half());
+  Lineage lineage = Ground(q, tid);
+  ASSERT_EQ(lineage.cnf.clauses.size(), 1u);
+  EXPECT_EQ(lineage.cnf.clauses[0].size(), 1u);
+  EXPECT_EQ(lineage.variables[lineage.cnf.clauses[0][0]].symbol,
+            v.Find("S"));
+}
+
+TEST(GrounderTest, AllZeroMakesFalse) {
+  Query q = ParseQueryOrDie("Ax Ay (S(x,y))");
+  Tid tid(q.vocab_ptr(), 1, 1, Rational::Zero());
+  Lineage lineage = Ground(q, tid);
+  EXPECT_TRUE(lineage.is_false);
+}
+
+TEST(GrounderTest, TypeIiDistribution) {
+  // ∀x(∀yS1 ∨ ∀yS2) over a 1×2 domain:
+  // (S1(0,0)∧S1(0,1)) ∨ (S2(0,0)∧S2(0,1)) → 4 CNF clauses.
+  Query q = ParseQueryOrDie("Ax (Ay (S1(x,y)) | Ay (S2(x,y)))");
+  Tid tid(q.vocab_ptr(), 1, 2, Rational::Half());
+  Lineage lineage = Ground(q, tid);
+  EXPECT_EQ(lineage.variables.size(), 4u);
+  EXPECT_EQ(lineage.cnf.clauses.size(), 4u);
+  for (const auto& clause : lineage.cnf.clauses) {
+    EXPECT_EQ(clause.size(), 2u);
+  }
+}
+
+TEST(GrounderTest, PinnedBaseConstant) {
+  // Grounding a clause only at u = 1 leaves u = 0 unconstrained.
+  Query q = ParseQueryOrDie("Ax Ay (S(x,y))");
+  Tid tid(q.vocab_ptr(), 2, 2, Rational::Half());
+  Grounder grounder(&tid);
+  grounder.AddClause(q.clauses()[0], /*only_base=*/1);
+  Lineage lineage = grounder.Take();
+  EXPECT_EQ(lineage.cnf.clauses.size(), 2u);
+  for (const TupleKey& key : lineage.variables) {
+    EXPECT_EQ(key.left, 1);
+  }
+}
+
+TEST(TidTest, GfomcAndFomcInstances) {
+  auto vocab = std::make_shared<Vocabulary>();
+  SymbolId s = vocab->Add("S", SymbolKind::kBinary);
+  Tid tid(vocab, 2, 2);
+  EXPECT_TRUE(tid.IsGfomcInstance());
+  EXPECT_TRUE(tid.IsFomcInstance());
+  tid.SetBinary(s, 0, 0, Rational::Zero());
+  EXPECT_TRUE(tid.IsGfomcInstance());
+  EXPECT_FALSE(tid.IsFomcInstance());  // 0 not allowed for FOMC (∀CNF side)
+  tid.SetBinary(s, 1, 1, Rational(1, 3));
+  EXPECT_FALSE(tid.IsGfomcInstance());
+  EXPECT_EQ(tid.NumGroundTuples(), 4);
+}
+
+}  // namespace
+}  // namespace gmc

@@ -1,0 +1,290 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "logic/bipartite.h"
+#include "logic/clause.h"
+#include "logic/parser.h"
+#include "logic/query.h"
+#include "logic/symbol.h"
+
+namespace gmc {
+namespace {
+
+// --- Vocabulary -----------------------------------------------------------
+
+TEST(VocabularyTest, AddAndFind) {
+  Vocabulary vocab;
+  SymbolId r = vocab.Add("R", SymbolKind::kUnaryLeft);
+  SymbolId s = vocab.Add("S", SymbolKind::kBinary);
+  SymbolId t = vocab.Add("T", SymbolKind::kUnaryRight);
+  EXPECT_EQ(vocab.size(), 3);
+  EXPECT_EQ(vocab.Find("S"), s);
+  EXPECT_EQ(vocab.Find("nope"), -1);
+  EXPECT_TRUE(vocab.IsBinary(s));
+  EXPECT_FALSE(vocab.IsBinary(r));
+  EXPECT_EQ(vocab.AddOrGet("T", SymbolKind::kUnaryRight), t);
+  EXPECT_EQ(vocab.IdsOfKind(SymbolKind::kBinary).size(), 1u);
+}
+
+// --- Clause canonicalization ----------------------------------------------
+
+TEST(ClauseTest, SimpleRightClauseCanonicalizesToLeftBase) {
+  // ∀y∀x(S(x,y) ∨ T(y)) and ∀x∀y(S(x,y) ∨ T(y)) are the same clause.
+  Clause right_based(Side::kRight, {7}, {Subclause{{3}, {}}});
+  Clause left_based(Side::kLeft, {}, {Subclause{{3}, {7}}});
+  EXPECT_EQ(right_based, left_based);
+  EXPECT_EQ(right_based.base(), Side::kLeft);
+}
+
+TEST(ClauseTest, SubsumedSubclauseRemoved) {
+  // ∀x(∀yS1 ∨ ∀y(S1 ∨ S2)) ≡ ∀x∀y(S1 ∨ S2): the stronger disjunct {S1}
+  // implies {S1,S2} and is absorbed.
+  Clause c(Side::kLeft, {}, {Subclause{{1}, {}}, Subclause{{1, 2}, {}}});
+  ASSERT_EQ(c.NumSubclauses(), 1);
+  EXPECT_EQ(c.subclauses()[0].binaries, (std::vector<SymbolId>{1, 2}));
+}
+
+TEST(ClauseTest, DuplicateSubclausesDeduped) {
+  Clause c(Side::kLeft, {}, {Subclause{{2, 1}, {}}, Subclause{{1, 2}, {}}});
+  EXPECT_EQ(c.NumSubclauses(), 1);
+}
+
+TEST(ClauseTest, Classification) {
+  Clause left_i(Side::kLeft, {0}, {Subclause{{1}, {}}});
+  EXPECT_TRUE(left_i.IsLeftClause());
+  EXPECT_FALSE(left_i.IsRightClause());
+  EXPECT_FALSE(left_i.IsMiddleClause());
+
+  Clause middle(Side::kLeft, {}, {Subclause{{1, 2}, {}}});
+  EXPECT_TRUE(middle.IsMiddleClause());
+  EXPECT_FALSE(middle.IsLeftClause());
+  EXPECT_FALSE(middle.IsRightClause());
+
+  Clause right_i(Side::kLeft, {}, {Subclause{{1}, {5}}});
+  EXPECT_TRUE(right_i.IsRightClause());
+  EXPECT_FALSE(right_i.IsLeftClause());
+
+  Clause left_ii(Side::kLeft, {}, {Subclause{{1}, {}}, Subclause{{2}, {}}});
+  EXPECT_TRUE(left_ii.IsLeftClause());
+  EXPECT_FALSE(left_ii.IsRightClause());
+
+  Clause right_ii(Side::kRight, {}, {Subclause{{1}, {}}, Subclause{{2}, {}}});
+  EXPECT_TRUE(right_ii.IsRightClause());
+  EXPECT_FALSE(right_ii.IsLeftClause());
+
+  // H0's clause is simultaneously left and right.
+  Clause h0(Side::kLeft, {0}, {Subclause{{1}, {5}}});
+  EXPECT_TRUE(h0.IsLeftClause());
+  EXPECT_TRUE(h0.IsRightClause());
+}
+
+// --- Homomorphisms ---------------------------------------------------------
+
+TEST(ClauseHomTest, MiddleIntoLeft) {
+  Clause middle(Side::kLeft, {}, {Subclause{{1}, {}}});      // ∀x∀y S1
+  Clause left(Side::kLeft, {0}, {Subclause{{1, 2}, {}}});    // R ∨ S1 ∨ S2
+  EXPECT_TRUE(Clause::HomomorphismExists(middle, left));
+  EXPECT_FALSE(Clause::HomomorphismExists(left, middle));
+}
+
+TEST(ClauseHomTest, AcrossBases) {
+  // ∀x∀y S(x,y)  →  ∀y(∀x S(x,y) ∨ ∀x S4(x,y)).
+  Clause middle(Side::kLeft, {}, {Subclause{{3}, {}}});
+  Clause right_ii(Side::kRight, {},
+                  {Subclause{{3}, {}}, Subclause{{4}, {}}});
+  EXPECT_TRUE(Clause::HomomorphismExists(middle, right_ii));
+  EXPECT_FALSE(Clause::HomomorphismExists(right_ii, middle));
+}
+
+TEST(ClauseHomTest, NoHomBetweenDisjointSymbols) {
+  Clause a(Side::kLeft, {}, {Subclause{{1}, {}}});
+  Clause b(Side::kLeft, {}, {Subclause{{2}, {}}});
+  EXPECT_FALSE(Clause::HomomorphismExists(a, b));
+  EXPECT_FALSE(Clause::HomomorphismExists(b, a));
+}
+
+TEST(ClauseHomTest, TypeIiSelfSubsumption) {
+  // ∀x(∀yS1 ∨ ∀yS2) → ∀x(∀y(S1 ∨ S3) ∨ ∀y(S2)): subclause-wise containment.
+  Clause from(Side::kLeft, {}, {Subclause{{1}, {}}, Subclause{{2}, {}}});
+  Clause to(Side::kLeft, {}, {Subclause{{1, 3}, {}}, Subclause{{2}, {}}});
+  EXPECT_TRUE(Clause::HomomorphismExists(from, to));
+  EXPECT_FALSE(Clause::HomomorphismExists(to, from));
+}
+
+// --- Parser ----------------------------------------------------------------
+
+TEST(ParserTest, ParsesH0) {
+  Query q = ParseQueryOrDie("Ax Ay (R(x) | S(x,y) | T(y))");
+  ASSERT_EQ(q.clauses().size(), 1u);
+  EXPECT_EQ(q.ToString(), "Ax Ay (R(x) | S(x,y) | T(y))");
+}
+
+TEST(ParserTest, ParsesH1BothQuantifierStyles) {
+  Query a = ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+  Query b = ParseQueryOrDie(
+      "forall x forall y (R(x) | S(x,y)) & forall y forall x (S(x,y) | "
+      "T(y))");
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_EQ(a.clauses().size(), 2u);
+}
+
+TEST(ParserTest, ParsesTypeII) {
+  Query q = ParseQueryOrDie("Ax (Ay (S1(x,y)) | Ay (S2(x,y)))");
+  ASSERT_EQ(q.clauses().size(), 1u);
+  EXPECT_EQ(q.clauses()[0].NumSubclauses(), 2);
+  EXPECT_EQ(q.ToString(), "Ax (Ay (S1(x,y)) | Ay (S2(x,y)))");
+}
+
+TEST(ParserTest, RejectsInconsistentArity) {
+  std::string error;
+  auto vocab = std::make_shared<Vocabulary>();
+  auto q = ParseQuery("Ax Ay (R(x) | R(x,y))", vocab, &error);
+  EXPECT_FALSE(q.has_value());
+  EXPECT_NE(error.find("inconsistent"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMalformed) {
+  std::string error;
+  auto vocab = std::make_shared<Vocabulary>();
+  EXPECT_FALSE(ParseQuery("Ax Ay R(x)", vocab, &error).has_value());
+  EXPECT_FALSE(
+      ParseQuery("Ax (Ay (S(x,y)) | T(y)", std::make_shared<Vocabulary>(),
+                 &error)
+          .has_value());
+}
+
+// --- Query reduction and substitution --------------------------------------
+
+TEST(QueryTest, RedundantClauseRemoved) {
+  // ∀x∀y S(x,y) makes (R ∨ S) redundant.
+  Query q = ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y))");
+  ASSERT_EQ(q.clauses().size(), 1u);
+  EXPECT_TRUE(q.clauses()[0].IsMiddleClause());
+}
+
+TEST(QueryTest, IntroExampleSimplification) {
+  // §1.4: (R ∨ S ∨ T ∨ A(x)) ∧ ∀yB(y) with A := 0 and B := 1 becomes H0.
+  Query q = ParseQueryOrDie(
+      "Ax Ay (R(x) | S(x,y) | T(y) | A(x)) & Ay (B(y))");
+  const Vocabulary& v = q.vocab();
+  Query step1 = q.Substitute(v.Find("A"), false);
+  Query step2 = step1.Substitute(v.Find("B"), true);
+  EXPECT_EQ(step2.ToString(), "Ax Ay (R(x) | S(x,y) | T(y))");
+}
+
+TEST(QueryTest, SubstituteToFalse) {
+  Query q = ParseQueryOrDie("Ax Ay (S(x,y))");
+  Query f = q.Substitute(q.vocab().Find("S"), false);
+  EXPECT_TRUE(f.IsFalse());
+  Query t = q.Substitute(q.vocab().Find("S"), true);
+  EXPECT_TRUE(t.IsTrue());
+}
+
+TEST(QueryTest, Implication) {
+  Query strong = ParseQueryOrDie("Ax Ay (S(x,y))");
+  auto vocab = std::make_shared<Vocabulary>();
+  Query weak = ParseQueryOrDie("Ax Ay (R(x) | S(x,y))", vocab);
+  Query strong2 = ParseQueryOrDie("Ax Ay (S(x,y))", vocab);
+  EXPECT_TRUE(Query::Implies(strong2, weak));
+  EXPECT_FALSE(Query::Implies(weak, strong2));
+}
+
+// --- Bipartite analysis -----------------------------------------------------
+
+TEST(BipartiteTest, H0IsUnsafeLengthZero) {
+  Query h0 = ParseQueryOrDie("Ax Ay (R(x) | S(x,y) | T(y))");
+  BipartiteAnalysis a = AnalyzeBipartite(h0);
+  EXPECT_FALSE(a.safe);
+  EXPECT_EQ(a.length, 0);
+  EXPECT_FALSE(a.conforms_def23);  // H0's clause is outside Def 2.3
+}
+
+TEST(BipartiteTest, H1IsUnsafeFinalTypeI) {
+  Query h1 =
+      ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+  BipartiteAnalysis a = AnalyzeBipartite(h1);
+  EXPECT_FALSE(a.safe);
+  EXPECT_EQ(a.length, 1);
+  EXPECT_EQ(a.left_type, PartType::kTypeI);
+  EXPECT_EQ(a.right_type, PartType::kTypeI);
+  EXPECT_TRUE(a.conforms_def23);
+  EXPECT_TRUE(IsFinal(h1));
+}
+
+TEST(BipartiteTest, LongerChainFinal) {
+  // (R ∨ S1) ∧ (S1 ∨ S2) ∧ (S2 ∨ T): length 2, final.
+  Query q = ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S1(x,y) | S2(x,y)) & "
+      "Ax Ay (S2(x,y) | T(y))");
+  BipartiteAnalysis a = AnalyzeBipartite(q);
+  EXPECT_FALSE(a.safe);
+  EXPECT_EQ(a.length, 2);
+  EXPECT_TRUE(IsFinal(q));
+}
+
+TEST(BipartiteTest, SafeQueries) {
+  // No right clauses.
+  EXPECT_TRUE(IsSafe(ParseQueryOrDie("Ax Ay (R(x) | S(x,y))")));
+  // Disconnected left and right parts.
+  EXPECT_TRUE(IsSafe(ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S2(x,y) | T(y))")));
+  // Middle only.
+  EXPECT_TRUE(IsSafe(ParseQueryOrDie("Ax Ay (S(x,y))")));
+}
+
+TEST(BipartiteTest, ExampleC9TypeII) {
+  // Q = ∀x(∀yS1 ∨ ∀yS2) ∧ ∀x∀y(S1 ∨ S3) ∧ ∀y(∀xS3 ∨ ∀xS4).
+  Query q = ParseQueryOrDie(
+      "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax Ay (S1(x,y) | S3(x,y)) & "
+      "Ay (Ax (S3(x,y)) | Ax (S4(x,y)))");
+  BipartiteAnalysis a = AnalyzeBipartite(q);
+  EXPECT_FALSE(a.safe);
+  EXPECT_EQ(a.length, 2);
+  EXPECT_EQ(a.left_type, PartType::kTypeII);
+  EXPECT_EQ(a.right_type, PartType::kTypeII);
+  EXPECT_TRUE(a.conforms_def23);
+}
+
+TEST(BipartiteTest, NonFinalSimplifiesToFinal) {
+  // (R ∨ S1 ∨ S2) ∧ (S1 ∨ T): setting S2 := 0 keeps it unsafe, so not final.
+  Query q = ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y) | S2(x,y)) & Ax Ay (S1(x,y) | T(y))");
+  EXPECT_FALSE(IsSafe(q));
+  EXPECT_FALSE(IsFinal(q));
+  Query f = MakeFinal(q);
+  EXPECT_TRUE(IsFinal(f));
+  EXPECT_FALSE(IsSafe(f));
+}
+
+TEST(BipartiteTest, SubstitutionPreservesTypeAndLength) {
+  // Lemma 2.7 (2) and (4) spot checks on a length-2 query.
+  Query q = ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S1(x,y) | S2(x,y)) & "
+      "Ax Ay (S2(x,y) | T(y))");
+  BipartiteAnalysis before = AnalyzeBipartite(q);
+  for (SymbolId s : q.Symbols()) {
+    for (bool v : {false, true}) {
+      Query sub = q.Substitute(s, v);
+      if (sub.IsTrue() || sub.IsFalse()) continue;
+      BipartiteAnalysis after = AnalyzeBipartite(sub);
+      if (!after.safe) {
+        EXPECT_GE(after.length, before.length);
+      }
+    }
+  }
+}
+
+TEST(BipartiteTest, WitnessPathEndpoints) {
+  Query q = ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y)) & Ax Ay (S1(x,y) | S2(x,y)) & "
+      "Ax Ay (S2(x,y) | T(y))");
+  BipartiteAnalysis a = AnalyzeBipartite(q);
+  ASSERT_EQ(a.witness_path.size(), 3u);
+  EXPECT_TRUE(q.clauses()[a.witness_path.front()].IsLeftClause());
+  EXPECT_TRUE(q.clauses()[a.witness_path.back()].IsRightClause());
+}
+
+}  // namespace
+}  // namespace gmc

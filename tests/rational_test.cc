@@ -1,0 +1,106 @@
+#include "util/rational.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace gmc {
+namespace {
+
+TEST(RationalTest, Construction) {
+  EXPECT_EQ(Rational().ToString(), "0");
+  EXPECT_EQ(Rational(3).ToString(), "3");
+  EXPECT_EQ(Rational(1, 2).ToString(), "1/2");
+  EXPECT_EQ(Rational(2, 4).ToString(), "1/2");
+  EXPECT_EQ(Rational(-2, 4).ToString(), "-1/2");
+  EXPECT_EQ(Rational(2, -4).ToString(), "-1/2");
+  EXPECT_EQ(Rational(-2, -4).ToString(), "1/2");
+  EXPECT_EQ(Rational(0, 7).ToString(), "0");
+}
+
+TEST(RationalTest, FromString) {
+  EXPECT_EQ(Rational::FromString("5"), Rational(5));
+  EXPECT_EQ(Rational::FromString("3/6"), Rational(1, 2));
+  EXPECT_EQ(Rational::FromString("-3/6"), Rational(-1, 2));
+}
+
+TEST(RationalTest, Dyadic) {
+  EXPECT_EQ(Rational::Dyadic(BigInt(1), 1), Rational(1, 2));
+  EXPECT_EQ(Rational::Dyadic(BigInt(5), 3), Rational(5, 8));
+  EXPECT_EQ(Rational::Dyadic(BigInt(4), 2), Rational(1));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+  EXPECT_EQ(half.Inverse(), Rational(2));
+  EXPECT_EQ(Rational(-2, 3).Inverse(), Rational(-3, 2));
+  EXPECT_EQ(Rational(-2, 3).Abs(), Rational(2, 3));
+}
+
+TEST(RationalTest, Pow) {
+  EXPECT_EQ(Rational(2, 3).Pow(0), Rational(1));
+  EXPECT_EQ(Rational(2, 3).Pow(3), Rational(8, 27));
+  EXPECT_EQ(Rational(2, 3).Pow(-2), Rational(9, 4));
+  EXPECT_EQ(Rational(0).Pow(5), Rational(0));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+  EXPECT_LE(Rational(1, 2), Rational(2, 4));
+  EXPECT_GT(Rational(7, 8), Rational(3, 4));
+}
+
+TEST(RationalTest, ProbabilitySemantics) {
+  // Pr(X or Y) for independent halves: 1/2 + 1/2 - 1/4 = 3/4.
+  Rational p = Rational::Half();
+  EXPECT_EQ(p + p - p * p, Rational(3, 4));
+  // Complement.
+  EXPECT_EQ(Rational::One() - Rational(3, 8), Rational(5, 8));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-7, 4).ToDouble(), -1.75);
+  // Huge numerator/denominator still produce a sane ratio.
+  Rational huge(BigInt(3).Pow(700), BigInt(3).Pow(700) * BigInt(2));
+  EXPECT_NEAR(huge.ToDouble(), 0.5, 1e-12);
+}
+
+class RationalFieldTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalFieldTest, FieldAxioms) {
+  std::mt19937_64 rng(GetParam());
+  auto random_rational = [&rng]() {
+    int64_t num = static_cast<int64_t>(rng() % 2001) - 1000;
+    int64_t den = static_cast<int64_t>(rng() % 999) + 1;
+    return Rational(num, den);
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational::Zero(), a);
+    EXPECT_EQ(a * Rational::One(), a);
+    EXPECT_EQ(a - a, Rational::Zero());
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), Rational::One());
+      EXPECT_EQ((b / a) * a, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalFieldTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gmc

@@ -1,0 +1,108 @@
+// Semantic validation of the rewriting Q[S := 0/1] (Lemma 2.7): replacing a
+// symbol by a constant in the *query* is the same as fixing that symbol's
+// tuples to probability 0/1 in the *database* —
+//     Pr_∆(Q[S := v]) = Pr_{∆[S ↦ v]}(Q).
+// This is the tool every hardness-proof simplification rests on (Def. 4.13
+// of [4] / §2), so it is checked here across random queries and TIDs.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "prob/tid.h"
+#include "wmc/wmc.h"
+
+namespace gmc {
+namespace {
+
+Tid RandomTid(const Query& q, int nu, int nv, std::mt19937_64* rng) {
+  Tid tid(q.vocab_ptr(), nu, nv);
+  const Vocabulary& vocab = q.vocab();
+  auto probability = [rng]() {
+    switch ((*rng)() % 4) {
+      case 0:
+        return Rational::Zero();
+      case 1:
+        return Rational::One();
+      default:
+        return Rational::Half();
+    }
+  };
+  for (SymbolId s = 0; s < vocab.size(); ++s) {
+    switch (vocab.kind(s)) {
+      case SymbolKind::kUnaryLeft:
+        for (int u = 0; u < nu; ++u) tid.SetUnaryLeft(s, u, probability());
+        break;
+      case SymbolKind::kUnaryRight:
+        for (int v = 0; v < nv; ++v) tid.SetUnaryRight(s, v, probability());
+        break;
+      case SymbolKind::kBinary:
+        for (int u = 0; u < nu; ++u) {
+          for (int v = 0; v < nv; ++v) {
+            tid.SetBinary(s, u, v, probability());
+          }
+        }
+        break;
+    }
+  }
+  return tid;
+}
+
+// ∆ with every tuple of `symbol` forced to probability `value`.
+Tid ForceSymbol(const Tid& tid, SymbolId symbol, bool value) {
+  Tid out = tid;
+  const Rational p = value ? Rational::One() : Rational::Zero();
+  const Vocabulary& vocab = tid.vocab();
+  switch (vocab.kind(symbol)) {
+    case SymbolKind::kUnaryLeft:
+      for (int u = 0; u < tid.num_left(); ++u) out.SetUnaryLeft(symbol, u, p);
+      break;
+    case SymbolKind::kUnaryRight:
+      for (int v = 0; v < tid.num_right(); ++v) {
+        out.SetUnaryRight(symbol, v, p);
+      }
+      break;
+    case SymbolKind::kBinary:
+      for (int u = 0; u < tid.num_left(); ++u) {
+        for (int v = 0; v < tid.num_right(); ++v) {
+          out.SetBinary(symbol, u, v, p);
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+class SubstitutionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubstitutionTest, QuerySubstitutionMatchesDatabaseRestriction) {
+  const char* const kQueries[] = {
+      "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))",
+      "Ax Ay (R(x) | S1(x,y) | S2(x,y)) & Ax Ay (S1(x,y) | T(y))",
+      "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax Ay (S1(x,y) | S3(x,y)) & "
+      "Ay (Ax (S3(x,y)) | Ax (S4(x,y)))",
+      "Ax Ay (R(x) | S(x,y) | T(y))",
+  };
+  std::mt19937_64 rng(GetParam());
+  for (const char* text : kQueries) {
+    Query q = ParseQueryOrDie(text);
+    Tid tid = RandomTid(q, 2, 2, &rng);
+    for (SymbolId s : q.Symbols()) {
+      for (bool value : {false, true}) {
+        Query substituted = q.Substitute(s, value);
+        Tid restricted = ForceSymbol(tid, s, value);
+        WmcEngine engine1, engine2;
+        EXPECT_EQ(engine1.QueryProbability(substituted, tid),
+                  engine2.QueryProbability(q, restricted))
+            << text << " symbol " << q.vocab().name(s) << " := " << value;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubstitutionTest,
+                         ::testing::Values(41, 42, 43, 44));
+
+}  // namespace
+}  // namespace gmc

@@ -1,0 +1,154 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "prob/tid.h"
+#include "wmc/brute_force.h"
+#include "wmc/wmc.h"
+
+namespace gmc {
+namespace {
+
+TEST(WmcTest, ConstantFormulas) {
+  WmcEngine engine;
+  Cnf empty;
+  empty.num_vars = 0;
+  EXPECT_EQ(engine.Probability(empty, {}), Rational::One());
+  Cnf contradiction;
+  contradiction.num_vars = 1;
+  contradiction.clauses.push_back({});
+  EXPECT_EQ(engine.Probability(contradiction, {Rational::Half()}),
+            Rational::Zero());
+}
+
+TEST(WmcTest, SingleClause) {
+  // Pr(a ∨ b) with Pr(a)=1/2, Pr(b)=1/3: 1 - 1/2·2/3 = 2/3.
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.AddClause({0, 1});
+  WmcEngine engine;
+  EXPECT_EQ(engine.Probability(cnf, {Rational(1, 2), Rational(1, 3)}),
+            Rational(2, 3));
+}
+
+TEST(WmcTest, PaperSection16Value) {
+  // §1.6: Pr((R∨S)∧(S∨T)) at probability 1/2 each is 5/8.
+  Query q =
+      ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+  const Vocabulary& v = q.vocab();
+  Tid tid(q.vocab_ptr(), 1, 1);
+  tid.SetUnaryLeft(v.Find("R"), 0, Rational::Half());
+  tid.SetBinary(v.Find("S"), 0, 0, Rational::Half());
+  tid.SetUnaryRight(v.Find("T"), 0, Rational::Half());
+  WmcEngine engine;
+  EXPECT_EQ(engine.QueryProbability(q, tid), Rational(5, 8));
+}
+
+TEST(WmcTest, IndependentComponentsMultiply) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.AddClause({0, 1});
+  cnf.AddClause({2, 3});
+  WmcEngine engine;
+  std::vector<Rational> probs(4, Rational::Half());
+  EXPECT_EQ(engine.Probability(cnf, probs), Rational(9, 16));
+  EXPECT_GE(engine.stats().component_splits, 1u);
+}
+
+TEST(WmcTest, QueryOverLargerDomainMatchesBruteForce) {
+  Query q =
+      ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+  const Vocabulary& v = q.vocab();
+  Tid tid(q.vocab_ptr(), 2, 2);
+  for (int u = 0; u < 2; ++u) {
+    tid.SetUnaryLeft(v.Find("R"), u, Rational::Half());
+  }
+  for (int w = 0; w < 2; ++w) {
+    tid.SetUnaryRight(v.Find("T"), w, Rational::Half());
+  }
+  for (int u = 0; u < 2; ++u) {
+    for (int w = 0; w < 2; ++w) {
+      tid.SetBinary(v.Find("S"), u, w, Rational::Half());
+    }
+  }
+  WmcEngine engine;
+  EXPECT_EQ(engine.QueryProbability(q, tid),
+            BruteForceQueryProbability(q, tid));
+}
+
+TEST(WmcTest, TypeIiQueryMatchesBruteForce) {
+  Query q = ParseQueryOrDie(
+      "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax Ay (S1(x,y) | S3(x,y)) & "
+      "Ay (Ax (S3(x,y)) | Ax (S4(x,y)))");
+  Tid tid(q.vocab_ptr(), 2, 2, Rational::Half());
+  WmcEngine engine;
+  EXPECT_EQ(engine.QueryProbability(q, tid),
+            BruteForceQueryProbability(q, tid));
+}
+
+TEST(WmcTest, MixedZeroHalfOneProbabilities) {
+  Query q = ParseQueryOrDie("Ax Ay (R(x) | S(x,y) | T(y))");
+  const Vocabulary& v = q.vocab();
+  Tid tid(q.vocab_ptr(), 2, 2);
+  tid.SetUnaryLeft(v.Find("R"), 0, Rational::Zero());
+  tid.SetUnaryLeft(v.Find("R"), 1, Rational::Half());
+  tid.SetUnaryRight(v.Find("T"), 0, Rational::Half());
+  tid.SetUnaryRight(v.Find("T"), 1, Rational::Zero());
+  tid.SetBinary(v.Find("S"), 0, 0, Rational::Half());
+  tid.SetBinary(v.Find("S"), 0, 1, Rational::Zero());
+  tid.SetBinary(v.Find("S"), 1, 1, Rational::Half());
+  WmcEngine engine;
+  EXPECT_EQ(engine.QueryProbability(q, tid),
+            BruteForceQueryProbability(q, tid));
+}
+
+// Property sweep: random monotone CNFs, engine vs brute force.
+class WmcRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WmcRandomTest, MatchesBruteForce) {
+  std::mt19937_64 rng(GetParam());
+  WmcEngine engine;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int num_vars = 3 + static_cast<int>(rng() % 10);
+    const int num_clauses = 1 + static_cast<int>(rng() % 12);
+    Cnf cnf;
+    cnf.num_vars = num_vars;
+    for (int c = 0; c < num_clauses; ++c) {
+      const int len = 1 + static_cast<int>(rng() % 4);
+      std::vector<int> clause;
+      for (int l = 0; l < len; ++l) {
+        clause.push_back(static_cast<int>(rng() % num_vars));
+      }
+      cnf.AddClause(std::move(clause));
+    }
+    cnf.RemoveSubsumed();
+    std::vector<Rational> probs;
+    for (int v = 0; v < num_vars; ++v) {
+      // Random probabilities, mostly {0, 1/2, 1} plus some general ones.
+      switch (rng() % 5) {
+        case 0:
+          probs.push_back(Rational::Zero());
+          break;
+        case 1:
+          probs.push_back(Rational::One());
+          break;
+        case 2:
+          probs.push_back(Rational(1, 3));
+          break;
+        default:
+          probs.push_back(Rational::Half());
+          break;
+      }
+    }
+    EXPECT_EQ(engine.Probability(cnf, probs),
+              BruteForceProbability(cnf, probs))
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WmcRandomTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace gmc
