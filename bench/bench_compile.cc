@@ -1,0 +1,139 @@
+// E16: compile-once / evaluate-many vs re-running the WMC recursion.
+//
+// The Type-I interpolation workload evaluates one grounded gadget lineage
+// at many tuple-probability settings. The knowledge-compilation subsystem
+// pays the Shannon/component recursion once (compile) and then a linear
+// circuit pass per weight vector; WmcEngine pays the full recursion every
+// time because its memo is only valid for one weight vector. The sweep
+// benchmarks below run the identical N-point sweep (N = 16/32/64) both
+// ways and cross-check every value — the compiled series should win from
+// the first repetition.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "compile/compiler.h"
+#include "compile/nnf.h"
+#include "hardness/p2cnf.h"
+#include "hardness/reduction_type1.h"
+#include "lineage/grounder.h"
+#include "logic/parser.h"
+#include "util/rational.h"
+#include "wmc/wmc.h"
+
+namespace {
+
+gmc::Query H1() {
+  return gmc::ParseQueryOrDie(
+      "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+// The gadget lineage the sweep probes: a Type-I reduction TID for a random
+// P2CNF, grounded once.
+gmc::Lineage SweepLineage() {
+  gmc::Type1Reduction reduction(H1());
+  gmc::P2Cnf phi = gmc::P2Cnf::Random(5, 5, /*seed=*/42);
+  gmc::Tid tid = reduction.BuildTid(phi, 2, 2);
+  return gmc::Ground(reduction.query(), tid);
+}
+
+// N weight vectors: probe point k perturbs every tuple weight to k/(N+1),
+// the classic interpolation grid.
+std::vector<std::vector<gmc::Rational>> SweepWeights(const gmc::Lineage& l,
+                                                     int n) {
+  std::vector<std::vector<gmc::Rational>> sweeps;
+  for (int k = 1; k <= n; ++k) {
+    sweeps.emplace_back(l.probabilities.size(), gmc::Rational(k, n + 1));
+  }
+  return sweeps;
+}
+
+void BM_Type1SweepCompiled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  std::vector<std::vector<gmc::Rational>> sweeps = SweepWeights(lineage, n);
+  size_t circuit_nodes = 0;
+  for (auto _ : state) {
+    gmc::Compiler compiler;
+    gmc::NnfCircuit circuit = compiler.Compile(lineage);  // compile once
+    circuit_nodes = circuit.num_nodes();
+    for (const auto& weights : sweeps) {                  // evaluate many
+      benchmark::DoNotOptimize(circuit.Evaluate(weights));
+    }
+  }
+  state.counters["sweep_points"] = n;
+  state.counters["circuit_nodes"] = static_cast<double>(circuit_nodes);
+  state.counters["lineage_vars"] =
+      static_cast<double>(lineage.variables.size());
+}
+BENCHMARK(BM_Type1SweepCompiled)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Type1SweepWmc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  std::vector<std::vector<gmc::Rational>> sweeps = SweepWeights(lineage, n);
+  for (auto _ : state) {
+    gmc::WmcEngine engine;
+    for (const auto& weights : sweeps) {
+      benchmark::DoNotOptimize(engine.Probability(lineage.cnf, weights));
+    }
+  }
+  state.counters["sweep_points"] = n;
+}
+BENCHMARK(BM_Type1SweepWmc)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Correctness guard for the two series above: identical values point by
+// point. Registered as a benchmark so a mismatch fails the run loudly.
+void BM_Type1SweepCrossCheck(benchmark::State& state) {
+  const int n = 16;
+  gmc::Lineage lineage = SweepLineage();
+  std::vector<std::vector<gmc::Rational>> sweeps = SweepWeights(lineage, n);
+  gmc::Compiler compiler;
+  gmc::NnfCircuit circuit = compiler.Compile(lineage);
+  for (auto _ : state) {
+    gmc::WmcEngine engine;
+    for (const auto& weights : sweeps) {
+      if (circuit.Evaluate(weights) !=
+          engine.Probability(lineage.cnf, weights)) {
+        state.SkipWithError("compiled sweep disagrees with WmcEngine");
+        return;
+      }
+    }
+  }
+  state.counters["sweep_points"] = n;
+}
+BENCHMARK(BM_Type1SweepCrossCheck)->Unit(benchmark::kMillisecond);
+
+// Compilation cost alone, for the amortization story: compile time is one
+// WmcEngine run plus node construction.
+void BM_CompileType1Lineage(benchmark::State& state) {
+  gmc::Lineage lineage = SweepLineage();
+  for (auto _ : state) {
+    gmc::Compiler compiler;
+    gmc::NnfCircuit circuit = compiler.Compile(lineage);
+    benchmark::DoNotOptimize(circuit.num_nodes());
+  }
+}
+BENCHMARK(BM_CompileType1Lineage)->Unit(benchmark::kMillisecond);
+
+// Evaluation cost alone: the per-point marginal cost after compilation.
+void BM_EvaluateCompiledType1Lineage(benchmark::State& state) {
+  gmc::Lineage lineage = SweepLineage();
+  gmc::Compiler compiler;
+  gmc::NnfCircuit circuit = compiler.Compile(lineage);
+  std::vector<gmc::Rational> weights(lineage.probabilities.size(),
+                                     gmc::Rational(3, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.Evaluate(weights));
+  }
+  state.counters["circuit_nodes"] =
+      static_cast<double>(circuit.num_nodes());
+}
+BENCHMARK(BM_EvaluateCompiledType1Lineage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -27,17 +27,21 @@ int main() {
     std::printf("         %s   (n = %d branches)\n", after.ToString().c_str(),
                 zg.n);
 
-    // Lemma A.1 on a 2×2 database with all uncertain tuples at 1/2.
+    // Lemma A.1 on a 2×2 database with all uncertain tuples at 1/2 —
+    // checked by the recursive engine and by its compiled d-DNNF path.
     Tid delta(zg.query.vocab_ptr(), 2, 2, Rational::Half());
     Tid zg_delta = MakeZigzagTid(zg, delta);
     WmcEngine engine1, engine2;
     Rational lhs = engine1.QueryProbability(zg.query, delta);
     Rational rhs = engine2.QueryProbability(q, zg_delta);
+    Rational compiled = engine2.CompiledQueryProbability(q, zg_delta);
     std::printf(
-        "Lemma A.1: Pr_D(zg(Q)) = %s, Pr_zg(D)(Q) = %s  [%s]\n"
+        "Lemma A.1: Pr_D(zg(Q)) = %s, Pr_zg(D)(Q) = %s  [%s; compiled "
+        "circuit agrees: %s]\n"
         "          (zg(D): %d left / %d right constants from D's 2x2)\n\n",
         lhs.ToString().c_str(), rhs.ToString().c_str(),
-        lhs == rhs ? "match" : "MISMATCH", zg_delta.num_left(),
+        lhs == rhs ? "match" : "MISMATCH",
+        compiled == rhs ? "yes" : "NO", zg_delta.num_left(),
         zg_delta.num_right());
   }
   return 0;

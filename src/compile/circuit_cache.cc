@@ -1,0 +1,32 @@
+#include "compile/circuit_cache.h"
+
+#include <utility>
+
+namespace gmc {
+
+const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
+  if (auto it = circuits_.find(cnf); it != circuits_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.compiles;
+  return circuits_.emplace(cnf, compiler_.Compile(cnf)).first->second;
+}
+
+Rational CircuitCache::Probability(const Cnf& cnf,
+                                   const std::vector<Rational>& probabilities) {
+  return Get(cnf).Evaluate(probabilities);
+}
+
+Rational CircuitCache::Probability(const Lineage& lineage) {
+  if (lineage.is_false) return Rational::Zero();
+  return Probability(lineage.cnf, lineage.probabilities);
+}
+
+Rational CircuitCache::QueryProbability(const Query& query, const Tid& tid) {
+  if (query.IsFalse()) return Rational::Zero();
+  if (query.IsTrue()) return Rational::One();
+  return Probability(Ground(query, tid));
+}
+
+}  // namespace gmc

@@ -1,0 +1,61 @@
+// Compile-once / evaluate-many front end over the d-DNNF compiler.
+//
+// Circuits are cached by the lineage CNF (hashed with Cnf::Hash64,
+// compared exactly on the clause lists), so any caller that probes the
+// same grounded structure at different
+// tuple-probability settings — the Type I interpolation sweep, the Type II
+// Möbius inversion's per-block queries, a zig-zag cross-check — pays for
+// compilation once and a linear circuit pass per evaluation thereafter.
+// Note the key is the CNF alone, not the weights: that is the whole point.
+
+#ifndef GMC_COMPILE_CIRCUIT_CACHE_H_
+#define GMC_COMPILE_CIRCUIT_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "compile/nnf.h"
+#include "lineage/grounder.h"
+#include "logic/query.h"
+#include "prob/tid.h"
+#include "util/rational.h"
+
+namespace gmc {
+
+class CircuitCache {
+ public:
+  struct Stats {
+    uint64_t compiles = 0;
+    uint64_t hits = 0;
+  };
+
+  CircuitCache() = default;
+
+  // The compiled circuit for `cnf`, compiling on first sight. The reference
+  // is invalidated by the next Get/Probability call (rehash may move it).
+  const NnfCircuit& Get(const Cnf& cnf);
+
+  // One circuit evaluation; compiles on the first call per CNF structure.
+  Rational Probability(const Cnf& cnf,
+                       const std::vector<Rational>& probabilities);
+  Rational Probability(const Lineage& lineage);
+  // Grounds and evaluates: Pr_∆(Q) through the compiled path.
+  Rational QueryProbability(const Query& query, const Tid& tid);
+
+  const Stats& stats() const { return stats_; }
+  const Compiler::Stats& compiler_stats() const { return compiler_.stats(); }
+  size_t size() const { return circuits_.size(); }
+  void Clear() { circuits_.clear(); }
+
+ private:
+  Compiler compiler_;
+  // Lineage CNF -> compiled circuit; hashed via Hash64, compared exactly.
+  std::unordered_map<Cnf, NnfCircuit, CnfHash, CnfClauseEq> circuits_;
+  Stats stats_;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_COMPILE_CIRCUIT_CACHE_H_

@@ -1,0 +1,72 @@
+#include "compile/compiler.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gmc {
+
+NnfCircuit Compiler::Compile(const Cnf& cnf) {
+  NnfCircuit circuit;
+  circuit_ = &circuit;
+  memo_.clear();
+  circuit.SetRoot(CompileNode(cnf));
+  circuit_ = nullptr;
+  // Constant folding can orphan nodes (a FALSE component collapses its
+  // AND); drop them so every Evaluate pass touches live nodes only.
+  circuit.PruneUnreachable();
+  return circuit;
+}
+
+NnfCircuit Compiler::Compile(const Lineage& lineage) {
+  if (lineage.is_false) {
+    NnfCircuit circuit;
+    circuit.SetRoot(circuit.False());
+    return circuit;
+  }
+  return Compile(lineage.cnf);
+}
+
+int Compiler::CompileNode(const Cnf& cnf) {
+  ++stats_.compile_calls;
+  if (cnf.clauses.empty()) return circuit_->True();
+  for (const auto& clause : cnf.clauses) {
+    if (clause.empty()) return circuit_->False();
+  }
+  if (auto it = memo_.find(cnf); it != memo_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+
+  // Connected-component decomposition: disjoint variable sets compile to a
+  // decomposable AND. The split and the branch-variable choice below are
+  // the same Cnf helpers WmcEngine uses, so the circuit is exactly the
+  // memoized trace of one WmcEngine run.
+  std::vector<Cnf> parts = cnf.SplitComponents();
+  int result;
+  if (parts.size() > 1) {
+    ++stats_.component_splits;
+    std::vector<int> children;
+    children.reserve(parts.size());
+    for (const Cnf& part : parts) {
+      children.push_back(CompileNode(part));
+      if (children.back() == circuit_->False()) break;
+    }
+    result = circuit_->And(std::move(children));
+  } else {
+    // Shannon expansion on the most frequent variable — a deterministic
+    // decision node.
+    ++stats_.shannon_branches;
+    const int best_var = cnf.MostOccurringVariable();
+    GMC_CHECK(best_var >= 0);
+    const int high = CompileNode(cnf.Condition(best_var, true));
+    const int low = CompileNode(cnf.Condition(best_var, false));
+    result = circuit_->Decision(best_var, high, low);
+  }
+  memo_.emplace(cnf, result);
+  return result;
+}
+
+}  // namespace gmc

@@ -1,0 +1,59 @@
+// Bottom-up exact compiler: monotone CNF → d-DNNF circuit.
+//
+// The recursion mirrors WmcEngine exactly — connected-component
+// decomposition (independent conjuncts per Lemma B.5; the bipartite gadget
+// lineages split eagerly once an articulation tuple is conditioned) and
+// Shannon expansion on a most-occurring variable — but emits circuit nodes
+// instead of a Rational: components become a decomposable AND, Shannon
+// branches a deterministic decision node. Sub-formulas are memoized on the
+// canonical 64-bit CNF hash (shared with WmcEngine's memo; see
+// Cnf::Hash64), so the compiled circuit is a DAG no larger than the trace
+// of one WmcEngine run — and every later Evaluate costs a single linear
+// pass instead of re-running the recursion.
+
+#ifndef GMC_COMPILE_COMPILER_H_
+#define GMC_COMPILE_COMPILER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "compile/nnf.h"
+#include "lineage/boolean_formula.h"
+#include "lineage/grounder.h"
+
+namespace gmc {
+
+class Compiler {
+ public:
+  struct Stats {
+    uint64_t compile_calls = 0;
+    uint64_t cache_hits = 0;
+    uint64_t component_splits = 0;
+    uint64_t shannon_branches = 0;
+  };
+
+  Compiler() = default;
+
+  // Compiles the CNF into a fresh circuit whose root computes it. Exact for
+  // every monotone CNF; worst-case exponential circuit size, as #P-hardness
+  // demands.
+  NnfCircuit Compile(const Cnf& cnf);
+  // Lineage convenience: an unsatisfiable lineage compiles to the FALSE
+  // circuit. Evaluate with lineage.probabilities (or any other weights).
+  NnfCircuit Compile(const Lineage& lineage);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  int CompileNode(const Cnf& cnf);
+
+  NnfCircuit* circuit_ = nullptr;
+  // Sub-CNF -> node id; hashed via Hash64, compared exactly (CnfClauseEq).
+  std::unordered_map<Cnf, int, CnfHash, CnfClauseEq> memo_;
+  Stats stats_;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_COMPILE_COMPILER_H_

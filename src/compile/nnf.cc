@@ -1,0 +1,301 @@
+#include "compile/nnf.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gmc {
+
+namespace {
+
+uint64_t HashNode(const NnfNode& node) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t word) { h = (h ^ word) * 1099511628211ull; };
+  mix(static_cast<uint64_t>(node.kind));
+  mix(static_cast<uint64_t>(node.var) + 1);
+  mix(static_cast<uint64_t>(node.high) + 1);
+  mix(static_cast<uint64_t>(node.low) + 1);
+  for (int child : node.children) mix(static_cast<uint64_t>(child));
+  return h;
+}
+
+bool SameNode(const NnfNode& a, const NnfNode& b) {
+  return a.kind == b.kind && a.var == b.var && a.high == b.high &&
+         a.low == b.low && a.children == b.children;
+}
+
+}  // namespace
+
+NnfCircuit::NnfCircuit() {
+  nodes_.push_back(NnfNode{NnfKind::kFalse, -1, -1, -1, {}});
+  nodes_.push_back(NnfNode{NnfKind::kTrue, -1, -1, -1, {}});
+}
+
+int NnfCircuit::Intern(NnfNode node) {
+  const uint64_t h = HashNode(node);
+  std::vector<int>& bucket = unique_[h];
+  for (int id : bucket) {
+    if (SameNode(nodes_[id], node)) return id;
+  }
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  bucket.push_back(id);
+  return id;
+}
+
+int NnfCircuit::Var(int var) {
+  GMC_CHECK(var >= 0);
+  num_vars_ = std::max(num_vars_, var + 1);
+  return Intern(NnfNode{NnfKind::kVar, var, -1, -1, {}});
+}
+
+int NnfCircuit::And(std::vector<int> children) {
+  std::vector<int> kept;
+  kept.reserve(children.size());
+  for (int child : children) {
+    GMC_CHECK(child >= 0 && child < static_cast<int>(nodes_.size()));
+    if (child == False()) return False();
+    if (child == True()) continue;
+    kept.push_back(child);
+  }
+  if (kept.empty()) return True();
+  // AND is commutative and idempotent; a canonical child order maximizes
+  // sharing in the unique table.
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  if (kept.size() == 1) return kept[0];
+  return Intern(NnfNode{NnfKind::kAnd, -1, -1, -1, std::move(kept)});
+}
+
+int NnfCircuit::Decision(int var, int high, int low) {
+  GMC_CHECK(var >= 0);
+  GMC_CHECK(high >= 0 && high < static_cast<int>(nodes_.size()));
+  GMC_CHECK(low >= 0 && low < static_cast<int>(nodes_.size()));
+  if (high == low) return high;  // the test is irrelevant
+  num_vars_ = std::max(num_vars_, var + 1);
+  if (high == True() && low == False()) return Var(var);
+  return Intern(NnfNode{NnfKind::kDecision, var, high, low, {}});
+}
+
+void NnfCircuit::SetRoot(int id) {
+  GMC_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+  root_ = id;
+}
+
+Rational NnfCircuit::Evaluate(
+    const std::vector<Rational>& probabilities) const {
+  GMC_CHECK(static_cast<int>(probabilities.size()) >= num_vars_);
+  std::vector<Rational> value(nodes_.size());
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const NnfNode& node = nodes_[id];
+    switch (node.kind) {
+      case NnfKind::kFalse:
+        value[id] = Rational::Zero();
+        break;
+      case NnfKind::kTrue:
+        value[id] = Rational::One();
+        break;
+      case NnfKind::kVar:
+        value[id] = probabilities[node.var];
+        break;
+      case NnfKind::kAnd: {
+        Rational product = Rational::One();
+        for (int child : node.children) {
+          product *= value[child];
+          if (product.IsZero()) break;
+        }
+        value[id] = product;
+        break;
+      }
+      case NnfKind::kDecision: {
+        const Rational& p = probabilities[node.var];
+        value[id] =
+            p * value[node.high] + (Rational::One() - p) * value[node.low];
+        break;
+      }
+    }
+  }
+  return value[root_];
+}
+
+NnfCircuit::Stats NnfCircuit::ComputeStats() const {
+  Stats stats;
+  stats.num_nodes = nodes_.size();
+  std::vector<int> depth(nodes_.size(), 0);
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const NnfNode& node = nodes_[id];
+    switch (node.kind) {
+      case NnfKind::kFalse:
+      case NnfKind::kTrue:
+        break;
+      case NnfKind::kVar:
+        ++stats.var_nodes;
+        break;
+      case NnfKind::kAnd:
+        ++stats.and_nodes;
+        stats.edges += node.children.size();
+        for (int child : node.children) {
+          depth[id] = std::max(depth[id], depth[child] + 1);
+        }
+        break;
+      case NnfKind::kDecision:
+        ++stats.decision_nodes;
+        stats.edges += 2;
+        depth[id] = std::max(depth[node.high], depth[node.low]) + 1;
+        break;
+    }
+  }
+  stats.depth = depth[root_];
+  return stats;
+}
+
+std::vector<std::vector<int>> NnfCircuit::Supports() const {
+  std::vector<std::vector<int>> support(nodes_.size());
+  auto merge_into = [](std::vector<int>& out, const std::vector<int>& in) {
+    std::vector<int> merged;
+    merged.reserve(out.size() + in.size());
+    std::merge(out.begin(), out.end(), in.begin(), in.end(),
+               std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    out = std::move(merged);
+  };
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const NnfNode& node = nodes_[id];
+    switch (node.kind) {
+      case NnfKind::kFalse:
+      case NnfKind::kTrue:
+        break;
+      case NnfKind::kVar:
+        support[id] = {node.var};
+        break;
+      case NnfKind::kAnd:
+        for (int child : node.children) {
+          merge_into(support[id], support[child]);
+        }
+        break;
+      case NnfKind::kDecision:
+        merge_into(support[id], support[node.high]);
+        merge_into(support[id], support[node.low]);
+        merge_into(support[id], {node.var});
+        break;
+    }
+  }
+  return support;
+}
+
+bool NnfCircuit::CheckDecomposable() const {
+  const std::vector<std::vector<int>> support = Supports();
+  for (const NnfNode& node : nodes_) {
+    if (node.kind != NnfKind::kAnd) continue;
+    size_t total = 0;
+    std::vector<int> merged;
+    for (int child : node.children) {
+      total += support[child].size();
+      merged.insert(merged.end(), support[child].begin(),
+                    support[child].end());
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    if (merged.size() != total) return false;  // some variable was shared
+  }
+  return true;
+}
+
+bool NnfCircuit::CheckDeterministic() const {
+  const std::vector<std::vector<int>> support = Supports();
+  for (const NnfNode& node : nodes_) {
+    if (node.kind != NnfKind::kDecision) continue;
+    const std::vector<int>& high = support[node.high];
+    const std::vector<int>& low = support[node.low];
+    if (std::binary_search(high.begin(), high.end(), node.var)) return false;
+    if (std::binary_search(low.begin(), low.end(), node.var)) return false;
+  }
+  return true;
+}
+
+std::vector<bool> NnfCircuit::Reachable() const {
+  std::vector<bool> reachable(nodes_.size(), false);
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (reachable[id]) continue;
+    reachable[id] = true;
+    const NnfNode& node = nodes_[id];
+    if (node.kind == NnfKind::kAnd) {
+      for (int child : node.children) stack.push_back(child);
+    } else if (node.kind == NnfKind::kDecision) {
+      stack.push_back(node.high);
+      stack.push_back(node.low);
+    }
+  }
+  return reachable;
+}
+
+void NnfCircuit::PruneUnreachable() {
+  std::vector<bool> reachable = Reachable();
+  reachable[0] = reachable[1] = true;  // constants keep their fixed ids
+  std::vector<int> remap(nodes_.size(), -1);
+  std::vector<NnfNode> kept;
+  kept.reserve(nodes_.size());
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    if (!reachable[id]) continue;
+    remap[id] = static_cast<int>(kept.size());
+    kept.push_back(std::move(nodes_[id]));
+  }
+  // Ascending-id compaction keeps children before parents.
+  for (NnfNode& node : kept) {
+    if (node.kind == NnfKind::kDecision) {
+      node.high = remap[node.high];
+      node.low = remap[node.low];
+    }
+    for (int& child : node.children) child = remap[child];
+  }
+  nodes_ = std::move(kept);
+  root_ = remap[root_];
+  unique_.clear();
+  for (size_t id = 2; id < nodes_.size(); ++id) {
+    unique_[HashNode(nodes_[id])].push_back(static_cast<int>(id));
+  }
+}
+
+std::string NnfCircuit::ToDot() const {
+  std::string out = "digraph nnf {\n  rankdir=BT;\n";
+  const std::vector<bool> reachable = Reachable();
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    if (!reachable[id]) continue;
+    const NnfNode& node = nodes_[id];
+    const std::string name = "n" + std::to_string(id);
+    switch (node.kind) {
+      case NnfKind::kFalse:
+        out += "  " + name + " [label=\"0\", shape=box];\n";
+        break;
+      case NnfKind::kTrue:
+        out += "  " + name + " [label=\"1\", shape=box];\n";
+        break;
+      case NnfKind::kVar:
+        out += "  " + name + " [label=\"x" + std::to_string(node.var) +
+               "\", shape=box];\n";
+        break;
+      case NnfKind::kAnd:
+        out += "  " + name + " [label=\"AND\"];\n";
+        for (int child : node.children) {
+          out += "  n" + std::to_string(child) + " -> " + name + ";\n";
+        }
+        break;
+      case NnfKind::kDecision:
+        out += "  " + name + " [label=\"x" + std::to_string(node.var) +
+               "?\", shape=diamond];\n";
+        out += "  n" + std::to_string(node.high) + " -> " + name +
+               " [label=\"1\"];\n";
+        out += "  n" + std::to_string(node.low) + " -> " + name +
+               " [label=\"0\", style=dashed];\n";
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gmc

@@ -1,0 +1,119 @@
+// d-DNNF arithmetic circuits — the knowledge-compilation target.
+//
+// A grounded lineage compiled once into a smooth-enough circuit can be
+// re-evaluated at many tuple-probability settings in one linear bottom-up
+// pass each — exactly the workload of the interpolation-based hardness
+// reductions, which probe the same gadget lineage at many weight vectors.
+//
+// Node kinds: constants, variable leaves, decomposable AND (children have
+// pairwise disjoint variable supports — the component splits of the
+// compiler), and Shannon decision nodes (var ? high : low), which are the
+// deterministic ORs: the two branches disagree on the decision variable, so
+// their models are disjoint and probabilities add as
+//   p(var)·Pr[high] + (1 − p(var))·Pr[low].
+// Variables absent from a subcircuit are implicitly marginalized (their
+// factor is p + (1 − p) = 1), so no explicit smoothing nodes are needed for
+// weighted model counting.
+//
+// Nodes are hash-consed: structurally identical nodes share one id, and
+// children always precede their parents, so ascending id order is a
+// topological order — Evaluate and the structural audits are single passes.
+
+#ifndef GMC_COMPILE_NNF_H_
+#define GMC_COMPILE_NNF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace gmc {
+
+enum class NnfKind : uint8_t { kFalse, kTrue, kVar, kAnd, kDecision };
+
+struct NnfNode {
+  NnfKind kind = NnfKind::kFalse;
+  int var = -1;               // kVar and kDecision
+  int high = -1;              // kDecision: branch with var = true
+  int low = -1;               // kDecision: branch with var = false
+  std::vector<int> children;  // kAnd (always ≥ 2 after folding)
+};
+
+class NnfCircuit {
+ public:
+  struct Stats {
+    size_t num_nodes = 0;
+    size_t var_nodes = 0;
+    size_t and_nodes = 0;
+    size_t decision_nodes = 0;
+    size_t edges = 0;
+    int depth = 0;  // longest root-to-leaf path, 0 for a bare constant
+  };
+
+  // Every circuit owns nodes 0 = FALSE and 1 = TRUE.
+  NnfCircuit();
+
+  int False() const { return 0; }
+  int True() const { return 1; }
+
+  // Node constructors. All are hash-consed and constant-folding:
+  //   And: drops TRUE children, collapses to FALSE on any FALSE child,
+  //        sorts children canonically, unwraps singletons;
+  //   Decision: high == low folds the test away, (TRUE, FALSE) is Var(var).
+  int Var(int var);
+  int And(std::vector<int> children);
+  int Decision(int var, int high, int low);
+
+  void SetRoot(int id);
+  int root() const { return root_; }
+  const std::vector<NnfNode>& nodes() const { return nodes_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  // 1 + the largest variable id mentioned (0 for constant circuits).
+  int num_vars() const { return num_vars_; }
+
+  // Weighted model count in one bottom-up pass: the probability that the
+  // circuit is satisfied when variable v is independently true with
+  // probability probabilities[v]. Callable any number of times with
+  // different weight vectors; this is the compile-once / evaluate-many
+  // payoff.
+  Rational Evaluate(const std::vector<Rational>& probabilities) const;
+
+  Stats ComputeStats() const;
+
+  // Structural audits (tests): AND children have pairwise disjoint variable
+  // supports (decomposability); no decision branch mentions its decision
+  // variable (so the Shannon split is a genuine deterministic OR).
+  bool CheckDecomposable() const;
+  bool CheckDeterministic() const;
+
+  // Drops nodes unreachable from the root (constant folding can orphan
+  // subcircuits, e.g. component nodes built before a FALSE sibling
+  // collapsed their AND) and renumbers the rest, keeping children before
+  // parents. Evaluate cost is proportional to node count, so the compiler
+  // calls this once per compilation to keep the evaluate-many path lean.
+  void PruneUnreachable();
+
+  // Graphviz dump of the subcircuit reachable from the root.
+  std::string ToDot() const;
+
+ private:
+  // Hash-consing: returns the existing id of a structurally equal node or
+  // appends `node`. Buckets are compared exactly, so sharing is sound even
+  // under hash collisions.
+  int Intern(NnfNode node);
+  // Variable support of every node, as sorted id vectors (audits only).
+  std::vector<std::vector<int>> Supports() const;
+  // Reachability from the root (constants are always kept).
+  std::vector<bool> Reachable() const;
+
+  std::vector<NnfNode> nodes_;
+  std::unordered_map<uint64_t, std::vector<int>> unique_;
+  int root_ = 0;
+  int num_vars_ = 0;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_COMPILE_NNF_H_

@@ -17,6 +17,11 @@ Rational WmcOracle::Probability(const Query& query, const Tid& tid) {
   return engine.QueryProbability(query, tid);
 }
 
+Rational CompiledOracle::Probability(const Query& query, const Tid& tid) {
+  ++calls_;
+  return cache_.QueryProbability(query, tid);
+}
+
 Rational FactorizedOracle::Probability(const Query& query, const Tid& tid) {
   (void)query;
   (void)tid;

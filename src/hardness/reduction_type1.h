@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "compile/circuit_cache.h"
 #include "hardness/p2cnf.h"
 #include "hardness/small_matrix.h"
 #include "linalg/matrix.h"
@@ -55,6 +56,22 @@ class WmcOracle : public Oracle {
  public:
   Rational Probability(const Query& query, const Tid& tid) override;
   std::string name() const override { return "wmc"; }
+};
+
+// Knowledge-compilation oracle (src/compile/): grounds the lineage, compiles
+// it to a d-DNNF circuit keyed on the canonical CNF, and evaluates the
+// circuit with the TID's weights. Gadget databases that share lineage
+// structure — interpolation sweeps that vary only tuple probabilities —
+// compile once and pay a linear circuit pass per call afterwards.
+class CompiledOracle : public Oracle {
+ public:
+  Rational Probability(const Query& query, const Tid& tid) override;
+  std::string name() const override { return "d-dnnf"; }
+
+  const CircuitCache& cache() const { return cache_; }
+
+ private:
+  CircuitCache cache_;
 };
 
 // Theorem 3.4: Pr_∆(Q) = 2^{-n} Σ_θ Π_{(u,v)∈E} y_{θ(u)θ(v)}; valid for

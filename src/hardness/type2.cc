@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "compile/circuit_cache.h"
 #include "logic/bipartite.h"
 #include "util/check.h"
 #include "wmc/wmc.h"
@@ -152,7 +153,10 @@ MobiusInversionCheck VerifyMobiusInversion(const TypeIIStructure& structure,
   const std::vector<int> l0h = structure.right_lattice->StrictSupport();
 
   // Per-block probabilities Pr(Y_αβ(u,v)): the block is the single pair
-  // (u,v) with delta's probabilities.
+  // (u,v) with delta's probabilities. Each (α, β) has one lineage
+  // structure across blocks, so the compiled circuit is shared and each
+  // block contributes one linear evaluation pass.
+  CircuitCache circuits;
   std::map<std::tuple<int, int, int, int>, Rational> block_probability;
   auto y = [&](int u, int v, int a, int b) {
     auto key = std::make_tuple(u, v, a, b);
@@ -163,8 +167,7 @@ MobiusInversionCheck VerifyMobiusInversion(const TypeIIStructure& structure,
       if (vocab.kind(s) != SymbolKind::kBinary) continue;
       pair_tid.SetBinary(s, 0, 0, delta.Probability(TupleKey{s, u, v}));
     }
-    WmcEngine block_engine;
-    Rational probability = block_engine.QueryProbability(
+    Rational probability = circuits.QueryProbability(
         MakeQueryAlphaBeta(structure, a, b), pair_tid);
     block_probability.emplace(key, probability);
     return probability;
@@ -205,6 +208,8 @@ MobiusInversionCheck VerifyMobiusInversion(const TypeIIStructure& structure,
   // (−1)^{|U|+|V|}.
   if ((nu + nv) % 2 == 1) total = -total;
   out.via_inversion = total;
+  out.circuit_compiles = static_cast<int>(circuits.stats().compiles);
+  out.circuit_hits = static_cast<int>(circuits.stats().hits);
   return out;
 }
 

@@ -54,10 +54,18 @@ bool CheckInvertibility(const TypeIIStructure& structure);
 // v, probabilities from `delta`). Returns Pr(Q) computed directly by WMC
 // and via the Möbius inversion sum
 //   Σ_{σ,τ} Πᵤ µ(σ(u)) Πᵥ µ(τ(v)) Π_{u,v} Pr(Y_{σ(u)τ(v)}(u,v)).
+//
+// The per-block probabilities go through the knowledge-compilation cache:
+// Y_αβ has one lineage structure per (α, β), evaluated at each block's
+// weights, so circuits compile once per (α, β) and the per-block cost is a
+// linear circuit pass (`circuit_compiles` / `circuit_hits` report the
+// sharing actually achieved).
 struct MobiusInversionCheck {
   Rational direct;
   Rational via_inversion;
   int terms = 0;
+  int circuit_compiles = 0;
+  int circuit_hits = 0;
 };
 
 MobiusInversionCheck VerifyMobiusInversion(const TypeIIStructure& structure,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "util/check.h"
 
@@ -111,6 +112,33 @@ std::vector<int> Cnf::ClauseComponents() const {
   return component;
 }
 
+std::vector<Cnf> Cnf::SplitComponents() const {
+  std::vector<int> component = ClauseComponents();
+  int num_components = 0;
+  for (int c : component) num_components = std::max(num_components, c + 1);
+  std::vector<Cnf> parts(std::max(num_components, 1));
+  for (auto& part : parts) part.num_vars = num_vars;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    parts[component[i]].clauses.push_back(clauses[i]);
+  }
+  return parts;
+}
+
+int Cnf::MostOccurringVariable() const {
+  std::unordered_map<int, int> counts;
+  for (const auto& clause : clauses) {
+    for (int v : clause) ++counts[v];
+  }
+  int best_var = -1, best_count = -1;
+  for (const auto& [v, c] : counts) {
+    if (c > best_count || (c == best_count && v < best_var)) {
+      best_var = v;
+      best_count = c;
+    }
+  }
+  return best_var;
+}
+
 bool Cnf::IsConnected() const {
   if (clauses.empty()) return true;
   std::vector<int> component = ClauseComponents();
@@ -156,6 +184,18 @@ std::string Cnf::CacheKey() const {
     out.append(reinterpret_cast<const char*>(&separator), sizeof(separator));
   }
   return out;
+}
+
+uint64_t Cnf::Hash64() const {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  auto mix = [&h](uint32_t word) {
+    h = (h ^ word) * 1099511628211ull;  // FNV prime
+  };
+  for (const auto& clause : clauses) {
+    for (int v : clause) mix(static_cast<uint32_t>(v));
+    mix(0xffffffffu);  // clause separator (never a variable id)
+  }
+  return h;
 }
 
 std::string Cnf::ToString() const {

@@ -10,6 +10,7 @@
 #ifndef GMC_LINEAGE_BOOLEAN_FORMULA_H_
 #define GMC_LINEAGE_BOOLEAN_FORMULA_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -53,11 +54,45 @@ struct Cnf {
   // Exact on minimized monotone CNFs via component decomposition.
   bool Disconnects(const std::vector<int>& u, const std::vector<int>& v) const;
 
-  // Canonical byte-string key (used by the WMC cache). Variables keep their
-  // global ids, so equal keys mean equal formulas over the same tuples.
+  // Canonical byte-string key (used by the polynomial-lemma cache).
+  // Variables keep their global ids, so equal keys mean equal formulas over
+  // the same tuples.
   std::string CacheKey() const;
 
+  // 64-bit FNV-1a hash of the same canonical byte stream as CacheKey(),
+  // computed without allocating. Hash function for CnfHash below.
+  uint64_t Hash64() const;
+
+  // Splits the formula into its connected components (one sub-CNF per
+  // component of ClauseComponents(), each over the full variable range).
+  // A connected or constant formula yields a single part.
+  std::vector<Cnf> SplitComponents() const;
+
+  // The variable occurring in the most clauses (smallest id on ties) — the
+  // shared Shannon-branching heuristic of WmcEngine and the d-DNNF
+  // compiler. Returns -1 for constant formulas.
+  int MostOccurringVariable() const;
+
   std::string ToString() const;
+};
+
+// Hash and equality functors for CNF-keyed tables (the WMC memo, the
+// compiler's sub-formula memo, the circuit cache). Hashing is the
+// allocation-free Hash64; equality compares the clause lists exactly, so a
+// hash collision costs one extra probe, never a wrong result — the exact
+// arithmetic the hardness reductions rely on is preserved. (Keys are
+// inserted only on cache misses, so the allocation churn of the old
+// per-call string keys is still gone from the hot path.)
+struct CnfHash {
+  size_t operator()(const Cnf& cnf) const {
+    return static_cast<size_t>(cnf.Hash64());
+  }
+};
+
+struct CnfClauseEq {
+  bool operator()(const Cnf& a, const Cnf& b) const {
+    return a.clauses == b.clauses;
+  }
 };
 
 }  // namespace gmc

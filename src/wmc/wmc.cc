@@ -33,32 +33,39 @@ Rational WmcEngine::QueryProbability(const Query& query, const Tid& tid) {
   return Probability(Ground(query, tid));
 }
 
+Rational WmcEngine::CompiledProbability(
+    const Cnf& cnf, const std::vector<Rational>& probabilities) {
+  GMC_CHECK(static_cast<int>(probabilities.size()) >= cnf.num_vars);
+  return circuits_.Probability(cnf, probabilities);
+}
+
+Rational WmcEngine::CompiledProbability(const Lineage& lineage) {
+  return circuits_.Probability(lineage);
+}
+
+Rational WmcEngine::CompiledQueryProbability(const Query& query,
+                                             const Tid& tid) {
+  return circuits_.QueryProbability(query, tid);
+}
+
 Rational WmcEngine::Recurse(const Cnf& cnf) {
   ++stats_.recursive_calls;
   if (cnf.clauses.empty()) return Rational::One();
   for (const auto& clause : cnf.clauses) {
     if (clause.empty()) return Rational::Zero();
   }
-  const std::string key = cnf.CacheKey();
-  if (auto it = cache_.find(key); it != cache_.end()) {
+  if (auto it = cache_.find(cnf); it != cache_.end()) {
     ++stats_.cache_hits;
     return it->second;
   }
 
   // Connected-component decomposition: disjoint variable sets are
   // independent, so the probability is the product over components.
-  std::vector<int> component = cnf.ClauseComponents();
-  int num_components = 0;
-  for (int c : component) num_components = std::max(num_components, c + 1);
+  std::vector<Cnf> parts = cnf.SplitComponents();
   Rational result;
-  if (num_components > 1) {
+  if (parts.size() > 1) {
     ++stats_.component_splits;
     result = Rational::One();
-    std::vector<Cnf> parts(num_components);
-    for (auto& part : parts) part.num_vars = cnf.num_vars;
-    for (size_t i = 0; i < cnf.clauses.size(); ++i) {
-      parts[component[i]].clauses.push_back(cnf.clauses[i]);
-    }
     for (Cnf& part : parts) {
       result *= Recurse(part);
       if (result.IsZero()) break;
@@ -66,24 +73,14 @@ Rational WmcEngine::Recurse(const Cnf& cnf) {
   } else {
     // Shannon expansion on the most frequent variable.
     ++stats_.shannon_branches;
-    std::unordered_map<int, int> counts;
-    for (const auto& clause : cnf.clauses) {
-      for (int v : clause) ++counts[v];
-    }
-    int best_var = -1, best_count = -1;
-    for (const auto& [v, c] : counts) {
-      if (c > best_count || (c == best_count && v < best_var)) {
-        best_var = v;
-        best_count = c;
-      }
-    }
+    const int best_var = cnf.MostOccurringVariable();
     GMC_CHECK(best_var >= 0);
     const Rational& p = (*probabilities_)[best_var];
     Rational high = Recurse(cnf.Condition(best_var, true));
     Rational low = Recurse(cnf.Condition(best_var, false));
     result = p * high + (Rational::One() - p) * low;
   }
-  cache_.emplace(key, result);
+  cache_.emplace(cnf, result);
   return result;
 }
 

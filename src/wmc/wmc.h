@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "compile/circuit_cache.h"
 #include "lineage/grounder.h"
 #include "logic/query.h"
 #include "prob/tid.h"
@@ -44,7 +45,18 @@ class WmcEngine {
   // Grounds and counts: Pr_∆(Q).
   Rational QueryProbability(const Query& query, const Tid& tid);
 
+  // Knowledge-compilation path (src/compile/): the formula is compiled to a
+  // d-DNNF circuit on first sight and every call afterwards is one linear
+  // circuit pass. Unlike the recursive path, whose memo dies with the
+  // weight vector, compiled circuits are reused across weight vectors —
+  // prefer this whenever the same lineage is evaluated more than once.
+  Rational CompiledProbability(const Cnf& cnf,
+                               const std::vector<Rational>& probabilities);
+  Rational CompiledProbability(const Lineage& lineage);
+  Rational CompiledQueryProbability(const Query& query, const Tid& tid);
+
   const Stats& stats() const { return stats_; }
+  const CircuitCache& circuits() const { return circuits_; }
   void ResetStats() { stats_ = Stats(); }
   void ClearCache() { cache_.clear(); }
 
@@ -52,7 +64,11 @@ class WmcEngine {
   Rational Recurse(const Cnf& cnf);
 
   const std::vector<Rational>* probabilities_ = nullptr;
-  std::unordered_map<std::string, Rational> cache_;
+  // Memo for the in-flight weight vector: hashed with the allocation-free
+  // Cnf::Hash64, compared exactly (CnfClauseEq), so hits never allocate
+  // and collisions never corrupt the exact result.
+  std::unordered_map<Cnf, Rational, CnfHash, CnfClauseEq> cache_;
+  CircuitCache circuits_;
   Stats stats_;
 };
 
