@@ -1,0 +1,183 @@
+// E17: batched vs looped circuit evaluation on Type-I gadget lineages.
+//
+// The interpolation workload knows its whole weight set up front, so the
+// question is what one topological pass over all K vectors buys over K
+// independent Evaluate walks. Three answers, all measured at K = 16/64/256
+// with minimization on and off:
+//   - exact batch (EvaluateBatch): same Rational arithmetic, one arena and
+//     one traversal decode instead of K — a modest constant-factor win,
+//     because BigInt arithmetic dominates and is identical in both paths;
+//   - fast batch (EvaluateBatchDouble with recheck_stride = 8): doubles in
+//     the arena, every 8th vector re-verified exactly — this is the ≥2×
+//     (in practice ~8×) win for sweeps that only need interpolation-grade
+//     inputs, and the re-check knob keeps it honest;
+//   - unchecked fast batch: the pure double pass, bounding what SIMD-grade
+//     evaluation could reach.
+// BM_BatchCrossCheck pins correctness: batch equals loop point by point
+// (exactly for the Rational path, to 1e-9 relative for the double path).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "compile/nnf.h"
+#include "hardness/p2cnf.h"
+#include "hardness/reduction_type1.h"
+#include "lineage/grounder.h"
+#include "logic/parser.h"
+#include "util/rational.h"
+
+namespace {
+
+gmc::Query H1() {
+  return gmc::ParseQueryOrDie(
+      "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+// The gadget lineage the sweep probes: a Type-I reduction TID for a random
+// P2CNF, grounded once.
+gmc::Lineage SweepLineage() {
+  gmc::Type1Reduction reduction(H1());
+  gmc::P2Cnf phi = gmc::P2Cnf::Random(5, 5, /*seed=*/42);
+  gmc::Tid tid = reduction.BuildTid(phi, 2, 2);
+  return gmc::Ground(reduction.query(), tid);
+}
+
+gmc::NnfCircuit CompileSweepCircuit(const gmc::Lineage& lineage,
+                                    bool minimize) {
+  gmc::Compiler compiler;
+  compiler.set_minimize(minimize);
+  return compiler.Compile(lineage);
+}
+
+// K weight vectors on the classic interpolation grid: vector k sets every
+// tuple weight to k/(K+1).
+gmc::WeightMatrix SweepWeights(const gmc::Lineage& lineage, int num_k) {
+  std::vector<std::vector<gmc::Rational>> rows;
+  for (int k = 1; k <= num_k; ++k) {
+    rows.emplace_back(lineage.probabilities.size(),
+                      gmc::Rational(k, num_k + 1));
+  }
+  return gmc::WeightMatrix::FromRows(rows);
+}
+
+constexpr int kRecheckStride = 8;
+
+void BM_LoopedEvaluateExact(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = CompileSweepCircuit(lineage, /*minimize=*/true);
+  gmc::WeightMatrix weights = SweepWeights(lineage, num_k);
+  // Rows materialized outside the timed loop: the baseline measures only
+  // the K Evaluate walks, not vector assembly.
+  std::vector<std::vector<gmc::Rational>> rows;
+  for (int k = 0; k < num_k; ++k) rows.push_back(weights.Row(k));
+  for (auto _ : state) {
+    for (const auto& row : rows) {
+      benchmark::DoNotOptimize(circuit.Evaluate(row));
+    }
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["circuit_nodes"] = static_cast<double>(circuit.num_nodes());
+}
+BENCHMARK(BM_LoopedEvaluateExact)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchEvaluateExact(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = CompileSweepCircuit(lineage, /*minimize=*/true);
+  gmc::WeightMatrix weights = SweepWeights(lineage, num_k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.EvaluateBatch(weights));
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["circuit_nodes"] = static_cast<double>(circuit.num_nodes());
+}
+BENCHMARK(BM_BatchEvaluateExact)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchEvaluateExactUnminimized(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = CompileSweepCircuit(lineage, /*minimize=*/false);
+  gmc::WeightMatrix weights = SweepWeights(lineage, num_k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.EvaluateBatch(weights));
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["circuit_nodes"] = static_cast<double>(circuit.num_nodes());
+}
+BENCHMARK(BM_BatchEvaluateExactUnminimized)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// The headline: the double arena with every 8th vector re-verified against
+// the exact evaluator. Cost ≈ loop / recheck_stride, i.e. ~8× at any K.
+void BM_BatchEvaluateFast(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = CompileSweepCircuit(lineage, /*minimize=*/true);
+  gmc::WeightMatrix weights = SweepWeights(lineage, num_k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        circuit.EvaluateBatchDouble(weights, kRecheckStride));
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["recheck_stride"] = kRecheckStride;
+}
+BENCHMARK(BM_BatchEvaluateFast)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchEvaluateFastUnchecked(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = CompileSweepCircuit(lineage, /*minimize=*/true);
+  gmc::WeightMatrix weights = SweepWeights(lineage, num_k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        circuit.EvaluateBatchDouble(weights, /*recheck_stride=*/0));
+  }
+  state.counters["weight_vectors"] = num_k;
+}
+BENCHMARK(BM_BatchEvaluateFastUnchecked)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Correctness guard: batch equals loop point by point, on both the
+// minimized and the unminimized circuit, for both precisions. Registered
+// as a benchmark so a mismatch fails the bench run loudly.
+void BM_BatchCrossCheck(benchmark::State& state) {
+  const int num_k = 16;
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit minimized = CompileSweepCircuit(lineage, true);
+  gmc::NnfCircuit raw = CompileSweepCircuit(lineage, false);
+  gmc::WeightMatrix weights = SweepWeights(lineage, num_k);
+  for (auto _ : state) {
+    const std::vector<gmc::Rational> batched =
+        minimized.EvaluateBatch(weights);
+    const std::vector<gmc::Rational> raw_batched = raw.EvaluateBatch(weights);
+    const std::vector<double> fast =
+        minimized.EvaluateBatchDouble(weights, /*recheck_stride=*/1);
+    for (int k = 0; k < num_k; ++k) {
+      const gmc::Rational looped = minimized.Evaluate(weights.Row(k));
+      const double exact = looped.ToDouble();
+      const double scale = std::max(1.0, std::abs(exact));
+      if (batched[k] != looped || raw_batched[k] != looped ||
+          std::abs(fast[k] - exact) > 1e-9 * scale) {
+        state.SkipWithError("batched evaluation disagrees with looped");
+        return;
+      }
+    }
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["nodes_minimized"] =
+      static_cast<double>(minimized.num_nodes());
+  state.counters["nodes_raw"] = static_cast<double>(raw.num_nodes());
+}
+BENCHMARK(BM_BatchCrossCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions against a checked-in baseline.
+
+Compares a google-benchmark JSON run (--benchmark_format=json) against a
+baseline JSON recorded on some other machine. Raw times are not comparable
+across machines, so the comparator normalizes by the *median* time ratio
+across all matched benchmarks: the median absorbs the overall speed
+difference between the baseline machine and the CI runner, and a benchmark
+only fails if it got more than --threshold-pct slower *relative to the
+others*. A real regression (one code path got slower) shows up as an
+outlier above the median; a slow runner moves every ratio equally and
+trips nothing.
+
+Known blind spot of the normalization: a change that slows *every*
+benchmark in a suite by the same factor raises the median itself and
+passes. That is the price of cross-machine comparability without
+dedicated, identical hardware; a suite-wide slowdown still shows up in
+the printed median ratio (and in the other suites' comparisons), so
+review the table when the median drifts far from earlier runs.
+
+Exit status: 0 = no regression, 1 = regression or benchmark error,
+2 = usage / malformed input.
+
+Refreshing the baseline after an intentional performance change:
+    ./build/bench_foo --benchmark_format=json > bench/baselines/BENCH_foo.json
+and commit the file (see README, "CI bench gating").
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """benchmark name -> real_time in ns; aborts on reported errors."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "?")
+        if bench.get("error_occurred"):
+            print(f"FAIL {path}: benchmark '{name}' reported an error: "
+                  f"{bench.get('error_message', 'unknown')}")
+            sys.exit(1)
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = _TIME_UNIT_NS.get(bench.get("time_unit", "ns"))
+        if unit is None or "real_time" not in bench:
+            print(f"ERROR {path}: cannot read benchmark '{name}'")
+            sys.exit(2)
+        times[name] = bench["real_time"] * unit
+    if not times:
+        print(f"ERROR {path}: no benchmarks found")
+        sys.exit(2)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="JSON from this run")
+    parser.add_argument("--threshold-pct", type=float, default=25.0,
+                        help="allowed slowdown relative to the median ratio "
+                             "(default: 25)")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+
+    matched = sorted(set(baseline) & set(current))
+    for name in sorted(set(baseline) ^ set(current)):
+        side = "baseline" if name in baseline else "current"
+        print(f"note: '{name}' only in {side}; skipped "
+              f"(new/removed benchmark — refresh the baseline to track it)")
+    if len(matched) < 2:
+        print("ERROR: fewer than 2 matched benchmarks; cannot normalize")
+        sys.exit(2)
+
+    ratios = {name: current[name] / baseline[name] for name in matched}
+    median = statistics.median(ratios.values())
+    limit = 1.0 + args.threshold_pct / 100.0
+
+    print(f"{len(matched)} benchmarks matched; median machine-speed ratio "
+          f"{median:.3f}; failing above {limit:.2f}x of it")
+    print(f"{'benchmark':<45} {'baseline':>12} {'current':>12} "
+          f"{'normalized':>10}")
+    regressions = []
+    for name in matched:
+        normalized = ratios[name] / median
+        marker = ""
+        if normalized > limit:
+            marker = "  << REGRESSION"
+            regressions.append(name)
+        print(f"{name:<45} {baseline[name]:>10.0f}ns {current[name]:>10.0f}ns "
+              f"{normalized:>9.3f}x{marker}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold_pct:.0f}% relative to the run median:")
+        for name in regressions:
+            print(f"  {name}")
+        sys.exit(1)
+    print("\nOK: no benchmark regressed beyond the threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,6 @@
 #include "compile/circuit_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace gmc {
@@ -10,7 +11,14 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
     return it->second;
   }
   ++stats_.compiles;
-  return circuits_.emplace(cnf, compiler_.Compile(cnf)).first->second;
+  const Compiler::Stats before = compiler_.stats();
+  const NnfCircuit& circuit =
+      circuits_.emplace(cnf, compiler_.Compile(cnf)).first->second;
+  stats_.nodes_before_minimize +=
+      compiler_.stats().minimize_nodes_before - before.minimize_nodes_before;
+  stats_.nodes_after_minimize +=
+      compiler_.stats().minimize_nodes_after - before.minimize_nodes_after;
+  return circuit;
 }
 
 Rational CircuitCache::Probability(const Cnf& cnf,
@@ -27,6 +35,56 @@ Rational CircuitCache::QueryProbability(const Query& query, const Tid& tid) {
   if (query.IsFalse()) return Rational::Zero();
   if (query.IsTrue()) return Rational::One();
   return Probability(Ground(query, tid));
+}
+
+std::vector<Rational> CircuitCache::ProbabilityBatch(
+    const Cnf& cnf, const WeightMatrix& weights) {
+  const NnfCircuit& circuit = Get(cnf);
+  // The Get above accounted one compile or hit; the remaining K − 1 vectors
+  // are all cache-served evaluations.
+  stats_.hits += weights.num_vectors() - 1;
+  ++stats_.batch_passes;
+  stats_.batched_vectors += weights.num_vectors();
+  return circuit.EvaluateBatch(weights);
+}
+
+std::vector<Rational> CircuitCache::ProbabilityBatch(
+    const std::vector<Lineage>& lineages) {
+  std::vector<Rational> results(lineages.size());
+  // Group by CNF structure; each group shares one compiled circuit and one
+  // batch pass. std::map-free: the order of groups does not matter because
+  // results are written back by input index.
+  std::unordered_map<Cnf, std::vector<size_t>, CnfHash, CnfClauseEq> groups;
+  for (size_t i = 0; i < lineages.size(); ++i) {
+    if (lineages[i].is_false) {
+      results[i] = Rational::Zero();
+      continue;
+    }
+    groups[lineages[i].cnf].push_back(i);
+  }
+  for (const auto& [cnf, members] : groups) {
+    // Group equality compares clause lists only, so members can carry more
+    // interned-then-orphaned variables than the representative key's
+    // num_vars; size the matrix to the widest row (the circuit never reads
+    // the orphan columns — its variables all occur in the shared clauses).
+    size_t width = static_cast<size_t>(cnf.num_vars);
+    for (size_t member : members) {
+      width = std::max(width, lineages[member].probabilities.size());
+    }
+    WeightMatrix weights(static_cast<int>(members.size()),
+                         static_cast<int>(width));
+    for (size_t m = 0; m < members.size(); ++m) {
+      const std::vector<Rational>& row = lineages[members[m]].probabilities;
+      for (size_t v = 0; v < row.size(); ++v) {
+        weights.Set(static_cast<int>(m), static_cast<int>(v), row[v]);
+      }
+    }
+    std::vector<Rational> values = ProbabilityBatch(cnf, weights);
+    for (size_t m = 0; m < members.size(); ++m) {
+      results[members[m]] = std::move(values[m]);
+    }
+  }
+  return results;
 }
 
 }  // namespace gmc

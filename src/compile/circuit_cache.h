@@ -29,6 +29,13 @@ class CircuitCache {
   struct Stats {
     uint64_t compiles = 0;
     uint64_t hits = 0;
+    uint64_t batch_passes = 0;      // EvaluateBatch passes issued
+    uint64_t batched_vectors = 0;   // weight vectors served by those passes
+    // Sweep-and-merge payoff across all compiles (mirrors the compiler's
+    // minimize_nodes_before/after, surfaced here because this cache is the
+    // front end repeated-query traffic goes through).
+    uint64_t nodes_before_minimize = 0;
+    uint64_t nodes_after_minimize = 0;
   };
 
   CircuitCache() = default;
@@ -43,6 +50,19 @@ class CircuitCache {
   Rational Probability(const Lineage& lineage);
   // Grounds and evaluates: Pr_∆(Q) through the compiled path.
   Rational QueryProbability(const Query& query, const Tid& tid);
+
+  // Batched evaluate-many: all K weight vectors of one CNF structure in a
+  // single topological circuit pass (NnfCircuit::EvaluateBatch) instead of
+  // K independent walks.
+  std::vector<Rational> ProbabilityBatch(const Cnf& cnf,
+                                         const WeightMatrix& weights);
+  // Mixed-structure form: groups the lineages by CNF structure, compiles
+  // each distinct structure once, and serves every group with one batch
+  // pass over that group's weight vectors. Results come back in input
+  // order, so callers need not know (or care) how the grouping fell out —
+  // gadget sweeps whose grounding folds different certain tuples per
+  // setting still batch within each surviving structure.
+  std::vector<Rational> ProbabilityBatch(const std::vector<Lineage>& lineages);
 
   const Stats& stats() const { return stats_; }
   const Compiler::Stats& compiler_stats() const { return compiler_.stats(); }

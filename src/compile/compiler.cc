@@ -17,6 +17,9 @@ NnfCircuit Compiler::Compile(const Cnf& cnf) {
   // Constant folding can orphan nodes (a FALSE component collapses its
   // AND); drop them so every Evaluate pass touches live nodes only.
   circuit.PruneUnreachable();
+  stats_.minimize_nodes_before += circuit.num_nodes();
+  if (minimize_) circuit = minimizer_.Minimize(circuit);
+  stats_.minimize_nodes_after += circuit.num_nodes();
   return circuit;
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "compile/minimize.h"
 #include "compile/nnf.h"
 #include "lineage/boolean_formula.h"
 #include "lineage/grounder.h"
@@ -30,20 +31,36 @@ class Compiler {
     uint64_t cache_hits = 0;
     uint64_t component_splits = 0;
     uint64_t shannon_branches = 0;
+    // Sweep-and-merge totals (cumulative across Compile calls; equal when
+    // minimization is disabled).
+    uint64_t minimize_nodes_before = 0;
+    uint64_t minimize_nodes_after = 0;
   };
 
   Compiler() = default;
 
   // Compiles the CNF into a fresh circuit whose root computes it. Exact for
   // every monotone CNF; worst-case exponential circuit size, as #P-hardness
-  // demands.
+  // demands. The raw circuit then goes through one sweep-and-merge
+  // Minimizer pass (see minimize.h) unless disabled below.
   NnfCircuit Compile(const Cnf& cnf);
   // Lineage convenience: an unsatisfiable lineage compiles to the FALSE
   // circuit. Evaluate with lineage.probabilities (or any other weights).
   NnfCircuit Compile(const Lineage& lineage);
 
+  // Post-compile minimization knob (on by default; benchmarks flip it off
+  // to measure the pass's payoff in isolation).
+  void set_minimize(bool minimize) { minimize_ = minimize; }
+  bool minimize() const { return minimize_; }
+
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  const Minimizer::Stats& minimizer_stats() const {
+    return minimizer_.stats();
+  }
+  void ResetStats() {
+    stats_ = Stats();
+    minimizer_.ResetStats();
+  }
 
  private:
   int CompileNode(const Cnf& cnf);
@@ -51,6 +68,8 @@ class Compiler {
   NnfCircuit* circuit_ = nullptr;
   // Sub-CNF -> node id; hashed via Hash64, compared exactly (CnfClauseEq).
   std::unordered_map<Cnf, int, CnfHash, CnfClauseEq> memo_;
+  Minimizer minimizer_;
+  bool minimize_ = true;
   Stats stats_;
 };
 

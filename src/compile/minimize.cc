@@ -1,0 +1,185 @@
+#include "compile/minimize.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gmc {
+
+namespace {
+
+// The branch as a set of conjunct ids: an AND contributes its (sorted)
+// children, anything else contributes itself.
+std::vector<int> ConjunctsOf(const NnfCircuit& circuit, int id) {
+  const NnfNode& node = circuit.nodes()[id];
+  if (node.kind == NnfKind::kAnd) return node.children;
+  return {id};
+}
+
+}  // namespace
+
+NnfCircuit Minimizer::Rebuild(const NnfCircuit& circuit, bool factor,
+                              Stats* delta) {
+  const std::vector<NnfNode>& nodes = circuit.nodes();
+
+  // Dead-node sweep: only nodes reachable from the root are rebuilt. The
+  // reference counts feed the factoring rewrite's orphan prediction.
+  std::vector<bool> reachable(nodes.size(), false);
+  std::vector<int> refs(nodes.size(), 0);
+  std::vector<int> stack = {circuit.root()};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (reachable[id]) continue;
+    reachable[id] = true;
+    const NnfNode& node = nodes[id];
+    if (node.kind == NnfKind::kAnd) {
+      for (int child : node.children) {
+        ++refs[child];
+        stack.push_back(child);
+      }
+    } else if (node.kind == NnfKind::kDecision) {
+      ++refs[node.high];
+      ++refs[node.low];
+      stack.push_back(node.high);
+      stack.push_back(node.low);
+    }
+  }
+
+  // Bottom-up rebuild: ascending id order visits children before parents,
+  // so every node is reconstructed over already-rewritten children and the
+  // hash-consing constructors fold and merge as the sweep cascades upward.
+  NnfCircuit out;
+  std::vector<int> remap(nodes.size(), -1);
+  remap[circuit.False()] = out.False();
+  remap[circuit.True()] = out.True();
+  for (size_t id = 2; id < nodes.size(); ++id) {
+    if (!reachable[id]) continue;
+    const NnfNode& node = nodes[id];
+    const size_t count_before = out.num_nodes();
+    int rebuilt = -1;
+    switch (node.kind) {
+      case NnfKind::kFalse:
+      case NnfKind::kTrue:
+        GMC_CHECK_MSG(false, "constants live at ids 0 and 1 only");
+        break;
+      case NnfKind::kVar:
+        rebuilt = out.Var(node.var);
+        break;
+      case NnfKind::kAnd: {
+        std::vector<int> children;
+        children.reserve(node.children.size());
+        for (int child : node.children) {
+          const int mapped = remap[child];
+          if (out.nodes()[mapped].kind == NnfKind::kAnd) {
+            // Flatten: splice a decomposable AND child into its parent
+            // (associativity; supports stay pairwise disjoint because the
+            // child's support is their union). The spliced child is pruned
+            // below if nothing else references it.
+            ++delta->flattened_ands;
+            const std::vector<int> inner = out.nodes()[mapped].children;
+            children.insert(children.end(), inner.begin(), inner.end());
+          } else {
+            children.push_back(mapped);
+          }
+        }
+        rebuilt = out.And(std::move(children));
+        break;
+      }
+      case NnfKind::kDecision: {
+        const int high = remap[node.high];
+        const int low = remap[node.low];
+        if (factor && high != low) {
+          // Common-factor extraction:  v ? X∧r1 : X∧r2  =  X ∧ (v ? r1 : r2).
+          // The conjuncts X shared by both branches hoist above the
+          // decision; the residual decision is smaller and often merges
+          // with a structural twin the compiler's per-CNF memo could not
+          // see (different sub-CNFs, identical circuits). Decomposability
+          // and determinism survive: X was disjoint from the residuals in
+          // the original ANDs and cannot mention the decision variable.
+          const std::vector<int> s1 = ConjunctsOf(out, high);
+          const std::vector<int> s2 = ConjunctsOf(out, low);
+          std::vector<int> shared;
+          std::set_intersection(s1.begin(), s1.end(), s2.begin(), s2.end(),
+                                std::back_inserter(shared));
+          if (!shared.empty()) {
+            std::vector<int> r1, r2;
+            std::set_difference(s1.begin(), s1.end(), shared.begin(),
+                                shared.end(), std::back_inserter(r1));
+            std::set_difference(s2.begin(), s2.end(), shared.begin(),
+                                shared.end(), std::back_inserter(r2));
+            // Only rewrite when the node arithmetic cannot lose: the new
+            // cluster (decision + hoisted AND + any residual AND of size
+            // ≥ 2) must fit within what dissolving this decision and its
+            // single-parent branch ANDs frees up. Hash-consing can only
+            // shrink the "added" side further; the final prune deletes the
+            // freed nodes.
+            const int added = 2 + (r1.size() >= 2 ? 1 : 0) +
+                              (r2.size() >= 2 ? 1 : 0);
+            const int removed =
+                1 +
+                (out.nodes()[high].kind == NnfKind::kAnd &&
+                         refs[node.high] == 1
+                     ? 1
+                     : 0) +
+                (out.nodes()[low].kind == NnfKind::kAnd && refs[node.low] == 1
+                     ? 1
+                     : 0);
+            if (added <= removed) {
+              const int residual = out.Decision(node.var, out.And(r1),
+                                                out.And(r2));
+              shared.push_back(residual);
+              rebuilt = out.And(std::move(shared));
+              ++delta->factored_decisions;
+            }
+          }
+        }
+        if (rebuilt < 0) {
+          rebuilt = out.Decision(node.var, high, low);
+        }
+        break;
+      }
+    }
+    if (out.num_nodes() == count_before) {
+      if (out.nodes()[rebuilt].kind == node.kind) {
+        ++delta->merged_nodes;  // hash-cons hit on a structural twin
+      } else {
+        ++delta->folded_nodes;  // constructor fold (constant, x?a:a, ...)
+      }
+    }
+    remap[id] = rebuilt;
+  }
+  out.SetRoot(remap[circuit.root()]);
+  // Rewrites orphan nodes (a spliced AND no other parent shares, the
+  // branches of a factored decision); drop them so every Evaluate pass
+  // touches live nodes only.
+  out.PruneUnreachable();
+  return out;
+}
+
+NnfCircuit Minimizer::Minimize(const NnfCircuit& circuit) {
+  Stats delta;
+  NnfCircuit out = Rebuild(circuit, /*factor=*/true, &delta);
+  if (out.num_nodes() > circuit.num_nodes()) {
+    // The factoring guard reasons about single-parent orphans locally;
+    // adversarial sharing can still defeat it. The plain canonical rebuild
+    // provably never grows (each reachable input node yields at most one
+    // output node), so fall back to it — minimization must never make a
+    // circuit slower to evaluate.
+    delta = Stats();
+    out = Rebuild(circuit, /*factor=*/false, &delta);
+  }
+  GMC_CHECK(out.num_nodes() <= circuit.num_nodes());
+  stats_.nodes_before += circuit.num_nodes();
+  stats_.nodes_after += out.num_nodes();
+  stats_.merged_nodes += delta.merged_nodes;
+  stats_.folded_nodes += delta.folded_nodes;
+  stats_.flattened_ands += delta.flattened_ands;
+  stats_.factored_decisions += delta.factored_decisions;
+  return out;
+}
+
+}  // namespace gmc

@@ -1,0 +1,75 @@
+// Sweep-and-merge d-DNNF circuit minimization.
+//
+// The compiler emits nodes in recursion order, so structurally redundant
+// shapes survive: ANDs nested inside ANDs (component splits at different
+// recursion depths), decision nodes whose branches became equal only after a
+// descendant was rewritten, and constant-foldable nodes whose children
+// collapsed after the fold that would have caught them. One bottom-up sweep
+// rebuilds the reachable subcircuit through the hash-consing constructors —
+// children are rewritten first, so every fold and merge cascades upward in a
+// single pass:
+//
+//   - constant folding: TRUE/FALSE children re-fold after child rewrites;
+//   - hash-cons re-canonicalization: nodes that became structurally
+//     identical under the rewritten children share one id, which in
+//     particular merges decision nodes with identical (var, high, low)
+//     branch pairs;
+//   - AND flattening: a decomposable AND child of a decomposable AND is
+//     spliced into its parent (associativity; supports stay disjoint);
+//   - common-factor extraction: v ? X∧r1 : X∧r2 becomes X ∧ (v ? r1 : r2),
+//     hoisting the conjuncts shared by both branches above the decision —
+//     the Shannon expansion re-derives the components untouched by the
+//     decision variable in both branches, and the compiler's per-CNF memo
+//     cannot see that they coincide; the smaller residual decisions then
+//     merge with structural twins via hash-consing (the cascade that makes
+//     this a sweep-AND-merge);
+//   - dead-node sweep: only nodes reachable from the root are rebuilt.
+//
+// Every rewrite preserves the computed function, decomposability, and
+// determinism, and the output never has more nodes than the input (each
+// reachable input node yields at most one output node). Traversal cost is
+// linear in node count, so the node savings pay off directly on the
+// double-precision batch path; on the exact path BigInt arithmetic
+// dominates and the rewrites mostly reshape (rather than reduce) the
+// Rational op count, so expect memory wins more than time wins there. The
+// compiler runs this pass once per compilation.
+
+#ifndef GMC_COMPILE_MINIMIZE_H_
+#define GMC_COMPILE_MINIMIZE_H_
+
+#include <cstdint>
+
+#include "compile/nnf.h"
+
+namespace gmc {
+
+class Minimizer {
+ public:
+  struct Stats {
+    uint64_t nodes_before = 0;  // cumulative across Minimize calls
+    uint64_t nodes_after = 0;
+    uint64_t merged_nodes = 0;        // hash-cons hits on rebuilt nodes
+    uint64_t folded_nodes = 0;        // constructor folds (constants, x?a:a)
+    uint64_t flattened_ands = 0;      // nested ANDs spliced into parents
+    uint64_t factored_decisions = 0;  // v?X∧r1:X∧r2 → X∧(v?r1:r2) rewrites
+  };
+
+  Minimizer() = default;
+
+  // An equivalent circuit with at most as many nodes, in topological order.
+  NnfCircuit Minimize(const NnfCircuit& circuit);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  // One bottom-up sweep; `factor` enables the common-factor extraction on
+  // decision branches (disabled on the no-growth fallback pass).
+  NnfCircuit Rebuild(const NnfCircuit& circuit, bool factor, Stats* delta);
+
+  Stats stats_;
+};
+
+}  // namespace gmc
+
+#endif  // GMC_COMPILE_MINIMIZE_H_

@@ -1,6 +1,7 @@
 #include "compile/nnf.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/check.h"
@@ -26,6 +27,36 @@ bool SameNode(const NnfNode& a, const NnfNode& b) {
 }
 
 }  // namespace
+
+WeightMatrix::WeightMatrix(int num_vectors, int num_vars)
+    : num_vectors_(num_vectors),
+      num_vars_(num_vars),
+      values_(static_cast<size_t>(num_vectors) * num_vars) {
+  GMC_CHECK(num_vectors >= 1 && num_vars >= 0);
+}
+
+WeightMatrix WeightMatrix::FromRows(
+    const std::vector<std::vector<Rational>>& rows) {
+  GMC_CHECK_MSG(!rows.empty(), "WeightMatrix needs at least one row");
+  const int num_vars = static_cast<int>(rows[0].size());
+  WeightMatrix matrix(static_cast<int>(rows.size()), num_vars);
+  for (size_t k = 0; k < rows.size(); ++k) {
+    GMC_CHECK_MSG(static_cast<int>(rows[k].size()) == num_vars,
+                  "ragged weight rows");
+    for (int v = 0; v < num_vars; ++v) {
+      matrix.Set(static_cast<int>(k), v, rows[k][v]);
+    }
+  }
+  return matrix;
+}
+
+std::vector<Rational> WeightMatrix::Row(int k) const {
+  GMC_CHECK(k >= 0 && k < num_vectors_);
+  std::vector<Rational> row;
+  row.reserve(num_vars_);
+  for (int v = 0; v < num_vars_; ++v) row.push_back(at(k, v));
+  return row;
+}
 
 NnfCircuit::NnfCircuit() {
   nodes_.push_back(NnfNode{NnfKind::kFalse, -1, -1, -1, {}});
@@ -117,6 +148,145 @@ Rational NnfCircuit::Evaluate(
     }
   }
   return value[root_];
+}
+
+std::vector<Rational> NnfCircuit::EvaluateBatch(
+    const WeightMatrix& weights) const {
+  GMC_CHECK(weights.num_vars() >= num_vars_);
+  const int num_k = weights.num_vectors();
+
+  // Complements 1 − p, computed once per (variable, vector) for exactly the
+  // variables that head a decision node. Column layout mirrors the weight
+  // matrix.
+  std::vector<bool> decides(static_cast<size_t>(num_vars_), false);
+  for (const NnfNode& node : nodes_) {
+    if (node.kind == NnfKind::kDecision) decides[node.var] = true;
+  }
+  std::vector<Rational> complement(static_cast<size_t>(num_vars_) * num_k);
+  for (int v = 0; v < num_vars_; ++v) {
+    if (!decides[v]) continue;
+    const Rational* p = weights.Column(v);
+    Rational* out = complement.data() + static_cast<size_t>(v) * num_k;
+    for (int k = 0; k < num_k; ++k) out[k] = Rational::One() - p[k];
+  }
+
+  // One contiguous row-major arena: the K values of node `id` live at
+  // value[id * K .. id * K + K).
+  std::vector<Rational> value(nodes_.size() * num_k);
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const NnfNode& node = nodes_[id];
+    Rational* out = value.data() + id * num_k;
+    switch (node.kind) {
+      case NnfKind::kFalse:
+        break;  // arena default-constructs to zero
+      case NnfKind::kTrue:
+        for (int k = 0; k < num_k; ++k) out[k] = Rational::One();
+        break;
+      case NnfKind::kVar: {
+        const Rational* p = weights.Column(node.var);
+        for (int k = 0; k < num_k; ++k) out[k] = p[k];
+        break;
+      }
+      case NnfKind::kAnd: {
+        const Rational* first = value.data() +
+                                static_cast<size_t>(node.children[0]) * num_k;
+        for (int k = 0; k < num_k; ++k) out[k] = first[k];
+        for (size_t c = 1; c < node.children.size(); ++c) {
+          const Rational* child =
+              value.data() + static_cast<size_t>(node.children[c]) * num_k;
+          for (int k = 0; k < num_k; ++k) {
+            if (out[k].IsZero()) continue;
+            out[k] *= child[k];
+          }
+        }
+        break;
+      }
+      case NnfKind::kDecision: {
+        const Rational* p = weights.Column(node.var);
+        const Rational* q =
+            complement.data() + static_cast<size_t>(node.var) * num_k;
+        const Rational* high =
+            value.data() + static_cast<size_t>(node.high) * num_k;
+        const Rational* low =
+            value.data() + static_cast<size_t>(node.low) * num_k;
+        for (int k = 0; k < num_k; ++k) {
+          out[k] = p[k] * high[k] + q[k] * low[k];
+        }
+        break;
+      }
+    }
+  }
+  const Rational* root = value.data() + static_cast<size_t>(root_) * num_k;
+  return std::vector<Rational>(root, root + num_k);
+}
+
+std::vector<double> NnfCircuit::EvaluateBatchDouble(
+    const WeightMatrix& weights, int recheck_stride,
+    double recheck_tolerance) const {
+  GMC_CHECK(weights.num_vars() >= num_vars_);
+  const int num_k = weights.num_vectors();
+
+  // The weight columns, converted once; BigInt never appears in the pass.
+  std::vector<double> probability(static_cast<size_t>(num_vars_) * num_k);
+  for (int v = 0; v < num_vars_; ++v) {
+    const Rational* p = weights.Column(v);
+    double* out = probability.data() + static_cast<size_t>(v) * num_k;
+    for (int k = 0; k < num_k; ++k) out[k] = p[k].ToDouble();
+  }
+
+  std::vector<double> value(nodes_.size() * num_k, 0.0);
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const NnfNode& node = nodes_[id];
+    double* out = value.data() + id * num_k;
+    switch (node.kind) {
+      case NnfKind::kFalse:
+        break;
+      case NnfKind::kTrue:
+        for (int k = 0; k < num_k; ++k) out[k] = 1.0;
+        break;
+      case NnfKind::kVar: {
+        const double* p =
+            probability.data() + static_cast<size_t>(node.var) * num_k;
+        for (int k = 0; k < num_k; ++k) out[k] = p[k];
+        break;
+      }
+      case NnfKind::kAnd: {
+        const double* first = value.data() +
+                              static_cast<size_t>(node.children[0]) * num_k;
+        for (int k = 0; k < num_k; ++k) out[k] = first[k];
+        for (size_t c = 1; c < node.children.size(); ++c) {
+          const double* child =
+              value.data() + static_cast<size_t>(node.children[c]) * num_k;
+          for (int k = 0; k < num_k; ++k) out[k] *= child[k];
+        }
+        break;
+      }
+      case NnfKind::kDecision: {
+        const double* p =
+            probability.data() + static_cast<size_t>(node.var) * num_k;
+        const double* high =
+            value.data() + static_cast<size_t>(node.high) * num_k;
+        const double* low =
+            value.data() + static_cast<size_t>(node.low) * num_k;
+        for (int k = 0; k < num_k; ++k) {
+          out[k] = p[k] * high[k] + (1.0 - p[k]) * low[k];
+        }
+        break;
+      }
+    }
+  }
+  const double* root = value.data() + static_cast<size_t>(root_) * num_k;
+  std::vector<double> result(root, root + num_k);
+
+  if (recheck_stride > 0) {
+    for (int k = 0; k < num_k; k += recheck_stride) {
+      const double exact = Evaluate(weights.Row(k)).ToDouble();
+      const double scale = std::max(1.0, std::abs(exact));
+      GMC_CHECK_MSG(std::abs(result[k] - exact) <= recheck_tolerance * scale,
+                    "EvaluateBatchDouble drifted from the exact evaluator");
+    }
+  }
+  return result;
 }
 
 NnfCircuit::Stats NnfCircuit::ComputeStats() const {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/rational.h"
@@ -32,6 +33,43 @@
 namespace gmc {
 
 enum class NnfKind : uint8_t { kFalse, kTrue, kVar, kAnd, kDecision };
+
+// K weight vectors over V variables — the input of the batched evaluator.
+// Storage is variable-major (the K values of one variable are contiguous),
+// so the per-node inner loops of EvaluateBatch stream one contiguous column
+// instead of striding across K separate vectors.
+class WeightMatrix {
+ public:
+  WeightMatrix(int num_vectors, int num_vars);
+
+  // Builds from K row vectors (one weight vector per row, all the same
+  // length). Aborts on an empty or ragged input.
+  static WeightMatrix FromRows(const std::vector<std::vector<Rational>>& rows);
+
+  int num_vectors() const { return num_vectors_; }
+  int num_vars() const { return num_vars_; }
+
+  // Value of variable `var` in weight vector `k`.
+  const Rational& at(int k, int var) const {
+    return values_[static_cast<size_t>(var) * num_vectors_ + k];
+  }
+  void Set(int k, int var, Rational value) {
+    values_[static_cast<size_t>(var) * num_vectors_ + k] = std::move(value);
+  }
+
+  // The K contiguous values of one variable.
+  const Rational* Column(int var) const {
+    return values_.data() + static_cast<size_t>(var) * num_vectors_;
+  }
+
+  // One weight vector, re-assembled (loop-comparison and re-check paths).
+  std::vector<Rational> Row(int k) const;
+
+ private:
+  int num_vectors_ = 0;
+  int num_vars_ = 0;
+  std::vector<Rational> values_;  // values_[var * num_vectors_ + k]
+};
 
 struct NnfNode {
   NnfKind kind = NnfKind::kFalse;
@@ -79,6 +117,28 @@ class NnfCircuit {
   // different weight vectors; this is the compile-once / evaluate-many
   // payoff.
   Rational Evaluate(const std::vector<Rational>& probabilities) const;
+
+  // Batched weighted model count: all K weight vectors in ONE topological
+  // pass. The scratch arena is a single contiguous row-major block (K values
+  // per node), node metadata is decoded once per node instead of once per
+  // (node, vector), and decision complements 1 − p are computed once per
+  // (variable, vector) instead of once per (decision node, vector) — the
+  // interpolation sweeps of the hardness reductions probe hundreds of weight
+  // vectors against one gadget circuit, which is exactly this shape.
+  // Returns the K root values in input order.
+  std::vector<Rational> EvaluateBatch(const WeightMatrix& weights) const;
+
+  // Double-precision fast path of EvaluateBatch for sweeps that only need
+  // interpolation-grade inputs: same single pass over a double arena, no
+  // BigInt allocation anywhere. If `recheck_stride > 0`, every stride-th
+  // weight vector is additionally evaluated exactly and the double result
+  // must match within `recheck_tolerance` relative error (aborts
+  // otherwise) — the knob that spot-verifies the fast path against the
+  // exact one at a K/stride fraction of the exact cost.
+  std::vector<double> EvaluateBatchDouble(const WeightMatrix& weights,
+                                          int recheck_stride = 0,
+                                          double recheck_tolerance =
+                                              1e-9) const;
 
   Stats ComputeStats() const;
 

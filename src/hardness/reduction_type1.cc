@@ -4,12 +4,21 @@
 #include <vector>
 
 #include "hardness/big_matrix.h"
+#include "lineage/grounder.h"
 #include "logic/bipartite.h"
 #include "prob/block.h"
 #include "util/check.h"
 #include "wmc/wmc.h"
 
 namespace gmc {
+
+std::vector<Rational> Oracle::ProbabilityBatch(const Query& query,
+                                               const std::vector<Tid>& tids) {
+  std::vector<Rational> results;
+  results.reserve(tids.size());
+  for (const Tid& tid : tids) results.push_back(Probability(query, tid));
+  return results;
+}
 
 Rational WmcOracle::Probability(const Query& query, const Tid& tid) {
   ++calls_;
@@ -20,6 +29,21 @@ Rational WmcOracle::Probability(const Query& query, const Tid& tid) {
 Rational CompiledOracle::Probability(const Query& query, const Tid& tid) {
   ++calls_;
   return cache_.QueryProbability(query, tid);
+}
+
+std::vector<Rational> CompiledOracle::ProbabilityBatch(
+    const Query& query, const std::vector<Tid>& tids) {
+  calls_ += static_cast<int>(tids.size());
+  if (query.IsFalse()) {
+    return std::vector<Rational>(tids.size(), Rational::Zero());
+  }
+  if (query.IsTrue()) {
+    return std::vector<Rational>(tids.size(), Rational::One());
+  }
+  std::vector<Lineage> lineages;
+  lineages.reserve(tids.size());
+  for (const Tid& tid : tids) lineages.push_back(Ground(query, tid));
+  return cache_.ProbabilityBatch(lineages);
 }
 
 Rational FactorizedOracle::Probability(const Query& query, const Tid& tid) {
@@ -84,24 +108,35 @@ Type1ReductionResult Type1Reduction::Run(const P2Cnf& phi, Oracle* oracle) {
   SymmetricBigMatrix big = BuildSymmetricBigMatrix(z_series, m);
 
   // Right-hand side: 2^n · Pr_∆(Q), one oracle call per multiset {p1, p2}.
+  // All TIDs are known up front, so the oracle sees them as one batch —
+  // structure-aware oracles (CompiledOracle) collapse the whole sweep into
+  // one circuit pass per distinct gadget lineage.
   const Rational two_pow_n = Rational(BigInt(1).ShiftLeft(n), BigInt(1));
   std::vector<Rational> rhs(big.matrix.rows());
-  FactorizedOracle factorized;
-  for (size_t row = 0; row < big.row_params.size(); ++row) {
-    const auto& [p1, p2] = big.row_params[row];
-    Rational probability;
-    if (oracle != nullptr) {
-      Tid tid = BuildTid(phi, p1, p2);
-      probability = oracle->Probability(query_, tid);
-      result.oracle_calls = oracle->calls();
-    } else {
+  if (oracle != nullptr) {
+    std::vector<Tid> tids;
+    tids.reserve(big.row_params.size());
+    for (const auto& [p1, p2] : big.row_params) {
+      tids.push_back(BuildTid(phi, p1, p2));
+    }
+    std::vector<Rational> probabilities =
+        oracle->ProbabilityBatch(query_, tids);
+    GMC_CHECK_MSG(probabilities.size() == tids.size(),
+                  "oracle returned the wrong number of batch results");
+    result.oracle_calls = oracle->calls();
+    for (size_t row = 0; row < probabilities.size(); ++row) {
+      rhs[row] = probabilities[row] * two_pow_n;
+    }
+  } else {
+    FactorizedOracle factorized;
+    for (size_t row = 0; row < big.row_params.size(); ++row) {
+      const auto& [p1, p2] = big.row_params[row];
       std::vector<Rational> y = {z_series[p1 - 1][0] * z_series[p2 - 1][0],
                                  z_series[p1 - 1][1] * z_series[p2 - 1][1],
                                  z_series[p1 - 1][2] * z_series[p2 - 1][2]};
-      probability = factorized.GraphProbability(phi, y);
+      rhs[row] = factorized.GraphProbability(phi, y) * two_pow_n;
       result.oracle_calls = factorized.calls();
     }
-    rhs[row] = probability * two_pow_n;
   }
 
   // Exact solve; non-singularity is Theorem 3.6's guarantee, re-checked

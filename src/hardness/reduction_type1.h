@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "compile/circuit_cache.h"
 #include "hardness/p2cnf.h"
@@ -43,6 +44,14 @@ class Oracle {
  public:
   virtual ~Oracle() = default;
   virtual Rational Probability(const Query& query, const Tid& tid) = 0;
+  // Batched form: Pr(Q) for every TID, in input order. The base
+  // implementation loops over Probability; oracles that can exploit shared
+  // lineage structure (CompiledOracle) override it to compile each distinct
+  // structure once and evaluate all weight vectors per structure in one
+  // circuit pass. Each TID still counts as one oracle call — the reduction
+  // complexity accounting is unchanged.
+  virtual std::vector<Rational> ProbabilityBatch(const Query& query,
+                                                 const std::vector<Tid>& tids);
   virtual std::string name() const = 0;
   int calls() const { return calls_; }
 
@@ -66,6 +75,12 @@ class WmcOracle : public Oracle {
 class CompiledOracle : public Oracle {
  public:
   Rational Probability(const Query& query, const Tid& tid) override;
+  // Grounds every TID, groups the lineages by CNF structure, and serves
+  // each group with a single batched circuit pass — the interpolation
+  // sweep's C(m+2,2) probes collapse into one EvaluateBatch per distinct
+  // gadget structure.
+  std::vector<Rational> ProbabilityBatch(const Query& query,
+                                         const std::vector<Tid>& tids) override;
   std::string name() const override { return "d-dnnf"; }
 
   const CircuitCache& cache() const { return cache_; }

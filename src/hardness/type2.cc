@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "compile/circuit_cache.h"
+#include "lineage/grounder.h"
 #include "logic/bipartite.h"
 #include "util/check.h"
 #include "wmc/wmc.h"
@@ -153,24 +154,52 @@ MobiusInversionCheck VerifyMobiusInversion(const TypeIIStructure& structure,
   const std::vector<int> l0h = structure.right_lattice->StrictSupport();
 
   // Per-block probabilities Pr(Y_αβ(u,v)): the block is the single pair
-  // (u,v) with delta's probabilities. Each (α, β) has one lineage
-  // structure across blocks, so the compiled circuit is shared and each
-  // block contributes one linear evaluation pass.
+  // (u,v) with delta's probabilities. Every (α, β, u, v) combination the
+  // inversion sum can touch is known up front, so all blocks are grounded
+  // first and handed to the circuit cache as one batch — each distinct
+  // lineage structure (typically one per (α, β)) compiles once and its
+  // blocks are served by a single batched circuit pass instead of one walk
+  // per block.
   CircuitCache circuits;
   std::map<std::tuple<int, int, int, int>, Rational> block_probability;
-  auto y = [&](int u, int v, int a, int b) {
-    auto key = std::make_tuple(u, v, a, b);
-    auto it = block_probability.find(key);
-    if (it != block_probability.end()) return it->second;
-    Tid pair_tid(structure.query.vocab_ptr(), 1, 1, Rational::One());
-    for (SymbolId s = 0; s < vocab.size(); ++s) {
-      if (vocab.kind(s) != SymbolKind::kBinary) continue;
-      pair_tid.SetBinary(s, 0, 0, delta.Probability(TupleKey{s, u, v}));
+  {
+    // The pair TID depends only on (u, v); build the nu·nv of them once
+    // instead of once per (α, β).
+    std::vector<Tid> pair_tids;
+    pair_tids.reserve(static_cast<size_t>(nu) * nv);
+    for (int u = 0; u < nu; ++u) {
+      for (int v = 0; v < nv; ++v) {
+        Tid pair_tid(structure.query.vocab_ptr(), 1, 1, Rational::One());
+        for (SymbolId s = 0; s < vocab.size(); ++s) {
+          if (vocab.kind(s) != SymbolKind::kBinary) continue;
+          pair_tid.SetBinary(s, 0, 0, delta.Probability(TupleKey{s, u, v}));
+        }
+        pair_tids.push_back(std::move(pair_tid));
+      }
     }
-    Rational probability = circuits.QueryProbability(
-        MakeQueryAlphaBeta(structure, a, b), pair_tid);
-    block_probability.emplace(key, probability);
-    return probability;
+    // One batch per (α, β): lineage structure is shared within an (α, β)
+    // and rarely across them, so this keeps the single-pass-per-structure
+    // win while holding only nu·nv grounded lineages alive at a time.
+    for (int a : l0g) {
+      for (int b : l0h) {
+        const Query q_ab = MakeQueryAlphaBeta(structure, a, b);
+        std::vector<Lineage> lineages;
+        lineages.reserve(pair_tids.size());
+        for (const Tid& pair_tid : pair_tids) {
+          lineages.push_back(Ground(q_ab, pair_tid));
+        }
+        std::vector<Rational> values = circuits.ProbabilityBatch(lineages);
+        for (int u = 0; u < nu; ++u) {
+          for (int v = 0; v < nv; ++v) {
+            block_probability.emplace(std::make_tuple(u, v, a, b),
+                                      std::move(values[u * nv + v]));
+          }
+        }
+      }
+    }
+  }
+  auto y = [&](int u, int v, int a, int b) {
+    return block_probability.at(std::make_tuple(u, v, a, b));
   };
 
   // Σ over σ : U → L0(G), τ : V → L0(H) (odometers over support indices).
@@ -210,6 +239,7 @@ MobiusInversionCheck VerifyMobiusInversion(const TypeIIStructure& structure,
   out.via_inversion = total;
   out.circuit_compiles = static_cast<int>(circuits.stats().compiles);
   out.circuit_hits = static_cast<int>(circuits.stats().hits);
+  out.batch_passes = static_cast<int>(circuits.stats().batch_passes);
   return out;
 }
 

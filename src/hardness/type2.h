@@ -57,15 +57,18 @@ bool CheckInvertibility(const TypeIIStructure& structure);
 //
 // The per-block probabilities go through the knowledge-compilation cache:
 // Y_αβ has one lineage structure per (α, β), evaluated at each block's
-// weights, so circuits compile once per (α, β) and the per-block cost is a
-// linear circuit pass (`circuit_compiles` / `circuit_hits` report the
-// sharing actually achieved).
+// weights, so circuits compile once per (α, β) — and because all blocks
+// are known before the sum starts, each structure's blocks are served by a
+// single batched circuit pass (`batch_passes`) rather than one walk per
+// block (`circuit_compiles` / `circuit_hits` report the sharing actually
+// achieved).
 struct MobiusInversionCheck {
   Rational direct;
   Rational via_inversion;
   int terms = 0;
   int circuit_compiles = 0;
   int circuit_hits = 0;
+  int batch_passes = 0;
 };
 
 MobiusInversionCheck VerifyMobiusInversion(const TypeIIStructure& structure,

@@ -1,8 +1,10 @@
 #include "safe/safe_eval.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "lineage/grounder.h"
 #include "logic/bipartite.h"
 #include "safe/lattice.h"
 #include "util/check.h"
@@ -111,7 +113,10 @@ Rational PairProbability(const SymbolCnf& formula, const Tid& tid,
 
 std::optional<Rational> SafeEvaluator::Evaluate(const Query& query,
                                                 const Tid& tid) {
-  stats_ = Stats();
+  // Per-call fields only; the EvaluateMany routing counters are cumulative.
+  stats_.components = 0;
+  stats_.lattices_built = 0;
+  stats_.max_lattice_size = 0;
   if (query.IsFalse()) return Rational::Zero();
   if (query.IsTrue()) return Rational::One();
   BipartiteAnalysis analysis = AnalyzeBipartite(query);
@@ -258,6 +263,59 @@ std::optional<Rational> SafeEvaluator::Evaluate(const Query& query,
     total *= component_probability;
   }
   return total;
+}
+
+std::optional<std::vector<Rational>> SafeEvaluator::EvaluateMany(
+    const Query& query, const std::vector<Tid>& tids) {
+  if (query.IsFalse()) {
+    return std::vector<Rational>(tids.size(), Rational::Zero());
+  }
+  if (query.IsTrue()) {
+    return std::vector<Rational>(tids.size(), Rational::One());
+  }
+  BipartiteAnalysis analysis = AnalyzeBipartite(query);
+  if (!analysis.safe) return std::nullopt;
+
+  bool all_gfomc = !tids.empty();
+  for (const Tid& tid : tids) all_gfomc = all_gfomc && tid.IsGfomcInstance();
+
+  // Safety guarantees a PTIME lifted plan, not a small circuit: compiling
+  // the grounded lineage is worst-case exponential even for safe queries.
+  // The compiled path is a cache win for the small, heavily repeated
+  // gadget-style lineages, so gate it on lineage size (grounding itself is
+  // polynomial) and keep the lifted algorithm as the asymptotic contract.
+  constexpr size_t kMaxCompiledLineageVars = 96;
+  std::vector<Lineage> lineages;
+  if (all_gfomc) {
+    lineages.reserve(tids.size());
+    for (const Tid& tid : tids) {
+      lineages.push_back(Ground(query, tid));
+      if (lineages.back().variables.size() > kMaxCompiledLineageVars) {
+        all_gfomc = false;
+        lineages.clear();
+        break;
+      }
+    }
+  }
+
+  std::vector<Rational> results;
+  if (all_gfomc) {
+    // GFOMC instances ({0, 1/2, 1} probabilities) ground to compact shared
+    // lineages — the certain tuples fold away — so route through the
+    // circuit cache: one compile per distinct grounded lineage, one batched
+    // circuit pass per structure.
+    results = circuits_.ProbabilityBatch(lineages);
+    stats_.compiled_assignments += static_cast<int>(tids.size());
+  } else {
+    results.reserve(tids.size());
+    for (const Tid& tid : tids) {
+      std::optional<Rational> value = Evaluate(query, tid);
+      GMC_CHECK(value.has_value());  // safety was established above
+      results.push_back(std::move(*value));
+      ++stats_.lifted_assignments;
+    }
+  }
+  return results;
 }
 
 }  // namespace gmc

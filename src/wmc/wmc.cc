@@ -48,6 +48,17 @@ Rational WmcEngine::CompiledQueryProbability(const Query& query,
   return circuits_.QueryProbability(query, tid);
 }
 
+std::vector<Rational> WmcEngine::CompiledProbabilityBatch(
+    const Cnf& cnf, const WeightMatrix& weights) {
+  GMC_CHECK(weights.num_vars() >= cnf.num_vars);
+  return circuits_.ProbabilityBatch(cnf, weights);
+}
+
+std::vector<Rational> WmcEngine::CompiledProbabilityBatch(
+    const std::vector<Lineage>& lineages) {
+  return circuits_.ProbabilityBatch(lineages);
+}
+
 Rational WmcEngine::Recurse(const Cnf& cnf) {
   ++stats_.recursive_calls;
   if (cnf.clauses.empty()) return Rational::One();

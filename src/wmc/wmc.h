@@ -55,6 +55,16 @@ class WmcEngine {
   Rational CompiledProbability(const Lineage& lineage);
   Rational CompiledQueryProbability(const Query& query, const Tid& tid);
 
+  // Batched compiled path: all K weight vectors in one topological circuit
+  // pass (NnfCircuit::EvaluateBatch) instead of K walks — the preferred
+  // entry point for interpolation sweeps and any other workload that knows
+  // its whole weight set up front. The lineage form groups by CNF
+  // structure and batches within each group.
+  std::vector<Rational> CompiledProbabilityBatch(const Cnf& cnf,
+                                                 const WeightMatrix& weights);
+  std::vector<Rational> CompiledProbabilityBatch(
+      const std::vector<Lineage>& lineages);
+
   const Stats& stats() const { return stats_; }
   const CircuitCache& circuits() const { return circuits_; }
   void ResetStats() { stats_ = Stats(); }

@@ -204,7 +204,9 @@ TEST_P(BigIntRandomTest, RingAndDivisionProperties) {
       BigInt::DivMod(a, b, &q, &r);
       EXPECT_EQ(q * b + r, a);
       EXPECT_LT(r.Abs(), b.Abs());
-      if (!r.IsZero()) EXPECT_EQ(r.sign(), a.sign());
+      if (!r.IsZero()) {
+        EXPECT_EQ(r.sign(), a.sign());
+      }
     }
     // Gcd divides both.
     BigInt g = BigInt::Gcd(a, b);
