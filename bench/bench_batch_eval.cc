@@ -13,6 +13,12 @@
 //     inputs, and the re-check knob keeps it honest;
 //   - unchecked fast batch: the pure double pass, bounding what SIMD-grade
 //     evaluation could reach.
+// The dyadic configurations measure the EXACT fast path: weights on the
+// power-of-two grid the paper's reductions actually sweep (k/2^⌈lg K+1⌉),
+// evaluated through EvaluateBatchDyadic (mantissa·2^-exp streaming, no
+// gcd) vs the same weights through the Rational EvaluateBatch. The
+// acceptance bar is ≥5× at K = 64 with bit-identical results
+// (BM_DyadicCrossCheck fails the run loudly on any mismatch).
 // BM_BatchCrossCheck pins correctness: batch equals loop point by point
 // (exactly for the Rational path, to 1e-9 relative for the double path).
 
@@ -60,6 +66,21 @@ gmc::WeightMatrix SweepWeights(const gmc::Lineage& lineage, int num_k) {
   for (int k = 1; k <= num_k; ++k) {
     rows.emplace_back(lineage.probabilities.size(),
                       gmc::Rational(k, num_k + 1));
+  }
+  return gmc::WeightMatrix::FromRows(rows);
+}
+
+// K weight vectors on the dyadic interpolation grid the reductions sweep:
+// vector k sets every tuple weight to k/2^e with 2^e the first power of two
+// above K (all denominators dyadic, so the batch routes to the dyadic exact
+// path; the Rational comparator benches run on the SAME weights).
+gmc::WeightMatrix SweepWeightsDyadic(const gmc::Lineage& lineage, int num_k) {
+  int exponent = 1;
+  while ((int64_t{1} << exponent) <= num_k) ++exponent;
+  std::vector<std::vector<gmc::Rational>> rows;
+  for (int k = 1; k <= num_k; ++k) {
+    rows.emplace_back(lineage.probabilities.size(),
+                      gmc::Rational(k, int64_t{1} << exponent));
   }
   return gmc::WeightMatrix::FromRows(rows);
 }
@@ -112,6 +133,53 @@ void BM_BatchEvaluateExactUnminimized(benchmark::State& state) {
   state.counters["circuit_nodes"] = static_cast<double>(circuit.num_nodes());
 }
 BENCHMARK(BM_BatchEvaluateExactUnminimized)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// The exact-path comparator: the Rational arena on the dyadic weight grid.
+// This is what the sweep paid before the dyadic layer existed.
+void BM_BatchEvaluateExactDyadicGrid(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = CompileSweepCircuit(lineage, /*minimize=*/true);
+  gmc::WeightMatrix weights = SweepWeightsDyadic(lineage, num_k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.EvaluateBatch(weights));
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["circuit_nodes"] = static_cast<double>(circuit.num_nodes());
+}
+BENCHMARK(BM_BatchEvaluateExactDyadicGrid)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// The exact-path headline: same weights, same circuit, dyadic fixed-point
+// arena — bignum integer streaming with no gcd anywhere. Must beat
+// BM_BatchEvaluateExactDyadicGrid by ≥5× at K = 64.
+void BM_BatchEvaluateDyadic(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = CompileSweepCircuit(lineage, /*minimize=*/true);
+  gmc::WeightMatrix weights = SweepWeightsDyadic(lineage, num_k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.EvaluateBatchDyadic(weights));
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["circuit_nodes"] = static_cast<double>(circuit.num_nodes());
+}
+BENCHMARK(BM_BatchEvaluateDyadic)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchEvaluateDyadicUnminimized(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = CompileSweepCircuit(lineage, /*minimize=*/false);
+  gmc::WeightMatrix weights = SweepWeightsDyadic(lineage, num_k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.EvaluateBatchDyadic(weights));
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["circuit_nodes"] = static_cast<double>(circuit.num_nodes());
+}
+BENCHMARK(BM_BatchEvaluateDyadicUnminimized)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 // The headline: the double arena with every 8th vector re-verified against
@@ -177,6 +245,34 @@ void BM_BatchCrossCheck(benchmark::State& state) {
   state.counters["nodes_raw"] = static_cast<double>(raw.num_nodes());
 }
 BENCHMARK(BM_BatchCrossCheck)->Unit(benchmark::kMillisecond);
+
+// Dyadic correctness guard: on the dyadic grid, EvaluateBatchDyadic must
+// equal the Rational EvaluateBatch point by point — Rational equality is
+// structural (lowest terms), so == here means bit-identical. Registered as
+// a benchmark so a mismatch fails the bench run loudly.
+void BM_DyadicCrossCheck(benchmark::State& state) {
+  const int num_k = 16;
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit minimized = CompileSweepCircuit(lineage, true);
+  gmc::NnfCircuit raw = CompileSweepCircuit(lineage, false);
+  gmc::WeightMatrix weights = SweepWeightsDyadic(lineage, num_k);
+  for (auto _ : state) {
+    const std::vector<gmc::Rational> rational =
+        minimized.EvaluateBatch(weights);
+    const std::vector<gmc::Rational> dyadic =
+        minimized.EvaluateBatchDyadic(weights);
+    const std::vector<gmc::Rational> raw_dyadic =
+        raw.EvaluateBatchDyadic(weights);
+    for (int k = 0; k < num_k; ++k) {
+      if (dyadic[k] != rational[k] || raw_dyadic[k] != rational[k]) {
+        state.SkipWithError("dyadic evaluation disagrees with Rational");
+        return;
+      }
+    }
+  }
+  state.counters["weight_vectors"] = num_k;
+}
+BENCHMARK(BM_DyadicCrossCheck)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

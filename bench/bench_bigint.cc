@@ -1,0 +1,157 @@
+// E18: BigInt hot-loop microbenchmarks, gated in CI like the macro benches.
+//
+// The batched evaluators stream millions of BigInt adds and multiplies per
+// sweep, so regressions here surface everywhere. Coverage is deliberately
+// shaped like the hot paths: in-place compound operators (which must not
+// allocate for small values — the small-value optimization keeps ≤2-limb
+// magnitudes inline), the out-of-place operators they replaced, the shift
+// primitives the dyadic layer aligns exponents with, and gcd (the cost the
+// dyadic path exists to avoid, with its own fast paths for unit and 64-bit
+// operands). Limb sizes span the SVO boundary (1, 2) and the heap regime
+// (4, 16, 64).
+//
+// JSON output (--benchmark_format=json) feeds bench/check_regression.py
+// against bench/baselines/BENCH_bigint.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/bigint.h"
+
+namespace {
+
+gmc::BigInt RandomBigInt(std::mt19937_64& rng, int limbs) {
+  gmc::BigInt out;
+  for (int i = 0; i < limbs; ++i) {
+    out = out.ShiftLeft(32) +
+          gmc::BigInt(static_cast<int64_t>(rng() | 1) & 0xffffffff);
+  }
+  return out;
+}
+
+std::vector<gmc::BigInt> RandomOperands(int limbs, int count, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<gmc::BigInt> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(RandomBigInt(rng, limbs));
+  return out;
+}
+
+constexpr int kOperands = 64;
+
+void BM_AddInPlace(benchmark::State& state) {
+  const int limbs = static_cast<int>(state.range(0));
+  const std::vector<gmc::BigInt> operands =
+      RandomOperands(limbs, kOperands, 11);
+  for (auto _ : state) {
+    gmc::BigInt acc;
+    for (const gmc::BigInt& x : operands) acc += x;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["limbs"] = limbs;
+}
+BENCHMARK(BM_AddInPlace)->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AddOutOfPlace(benchmark::State& state) {
+  const int limbs = static_cast<int>(state.range(0));
+  const std::vector<gmc::BigInt> operands =
+      RandomOperands(limbs, kOperands, 11);
+  for (auto _ : state) {
+    gmc::BigInt acc;
+    for (const gmc::BigInt& x : operands) acc = acc + x;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["limbs"] = limbs;
+}
+BENCHMARK(BM_AddOutOfPlace)->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SubInPlace(benchmark::State& state) {
+  const int limbs = static_cast<int>(state.range(0));
+  const std::vector<gmc::BigInt> operands =
+      RandomOperands(limbs, kOperands, 13);
+  // Start high so the running difference stays positive-ish and multi-limb.
+  std::mt19937_64 start_rng(7);
+  const gmc::BigInt start = RandomBigInt(start_rng, limbs + 2);
+  for (auto _ : state) {
+    gmc::BigInt acc = start;
+    for (const gmc::BigInt& x : operands) acc -= x;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["limbs"] = limbs;
+}
+BENCHMARK(BM_SubInPlace)->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MulInPlaceSmall(benchmark::State& state) {
+  // Accumulator × 1-limb factors: the sweep-mantissa shape (MulSmallInPlace).
+  const std::vector<gmc::BigInt> factors = RandomOperands(1, 16, 17);
+  for (auto _ : state) {
+    gmc::BigInt acc(1);
+    for (const gmc::BigInt& x : factors) acc *= x;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MulInPlaceSmall);
+
+void BM_MulPairs(benchmark::State& state) {
+  const int limbs = static_cast<int>(state.range(0));
+  const std::vector<gmc::BigInt> a = RandomOperands(limbs, 16, 19);
+  const std::vector<gmc::BigInt> b = RandomOperands(limbs, 16, 23);
+  for (auto _ : state) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      benchmark::DoNotOptimize(a[i] * b[i]);
+    }
+  }
+  state.counters["limbs"] = limbs;
+}
+BENCHMARK(BM_MulPairs)->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ShiftAlign(benchmark::State& state) {
+  // The dyadic exponent-alignment primitive: shift-left in place, then back.
+  const int limbs = static_cast<int>(state.range(0));
+  const std::vector<gmc::BigInt> operands =
+      RandomOperands(limbs, kOperands, 29);
+  for (auto _ : state) {
+    for (const gmc::BigInt& x : operands) {
+      gmc::BigInt y = x;
+      y.ShiftLeftInPlace(37);
+      y.ShiftRightInPlace(37);
+      benchmark::DoNotOptimize(y);
+    }
+  }
+  state.counters["limbs"] = limbs;
+}
+BENCHMARK(BM_ShiftAlign)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_GcdSmall(benchmark::State& state) {
+  // ≤2-limb operands: the register-width binary gcd fast path that carries
+  // Rational's Reduce on sweep-sized values.
+  const std::vector<gmc::BigInt> a = RandomOperands(2, kOperands, 31);
+  const std::vector<gmc::BigInt> b = RandomOperands(2, kOperands, 37);
+  for (auto _ : state) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      benchmark::DoNotOptimize(gmc::BigInt::Gcd(a[i], b[i]));
+    }
+  }
+}
+BENCHMARK(BM_GcdSmall);
+
+void BM_GcdLarge(benchmark::State& state) {
+  // Multi-limb Stein: the cost the dyadic path avoids entirely.
+  const int limbs = static_cast<int>(state.range(0));
+  const std::vector<gmc::BigInt> a = RandomOperands(limbs, 8, 41);
+  const std::vector<gmc::BigInt> b = RandomOperands(limbs, 8, 43);
+  for (auto _ : state) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      benchmark::DoNotOptimize(gmc::BigInt::Gcd(a[i], b[i]));
+    }
+  }
+  state.counters["limbs"] = limbs;
+}
+BENCHMARK(BM_GcdLarge)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

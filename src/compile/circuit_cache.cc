@@ -5,6 +5,16 @@
 
 namespace gmc {
 
+namespace {
+bool g_dyadic_default_enabled = true;
+}  // namespace
+
+void CircuitCache::SetDyadicDefaultEnabled(bool enabled) {
+  g_dyadic_default_enabled = enabled;
+}
+
+bool CircuitCache::DyadicDefaultEnabled() { return g_dyadic_default_enabled; }
+
 const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
   if (auto it = circuits_.find(cnf); it != circuits_.end()) {
     ++stats_.hits;
@@ -45,6 +55,15 @@ std::vector<Rational> CircuitCache::ProbabilityBatch(
   stats_.hits += weights.num_vectors() - 1;
   ++stats_.batch_passes;
   stats_.batched_vectors += weights.num_vectors();
+  // Interpolation sweeps and GFOMC instances have power-of-two weight
+  // denominators throughout; those batches take the gcd-free dyadic pass.
+  // Both paths return identical reduced Rationals, so callers never see
+  // which one ran.
+  if (dyadic_enabled_ && weights.AllDyadic()) {
+    ++stats_.dyadic_batches;
+    stats_.dyadic_vectors += weights.num_vectors();
+    return circuit.EvaluateBatchDyadic(weights);
+  }
   return circuit.EvaluateBatch(weights);
 }
 

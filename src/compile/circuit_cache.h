@@ -24,13 +24,26 @@
 
 namespace gmc {
 
+// Gate for routing repeated-query traffic through the compiled path: the
+// circuit cache is a win for compact, heavily repeated lineages, but
+// compilation is worst-case exponential in lineage size, so larger
+// lineages stay on their caller's native algorithm (the lifted plan for
+// safe queries, the recursive engine for unsafe ones). Shared by
+// SafeEvaluator::EvaluateMany and GfomcSession.
+inline constexpr size_t kMaxCompiledLineageVars = 96;
+
 class CircuitCache {
  public:
   struct Stats {
     uint64_t compiles = 0;
     uint64_t hits = 0;
-    uint64_t batch_passes = 0;      // EvaluateBatch passes issued
+    uint64_t batch_passes = 0;      // batched passes issued (either path)
     uint64_t batched_vectors = 0;   // weight vectors served by those passes
+    // Dyadic routing: batches whose weights all had power-of-two
+    // denominators and therefore took EvaluateBatchDyadic instead of the
+    // Rational EvaluateBatch (see nnf.h; results are bit-identical).
+    uint64_t dyadic_batches = 0;
+    uint64_t dyadic_vectors = 0;
     // Sweep-and-merge payoff across all compiles (mirrors the compiler's
     // minimize_nodes_before/after, surfaced here because this cache is the
     // front end repeated-query traffic goes through).
@@ -64,6 +77,22 @@ class CircuitCache {
   // setting still batch within each surviving structure.
   std::vector<Rational> ProbabilityBatch(const std::vector<Lineage>& lineages);
 
+  // Dyadic routing knob, on by default: batches whose weights are all
+  // dyadic (power-of-two denominators — every interpolation sweep and GFOMC
+  // instance) are served by NnfCircuit::EvaluateBatchDyadic. The results
+  // are bit-identical to the Rational path either way; the knob exists for
+  // cross-checks and A/B benchmarks, not for correctness.
+  void set_dyadic_enabled(bool enabled) { dyadic_enabled_ = enabled; }
+  bool dyadic_enabled() const { return dyadic_enabled_; }
+
+  // Process-wide default for newly constructed caches (per-instance
+  // set_dyadic_enabled overrides). The on/off cross-check tests and the A/B
+  // benchmarks flip this to drive the full caller stack — Type-I/Type-II
+  // reductions, WmcEngine, SafeEvaluator — down either path; results must
+  // be bit-identical both ways.
+  static void SetDyadicDefaultEnabled(bool enabled);
+  static bool DyadicDefaultEnabled();
+
   const Stats& stats() const { return stats_; }
   const Compiler::Stats& compiler_stats() const { return compiler_.stats(); }
   size_t size() const { return circuits_.size(); }
@@ -74,6 +103,7 @@ class CircuitCache {
   // Lineage CNF -> compiled circuit; hashed via Hash64, compared exactly.
   std::unordered_map<Cnf, NnfCircuit, CnfHash, CnfClauseEq> circuits_;
   Stats stats_;
+  bool dyadic_enabled_ = DyadicDefaultEnabled();
 };
 
 }  // namespace gmc

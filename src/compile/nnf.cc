@@ -26,6 +26,11 @@ bool SameNode(const NnfNode& a, const NnfNode& b) {
          a.low == b.low && a.children == b.children;
 }
 
+// The arena walk's zero test, uniform across the three value types.
+bool IsZeroValue(const Rational& v) { return v.IsZero(); }
+bool IsZeroValue(const Dyadic& v) { return v.IsZero(); }
+bool IsZeroValue(double v) { return v == 0.0; }
+
 }  // namespace
 
 WeightMatrix::WeightMatrix(int num_vectors, int num_vars)
@@ -56,6 +61,14 @@ std::vector<Rational> WeightMatrix::Row(int k) const {
   row.reserve(num_vars_);
   for (int v = 0; v < num_vars_; ++v) row.push_back(at(k, v));
   return row;
+}
+
+bool WeightMatrix::AllDyadic() const {
+  for (const Rational& value : values_) {
+    const BigInt& den = value.denominator();
+    if (!den.IsOne() && !den.IsPowerOfTwo()) return false;
+  }
+  return true;
 }
 
 NnfCircuit::NnfCircuit() {
@@ -150,6 +163,77 @@ Rational NnfCircuit::Evaluate(
   return value[root_];
 }
 
+std::vector<bool> NnfCircuit::DecisionVars() const {
+  std::vector<bool> decides(static_cast<size_t>(num_vars_), false);
+  for (const NnfNode& node : nodes_) {
+    if (node.kind == NnfKind::kDecision) decides[node.var] = true;
+  }
+  return decides;
+}
+
+// One contiguous row-major arena: the K values of node `id` live at
+// value[id * K .. id * K + K).
+template <typename Value, typename ColumnFn>
+std::vector<Value> NnfCircuit::EvaluateBatchArena(int num_k, ColumnFn column,
+                                                  const Value* complement,
+                                                  const Value& one) const {
+  std::vector<Value> value(nodes_.size() * num_k);
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const NnfNode& node = nodes_[id];
+    Value* out = value.data() + id * num_k;
+    switch (node.kind) {
+      case NnfKind::kFalse:
+        break;  // arena default-constructs to zero
+      case NnfKind::kTrue:
+        for (int k = 0; k < num_k; ++k) out[k] = one;
+        break;
+      case NnfKind::kVar: {
+        const Value* p = column(node.var);
+        for (int k = 0; k < num_k; ++k) out[k] = p[k];
+        break;
+      }
+      case NnfKind::kAnd: {
+        const Value* first = value.data() +
+                             static_cast<size_t>(node.children[0]) * num_k;
+        for (int k = 0; k < num_k; ++k) out[k] = first[k];
+        for (size_t c = 1; c < node.children.size(); ++c) {
+          const Value* child =
+              value.data() + static_cast<size_t>(node.children[c]) * num_k;
+          for (int k = 0; k < num_k; ++k) {
+            if (IsZeroValue(out[k])) continue;
+            out[k] *= child[k];
+          }
+        }
+        break;
+      }
+      case NnfKind::kDecision: {
+        const Value* p = column(node.var);
+        const Value* q = complement + static_cast<size_t>(node.var) * num_k;
+        const Value* high =
+            value.data() + static_cast<size_t>(node.high) * num_k;
+        const Value* low =
+            value.data() + static_cast<size_t>(node.low) * num_k;
+        for (int k = 0; k < num_k; ++k) {
+          // p·high + q·low through the in-place operators: no allocation
+          // beyond the two products for Value types with heap state.
+          Value t = p[k];
+          t *= high[k];
+          Value u = q[k];
+          u *= low[k];
+          t += u;
+          out[k] = std::move(t);
+        }
+        break;
+      }
+    }
+  }
+  std::vector<Value> result;
+  result.reserve(num_k);
+  Value* root = value.data() + static_cast<size_t>(root_) * num_k;
+  for (int k = 0; k < num_k; ++k) result.push_back(std::move(root[k]));
+  return result;
+}
+
 std::vector<Rational> NnfCircuit::EvaluateBatch(
     const WeightMatrix& weights) const {
   GMC_CHECK(weights.num_vars() >= num_vars_);
@@ -158,10 +242,7 @@ std::vector<Rational> NnfCircuit::EvaluateBatch(
   // Complements 1 − p, computed once per (variable, vector) for exactly the
   // variables that head a decision node. Column layout mirrors the weight
   // matrix.
-  std::vector<bool> decides(static_cast<size_t>(num_vars_), false);
-  for (const NnfNode& node : nodes_) {
-    if (node.kind == NnfKind::kDecision) decides[node.var] = true;
-  }
+  const std::vector<bool> decides = DecisionVars();
   std::vector<Rational> complement(static_cast<size_t>(num_vars_) * num_k);
   for (int v = 0; v < num_vars_; ++v) {
     if (!decides[v]) continue;
@@ -170,54 +251,55 @@ std::vector<Rational> NnfCircuit::EvaluateBatch(
     for (int k = 0; k < num_k; ++k) out[k] = Rational::One() - p[k];
   }
 
-  // One contiguous row-major arena: the K values of node `id` live at
-  // value[id * K .. id * K + K).
-  std::vector<Rational> value(nodes_.size() * num_k);
-  for (size_t id = 0; id < nodes_.size(); ++id) {
-    const NnfNode& node = nodes_[id];
-    Rational* out = value.data() + id * num_k;
-    switch (node.kind) {
-      case NnfKind::kFalse:
-        break;  // arena default-constructs to zero
-      case NnfKind::kTrue:
-        for (int k = 0; k < num_k; ++k) out[k] = Rational::One();
-        break;
-      case NnfKind::kVar: {
-        const Rational* p = weights.Column(node.var);
-        for (int k = 0; k < num_k; ++k) out[k] = p[k];
-        break;
-      }
-      case NnfKind::kAnd: {
-        const Rational* first = value.data() +
-                                static_cast<size_t>(node.children[0]) * num_k;
-        for (int k = 0; k < num_k; ++k) out[k] = first[k];
-        for (size_t c = 1; c < node.children.size(); ++c) {
-          const Rational* child =
-              value.data() + static_cast<size_t>(node.children[c]) * num_k;
-          for (int k = 0; k < num_k; ++k) {
-            if (out[k].IsZero()) continue;
-            out[k] *= child[k];
-          }
-        }
-        break;
-      }
-      case NnfKind::kDecision: {
-        const Rational* p = weights.Column(node.var);
-        const Rational* q =
-            complement.data() + static_cast<size_t>(node.var) * num_k;
-        const Rational* high =
-            value.data() + static_cast<size_t>(node.high) * num_k;
-        const Rational* low =
-            value.data() + static_cast<size_t>(node.low) * num_k;
-        for (int k = 0; k < num_k; ++k) {
-          out[k] = p[k] * high[k] + q[k] * low[k];
-        }
-        break;
-      }
+  return EvaluateBatchArena<Rational>(
+      num_k, [&weights](int var) { return weights.Column(var); },
+      complement.data(), Rational::One());
+}
+
+std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
+    const WeightMatrix& weights) const {
+  GMC_CHECK(weights.num_vars() >= num_vars_);
+  const int num_k = weights.num_vectors();
+
+  // Weight columns converted once, then raised to a per-variable common
+  // exponent (batch-level normalization): every add over a column aligns
+  // for free and the decision complements share one 2^E.
+  std::vector<Dyadic> probability(static_cast<size_t>(num_vars_) * num_k);
+  for (int v = 0; v < num_vars_; ++v) {
+    const Rational* p = weights.Column(v);
+    Dyadic* out = probability.data() + static_cast<size_t>(v) * num_k;
+    for (int k = 0; k < num_k; ++k) {
+      std::optional<Dyadic> value = Dyadic::FromRational(p[k]);
+      GMC_CHECK_MSG(value.has_value(),
+                    "EvaluateBatchDyadic needs all-dyadic weights "
+                    "(WeightMatrix::AllDyadic)");
+      out[k] = std::move(*value);
     }
+    Dyadic::AlignExponents(out, static_cast<size_t>(num_k));
   }
-  const Rational* root = value.data() + static_cast<size_t>(root_) * num_k;
-  return std::vector<Rational>(root, root + num_k);
+
+  // Complement mantissas 2^E − m, computed once per (variable, vector) for
+  // exactly the variables that head a decision node.
+  const std::vector<bool> decides = DecisionVars();
+  std::vector<Dyadic> complement(static_cast<size_t>(num_vars_) * num_k);
+  for (int v = 0; v < num_vars_; ++v) {
+    if (!decides[v]) continue;
+    const Dyadic* p = probability.data() + static_cast<size_t>(v) * num_k;
+    Dyadic* out = complement.data() + static_cast<size_t>(v) * num_k;
+    for (int k = 0; k < num_k; ++k) out[k] = p[k].OneMinus();
+  }
+
+  const Dyadic one = Dyadic::One();
+  std::vector<Dyadic> roots = EvaluateBatchArena<Dyadic>(
+      num_k,
+      [&probability, num_k](int var) {
+        return probability.data() + static_cast<size_t>(var) * num_k;
+      },
+      complement.data(), one);
+  std::vector<Rational> result;
+  result.reserve(num_k);
+  for (const Dyadic& root : roots) result.push_back(root.ToRational());
+  return result;
 }
 
 std::vector<double> NnfCircuit::EvaluateBatchDouble(
@@ -234,49 +316,22 @@ std::vector<double> NnfCircuit::EvaluateBatchDouble(
     for (int k = 0; k < num_k; ++k) out[k] = p[k].ToDouble();
   }
 
-  std::vector<double> value(nodes_.size() * num_k, 0.0);
-  for (size_t id = 0; id < nodes_.size(); ++id) {
-    const NnfNode& node = nodes_[id];
-    double* out = value.data() + id * num_k;
-    switch (node.kind) {
-      case NnfKind::kFalse:
-        break;
-      case NnfKind::kTrue:
-        for (int k = 0; k < num_k; ++k) out[k] = 1.0;
-        break;
-      case NnfKind::kVar: {
-        const double* p =
-            probability.data() + static_cast<size_t>(node.var) * num_k;
-        for (int k = 0; k < num_k; ++k) out[k] = p[k];
-        break;
-      }
-      case NnfKind::kAnd: {
-        const double* first = value.data() +
-                              static_cast<size_t>(node.children[0]) * num_k;
-        for (int k = 0; k < num_k; ++k) out[k] = first[k];
-        for (size_t c = 1; c < node.children.size(); ++c) {
-          const double* child =
-              value.data() + static_cast<size_t>(node.children[c]) * num_k;
-          for (int k = 0; k < num_k; ++k) out[k] *= child[k];
-        }
-        break;
-      }
-      case NnfKind::kDecision: {
-        const double* p =
-            probability.data() + static_cast<size_t>(node.var) * num_k;
-        const double* high =
-            value.data() + static_cast<size_t>(node.high) * num_k;
-        const double* low =
-            value.data() + static_cast<size_t>(node.low) * num_k;
-        for (int k = 0; k < num_k; ++k) {
-          out[k] = p[k] * high[k] + (1.0 - p[k]) * low[k];
-        }
-        break;
-      }
-    }
+  const std::vector<bool> decides = DecisionVars();
+  std::vector<double> complement(static_cast<size_t>(num_vars_) * num_k,
+                                 0.0);
+  for (int v = 0; v < num_vars_; ++v) {
+    if (!decides[v]) continue;
+    const double* p = probability.data() + static_cast<size_t>(v) * num_k;
+    double* out = complement.data() + static_cast<size_t>(v) * num_k;
+    for (int k = 0; k < num_k; ++k) out[k] = 1.0 - p[k];
   }
-  const double* root = value.data() + static_cast<size_t>(root_) * num_k;
-  std::vector<double> result(root, root + num_k);
+
+  std::vector<double> result = EvaluateBatchArena<double>(
+      num_k,
+      [&probability, num_k](int var) {
+        return probability.data() + static_cast<size_t>(var) * num_k;
+      },
+      complement.data(), 1.0);
 
   if (recheck_stride > 0) {
     for (int k = 0; k < num_k; k += recheck_stride) {

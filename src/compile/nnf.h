@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/dyadic.h"
 #include "util/rational.h"
 
 namespace gmc {
@@ -64,6 +65,11 @@ class WeightMatrix {
 
   // One weight vector, re-assembled (loop-comparison and re-check paths).
   std::vector<Rational> Row(int k) const;
+
+  // True iff every entry has a power-of-two denominator — the whole batch
+  // qualifies for the dyadic exact path (EvaluateBatchDyadic). One scan,
+  // no allocation.
+  bool AllDyadic() const;
 
  private:
   int num_vectors_ = 0;
@@ -128,6 +134,17 @@ class NnfCircuit {
   // Returns the K root values in input order.
   std::vector<Rational> EvaluateBatch(const WeightMatrix& weights) const;
 
+  // Exact dyadic fast path of EvaluateBatch: the same single topological
+  // pass, but over a Dyadic (mantissa · 2^-exp) arena, so the inner loops
+  // are straight bignum integer streaming — no gcd and no per-operation
+  // canonicalization anywhere. Weight columns are raised to a common
+  // exponent up front (batch-level normalization), per-variable complement
+  // mantissas 2^E − m are computed once, and the K root values are reduced
+  // back to canonical Rationals by stripping factors of two on the way out.
+  // Requires weights.AllDyadic(); aborts otherwise. Results are
+  // bit-identical to EvaluateBatch on the same weights.
+  std::vector<Rational> EvaluateBatchDyadic(const WeightMatrix& weights) const;
+
   // Double-precision fast path of EvaluateBatch for sweeps that only need
   // interpolation-grade inputs: same single pass over a double arena, no
   // BigInt allocation anywhere. If `recheck_stride > 0`, every stride-th
@@ -163,6 +180,20 @@ class NnfCircuit {
   // appends `node`. Buckets are compared exactly, so sharing is sound even
   // under hash collisions.
   int Intern(NnfNode node);
+  // decides[v] iff some decision node tests v — only those variables need
+  // complements 1 − p.
+  std::vector<bool> DecisionVars() const;
+  // Shared body of the three batched evaluators (Rational / Dyadic /
+  // double): ONE topological pass over a contiguous row-major arena of
+  // `Value`s, K per node. `column(var)` yields the K probabilities of a
+  // variable; `complement` is the matching variable-major arena of 1 − p
+  // (filled only for DecisionVars). Returns the K root values. The public
+  // entry points differ only in their weight-conversion preamble and
+  // result postprocessing.
+  template <typename Value, typename ColumnFn>
+  std::vector<Value> EvaluateBatchArena(int num_k, ColumnFn column,
+                                        const Value* complement,
+                                        const Value& one) const;
   // Variable support of every node, as sorted id vectors (audits only).
   std::vector<std::vector<int>> Supports() const;
   // Reachability from the root (constants are always kept).

@@ -1,5 +1,8 @@
 #include "core/dichotomy.h"
 
+#include <utility>
+
+#include "lineage/grounder.h"
 #include "util/check.h"
 #include "wmc/wmc.h"
 
@@ -23,17 +26,72 @@ DichotomyReport Classify(const Query& query) {
 }
 
 GfomcResult Gfomc(const Query& query, const Tid& tid) {
-  GfomcResult result;
-  SafeEvaluator evaluator;
-  if (auto lifted = evaluator.Evaluate(query, tid); lifted.has_value()) {
-    result.probability = *lifted;
-    result.used_lifted = true;
-    return result;
+  GfomcSession session;
+  return session.Evaluate(query, tid);
+}
+
+GfomcResult GfomcSession::Evaluate(const Query& query, const Tid& tid) {
+  return std::move(EvaluateMany(query, {tid})[0]);
+}
+
+std::vector<GfomcResult> GfomcSession::EvaluateMany(
+    const Query& query, const std::vector<Tid>& tids) {
+  counters_.queries += tids.size();
+  std::vector<GfomcResult> results(tids.size());
+  // Safe branch. EvaluateMany (not Evaluate) so GFOMC instances route
+  // through the SafeEvaluator's circuit cache and repeated assignments hit
+  // compiled circuits; general weights fall back to the lifted plan inside.
+  const int compiled_before = safe_.stats().compiled_assignments;
+  if (auto safe = safe_.EvaluateMany(query, tids); safe.has_value()) {
+    const bool compiled =
+        safe_.stats().compiled_assignments > compiled_before;
+    for (size_t i = 0; i < tids.size(); ++i) {
+      results[i].probability = std::move((*safe)[i]);
+      results[i].used_lifted = true;
+    }
+    if (compiled) {
+      counters_.safe_compiled += tids.size();
+    } else {
+      counters_.safe_lifted += tids.size();
+    }
+    return results;
   }
-  WmcEngine engine;
-  result.probability = engine.QueryProbability(query, tid);
-  result.used_lifted = false;
-  return result;
+  // Unsafe (constant queries were answered by the safe branch above):
+  // ground everything, serve the compact lineages with grouped batched
+  // circuit passes, and the oversized ones recursively.
+  std::vector<Lineage> lineages;
+  std::vector<size_t> batched_index;
+  lineages.reserve(tids.size());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    results[i].used_lifted = false;
+    Lineage lineage = Ground(query, tids[i]);
+    if (!lineage.is_false &&
+        lineage.variables.size() > kMaxCompiledLineageVars) {
+      ++counters_.unsafe_recursive;
+      results[i].probability = engine_.Probability(lineage);
+      continue;
+    }
+    ++counters_.unsafe_compiled;
+    lineages.push_back(std::move(lineage));
+    batched_index.push_back(i);
+  }
+  if (!lineages.empty()) {
+    std::vector<Rational> values =
+        engine_.CompiledProbabilityBatch(lineages);
+    for (size_t m = 0; m < batched_index.size(); ++m) {
+      results[batched_index[m]].probability = std::move(values[m]);
+    }
+  }
+  return results;
+}
+
+GfomcSession::Stats GfomcSession::stats() const {
+  Stats out = counters_;
+  out.circuit_compiles = safe_.circuits().stats().compiles +
+                         engine_.circuits().stats().compiles;
+  out.circuit_hits =
+      safe_.circuits().stats().hits + engine_.circuits().stats().hits;
+  return out;
 }
 
 Type1ReductionResult DemonstrateHardness(const Query& query,

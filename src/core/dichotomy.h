@@ -6,6 +6,10 @@
 //   lifted PTIME evaluator; unsafe ones fall back to exact (worst-case
 //   exponential) weighted model counting, as the dichotomy promises nothing
 //   better.
+// * GfomcSession: the repeated-query front end. Holds the evaluators (and
+//   the CircuitCaches inside them) across calls, so probing the same query
+//   at many probability assignments compiles each grounded lineage once and
+//   pays a linear circuit pass afterwards; surfaces compile/hit counters.
 // * DemonstrateHardness(Q, Φ): constructive witness of #P-hardness for
 //   unsafe Type I-I queries — simplifies Q to a final query (Def. 2.8) if
 //   needed, then runs the Cook reduction of §3 to count Φ's models through
@@ -14,13 +18,16 @@
 #ifndef GMC_CORE_DICHOTOMY_H_
 #define GMC_CORE_DICHOTOMY_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "hardness/reduction_type1.h"
 #include "logic/bipartite.h"
 #include "logic/query.h"
 #include "prob/tid.h"
 #include "safe/safe_eval.h"
+#include "wmc/wmc.h"
 
 namespace gmc {
 
@@ -42,6 +49,45 @@ struct GfomcResult {
 };
 
 GfomcResult Gfomc(const Query& query, const Tid& tid);
+
+// Stateful GFOMC evaluation for repeated-query traffic. One-shot Gfomc()
+// rebuilds its evaluators — and loses their compiled circuits — on every
+// call; a session keeps the SafeEvaluator and WmcEngine (each backed by a
+// CircuitCache) alive, so a workload that probes one query at many
+// probability assignments compiles each distinct grounded lineage once.
+// Unsafe queries with compact lineages go through the compiled path too;
+// oversized lineages fall back to the recursive engine (compilation is
+// worst-case exponential, same as recursion, but the recursive engine's
+// memo is cheaper when nothing is reused).
+class GfomcSession {
+ public:
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t safe_lifted = 0;        // safe, answered by the PTIME plan
+    uint64_t safe_compiled = 0;      // safe GFOMC instances, circuit cache
+    uint64_t unsafe_compiled = 0;    // unsafe, compact lineage → circuits
+    uint64_t unsafe_recursive = 0;   // unsafe, oversized → recursive WMC
+    // Aggregated over both embedded CircuitCaches: how often a grounded
+    // lineage compiled vs was served from cache — the repeated-query win.
+    uint64_t circuit_compiles = 0;
+    uint64_t circuit_hits = 0;
+  };
+
+  GfomcResult Evaluate(const Query& query, const Tid& tid);
+  // Batched form: safe queries use SafeEvaluator::EvaluateMany (grouped
+  // batched circuit passes); unsafe ones group compact lineages through
+  // WmcEngine::CompiledProbabilityBatch. Results in input order.
+  std::vector<GfomcResult> EvaluateMany(const Query& query,
+                                        const std::vector<Tid>& tids);
+
+  // Counters above plus live compile/hit totals from the embedded caches.
+  Stats stats() const;
+
+ private:
+  SafeEvaluator safe_;
+  WmcEngine engine_;
+  Stats counters_;
+};
 
 // Runs #P2CNF ≤P FOMC(Q) for an unsafe Type I-I query `query` (it is first
 // simplified to a final query if needed, per Lemma 2.7) and returns the

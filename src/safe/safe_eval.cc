@@ -283,8 +283,9 @@ std::optional<std::vector<Rational>> SafeEvaluator::EvaluateMany(
   // the grounded lineage is worst-case exponential even for safe queries.
   // The compiled path is a cache win for the small, heavily repeated
   // gadget-style lineages, so gate it on lineage size (grounding itself is
-  // polynomial) and keep the lifted algorithm as the asymptotic contract.
-  constexpr size_t kMaxCompiledLineageVars = 96;
+  // polynomial; the constant is shared with GfomcSession — see
+  // circuit_cache.h) and keep the lifted algorithm as the asymptotic
+  // contract.
   std::vector<Lineage> lineages;
   if (all_gfomc) {
     lineages.reserve(tids.size());

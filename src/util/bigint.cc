@@ -1,6 +1,7 @@
 #include "util/bigint.h"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 
 #include "util/check.h"
@@ -9,42 +10,187 @@ namespace gmc {
 
 namespace {
 
+using internal::LimbVec;
+
 constexpr uint64_t kBase = uint64_t{1} << 32;
 constexpr size_t kKaratsubaThreshold = 32;  // limbs
 
-void TrimZeros(std::vector<uint32_t>* limbs) {
-  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+// The word-parallel loops below read limb pairs as one 64-bit word; that is
+// only a straight memcpy on little-endian targets (every platform this
+// library builds for), so big-endian falls back to the scalar loops.
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
+
+uint64_t LoadPair(const uint32_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
 }
+
+void StorePair(uint32_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
 
 // Shifts a magnitude left by `s` bits, 0 <= s < 32, appending a limb if
 // needed.
-std::vector<uint32_t> ShiftLeftSmall(const std::vector<uint32_t>& a, int s) {
+LimbVec ShiftLeftSmall(const LimbVec& a, int s) {
   if (s == 0) return a;
-  std::vector<uint32_t> out(a.size() + 1, 0);
+  LimbVec out;
+  out.resize(a.size() + 1);
   uint32_t carry = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     out[i] = (a[i] << s) | carry;
     carry = static_cast<uint32_t>(static_cast<uint64_t>(a[i]) >> (32 - s));
   }
   out[a.size()] = carry;
-  TrimZeros(&out);
+  out.TrimZeros();
   return out;
 }
 
-std::vector<uint32_t> ShiftRightSmall(const std::vector<uint32_t>& a, int s) {
+LimbVec ShiftRightSmall(const LimbVec& a, int s) {
   if (s == 0) {
-    std::vector<uint32_t> out = a;
-    TrimZeros(&out);
+    LimbVec out = a;
+    out.TrimZeros();
     return out;
   }
-  std::vector<uint32_t> out(a.size(), 0);
+  LimbVec out;
+  out.resize(a.size());
   uint32_t carry = 0;
   for (size_t i = a.size(); i-- > 0;) {
     out[i] = (a[i] >> s) | carry;
     carry = a[i] << (32 - s);
   }
-  TrimZeros(&out);
+  out.TrimZeros();
   return out;
+}
+
+// a += b on magnitudes, in place; `b` must not alias `a`'s buffer (the
+// callers special-case self-aliasing before getting here). The inner loop
+// consumes two limbs per iteration through 64-bit accumulators.
+void AddMagnitudeInPlace(LimbVec* a, const LimbVec& b) {
+  if (b.size() > a->size()) a->resize(b.size());
+  uint32_t* ad = a->data();
+  const uint32_t* bd = b.data();
+  const size_t bn = b.size();
+  uint64_t carry = 0;
+  size_t i = 0;
+  if (kLittleEndian) {
+    for (; i + 2 <= bn; i += 2) {
+      const uint64_t av = LoadPair(ad + i);
+      const uint64_t bv = LoadPair(bd + i);
+      const uint64_t with_carry = av + carry;  // carry ∈ {0, 1}
+      const uint64_t sum = with_carry + bv;
+      carry = (with_carry < av ? 1 : 0) | (sum < bv ? 1 : 0);
+      StorePair(ad + i, sum);
+    }
+  }
+  for (; i < bn; ++i) {
+    const uint64_t sum = carry + ad[i] + bd[i];
+    ad[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  const size_t an = a->size();
+  for (; carry && i < an; ++i) {
+    const uint64_t sum = carry + ad[i];
+    ad[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) a->push_back(static_cast<uint32_t>(carry));
+}
+
+// a -= b on magnitudes, in place; requires |a| >= |b| and no aliasing.
+void SubMagnitudeInPlace(LimbVec* a, const LimbVec& b) {
+  uint32_t* ad = a->data();
+  const uint32_t* bd = b.data();
+  const size_t bn = b.size();
+  uint64_t borrow = 0;
+  size_t i = 0;
+  if (kLittleEndian) {
+    for (; i + 2 <= bn; i += 2) {
+      const uint64_t av = LoadPair(ad + i);
+      const uint64_t bv = LoadPair(bd + i);
+      const uint64_t without_borrow = av - bv;  // borrow ∈ {0, 1}
+      const uint64_t diff = without_borrow - borrow;
+      borrow = (av < bv ? 1 : 0) | (without_borrow < borrow ? 1 : 0);
+      StorePair(ad + i, diff);
+    }
+  }
+  for (; i < bn; ++i) {
+    const uint64_t bi = static_cast<uint64_t>(bd[i]) + borrow;
+    const uint64_t ai = ad[i];
+    ad[i] = static_cast<uint32_t>(ai - bi);
+    borrow = ai < bi ? 1 : 0;
+  }
+  const size_t an = a->size();
+  for (; borrow && i < an; ++i) {
+    if (ad[i] != 0) {
+      --ad[i];
+      borrow = 0;
+    } else {
+      ad[i] = 0xffffffffu;
+    }
+  }
+  GMC_DCHECK(borrow == 0);
+  a->TrimZeros();
+}
+
+// a = b - a on magnitudes, in place; requires |b| >= |a| and no aliasing.
+void SubReverseInPlace(LimbVec* a, const LimbVec& b) {
+  const size_t bn = b.size();
+  a->resize(bn);  // zero-fills the high limbs a lacks
+  uint32_t* ad = a->data();
+  const uint32_t* bd = b.data();
+  uint64_t borrow = 0;
+  size_t i = 0;
+  if (kLittleEndian) {
+    for (; i + 2 <= bn; i += 2) {
+      const uint64_t bv = LoadPair(bd + i);
+      const uint64_t av = LoadPair(ad + i);
+      const uint64_t without_borrow = bv - av;
+      const uint64_t diff = without_borrow - borrow;
+      borrow = (bv < av ? 1 : 0) | (without_borrow < borrow ? 1 : 0);
+      StorePair(ad + i, diff);
+    }
+  }
+  for (; i < bn; ++i) {
+    const uint64_t ai = static_cast<uint64_t>(ad[i]) + borrow;
+    const uint64_t bi = bd[i];
+    ad[i] = static_cast<uint32_t>(bi - ai);
+    borrow = bi < ai ? 1 : 0;
+  }
+  GMC_DCHECK(borrow == 0);
+  a->TrimZeros();
+}
+
+// Out-of-place magnitude add (Karatsuba internals).
+LimbVec AddMagnitude(const LimbVec& a, const LimbVec& b) {
+  LimbVec out = a.size() >= b.size() ? a : b;
+  AddMagnitudeInPlace(&out, a.size() >= b.size() ? b : a);
+  return out;
+}
+
+// a *= m on magnitudes, in place (single-limb multiplier, the sweep-mantissa
+// common case); m != 0.
+void MulSmallInPlace(LimbVec* a, uint32_t m) {
+  uint32_t* ad = a->data();
+  const size_t an = a->size();
+  uint64_t carry = 0;
+  for (size_t i = 0; i < an; ++i) {
+    const uint64_t cur = static_cast<uint64_t>(ad[i]) * m + carry;
+    ad[i] = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  if (carry) a->push_back(static_cast<uint32_t>(carry));
+}
+
+uint64_t TrailingZeroBitsOf(const LimbVec& limbs) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < limbs.size(); ++i) {
+    if (limbs[i] == 0) {
+      count += 32;
+    } else {
+      count += static_cast<uint64_t>(std::countr_zero(limbs[i]));
+      break;
+    }
+  }
+  return count;
 }
 
 }  // namespace
@@ -61,12 +207,11 @@ BigInt::BigInt(int64_t value) {
 }
 
 void BigInt::Normalize() {
-  TrimZeros(&limbs_);
+  limbs_.TrimZeros();
   if (limbs_.empty()) sign_ = 0;
 }
 
-int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
-                             const std::vector<uint32_t>& b) {
+int BigInt::CompareMagnitude(const LimbVec& a, const LimbVec& b) {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   for (size_t i = a.size(); i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
@@ -74,108 +219,80 @@ int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
   return 0;
 }
 
-std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
-  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
-  std::vector<uint32_t> out(longer.size() + 1, 0);
-  uint64_t carry = 0;
-  for (size_t i = 0; i < longer.size(); ++i) {
-    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0);
-    out[i] = static_cast<uint32_t>(sum & 0xffffffffu);
-    carry = sum >> 32;
-  }
-  out[longer.size()] = static_cast<uint32_t>(carry);
-  TrimZeros(&out);
-  return out;
-}
-
-std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  GMC_DCHECK(CompareMagnitude(a, b) >= 0);
-  std::vector<uint32_t> out(a.size(), 0);
-  int64_t borrow = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    int64_t diff = static_cast<int64_t>(a[i]) -
-                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0) - borrow;
-    if (diff < 0) {
-      diff += static_cast<int64_t>(kBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out[i] = static_cast<uint32_t>(diff);
-  }
-  GMC_DCHECK(borrow == 0);
-  TrimZeros(&out);
-  return out;
-}
-
-std::vector<uint32_t> BigInt::MulSchoolbook(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b) {
+BigInt::LimbVec BigInt::MulSchoolbook(const LimbVec& a, const LimbVec& b) {
   if (a.empty() || b.empty()) return {};
-  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  LimbVec out;
+  out.resize(a.size() + b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     uint64_t carry = 0;
-    uint64_t ai = a[i];
-    for (size_t j = 0; j < b.size(); ++j) {
-      uint64_t cur = out[i + j] + ai * b[j] + carry;
-      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+    const uint64_t ai = a[i];
+    uint32_t* row = out.data() + i;
+    const uint32_t* bd = b.data();
+    const size_t bn = b.size();
+    for (size_t j = 0; j < bn; ++j) {
+      const uint64_t cur = row[j] + ai * bd[j] + carry;
+      row[j] = static_cast<uint32_t>(cur & 0xffffffffu);
       carry = cur >> 32;
     }
-    size_t k = i + b.size();
+    size_t k = bn;
     while (carry) {
-      uint64_t cur = out[k] + carry;
-      out[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      const uint64_t cur = row[k] + carry;
+      row[k] = static_cast<uint32_t>(cur & 0xffffffffu);
       carry = cur >> 32;
       ++k;
     }
   }
-  TrimZeros(&out);
+  out.TrimZeros();
   return out;
 }
 
-std::vector<uint32_t> BigInt::MulKaratsuba(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
+BigInt::LimbVec BigInt::MulKaratsuba(const LimbVec& a, const LimbVec& b) {
   if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
     return MulSchoolbook(a, b);
   }
   const size_t half = std::max(a.size(), b.size()) / 2;
-  auto lower = [half](const std::vector<uint32_t>& x) {
-    std::vector<uint32_t> out(x.begin(),
-                              x.begin() + std::min(half, x.size()));
-    TrimZeros(&out);
+  auto lower = [half](const LimbVec& x) {
+    LimbVec out;
+    const size_t n = std::min(half, x.size());
+    out.resize(n);
+    std::memcpy(out.data(), x.data(), n * sizeof(uint32_t));
+    out.TrimZeros();
     return out;
   };
-  auto upper = [half](const std::vector<uint32_t>& x) {
-    if (x.size() <= half) return std::vector<uint32_t>{};
-    std::vector<uint32_t> out(x.begin() + half, x.end());
-    TrimZeros(&out);
+  auto upper = [half](const LimbVec& x) {
+    LimbVec out;
+    if (x.size() <= half) return out;
+    const size_t n = x.size() - half;
+    out.resize(n);
+    std::memcpy(out.data(), x.data() + half, n * sizeof(uint32_t));
+    out.TrimZeros();
     return out;
   };
-  std::vector<uint32_t> a0 = lower(a), a1 = upper(a);
-  std::vector<uint32_t> b0 = lower(b), b1 = upper(b);
-  std::vector<uint32_t> z0 = MulKaratsuba(a0, b0);
-  std::vector<uint32_t> z2 = MulKaratsuba(a1, b1);
-  std::vector<uint32_t> sum_a = AddMagnitude(a0, a1);
-  std::vector<uint32_t> sum_b = AddMagnitude(b0, b1);
-  std::vector<uint32_t> z1 = MulKaratsuba(sum_a, sum_b);
-  z1 = SubMagnitude(z1, AddMagnitude(z0, z2));
+  LimbVec a0 = lower(a), a1 = upper(a);
+  LimbVec b0 = lower(b), b1 = upper(b);
+  LimbVec z0 = MulKaratsuba(a0, b0);
+  LimbVec z2 = MulKaratsuba(a1, b1);
+  LimbVec sum_a = AddMagnitude(a0, a1);
+  LimbVec sum_b = AddMagnitude(b0, b1);
+  LimbVec z1 = MulKaratsuba(sum_a, sum_b);
+  SubMagnitudeInPlace(&z1, AddMagnitude(z0, z2));
   // result = z2 << (2*half limbs) + z1 << (half limbs) + z0. The product of
   // an m-limb and an n-limb magnitude has at most m + n limbs, so this buffer
   // bounds all carry propagation.
-  std::vector<uint32_t> out(a.size() + b.size(), 0);
-  auto accumulate = [&out](const std::vector<uint32_t>& x, size_t offset) {
+  LimbVec out;
+  out.resize(a.size() + b.size());
+  auto accumulate = [&out](const LimbVec& x, size_t offset) {
     uint64_t carry = 0;
     for (size_t i = 0; i < x.size(); ++i) {
-      uint64_t cur = static_cast<uint64_t>(out[offset + i]) + x[i] + carry;
+      const uint64_t cur =
+          static_cast<uint64_t>(out[offset + i]) + x[i] + carry;
       out[offset + i] = static_cast<uint32_t>(cur & 0xffffffffu);
       carry = cur >> 32;
     }
     size_t k = offset + x.size();
     while (carry) {
       GMC_DCHECK(k < out.size());
-      uint64_t cur = static_cast<uint64_t>(out[k]) + carry;
+      const uint64_t cur = static_cast<uint64_t>(out[k]) + carry;
       out[k] = static_cast<uint32_t>(cur & 0xffffffffu);
       carry = cur >> 32;
       ++k;
@@ -184,12 +301,11 @@ std::vector<uint32_t> BigInt::MulKaratsuba(const std::vector<uint32_t>& a,
   accumulate(z0, 0);
   accumulate(z1, half);
   accumulate(z2, 2 * half);
-  TrimZeros(&out);
+  out.TrimZeros();
   return out;
 }
 
-std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
+BigInt::LimbVec BigInt::MulMagnitude(const LimbVec& a, const LimbVec& b) {
   if (a.size() >= kKaratsubaThreshold && b.size() >= kKaratsubaThreshold) {
     return MulKaratsuba(a, b);
   }
@@ -197,28 +313,27 @@ std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
 }
 
 // Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
-void BigInt::DivModMagnitude(const std::vector<uint32_t>& u_in,
-                             const std::vector<uint32_t>& v_in,
-                             std::vector<uint32_t>* quotient,
-                             std::vector<uint32_t>* remainder) {
+void BigInt::DivModMagnitude(const LimbVec& u_in, const LimbVec& v_in,
+                             LimbVec* quotient, LimbVec* remainder) {
   GMC_CHECK_MSG(!v_in.empty(), "division by zero");
   if (CompareMagnitude(u_in, v_in) < 0) {
     quotient->clear();
     *remainder = u_in;
-    TrimZeros(remainder);
+    remainder->TrimZeros();
     return;
   }
   if (v_in.size() == 1) {
     // Single-limb fast path.
     const uint64_t d = v_in[0];
-    std::vector<uint32_t> q(u_in.size(), 0);
+    LimbVec q;
+    q.resize(u_in.size());
     uint64_t rem = 0;
     for (size_t i = u_in.size(); i-- > 0;) {
-      uint64_t cur = (rem << 32) | u_in[i];
+      const uint64_t cur = (rem << 32) | u_in[i];
       q[i] = static_cast<uint32_t>(cur / d);
       rem = cur % d;
     }
-    TrimZeros(&q);
+    q.TrimZeros();
     *quotient = std::move(q);
     remainder->clear();
     if (rem) remainder->push_back(static_cast<uint32_t>(rem));
@@ -233,14 +348,13 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& u_in,
       ++shift;
     }
   }
-  std::vector<uint32_t> u = ShiftLeftSmall(u_in, shift);
-  std::vector<uint32_t> v = ShiftLeftSmall(v_in, shift);
+  LimbVec u = ShiftLeftSmall(u_in, shift);
+  LimbVec v = ShiftLeftSmall(v_in, shift);
   const size_t n = v.size();
   const size_t m = u.size() - n;  // u.size() >= n because |u| >= |v|
-  u.resize(u_in.size() + 1 + (u.size() - u_in.size() ? 0 : 0), 0);
-  // Ensure u has m + n + 1 limbs.
-  u.resize(m + n + 1, 0);
-  std::vector<uint32_t> q(m + 1, 0);
+  u.resize(m + n + 1);
+  LimbVec q;
+  q.resize(m + 1);
   const uint64_t v1 = v[n - 1];
   const uint64_t v2 = v[n - 2];
   for (size_t j = m + 1; j-- > 0;) {
@@ -258,7 +372,7 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& u_in,
     int64_t borrow = 0;
     uint64_t carry = 0;
     for (size_t i = 0; i < n; ++i) {
-      uint64_t product = qhat * v[i] + carry;
+      const uint64_t product = qhat * v[i] + carry;
       carry = product >> 32;
       int64_t diff = static_cast<int64_t>(u[i + j]) -
                      static_cast<int64_t>(product & 0xffffffffu) - borrow;
@@ -279,7 +393,7 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& u_in,
       --qhat;
       uint64_t carry2 = 0;
       for (size_t i = 0; i < n; ++i) {
-        uint64_t sum = static_cast<uint64_t>(u[i + j]) + v[i] + carry2;
+        const uint64_t sum = static_cast<uint64_t>(u[i + j]) + v[i] + carry2;
         u[i + j] = static_cast<uint32_t>(sum & 0xffffffffu);
         carry2 = sum >> 32;
       }
@@ -289,11 +403,11 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& u_in,
     }
     q[j] = static_cast<uint32_t>(qhat);
   }
-  TrimZeros(&q);
+  q.TrimZeros();
   *quotient = std::move(q);
   u.resize(n);
   *remainder = ShiftRightSmall(u, shift);
-  TrimZeros(remainder);
+  remainder->TrimZeros();
 }
 
 BigInt BigInt::operator-() const {
@@ -317,36 +431,84 @@ bool BigInt::IsPowerOfTwo() const {
   return (top & (top - 1)) == 0;
 }
 
+void BigInt::AddSigned(const BigInt& other, int other_sign) {
+  const int osign = other.sign_ * other_sign;
+  if (osign == 0) return;
+  if (sign_ == 0) {
+    limbs_ = other.limbs_;
+    sign_ = osign;
+    return;
+  }
+  if (this == &other) {
+    // a += a doubles; a -= a zeroes. (AddMagnitudeInPlace may reallocate,
+    // so the aliased buffer cannot be used as the second operand.)
+    if (osign == sign_) {
+      ShiftLeftInPlace(1);
+    } else {
+      limbs_.clear();
+      sign_ = 0;
+    }
+    return;
+  }
+  if (sign_ == osign) {
+    AddMagnitudeInPlace(&limbs_, other.limbs_);
+    return;
+  }
+  const int cmp = CompareMagnitude(limbs_, other.limbs_);
+  if (cmp == 0) {
+    limbs_.clear();
+    sign_ = 0;
+  } else if (cmp > 0) {
+    SubMagnitudeInPlace(&limbs_, other.limbs_);
+  } else {
+    SubReverseInPlace(&limbs_, other.limbs_);
+    sign_ = osign;
+  }
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  AddSigned(other, 1);
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) {
+  AddSigned(other, -1);
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  if (sign_ == 0) return *this;
+  if (other.sign_ == 0) {
+    limbs_.clear();
+    sign_ = 0;
+    return *this;
+  }
+  if (other.limbs_.size() == 1) {
+    MulSmallInPlace(&limbs_, other.limbs_[0]);  // safe even when aliased
+    sign_ *= other.sign_;
+    return *this;
+  }
+  sign_ *= other.sign_;
+  limbs_ = MulMagnitude(limbs_, other.limbs_);
+  return *this;
+}
+
 BigInt BigInt::operator+(const BigInt& other) const {
   if (sign_ == 0) return other;
-  if (other.sign_ == 0) return *this;
-  BigInt out;
-  if (sign_ == other.sign_) {
-    out.sign_ = sign_;
-    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
-  } else {
-    int cmp = CompareMagnitude(limbs_, other.limbs_);
-    if (cmp == 0) return BigInt();
-    if (cmp > 0) {
-      out.sign_ = sign_;
-      out.limbs_ = SubMagnitude(limbs_, other.limbs_);
-    } else {
-      out.sign_ = other.sign_;
-      out.limbs_ = SubMagnitude(other.limbs_, limbs_);
-    }
-  }
-  out.Normalize();
+  BigInt out = *this;
+  out.AddSigned(other, 1);
   return out;
 }
 
-BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+BigInt BigInt::operator-(const BigInt& other) const {
+  BigInt out = *this;
+  out.AddSigned(other, -1);
+  return out;
+}
 
 BigInt BigInt::operator*(const BigInt& other) const {
-  if (sign_ == 0 || other.sign_ == 0) return BigInt();
-  BigInt out;
-  out.sign_ = sign_ * other.sign_;
-  out.limbs_ = MulMagnitude(limbs_, other.limbs_);
-  out.Normalize();
+  BigInt out = *this;
+  out *= other;
   return out;
 }
 
@@ -373,71 +535,126 @@ BigInt BigInt::operator%(const BigInt& other) const {
   return r;
 }
 
-BigInt BigInt::ShiftLeft(uint64_t bits) const {
-  if (IsZero() || bits == 0) {
-    BigInt out = *this;
-    return out;
-  }
+void BigInt::ShiftLeftInPlace(uint64_t bits) {
+  if (IsZero() || bits == 0) return;
   const size_t limb_shift = static_cast<size_t>(bits / 32);
   const int small = static_cast<int>(bits % 32);
-  BigInt out;
-  out.sign_ = sign_;
-  out.limbs_.assign(limb_shift, 0);
-  std::vector<uint32_t> shifted = ShiftLeftSmall(limbs_, small);
-  out.limbs_.insert(out.limbs_.end(), shifted.begin(), shifted.end());
-  out.Normalize();
+  const size_t old_size = limbs_.size();
+  limbs_.resize(old_size + limb_shift + (small != 0 ? 1 : 0));
+  uint32_t* d = limbs_.data();
+  if (small != 0) {
+    uint32_t carry = 0;
+    // Walk high-to-low so each source limb is read before its slot range is
+    // overwritten.
+    d[old_size + limb_shift] = static_cast<uint32_t>(
+        static_cast<uint64_t>(d[old_size - 1]) >> (32 - small));
+    for (size_t i = old_size; i-- > 0;) {
+      carry = i > 0 ? static_cast<uint32_t>(
+                          static_cast<uint64_t>(d[i - 1]) >> (32 - small))
+                    : 0;
+      d[i + limb_shift] = (d[i] << small) | carry;
+    }
+  } else if (limb_shift != 0) {
+    std::memmove(d + limb_shift, d, old_size * sizeof(uint32_t));
+  }
+  std::memset(d, 0, limb_shift * sizeof(uint32_t));
+  Normalize();
+}
+
+void BigInt::ShiftRightInPlace(uint64_t bits) {
+  if (IsZero() || bits == 0) return;
+  const size_t limb_shift = static_cast<size_t>(bits / 32);
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    sign_ = 0;
+    return;
+  }
+  const int small = static_cast<int>(bits % 32);
+  uint32_t* d = limbs_.data();
+  const size_t new_size = limbs_.size() - limb_shift;
+  if (small != 0) {
+    for (size_t i = 0; i < new_size; ++i) {
+      const uint32_t low = d[i + limb_shift] >> small;
+      const uint32_t high =
+          i + limb_shift + 1 < limbs_.size()
+              ? d[i + limb_shift + 1] << (32 - small)
+              : 0;
+      d[i] = low | high;
+    }
+  } else {
+    std::memmove(d, d + limb_shift, new_size * sizeof(uint32_t));
+  }
+  limbs_.resize(new_size);
+  Normalize();
+}
+
+BigInt BigInt::ShiftLeft(uint64_t bits) const {
+  BigInt out = *this;
+  out.ShiftLeftInPlace(bits);
   return out;
 }
 
 BigInt BigInt::ShiftRight(uint64_t bits) const {
-  if (IsZero() || bits == 0) return *this;
-  const size_t limb_shift = static_cast<size_t>(bits / 32);
-  if (limb_shift >= limbs_.size()) return BigInt();
-  const int small = static_cast<int>(bits % 32);
-  BigInt out;
-  out.sign_ = sign_;
-  out.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
-  out.limbs_ = ShiftRightSmall(out.limbs_, small);
-  out.Normalize();
+  BigInt out = *this;
+  out.ShiftRightInPlace(bits);
   return out;
 }
 
+uint64_t BigInt::TrailingZeroBits() const {
+  return TrailingZeroBitsOf(limbs_);
+}
+
 BigInt BigInt::Gcd(const BigInt& a_in, const BigInt& b_in) {
+  if (a_in.IsZero()) return b_in.Abs();
+  if (b_in.IsZero()) return a_in.Abs();
+  // The reduced-fraction arithmetic of Rational calls Gcd constantly with a
+  // unit operand; Stein's subtract-and-shift loop degenerates to O(bits)
+  // iterations there, so answer directly.
+  if (a_in.limbs_.size() == 1 && a_in.limbs_[0] == 1) return BigInt(1);
+  if (b_in.limbs_.size() == 1 && b_in.limbs_[0] == 1) return BigInt(1);
+  // Both magnitudes fit in 64 bits (the common case by far): run the whole
+  // binary gcd in registers.
+  if (a_in.limbs_.size() <= 2 && b_in.limbs_.size() <= 2) {
+    auto to_u64 = [](const BigInt& x) {
+      uint64_t v = x.limbs_[0];
+      if (x.limbs_.size() == 2) v |= static_cast<uint64_t>(x.limbs_[1]) << 32;
+      return v;
+    };
+    uint64_t a = to_u64(a_in);
+    uint64_t b = to_u64(b_in);
+    const int za = std::countr_zero(a);
+    const int zb = std::countr_zero(b);
+    const int common = std::min(za, zb);
+    a >>= za;
+    do {
+      b >>= std::countr_zero(b);
+      if (a > b) std::swap(a, b);
+      b -= a;
+    } while (b != 0);
+    BigInt out;
+    out.sign_ = 1;
+    out.limbs_.push_back(static_cast<uint32_t>(a & 0xffffffffu));
+    if (a >> 32) out.limbs_.push_back(static_cast<uint32_t>(a >> 32));
+    out.ShiftLeftInPlace(common);
+    return out;
+  }
   BigInt a = a_in.Abs();
   BigInt b = b_in.Abs();
-  if (a.IsZero()) return b;
-  if (b.IsZero()) return a;
   // Binary (Stein) GCD: strips common factors of two, then subtract-and-shift.
-  uint64_t common_twos = 0;
-  auto trailing_zero_bits = [](const BigInt& x) -> uint64_t {
-    uint64_t count = 0;
-    for (size_t i = 0; i < x.limbs_.size(); ++i) {
-      if (x.limbs_[i] == 0) {
-        count += 32;
-      } else {
-        uint32_t limb = x.limbs_[i];
-        while ((limb & 1) == 0) {
-          limb >>= 1;
-          ++count;
-        }
-        break;
-      }
-    }
-    return count;
-  };
-  uint64_t za = trailing_zero_bits(a);
-  uint64_t zb = trailing_zero_bits(b);
-  common_twos = std::min(za, zb);
-  a = a.ShiftRight(za);
-  b = b.ShiftRight(zb);
+  const uint64_t za = TrailingZeroBitsOf(a.limbs_);
+  const uint64_t zb = TrailingZeroBitsOf(b.limbs_);
+  const uint64_t common_twos = std::min(za, zb);
+  a.ShiftRightInPlace(za);
+  b.ShiftRightInPlace(zb);
   while (true) {
-    int cmp = CompareMagnitude(a.limbs_, b.limbs_);
+    const int cmp = CompareMagnitude(a.limbs_, b.limbs_);
     if (cmp == 0) break;
     if (cmp < 0) std::swap(a, b);
-    a = a - b;
-    a = a.ShiftRight(trailing_zero_bits(a));
+    SubMagnitudeInPlace(&a.limbs_, b.limbs_);
+    a.ShiftRightInPlace(TrailingZeroBitsOf(a.limbs_));
   }
-  return a.ShiftLeft(common_twos);
+  a.ShiftLeftInPlace(common_twos);
+  return a;
 }
 
 BigInt BigInt::Pow(uint64_t exponent) const {
@@ -453,13 +670,8 @@ BigInt BigInt::Pow(uint64_t exponent) const {
 
 uint64_t BigInt::BitLength() const {
   if (limbs_.empty()) return 0;
-  uint64_t bits = (limbs_.size() - 1) * 32ull;
-  uint32_t top = limbs_.back();
-  while (top) {
-    top >>= 1;
-    ++bits;
-  }
-  return bits;
+  return (limbs_.size() - 1) * 32ull +
+         (32 - static_cast<uint64_t>(std::countl_zero(limbs_.back())));
 }
 
 BigInt BigInt::ISqrt() const {
@@ -521,17 +733,17 @@ BigInt BigInt::FromDecimal(const std::string& text) {
 
 std::string BigInt::ToString() const {
   if (IsZero()) return "0";
-  std::vector<uint32_t> mag = limbs_;
+  LimbVec mag = limbs_;
   std::string digits;
   // Repeatedly divide by 1e9 and emit 9-digit groups.
   while (!mag.empty()) {
     uint64_t rem = 0;
     for (size_t i = mag.size(); i-- > 0;) {
-      uint64_t cur = (rem << 32) | mag[i];
+      const uint64_t cur = (rem << 32) | mag[i];
       mag[i] = static_cast<uint32_t>(cur / 1000000000ull);
       rem = cur % 1000000000ull;
     }
-    TrimZeros(&mag);
+    mag.TrimZeros();
     for (int k = 0; k < 9; ++k) {
       digits.push_back(static_cast<char>('0' + rem % 10));
       rem /= 10;
@@ -573,7 +785,7 @@ size_t BigInt::Hash() const {
     h *= 1099511628211ull;
   };
   mix(static_cast<uint64_t>(sign_ + 1));
-  for (uint32_t limb : limbs_) mix(limb);
+  for (size_t i = 0; i < limbs_.size(); ++i) mix(limbs_[i]);
   return h;
 }
 

@@ -7,15 +7,118 @@
 // 32-bit limbs. Multiplication switches to Karatsuba above a threshold;
 // division is Knuth's Algorithm D; gcd is binary (Stein), which avoids
 // divisions entirely.
+//
+// Two properties matter for the evaluate-many hot loops (EvaluateBatch /
+// EvaluateBatchDyadic, which stream millions of small additions and
+// multiplications per sweep):
+//   * small-value optimization — magnitudes of up to two limbs (all 64-bit
+//     values, the common case for sweep mantissas) are stored inline in the
+//     BigInt itself and never touch the heap;
+//   * true in-place compound operators — += / -= / *= mutate the existing
+//     limb buffer instead of building a temporary and copy-assigning it.
 
 #ifndef GMC_UTIL_BIGINT_H_
 #define GMC_UTIL_BIGINT_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
-#include <vector>
 
 namespace gmc {
+namespace internal {
+
+// Small-vector of 32-bit limbs. Magnitudes of up to kInlineLimbs limbs live
+// inside the object (no heap allocation); larger ones spill to a
+// geometrically grown heap buffer, like std::vector. Only the operations
+// the BigInt kernels need are provided; new limbs introduced by resize()
+// are zero-filled (limb buffers are always dense).
+class LimbVec {
+ public:
+  static constexpr uint32_t kInlineLimbs = 2;
+
+  LimbVec() = default;
+  LimbVec(const LimbVec& other) { *this = other; }
+  LimbVec& operator=(const LimbVec& other) {
+    if (this == &other) return *this;
+    if (other.size_ > capacity_) Grow(other.size_, /*preserve=*/false);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(uint32_t));
+    size_ = other.size_;
+    return *this;
+  }
+  LimbVec(LimbVec&& other) noexcept { MoveFrom(&other); }
+  LimbVec& operator=(LimbVec&& other) noexcept {
+    if (this == &other) return *this;
+    if (data_ != inline_) delete[] data_;
+    MoveFrom(&other);
+    return *this;
+  }
+  ~LimbVec() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t* data() { return data_; }
+  const uint32_t* data() const { return data_; }
+  uint32_t& operator[](size_t i) { return data_[i]; }
+  uint32_t operator[](size_t i) const { return data_[i]; }
+  uint32_t back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+  void pop_back() { --size_; }
+  void push_back(uint32_t value) {
+    if (size_ == capacity_) Grow(size_ + 1, /*preserve=*/true);
+    data_[size_++] = value;
+  }
+  // Grows with zero-fill or shrinks; never reallocates on shrink.
+  void resize(size_t n) {
+    if (n > size_) {
+      if (n > capacity_) Grow(n, /*preserve=*/true);
+      std::memset(data_ + size_, 0, (n - size_) * sizeof(uint32_t));
+    }
+    size_ = static_cast<uint32_t>(n);
+  }
+  void TrimZeros() {
+    while (size_ > 0 && data_[size_ - 1] == 0) --size_;
+  }
+
+  bool operator==(const LimbVec& other) const {
+    return size_ == other.size_ &&
+           std::memcmp(data_, other.data_, size_ * sizeof(uint32_t)) == 0;
+  }
+
+ private:
+  void MoveFrom(LimbVec* other) {
+    if (other->data_ == other->inline_) {
+      data_ = inline_;
+      capacity_ = kInlineLimbs;
+      std::memcpy(inline_, other->inline_, sizeof(inline_));
+    } else {
+      data_ = other->data_;
+      capacity_ = other->capacity_;
+      other->data_ = other->inline_;
+      other->capacity_ = kInlineLimbs;
+    }
+    size_ = other->size_;
+    other->size_ = 0;
+  }
+  void Grow(size_t need, bool preserve) {
+    size_t cap = capacity_;
+    while (cap < need) cap *= 2;
+    uint32_t* heap = new uint32_t[cap];
+    if (preserve) std::memcpy(heap, data_, size_ * sizeof(uint32_t));
+    if (data_ != inline_) delete[] data_;
+    data_ = heap;
+    capacity_ = static_cast<uint32_t>(cap);
+  }
+
+  uint32_t* data_ = inline_;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInlineLimbs;
+  uint32_t inline_[kInlineLimbs] = {};
+};
+
+}  // namespace internal
 
 class BigInt {
  public:
@@ -52,9 +155,11 @@ class BigInt {
   BigInt operator/(const BigInt& other) const;
   BigInt operator%(const BigInt& other) const;
 
-  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
-  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
-  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  // In-place forms; += / -= / *= mutate the limb buffer directly (no
+  // temporary BigInt) and are safe under self-aliasing (a += a, a *= a).
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
   BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
   BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
 
@@ -65,6 +170,9 @@ class BigInt {
   // Left/right shift by an arbitrary bit count (logical, on the magnitude).
   BigInt ShiftLeft(uint64_t bits) const;
   BigInt ShiftRight(uint64_t bits) const;
+  // In-place shifts (the dyadic exponent-alignment hot path).
+  void ShiftLeftInPlace(uint64_t bits);
+  void ShiftRightInPlace(uint64_t bits);
 
   // Greatest common divisor of magnitudes; Gcd(0, 0) == 0.
   static BigInt Gcd(const BigInt& a, const BigInt& b);
@@ -74,6 +182,8 @@ class BigInt {
 
   // Number of bits in the magnitude (BitLength(0) == 0).
   uint64_t BitLength() const;
+  // Number of trailing zero bits in the magnitude (0 for zero).
+  uint64_t TrailingZeroBits() const;
 
   // Floor square root of the magnitude (requires *this >= 0).
   BigInt ISqrt() const;
@@ -100,28 +210,22 @@ class BigInt {
   size_t Hash() const;
 
  private:
+  using LimbVec = internal::LimbVec;
+
   // Invariant: limbs_ has no trailing zero limbs; sign_ == 0 iff limbs_ empty.
   int sign_ = 0;
-  std::vector<uint32_t> limbs_;
+  LimbVec limbs_;
 
   void Normalize();
-  static int CompareMagnitude(const std::vector<uint32_t>& a,
-                              const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  // Requires |a| >= |b|.
-  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> MulSchoolbook(const std::vector<uint32_t>& a,
-                                             const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> MulKaratsuba(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  static void DivModMagnitude(const std::vector<uint32_t>& u,
-                              const std::vector<uint32_t>& v,
-                              std::vector<uint32_t>* quotient,
-                              std::vector<uint32_t>* remainder);
+  // *this ± other with `other`'s sign multiplied by `other_sign` (+1 / −1);
+  // shared body of += and -=.
+  void AddSigned(const BigInt& other, int other_sign);
+  static int CompareMagnitude(const LimbVec& a, const LimbVec& b);
+  static LimbVec MulMagnitude(const LimbVec& a, const LimbVec& b);
+  static LimbVec MulSchoolbook(const LimbVec& a, const LimbVec& b);
+  static LimbVec MulKaratsuba(const LimbVec& a, const LimbVec& b);
+  static void DivModMagnitude(const LimbVec& u, const LimbVec& v,
+                              LimbVec* quotient, LimbVec* remainder);
 };
 
 }  // namespace gmc

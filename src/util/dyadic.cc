@@ -1,0 +1,143 @@
+#include "util/dyadic.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gmc {
+
+Dyadic::Dyadic(BigInt mantissa, uint64_t exponent)
+    : mantissa_(std::move(mantissa)), exponent_(exponent) {}
+
+std::optional<Dyadic> Dyadic::FromRational(const Rational& value) {
+  const BigInt& den = value.denominator();
+  if (den.IsOne()) return Dyadic(value.numerator(), 0);
+  if (!den.IsPowerOfTwo()) return std::nullopt;
+  return Dyadic(value.numerator(), den.BitLength() - 1);
+}
+
+Rational Dyadic::ToRational() const {
+  if (mantissa_.IsZero()) return Rational::Zero();
+  const uint64_t strip = std::min(mantissa_.TrailingZeroBits(), exponent_);
+  BigInt numerator = mantissa_.ShiftRight(strip);
+  const uint64_t exponent = exponent_ - strip;
+  // Mantissa now odd or exponent zero: the parts are coprime, so the
+  // canonical Rational needs no gcd.
+  return Rational::FromReducedParts(std::move(numerator),
+                                    BigInt(1).ShiftLeft(exponent));
+}
+
+Dyadic Dyadic::operator-() const {
+  Dyadic out = *this;
+  out.mantissa_ = -out.mantissa_;
+  return out;
+}
+
+Dyadic Dyadic::OneMinus() const {
+  Dyadic out;
+  out.exponent_ = exponent_;
+  out.mantissa_ = BigInt(1).ShiftLeft(exponent_);
+  out.mantissa_ -= mantissa_;
+  return out;
+}
+
+Dyadic& Dyadic::operator+=(const Dyadic& other) {
+  if (exponent_ == other.exponent_) {
+    mantissa_ += other.mantissa_;
+  } else if (exponent_ < other.exponent_) {
+    mantissa_.ShiftLeftInPlace(other.exponent_ - exponent_);
+    exponent_ = other.exponent_;
+    mantissa_ += other.mantissa_;
+  } else {
+    mantissa_ += other.mantissa_.ShiftLeft(exponent_ - other.exponent_);
+  }
+  return *this;
+}
+
+Dyadic& Dyadic::operator-=(const Dyadic& other) {
+  if (exponent_ == other.exponent_) {
+    mantissa_ -= other.mantissa_;
+  } else if (exponent_ < other.exponent_) {
+    mantissa_.ShiftLeftInPlace(other.exponent_ - exponent_);
+    exponent_ = other.exponent_;
+    mantissa_ -= other.mantissa_;
+  } else {
+    mantissa_ -= other.mantissa_.ShiftLeft(exponent_ - other.exponent_);
+  }
+  return *this;
+}
+
+Dyadic& Dyadic::operator*=(const Dyadic& other) {
+  mantissa_ *= other.mantissa_;
+  exponent_ = mantissa_.IsZero() ? 0 : exponent_ + other.exponent_;
+  return *this;
+}
+
+Dyadic Dyadic::operator+(const Dyadic& other) const {
+  Dyadic out = *this;
+  out += other;
+  return out;
+}
+
+Dyadic Dyadic::operator-(const Dyadic& other) const {
+  Dyadic out = *this;
+  out -= other;
+  return out;
+}
+
+Dyadic Dyadic::operator*(const Dyadic& other) const {
+  Dyadic out = *this;
+  out *= other;
+  return out;
+}
+
+Dyadic Dyadic::MulAdd(const Dyadic& a, const Dyadic& b, const Dyadic& c,
+                      const Dyadic& d) {
+  Dyadic out = a;
+  out *= b;
+  Dyadic t = c;
+  t *= d;
+  out += t;
+  return out;
+}
+
+void Dyadic::Normalize() {
+  if (mantissa_.IsZero()) {
+    exponent_ = 0;
+    return;
+  }
+  const uint64_t strip = std::min(mantissa_.TrailingZeroBits(), exponent_);
+  if (strip == 0) return;
+  mantissa_.ShiftRightInPlace(strip);
+  exponent_ -= strip;
+}
+
+void Dyadic::AlignExponents(Dyadic* values, size_t count) {
+  uint64_t max_exponent = 0;
+  for (size_t i = 0; i < count; ++i) {
+    max_exponent = std::max(max_exponent, values[i].exponent_);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    Dyadic& v = values[i];
+    if (v.exponent_ == max_exponent) continue;
+    v.mantissa_.ShiftLeftInPlace(max_exponent - v.exponent_);
+    v.exponent_ = max_exponent;
+  }
+}
+
+bool Dyadic::operator==(const Dyadic& other) const {
+  if (exponent_ == other.exponent_) return mantissa_ == other.mantissa_;
+  if (sign() != other.sign()) return false;
+  if (exponent_ < other.exponent_) {
+    return mantissa_.ShiftLeft(other.exponent_ - exponent_) ==
+           other.mantissa_;
+  }
+  return mantissa_ == other.mantissa_.ShiftLeft(exponent_ - other.exponent_);
+}
+
+std::string Dyadic::ToString() const { return ToRational().ToString(); }
+
+double Dyadic::ToDouble() const { return ToRational().ToDouble(); }
+
+}  // namespace gmc

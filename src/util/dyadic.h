@@ -1,0 +1,104 @@
+// Dyadic fixed-point numbers: mantissa · 2^-exponent over BigInt mantissas.
+//
+// The interpolation sweeps of the hardness reductions evaluate gadget
+// lineages at tuple probabilities whose denominators are all powers of two
+// (the Type-I sweep probes p/2^n grids; GFOMC instances use {0, 1/2, 1}).
+// Inside a circuit evaluation those values stay dyadic: products multiply
+// mantissas and ADD exponents, sums align exponents with a shift — so the
+// whole exact pass needs no gcd and no per-operation canonicalization,
+// unlike Rational, whose every operator re-reduces. The representation is
+// deliberately non-canonical (8·2^-3 and 1·2^0 are the same value); batch
+// code normalizes at batch granularity (AlignExponents up front, Normalize
+// on the way out), and ToRational produces the canonical reduced Rational
+// by stripping the common factors of two — an O(shift) operation, not a
+// gcd.
+//
+// Exactness contract: every Dyadic is an exact rational with a power-of-two
+// denominator; FromRational is fallible (nullopt for non-dyadic inputs) and
+// ToRational(FromRational(r)) == r bit-for-bit.
+
+#ifndef GMC_UTIL_DYADIC_H_
+#define GMC_UTIL_DYADIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bigint.h"
+#include "util/rational.h"
+
+namespace gmc {
+
+class Dyadic {
+ public:
+  // Zero (0 · 2^0).
+  Dyadic() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): integers embed exactly.
+  Dyadic(int64_t value) : mantissa_(value) {}
+  // mantissa · 2^-exponent, kept as given (no canonicalization).
+  Dyadic(BigInt mantissa, uint64_t exponent);
+
+  static Dyadic Zero() { return Dyadic(); }
+  static Dyadic One() { return Dyadic(1); }
+  static Dyadic Half() { return Dyadic(BigInt(1), 1); }
+
+  // Exact conversion from a reduced rational; nullopt unless the
+  // denominator is a power of two.
+  static std::optional<Dyadic> FromRational(const Rational& value);
+  // Exact conversion to the canonical reduced Rational. Strips the common
+  // factors of two (a shift) instead of running gcd.
+  Rational ToRational() const;
+
+  const BigInt& mantissa() const { return mantissa_; }
+  uint64_t exponent() const { return exponent_; }
+
+  bool IsZero() const { return mantissa_.IsZero(); }
+  int sign() const { return mantissa_.sign(); }
+
+  Dyadic operator-() const;
+  // 1 − *this, at this value's exponent (the decision-node complement).
+  Dyadic OneMinus() const;
+
+  // Shift-aligned add/sub: the result exponent is max(e1, e2) and only the
+  // smaller-exponent mantissa shifts. In-place on the left operand.
+  Dyadic& operator+=(const Dyadic& other);
+  Dyadic& operator-=(const Dyadic& other);
+  // Exponent-summing multiply: one BigInt multiplication, no reduction.
+  Dyadic& operator*=(const Dyadic& other);
+
+  Dyadic operator+(const Dyadic& other) const;
+  Dyadic operator-(const Dyadic& other) const;
+  Dyadic operator*(const Dyadic& other) const;
+
+  // a·b + c·d in one shot — the decision-node update p·high + (1−p)·low,
+  // fused so the intermediate products never round-trip through *this.
+  static Dyadic MulAdd(const Dyadic& a, const Dyadic& b, const Dyadic& c,
+                       const Dyadic& d);
+
+  // Canonicalizes in place: moves trailing zero bits of the mantissa into
+  // the exponent (min'd against it), so e.g. 8·2^-3 becomes 1·2^0. Zero
+  // resets to 0·2^0.
+  void Normalize();
+
+  // Batch-level common-exponent normalization: raises every value to the
+  // block's maximum exponent, so subsequent adds across the block need no
+  // per-op alignment shift (and complements share one 2^E). The batched
+  // circuit evaluator applies this per weight-matrix column.
+  static void AlignExponents(Dyadic* values, size_t count);
+
+  // Value equality (alignment-insensitive): 1·2^0 == 8·2^-3.
+  bool operator==(const Dyadic& other) const;
+  bool operator!=(const Dyadic& other) const { return !(*this == other); }
+
+  // Rendered via the canonical rational, e.g. "3/8".
+  std::string ToString() const;
+  double ToDouble() const;
+
+ private:
+  BigInt mantissa_;        // carries the sign
+  uint64_t exponent_ = 0;  // value = mantissa_ · 2^-exponent_
+};
+
+}  // namespace gmc
+
+#endif  // GMC_UTIL_DYADIC_H_

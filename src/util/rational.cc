@@ -22,6 +22,17 @@ Rational Rational::FromBigInt(BigInt value) {
   return Rational(std::move(value), BigInt(1));
 }
 
+Rational Rational::FromReducedParts(BigInt numerator, BigInt denominator) {
+  GMC_DCHECK(denominator.sign() > 0);
+  GMC_DCHECK(BigInt::Gcd(numerator, denominator).IsOne() ||
+             numerator.IsZero());
+  Rational out;
+  out.numerator_ = std::move(numerator);
+  out.denominator_ = std::move(denominator);
+  if (out.numerator_.IsZero()) out.denominator_ = BigInt(1);
+  return out;
+}
+
 Rational Rational::Dyadic(BigInt numerator, uint64_t log2_denominator) {
   return Rational(std::move(numerator), BigInt(1).ShiftLeft(log2_denominator));
 }
@@ -57,39 +68,175 @@ Rational Rational::operator-() const {
   return out;
 }
 
+// The sum of reduced fractions n1/d1 ± n2/d2 needs no gcd at all when either
+// side is integral or when the denominators are coprime, and otherwise only
+// gcd(t, g) for g = gcd(d1, d2) — never a gcd over the full-width products.
+// Every branch below mutates the existing numerator/denominator buffers in
+// place (BigInt's compound operators reuse their limb storage).
+void Rational::AddImpl(const Rational& other, bool subtract) {
+  if (other.IsZero()) return;
+  if (IsZero()) {
+    numerator_ = other.numerator_;
+    if (subtract) numerator_ = -numerator_;
+    denominator_ = other.denominator_;
+    return;
+  }
+  if (this == &other) {
+    const Rational copy = other;
+    AddImpl(copy, subtract);
+    return;
+  }
+  if (other.IsInteger()) {
+    // gcd(n1 ± k·d1, d1) == gcd(n1, d1) == 1: still reduced.
+    BigInt t = other.numerator_ * denominator_;
+    if (subtract) {
+      numerator_ -= t;
+    } else {
+      numerator_ += t;
+    }
+    if (numerator_.IsZero()) denominator_ = BigInt(1);
+    return;
+  }
+  if (IsInteger()) {
+    // (n1·d2 ± n2) / d2 shares no factor with d2 (n2 doesn't).
+    numerator_ *= other.denominator_;
+    if (subtract) {
+      numerator_ -= other.numerator_;
+    } else {
+      numerator_ += other.numerator_;
+    }
+    denominator_ = other.denominator_;
+    return;
+  }
+  const BigInt g = BigInt::Gcd(denominator_, other.denominator_);
+  if (g.IsOne()) {
+    // Coprime denominators: any prime of d1·d2 divides exactly one of the
+    // two summand terms, so the result is already reduced.
+    numerator_ *= other.denominator_;
+    BigInt t = other.numerator_ * denominator_;
+    if (subtract) {
+      numerator_ -= t;
+    } else {
+      numerator_ += t;
+    }
+    denominator_ *= other.denominator_;
+    if (numerator_.IsZero()) denominator_ = BigInt(1);
+    return;
+  }
+  // t / (d1·(d2/g)) with gcd(t, d1·(d2/g)) == gcd(t, g).
+  const BigInt d2_over_g = other.denominator_ / g;
+  BigInt t = numerator_ * d2_over_g;
+  BigInt u = other.numerator_ * (denominator_ / g);
+  if (subtract) {
+    t -= u;
+  } else {
+    t += u;
+  }
+  if (t.IsZero()) {
+    numerator_ = BigInt(0);
+    denominator_ = BigInt(1);
+    return;
+  }
+  const BigInt g2 = BigInt::Gcd(t, g);
+  if (g2.IsOne()) {
+    numerator_ = std::move(t);
+    denominator_ *= d2_over_g;
+  } else {
+    numerator_ = t / g2;
+    denominator_ /= g2;
+    denominator_ *= d2_over_g;
+  }
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+  AddImpl(other, /*subtract=*/false);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) {
+  AddImpl(other, /*subtract=*/true);
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& other) {
+  if (IsZero()) return *this;
+  if (other.IsZero()) {
+    numerator_ = BigInt(0);
+    denominator_ = BigInt(1);
+    return *this;
+  }
+  if (this == &other) {
+    // Squares of reduced fractions stay reduced.
+    numerator_ *= numerator_;
+    denominator_ *= denominator_;
+    return *this;
+  }
+  if (other.IsInteger()) {
+    // Only the integer factor can meet the denominator.
+    const BigInt g = BigInt::Gcd(other.numerator_, denominator_);
+    if (g.IsOne()) {
+      numerator_ *= other.numerator_;
+    } else {
+      numerator_ *= other.numerator_ / g;
+      denominator_ /= g;
+    }
+    return *this;
+  }
+  if (IsInteger()) {
+    const BigInt g = BigInt::Gcd(numerator_, other.denominator_);
+    if (g.IsOne()) {
+      numerator_ *= other.numerator_;
+      denominator_ = other.denominator_;
+    } else {
+      numerator_ /= g;
+      numerator_ *= other.numerator_;
+      denominator_ = other.denominator_ / g;
+    }
+    return *this;
+  }
+  // Cross-reduce before multiplying to keep intermediates small; inputs are
+  // reduced, so the cross-reduced product is reduced.
+  const BigInt g1 = BigInt::Gcd(numerator_, other.denominator_);
+  const BigInt g2 = BigInt::Gcd(other.numerator_, denominator_);
+  if (!g1.IsOne()) numerator_ /= g1;
+  numerator_ *= g2.IsOne() ? other.numerator_ : other.numerator_ / g2;
+  if (!g2.IsOne()) denominator_ /= g2;
+  denominator_ *= g1.IsOne() ? other.denominator_ : other.denominator_ / g1;
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+  GMC_CHECK_MSG(!other.IsZero(), "division by zero rational");
+  if (this == &other) {
+    numerator_ = BigInt(1);
+    denominator_ = BigInt(1);
+    return *this;
+  }
+  return *this *= other.Inverse();
+}
+
 Rational Rational::operator+(const Rational& other) const {
-  return Rational(numerator_ * other.denominator_ +
-                      other.numerator_ * denominator_,
-                  denominator_ * other.denominator_);
+  Rational out = *this;
+  out.AddImpl(other, /*subtract=*/false);
+  return out;
 }
 
 Rational Rational::operator-(const Rational& other) const {
-  return Rational(numerator_ * other.denominator_ -
-                      other.numerator_ * denominator_,
-                  denominator_ * other.denominator_);
+  Rational out = *this;
+  out.AddImpl(other, /*subtract=*/true);
+  return out;
 }
 
 Rational Rational::operator*(const Rational& other) const {
-  // Cross-reduce before multiplying to keep intermediates small.
-  BigInt g1 = BigInt::Gcd(numerator_, other.denominator_);
-  BigInt g2 = BigInt::Gcd(other.numerator_, denominator_);
-  BigInt num = (g1.IsOne() ? numerator_ : numerator_ / g1) *
-               (g2.IsOne() ? other.numerator_ : other.numerator_ / g2);
-  BigInt den = (g2.IsOne() ? denominator_ : denominator_ / g2) *
-               (g1.IsOne() ? other.denominator_ : other.denominator_ / g1);
-  Rational out;
-  out.numerator_ = std::move(num);
-  out.denominator_ = std::move(den);
-  // Inputs were reduced and cross-reduced, so the product is reduced, except
-  // for sign normalization (inputs have positive denominators, so none
-  // needed). Re-normalize zero for safety.
-  if (out.numerator_.IsZero()) out.denominator_ = BigInt(1);
+  Rational out = *this;
+  out *= other;
   return out;
 }
 
 Rational Rational::operator/(const Rational& other) const {
-  GMC_CHECK_MSG(!other.IsZero(), "division by zero rational");
-  return *this * other.Inverse();
+  Rational out = *this;
+  out /= other;
+  return out;
 }
 
 Rational Rational::Inverse() const {

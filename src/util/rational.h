@@ -25,6 +25,11 @@ class Rational {
   Rational(BigInt numerator, BigInt denominator);
 
   static Rational FromBigInt(BigInt value);
+  // Builds a rational from parts that are ALREADY in lowest terms with a
+  // positive denominator — the caller's invariant (debug-checked only).
+  // Exists so the dyadic exact path can convert mantissa·2^-exp results
+  // without re-running gcd: stripping the common factors of two is enough.
+  static Rational FromReducedParts(BigInt numerator, BigInt denominator);
   // p / 2^k — the dyadic values produced by {0, 1/2, 1}-probability TIDs.
   static Rational Dyadic(BigInt numerator, uint64_t log2_denominator);
   // Parses "a/b" or "a". Aborts on malformed input.
@@ -49,10 +54,14 @@ class Rational {
   // Aborts on division by zero.
   Rational operator/(const Rational& other) const;
 
-  Rational& operator+=(const Rational& o) { return *this = *this + o; }
-  Rational& operator-=(const Rational& o) { return *this = *this - o; }
-  Rational& operator*=(const Rational& o) { return *this = *this * o; }
-  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+  // In-place forms: mutate the existing numerator/denominator buffers (no
+  // temporary Rational) and skip the gcd entirely when one side is integral
+  // — adding an integer to a reduced fraction, or scaling by an integer
+  // coprime to the denominator, cannot introduce a common factor.
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  Rational& operator/=(const Rational& other);
 
   // *this raised to an integer power; negative exponents require *this != 0.
   Rational Pow(int64_t exponent) const;
@@ -75,6 +84,8 @@ class Rational {
 
  private:
   void Reduce();
+  // Shared body of += / -=: *this ± other, in place.
+  void AddImpl(const Rational& other, bool subtract);
 
   BigInt numerator_;
   BigInt denominator_;  // invariant: > 0, gcd(|num|, den) == 1

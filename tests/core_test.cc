@@ -44,6 +44,63 @@ TEST(DichotomyTest, GfomcFallsBackForUnsafe) {
   EXPECT_EQ(result.probability, BruteForceQueryProbability(h1, tid));
 }
 
+TEST(GfomcSessionTest, RepeatedQueriesHitTheCircuitCache) {
+  // One unsafe query probed at several probability assignments: the session
+  // compiles each distinct grounded lineage once and serves the repeats
+  // from cache; answers match the stateless one-shot path bit for bit.
+  Query h1 =
+      ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+  GfomcSession session;
+  std::vector<Tid> tids;
+  for (int k = 1; k <= 6; ++k) {
+    Tid tid(h1.vocab_ptr(), 2, 2, Rational(1, 2));
+    const Vocabulary& v = h1.vocab();
+    tid.SetBinary(v.Find("S"), 0, 0, Rational(k, 8));
+    tids.push_back(std::move(tid));
+  }
+  for (const Tid& tid : tids) {
+    GfomcResult session_result = session.Evaluate(h1, tid);
+    GfomcResult one_shot = Gfomc(h1, tid);
+    EXPECT_FALSE(session_result.used_lifted);
+    EXPECT_EQ(session_result.probability, one_shot.probability);
+    EXPECT_EQ(session_result.probability,
+              BruteForceQueryProbability(h1, tid));
+  }
+  const GfomcSession::Stats stats = session.stats();
+  EXPECT_EQ(stats.queries, 6u);
+  EXPECT_EQ(stats.unsafe_compiled, 6u);
+  // All six assignments share one lineage structure: one compile, the rest
+  // cache hits — the repeated-query payoff the session exists for.
+  EXPECT_EQ(stats.circuit_compiles, 1u);
+  EXPECT_EQ(stats.circuit_hits, 5u);
+
+  // The batched form gives the same answers in one grouped circuit pass.
+  GfomcSession batched;
+  std::vector<GfomcResult> many = batched.EvaluateMany(h1, tids);
+  ASSERT_EQ(many.size(), tids.size());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    EXPECT_EQ(many[i].probability, session.Evaluate(h1, tids[i]).probability);
+  }
+  EXPECT_EQ(batched.stats().circuit_compiles, 1u);
+}
+
+TEST(GfomcSessionTest, SafeQueriesRouteThroughTheSession) {
+  Query q = ParseQueryOrDie("Ax Ay (R(x) | S(x,y))");
+  GfomcSession session;
+  for (int k = 1; k <= 4; ++k) {
+    Tid tid(q.vocab_ptr(), 2, 2, Rational::Half());
+    const Vocabulary& v = q.vocab();
+    tid.SetUnaryLeft(v.Find("R"), 0, k % 2 ? Rational::Half()
+                                           : Rational::One());
+    GfomcResult result = session.Evaluate(q, tid);
+    EXPECT_TRUE(result.used_lifted);
+    EXPECT_EQ(result.probability, BruteForceQueryProbability(q, tid));
+  }
+  const GfomcSession::Stats stats = session.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.safe_compiled + stats.safe_lifted, 4u);
+}
+
 TEST(DichotomyTest, DemonstrateHardnessOnNonFinalQuery) {
   // (R ∨ S1 ∨ S2) ∧ (S1 ∨ T) is unsafe but not final; the façade first
   // walks it down to a final query, then reduces.

@@ -1,0 +1,522 @@
+// The dyadic fixed-point layer and the BigInt hot-loop machinery under it.
+//
+// Three families of checks:
+//   1. Dyadic arithmetic cross-checked against Rational on thousands of
+//      randomized values (negative, zero, and mixed-exponent cases), plus
+//      the batch normalization helpers;
+//   2. EvaluateBatchDyadic vs EvaluateBatch exact (bit-identical) equality
+//      on random CNFs and on the Type I / Type II gadget lineages, and the
+//      automatic CircuitCache routing with the feature on and off;
+//   3. BigInt small-value-optimization boundaries (1→2→3 limb transitions,
+//      heap spill and shrink-back) and in-place aliasing (a += a, a *= a),
+//      since the in-place compound operators are new load-bearing code.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compile/circuit_cache.h"
+#include "compile/compiler.h"
+#include "compile/nnf.h"
+#include "hardness/p2cnf.h"
+#include "hardness/reduction_type1.h"
+#include "lineage/grounder.h"
+#include "logic/parser.h"
+#include "prob/tid.h"
+#include "safe/safe_eval.h"
+#include "util/bigint.h"
+#include "util/dyadic.h"
+#include "util/rational.h"
+#include "wmc/wmc.h"
+
+namespace gmc {
+namespace {
+
+Query H1() {
+  return ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+Query ExampleC9() {
+  return ParseQueryOrDie(
+      "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax Ay (S1(x,y) | S3(x,y)) & "
+      "Ay (Ax (S3(x,y)) | Ax (S4(x,y)))");
+}
+
+// Random signed BigInt of roughly `limbs` 32-bit limbs (possibly fewer
+// after leading-zero trimming), occasionally zero.
+BigInt RandomBigInt(std::mt19937_64& rng, int limbs) {
+  BigInt out;
+  for (int i = 0; i < limbs; ++i) {
+    out = out.ShiftLeft(32) + BigInt(static_cast<int64_t>(rng() & 0xffffffffu));
+  }
+  if (rng() % 2) out = -out;
+  return out;
+}
+
+// Random dyadic value m · 2^-e with mixed mantissa widths and exponents
+// (zero and negative included).
+Dyadic RandomDyadic(std::mt19937_64& rng) {
+  if (rng() % 16 == 0) return Dyadic::Zero();
+  const int limbs = 1 + static_cast<int>(rng() % 3);
+  const uint64_t exponent = rng() % 70;
+  return Dyadic(RandomBigInt(rng, limbs), exponent);
+}
+
+TEST(DyadicTest, RationalRoundTrip) {
+  EXPECT_EQ(Dyadic::Zero().ToRational(), Rational::Zero());
+  EXPECT_EQ(Dyadic::One().ToRational(), Rational::One());
+  EXPECT_EQ(Dyadic::Half().ToRational(), Rational::Half());
+  EXPECT_EQ(Dyadic(BigInt(-3), 3).ToRational(), Rational(-3, 8));
+  // Non-canonical representations reduce on the way out.
+  EXPECT_EQ(Dyadic(BigInt(8), 3).ToRational(), Rational::One());
+  EXPECT_EQ(Dyadic(BigInt(12), 3).ToRational(), Rational(3, 2));
+
+  ASSERT_TRUE(Dyadic::FromRational(Rational(5, 16)).has_value());
+  EXPECT_EQ(Dyadic::FromRational(Rational(5, 16))->ToRational(),
+            Rational(5, 16));
+  EXPECT_EQ(Dyadic::FromRational(Rational(-7, 1))->ToRational(),
+            Rational(-7, 1));
+  EXPECT_FALSE(Dyadic::FromRational(Rational(1, 3)).has_value());
+  EXPECT_FALSE(Dyadic::FromRational(Rational(5, 6)).has_value());
+}
+
+TEST(DyadicTest, RandomizedArithmeticMatchesRational) {
+  std::mt19937_64 rng(20210617);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Dyadic a = RandomDyadic(rng);
+    const Dyadic b = RandomDyadic(rng);
+    const Rational ra = a.ToRational();
+    const Rational rb = b.ToRational();
+    EXPECT_EQ((a + b).ToRational(), ra + rb);
+    EXPECT_EQ((a - b).ToRational(), ra - rb);
+    EXPECT_EQ((a * b).ToRational(), ra * rb);
+    EXPECT_EQ((-a).ToRational(), -ra);
+    // In-place forms agree with the binary forms.
+    Dyadic c = a;
+    c += b;
+    EXPECT_EQ(c, a + b);
+    c = a;
+    c -= b;
+    EXPECT_EQ(c, a - b);
+    c = a;
+    c *= b;
+    EXPECT_EQ(c, a * b);
+    // Fused decision-node update.
+    const Dyadic d = RandomDyadic(rng);
+    const Dyadic e = RandomDyadic(rng);
+    EXPECT_EQ(Dyadic::MulAdd(a, b, d, e).ToRational(), ra * rb + d.ToRational() * e.ToRational());
+  }
+}
+
+TEST(DyadicTest, NormalizeAndAlignPreserveValue) {
+  std::mt19937_64 rng(42424242);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Dyadic> values;
+    std::vector<Rational> expected;
+    for (int i = 0; i < 8; ++i) {
+      values.push_back(RandomDyadic(rng));
+      expected.push_back(values.back().ToRational());
+    }
+    Dyadic::AlignExponents(values.data(), values.size());
+    uint64_t common = values[0].exponent();
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(values[i].exponent(), common);  // one exponent for the block
+      EXPECT_EQ(values[i].ToRational(), expected[i]);
+      values[i].Normalize();
+      EXPECT_EQ(values[i].ToRational(), expected[i]);
+      if (!values[i].IsZero() && values[i].exponent() > 0) {
+        // Canonical: odd mantissa once normalized.
+        EXPECT_EQ(values[i].mantissa().TrailingZeroBits(), 0u);
+      }
+    }
+  }
+}
+
+TEST(DyadicTest, OneMinusComplement) {
+  std::mt19937_64 rng(777);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Dyadic a = RandomDyadic(rng);
+    EXPECT_EQ(a.OneMinus().ToRational(), Rational::One() - a.ToRational());
+    EXPECT_EQ(a.OneMinus().exponent(), a.exponent());
+  }
+  EXPECT_EQ(Dyadic::Zero().OneMinus().ToRational(), Rational::One());
+  EXPECT_EQ(Dyadic::One().OneMinus().ToRational(), Rational::Zero());
+}
+
+TEST(DyadicTest, ValueEqualityIsAlignmentInsensitive) {
+  EXPECT_EQ(Dyadic(BigInt(1), 0), Dyadic(BigInt(8), 3));
+  EXPECT_EQ(Dyadic(BigInt(-2), 1), Dyadic(BigInt(-16), 4));
+  EXPECT_NE(Dyadic(BigInt(1), 0), Dyadic(BigInt(9), 3));
+  EXPECT_EQ(Dyadic(BigInt(0), 0), Dyadic(BigInt(0), 17));
+}
+
+// ------------------------------------------------------------------
+// Batched circuit evaluation: dyadic vs Rational, bit-identical.
+
+// K dyadic weight rows over `num_vars` variables: mixed denominators
+// 2^0..2^7, zeros and ones sprinkled in.
+WeightMatrix RandomDyadicWeights(int num_k, int num_vars,
+                                 std::mt19937_64& rng) {
+  std::vector<std::vector<Rational>> rows;
+  for (int k = 0; k < num_k; ++k) {
+    std::vector<Rational> row;
+    for (int v = 0; v < num_vars; ++v) {
+      switch (rng() % 8) {
+        case 0:
+          row.push_back(Rational::Zero());
+          break;
+        case 1:
+          row.push_back(Rational::One());
+          break;
+        default: {
+          const int exponent = 1 + static_cast<int>(rng() % 7);
+          const int64_t den = int64_t{1} << exponent;
+          row.push_back(Rational(static_cast<int64_t>(rng() % (den + 1)), den));
+          break;
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return WeightMatrix::FromRows(rows);
+}
+
+TEST(EvaluateBatchDyadicTest, MatchesRationalOnRandomCnfs) {
+  std::mt19937_64 rng(909);
+  Compiler compiler;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int num_vars = 3 + static_cast<int>(rng() % 10);
+    const int num_clauses = 1 + static_cast<int>(rng() % 12);
+    Cnf cnf;
+    cnf.num_vars = num_vars;
+    for (int c = 0; c < num_clauses; ++c) {
+      const int len = 1 + static_cast<int>(rng() % 4);
+      std::vector<int> clause;
+      for (int l = 0; l < len; ++l) {
+        clause.push_back(static_cast<int>(rng() % num_vars));
+      }
+      cnf.AddClause(std::move(clause));
+    }
+    cnf.RemoveSubsumed();
+    NnfCircuit circuit = compiler.Compile(cnf);
+    WeightMatrix weights = RandomDyadicWeights(9, num_vars, rng);
+    ASSERT_TRUE(weights.AllDyadic());
+    const std::vector<Rational> exact = circuit.EvaluateBatch(weights);
+    const std::vector<Rational> dyadic = circuit.EvaluateBatchDyadic(weights);
+    ASSERT_EQ(exact.size(), dyadic.size());
+    for (size_t k = 0; k < exact.size(); ++k) {
+      // Rational equality is structural (lowest terms), so == here means
+      // bit-identical numerator and denominator.
+      EXPECT_EQ(exact[k], dyadic[k]) << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(EvaluateBatchDyadicTest, MatchesRationalOnTypeIGadgets) {
+  Type1Reduction reduction(H1());
+  P2Cnf phi = P2Cnf::Random(4, 3, /*seed=*/23);
+  Compiler compiler;
+  std::mt19937_64 rng(1234);
+  for (int p1 = 1; p1 <= 2; ++p1) {
+    for (int p2 = p1; p2 <= 2; ++p2) {
+      Tid tid = reduction.BuildTid(phi, p1, p2);
+      Lineage lineage = Ground(reduction.query(), tid);
+      NnfCircuit circuit = compiler.Compile(lineage);
+      // The gadget's own weights (all {1/2, 1} after grounding) plus random
+      // dyadic perturbations of them.
+      std::vector<std::vector<Rational>> rows;
+      rows.push_back(lineage.probabilities);
+      for (int k = 0; k < 7; ++k) {
+        std::vector<Rational> row = lineage.probabilities;
+        for (auto& p : row) {
+          if (rng() % 3 == 0) {
+            p = Rational(static_cast<int64_t>(rng() % 65), 64);
+          }
+        }
+        rows.push_back(std::move(row));
+      }
+      WeightMatrix weights = WeightMatrix::FromRows(rows);
+      ASSERT_TRUE(weights.AllDyadic());
+      EXPECT_EQ(circuit.EvaluateBatch(weights),
+                circuit.EvaluateBatchDyadic(weights))
+          << "p1=" << p1 << " p2=" << p2;
+    }
+  }
+}
+
+TEST(EvaluateBatchDyadicTest, MatchesRationalOnTypeIiGadget) {
+  Query q = ExampleC9();
+  Tid tid(q.vocab_ptr(), 2, 2, Rational::Half());
+  Lineage lineage = Ground(q, tid);
+  Compiler compiler;
+  NnfCircuit circuit = compiler.Compile(lineage);
+  std::mt19937_64 rng(555);
+  WeightMatrix weights = RandomDyadicWeights(
+      16, static_cast<int>(lineage.probabilities.size()), rng);
+  ASSERT_TRUE(weights.AllDyadic());
+  EXPECT_EQ(circuit.EvaluateBatch(weights),
+            circuit.EvaluateBatchDyadic(weights));
+}
+
+TEST(CircuitCacheRoutingTest, DyadicBatchesRouteAutomatically) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.AddClause({0, 1});
+  cnf.AddClause({1, 2, 3});
+  std::mt19937_64 rng(31337);
+  WeightMatrix dyadic_weights = RandomDyadicWeights(8, 4, rng);
+  // One non-dyadic entry disqualifies the whole batch.
+  WeightMatrix mixed_weights = dyadic_weights;
+  mixed_weights.Set(3, 2, Rational(1, 3));
+  ASSERT_TRUE(dyadic_weights.AllDyadic());
+  ASSERT_FALSE(mixed_weights.AllDyadic());
+
+  CircuitCache on;
+  ASSERT_TRUE(on.dyadic_enabled());
+  const std::vector<Rational> via_dyadic =
+      on.ProbabilityBatch(cnf, dyadic_weights);
+  EXPECT_EQ(on.stats().dyadic_batches, 1u);
+  EXPECT_EQ(on.stats().dyadic_vectors, 8u);
+  const std::vector<Rational> mixed = on.ProbabilityBatch(cnf, mixed_weights);
+  EXPECT_EQ(on.stats().dyadic_batches, 1u);  // mixed batch fell back
+  EXPECT_EQ(on.stats().batch_passes, 2u);
+
+  CircuitCache off;
+  off.set_dyadic_enabled(false);
+  EXPECT_EQ(off.ProbabilityBatch(cnf, dyadic_weights), via_dyadic);
+  EXPECT_EQ(off.ProbabilityBatch(cnf, mixed_weights), mixed);
+  EXPECT_EQ(off.stats().dyadic_batches, 0u);
+}
+
+// Feature on vs feature off through every production caller: results must
+// be bit-identical. The process-wide default drives the caches embedded in
+// the reduction oracles and evaluators.
+class DyadicOnOffTest : public ::testing::Test {
+ protected:
+  ~DyadicOnOffTest() override {
+    CircuitCache::SetDyadicDefaultEnabled(true);  // restore for other tests
+  }
+};
+
+TEST_F(DyadicOnOffTest, Type1ReductionBitIdentical) {
+  Type1Reduction reduction(H1());
+  P2Cnf phi = P2Cnf::Random(4, 3, /*seed=*/7);
+
+  CircuitCache::SetDyadicDefaultEnabled(true);
+  CompiledOracle oracle_on;
+  Type1ReductionResult on = reduction.Run(phi, &oracle_on);
+  EXPECT_GT(oracle_on.cache().stats().dyadic_batches, 0u);
+
+  CircuitCache::SetDyadicDefaultEnabled(false);
+  CompiledOracle oracle_off;
+  Type1ReductionResult off = reduction.Run(phi, &oracle_off);
+  EXPECT_EQ(oracle_off.cache().stats().dyadic_batches, 0u);
+
+  EXPECT_EQ(on.model_count, off.model_count);
+  EXPECT_EQ(on.model_count, CountSatisfying(phi));
+  EXPECT_EQ(on.signature_counts, off.signature_counts);
+}
+
+TEST_F(DyadicOnOffTest, WmcEngineBatchBitIdentical) {
+  Cnf cnf;
+  cnf.num_vars = 5;
+  cnf.AddClause({0, 1, 2});
+  cnf.AddClause({2, 3});
+  cnf.AddClause({3, 4});
+  std::mt19937_64 rng(2718);
+  WeightMatrix weights = RandomDyadicWeights(12, 5, rng);
+
+  CircuitCache::SetDyadicDefaultEnabled(true);
+  WmcEngine engine_on;
+  const std::vector<Rational> on =
+      engine_on.CompiledProbabilityBatch(cnf, weights);
+  CircuitCache::SetDyadicDefaultEnabled(false);
+  WmcEngine engine_off;
+  const std::vector<Rational> off =
+      engine_off.CompiledProbabilityBatch(cnf, weights);
+  EXPECT_EQ(on, off);
+  // And both agree with the per-vector recursive engine.
+  for (int k = 0; k < weights.num_vectors(); ++k) {
+    EXPECT_EQ(on[k], engine_on.Probability(cnf, weights.Row(k)));
+  }
+}
+
+TEST_F(DyadicOnOffTest, SafeEvaluateManyBitIdentical) {
+  // A safe query whose GFOMC instances route through the circuit cache.
+  Query q = ParseQueryOrDie("Ax Ay (R(x) | S(x,y))");
+  std::vector<Tid> tids;
+  for (int i = 0; i < 6; ++i) {
+    Tid tid(q.vocab_ptr(), 2, 2, Rational::Half());
+    const Vocabulary& v = q.vocab();
+    tid.SetUnaryLeft(v.Find("R"), i % 2, i < 3 ? Rational::One()
+                                               : Rational::Half());
+    tids.push_back(std::move(tid));
+  }
+
+  CircuitCache::SetDyadicDefaultEnabled(true);
+  SafeEvaluator eval_on;
+  auto on = eval_on.EvaluateMany(q, tids);
+  ASSERT_TRUE(on.has_value());
+  EXPECT_GT(eval_on.circuits().stats().dyadic_batches, 0u);
+
+  CircuitCache::SetDyadicDefaultEnabled(false);
+  SafeEvaluator eval_off;
+  auto off = eval_off.EvaluateMany(q, tids);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(eval_off.circuits().stats().dyadic_batches, 0u);
+  EXPECT_EQ(*on, *off);
+
+  // Both agree with the lifted per-TID algorithm.
+  SafeEvaluator lifted;
+  for (size_t i = 0; i < tids.size(); ++i) {
+    auto value = lifted.Evaluate(q, tids[i]);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ((*on)[i], *value) << "tid " << i;
+  }
+}
+
+// ------------------------------------------------------------------
+// BigInt small-value-optimization boundaries and in-place aliasing.
+
+TEST(BigIntSvoTest, LimbBoundaryTransitions) {
+  // 1 limb → 2 limbs (still inline) → 3 limbs (heap spill), and back.
+  const BigInt one_limb_max(0xffffffffll);
+  BigInt x = one_limb_max;
+  x += BigInt(1);
+  EXPECT_EQ(x, BigInt(0x100000000ll));  // 2 limbs
+  x -= BigInt(1);
+  EXPECT_EQ(x, one_limb_max);  // shrank back to 1 limb
+  EXPECT_EQ(x.ToInt64(), 0xffffffffll);
+
+  const BigInt two_limb_max = BigInt(1).ShiftLeft(64) - BigInt(1);
+  BigInt y = two_limb_max;
+  y += BigInt(1);  // 3 limbs: spills to the heap
+  EXPECT_EQ(y, BigInt(1).ShiftLeft(64));
+  EXPECT_EQ(y.ToString(), "18446744073709551616");
+  y -= BigInt(1);
+  EXPECT_EQ(y, two_limb_max);  // value shrinks; correctness over storage
+  y -= two_limb_max;
+  EXPECT_TRUE(y.IsZero());
+
+  // Multiplication across the same boundaries.
+  BigInt z(0x100000000ll);  // 2^32
+  z *= z;                   // 2^64, in place with self-aliasing
+  EXPECT_EQ(z, BigInt(1).ShiftLeft(64));
+  z *= BigInt(2);
+  EXPECT_EQ(z, BigInt(1).ShiftLeft(65));
+}
+
+TEST(BigIntSvoTest, InPlaceAliasing) {
+  std::mt19937_64 rng(161803);
+  for (int limbs = 1; limbs <= 4; ++limbs) {
+    for (int trial = 0; trial < 50; ++trial) {
+      BigInt a = RandomBigInt(rng, limbs);
+      BigInt doubled = a;
+      doubled += doubled;  // a += a
+      EXPECT_EQ(doubled, a + a);
+      EXPECT_EQ(doubled, a.ShiftLeft(1));
+      BigInt zero = a;
+      zero -= zero;  // a -= a
+      EXPECT_TRUE(zero.IsZero());
+      BigInt squared = a;
+      squared *= squared;  // a *= a
+      EXPECT_EQ(squared, a * a);
+      EXPECT_TRUE(squared.sign() >= 0);
+    }
+  }
+}
+
+TEST(BigIntSvoTest, InPlaceMatchesOutOfPlaceRandomized) {
+  std::mt19937_64 rng(271828);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const BigInt a = RandomBigInt(rng, 1 + static_cast<int>(rng() % 5));
+    const BigInt b = RandomBigInt(rng, 1 + static_cast<int>(rng() % 5));
+    BigInt c = a;
+    c += b;
+    EXPECT_EQ(c, a + b);
+    c = a;
+    c -= b;
+    EXPECT_EQ(c, a - b);
+    c = a;
+    c *= b;
+    EXPECT_EQ(c, a * b);
+    // Shift round trips (the dyadic alignment primitives).
+    const uint64_t bits = rng() % 100;
+    BigInt s = a;
+    s.ShiftLeftInPlace(bits);
+    EXPECT_EQ(s, a.ShiftLeft(bits));
+    s.ShiftRightInPlace(bits);
+    EXPECT_EQ(s, a);
+  }
+}
+
+TEST(BigIntSvoTest, GcdFastPathsAgree) {
+  std::mt19937_64 rng(141421);
+  // Unit operands and 64-bit pairs take dedicated fast paths; cross-check
+  // the gcd contract on both plus multi-limb values.
+  EXPECT_EQ(BigInt::Gcd(BigInt(1), RandomBigInt(rng, 4).Abs()), BigInt(1));
+  EXPECT_EQ(BigInt::Gcd(RandomBigInt(rng, 4).Abs(), BigInt(1)), BigInt(1));
+  for (int trial = 0; trial < 500; ++trial) {
+    const BigInt a = RandomBigInt(rng, 1 + static_cast<int>(rng() % 4));
+    const BigInt b = RandomBigInt(rng, 1 + static_cast<int>(rng() % 4));
+    if (a.IsZero() || b.IsZero()) continue;
+    const BigInt g = BigInt::Gcd(a, b);
+    EXPECT_GT(g.sign(), 0);
+    EXPECT_TRUE((a % g).IsZero());
+    EXPECT_TRUE((b % g).IsZero());
+    EXPECT_TRUE(
+        BigInt::Gcd(a / g, b / g).IsOne());  // cofactors are coprime
+  }
+}
+
+// Rational's in-place operators are new; pin them to the binary forms
+// (which the rest of the suite exercises heavily).
+TEST(RationalInPlaceTest, CompoundMatchesBinaryRandomized) {
+  std::mt19937_64 rng(333);
+  auto random_rational = [&rng]() {
+    if (rng() % 8 == 0) return Rational::Zero();
+    if (rng() % 4 == 0) {  // integral operands take the gcd-free branches
+      return Rational(static_cast<int64_t>(rng() % 2000) - 1000);
+    }
+    const int64_t den = 1 + static_cast<int64_t>(rng() % 1000);
+    return Rational(static_cast<int64_t>(rng() % 2000) - 1000, den);
+  };
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Rational a = random_rational();
+    const Rational b = random_rational();
+    Rational c = a;
+    c += b;
+    EXPECT_EQ(c, a + b);
+    c = a;
+    c -= b;
+    EXPECT_EQ(c, a - b);
+    c = a;
+    c *= b;
+    EXPECT_EQ(c, a * b);
+    if (!b.IsZero()) {
+      c = a;
+      c /= b;
+      EXPECT_EQ(c, a / b);
+    }
+    // Self-aliasing.
+    c = a;
+    c += c;
+    EXPECT_EQ(c, a + a);
+    c = a;
+    c *= c;
+    EXPECT_EQ(c, a * a);
+    c = a;
+    c -= c;
+    EXPECT_TRUE(c.IsZero());
+    if (!a.IsZero()) {
+      c = a;
+      c /= c;
+      EXPECT_TRUE(c.IsOne());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmc
