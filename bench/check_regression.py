@@ -96,15 +96,19 @@ def main():
         marker = ""
         if normalized > limit:
             marker = "  << REGRESSION"
-            regressions.append(name)
+            regressions.append((name, normalized))
         print(f"{name:<45} {baseline[name]:>10.0f}ns {current[name]:>10.0f}ns "
               f"{normalized:>9.3f}x{marker}")
 
     if regressions:
+        # Every offender with its normalized ratio, worst first — a
+        # multi-config suite must be debuggable from the CI log alone.
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-              f"{args.threshold_pct:.0f}% relative to the run median:")
-        for name in regressions:
-            print(f"  {name}")
+              f"{args.threshold_pct:.0f}% relative to the run median "
+              f"(limit {limit:.2f}x):")
+        for name, normalized in sorted(regressions, key=lambda r: -r[1]):
+            print(f"  {name}: {normalized:.3f}x normalized "
+                  f"({(normalized - 1.0) * 100.0:+.0f}% vs median)")
         sys.exit(1)
     print("\nOK: no benchmark regressed beyond the threshold")
 

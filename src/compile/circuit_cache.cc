@@ -1,34 +1,62 @@
 #include "compile/circuit_cache.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace gmc {
 
 namespace {
-bool g_dyadic_default_enabled = true;
+std::atomic<bool> g_dyadic_default_enabled{true};
 }  // namespace
 
 void CircuitCache::SetDyadicDefaultEnabled(bool enabled) {
-  g_dyadic_default_enabled = enabled;
+  g_dyadic_default_enabled.store(enabled, std::memory_order_relaxed);
 }
 
-bool CircuitCache::DyadicDefaultEnabled() { return g_dyadic_default_enabled; }
+bool CircuitCache::DyadicDefaultEnabled() {
+  return g_dyadic_default_enabled.load(std::memory_order_relaxed);
+}
+
+CircuitCache::Stripe& CircuitCache::StripeFor(const Cnf& cnf) {
+  // The stripe index uses the same 64-bit structural hash as the
+  // per-stripe maps; taking the TOP bits keeps the two partitions
+  // independent (the map buckets use the low bits). The shift tracks
+  // kNumStripes so resizing the array keeps every stripe reachable.
+  static_assert((kNumStripes & (kNumStripes - 1)) == 0,
+                "stripe count must be a power of two");
+  constexpr int kShift = 64 - std::bit_width(kNumStripes - 1);
+  return stripes_[CnfHash{}(cnf) >> kShift & (kNumStripes - 1)];
+}
 
 const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
-  if (auto it = circuits_.find(cnf); it != circuits_.end()) {
-    ++stats_.hits;
-    return it->second;
+  Stripe& stripe = StripeFor(cnf);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  if (auto it = stripe.circuits.find(cnf); it != stripe.circuits.end()) {
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    return *it->second;
   }
-  ++stats_.compiles;
-  const Compiler::Stats before = compiler_.stats();
-  const NnfCircuit& circuit =
-      circuits_.emplace(cnf, compiler_.Compile(cnf)).first->second;
-  stats_.nodes_before_minimize +=
-      compiler_.stats().minimize_nodes_before - before.minimize_nodes_before;
-  stats_.nodes_after_minimize +=
-      compiler_.stats().minimize_nodes_after - before.minimize_nodes_after;
-  return circuit;
+  stats_.compiles.fetch_add(1, std::memory_order_relaxed);
+  // Compile while holding the stripe lock: a second thread racing for the
+  // SAME structure waits here instead of compiling twice, and threads on
+  // other stripes only serialize on the compiler mutex below (the
+  // compiler's sub-formula memo is shared state).
+  NnfCircuit compiled;
+  {
+    std::lock_guard<std::mutex> compiler_lock(compiler_mu_);
+    const Compiler::Stats before = compiler_.stats();
+    compiled = compiler_.Compile(cnf);
+    stats_.nodes_before_minimize.fetch_add(
+        compiler_.stats().minimize_nodes_before -
+            before.minimize_nodes_before,
+        std::memory_order_relaxed);
+    stats_.nodes_after_minimize.fetch_add(
+        compiler_.stats().minimize_nodes_after - before.minimize_nodes_after,
+        std::memory_order_relaxed);
+  }
+  auto inserted = stripe.circuits.emplace(
+      cnf, std::make_unique<NnfCircuit>(std::move(compiled)));
+  return *inserted.first->second;
 }
 
 Rational CircuitCache::Probability(const Cnf& cnf,
@@ -52,19 +80,31 @@ std::vector<Rational> CircuitCache::ProbabilityBatch(
   const NnfCircuit& circuit = Get(cnf);
   // The Get above accounted one compile or hit; the remaining K − 1 vectors
   // are all cache-served evaluations.
-  stats_.hits += weights.num_vectors() - 1;
-  ++stats_.batch_passes;
-  stats_.batched_vectors += weights.num_vectors();
+  stats_.hits.fetch_add(weights.num_vectors() - 1, std::memory_order_relaxed);
+  stats_.batch_passes.fetch_add(1, std::memory_order_relaxed);
+  stats_.batched_vectors.fetch_add(weights.num_vectors(),
+                                   std::memory_order_relaxed);
+  const int num_threads = num_threads_.load(std::memory_order_relaxed);
   // Interpolation sweeps and GFOMC instances have power-of-two weight
   // denominators throughout; those batches take the gcd-free dyadic pass.
   // Both paths return identical reduced Rationals, so callers never see
   // which one ran.
-  if (dyadic_enabled_ && weights.AllDyadic()) {
-    ++stats_.dyadic_batches;
-    stats_.dyadic_vectors += weights.num_vectors();
-    return circuit.EvaluateBatchDyadic(weights);
+  if (dyadic_enabled() && weights.AllDyadic()) {
+    stats_.dyadic_batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.dyadic_vectors.fetch_add(weights.num_vectors(),
+                                    std::memory_order_relaxed);
+    DyadicBatchStats widths;
+    std::vector<Rational> result =
+        circuit.EvaluateBatchDyadic(weights, num_threads, &widths);
+    stats_.fixed64_vectors.fetch_add(widths.fixed64_vectors,
+                                     std::memory_order_relaxed);
+    stats_.fixed128_vectors.fetch_add(widths.fixed128_vectors,
+                                      std::memory_order_relaxed);
+    stats_.bigint_vectors.fetch_add(widths.bigint_vectors,
+                                    std::memory_order_relaxed);
+    return result;
   }
-  return circuit.EvaluateBatch(weights);
+  return circuit.EvaluateBatch(weights, num_threads);
 }
 
 std::vector<Rational> CircuitCache::ProbabilityBatch(
@@ -104,6 +144,48 @@ std::vector<Rational> CircuitCache::ProbabilityBatch(
     }
   }
   return results;
+}
+
+CircuitCache::Stats CircuitCache::stats() const {
+  Stats out;
+  out.compiles = stats_.compiles.load(std::memory_order_relaxed);
+  out.hits = stats_.hits.load(std::memory_order_relaxed);
+  out.batch_passes = stats_.batch_passes.load(std::memory_order_relaxed);
+  out.batched_vectors =
+      stats_.batched_vectors.load(std::memory_order_relaxed);
+  out.dyadic_batches = stats_.dyadic_batches.load(std::memory_order_relaxed);
+  out.dyadic_vectors = stats_.dyadic_vectors.load(std::memory_order_relaxed);
+  out.fixed64_vectors =
+      stats_.fixed64_vectors.load(std::memory_order_relaxed);
+  out.fixed128_vectors =
+      stats_.fixed128_vectors.load(std::memory_order_relaxed);
+  out.bigint_vectors = stats_.bigint_vectors.load(std::memory_order_relaxed);
+  out.nodes_before_minimize =
+      stats_.nodes_before_minimize.load(std::memory_order_relaxed);
+  out.nodes_after_minimize =
+      stats_.nodes_after_minimize.load(std::memory_order_relaxed);
+  return out;
+}
+
+Compiler::Stats CircuitCache::compiler_stats() const {
+  std::lock_guard<std::mutex> lock(compiler_mu_);
+  return compiler_.stats();
+}
+
+size_t CircuitCache::size() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.circuits.size();
+  }
+  return total;
+}
+
+void CircuitCache::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.circuits.clear();
+  }
 }
 
 }  // namespace gmc

@@ -7,11 +7,26 @@
 // Möbius inversion's per-block queries, a zig-zag cross-check — pays for
 // compilation once and a linear circuit pass per evaluation thereafter.
 // Note the key is the CNF alone, not the weights: that is the whole point.
+//
+// Thread safety: the cache is safe to share across threads. The memo is
+// partitioned into hash stripes, each guarded by its own mutex, so lookups
+// for different structures rarely contend; circuits are held by unique_ptr,
+// so a returned reference stays valid across concurrent insertions (only
+// Clear invalidates, and Clear must not race in-flight evaluations).
+// Compilation of a new structure holds its stripe's lock (a second thread
+// asking for the same CNF blocks instead of compiling twice) plus the
+// compiler mutex (the compiler's sub-formula memo is shared state).
+// Stats counters are atomics; stats() returns a coherent-enough snapshot
+// for monitoring (counters are incremented independently).
 
 #ifndef GMC_COMPILE_CIRCUIT_CACHE_H_
 #define GMC_COMPILE_CIRCUIT_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +59,12 @@ class CircuitCache {
     // Rational EvaluateBatch (see nnf.h; results are bit-identical).
     uint64_t dyadic_batches = 0;
     uint64_t dyadic_vectors = 0;
+    // Width routing inside the dyadic path (see nnf_fixed.cc): vectors
+    // served by the uint64 / UInt128 fixed-width kernels vs the BigInt
+    // Dyadic arena. fixed64 + fixed128 + bigint == dyadic_vectors.
+    uint64_t fixed64_vectors = 0;
+    uint64_t fixed128_vectors = 0;
+    uint64_t bigint_vectors = 0;
     // Sweep-and-merge payoff across all compiles (mirrors the compiler's
     // minimize_nodes_before/after, surfaced here because this cache is the
     // front end repeated-query traffic goes through).
@@ -53,8 +74,9 @@ class CircuitCache {
 
   CircuitCache() = default;
 
-  // The compiled circuit for `cnf`, compiling on first sight. The reference
-  // is invalidated by the next Get/Probability call (rehash may move it).
+  // The compiled circuit for `cnf`, compiling on first sight. The
+  // reference stays valid until Clear() or destruction (concurrent Get
+  // calls never move existing circuits).
   const NnfCircuit& Get(const Cnf& cnf);
 
   // One circuit evaluation; compiles on the first call per CNF structure.
@@ -66,7 +88,8 @@ class CircuitCache {
 
   // Batched evaluate-many: all K weight vectors of one CNF structure in a
   // single topological circuit pass (NnfCircuit::EvaluateBatch) instead of
-  // K independent walks.
+  // K independent walks. The pass itself is column-parallel (see nnf.h);
+  // set_num_threads below bounds the workers it may use.
   std::vector<Rational> ProbabilityBatch(const Cnf& cnf,
                                          const WeightMatrix& weights);
   // Mixed-structure form: groups the lineages by CNF structure, compiles
@@ -82,8 +105,23 @@ class CircuitCache {
   // instance) are served by NnfCircuit::EvaluateBatchDyadic. The results
   // are bit-identical to the Rational path either way; the knob exists for
   // cross-checks and A/B benchmarks, not for correctness.
-  void set_dyadic_enabled(bool enabled) { dyadic_enabled_ = enabled; }
-  bool dyadic_enabled() const { return dyadic_enabled_; }
+  void set_dyadic_enabled(bool enabled) {
+    dyadic_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool dyadic_enabled() const {
+    return dyadic_enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Worker bound for this cache's batch passes: 0 (default) defers to the
+  // process default (DefaultNumThreads, i.e. GMC_THREADS), 1 forces
+  // serial, n allows at most n column slices. Results are bit-identical
+  // at every setting.
+  void set_num_threads(int num_threads) {
+    num_threads_.store(num_threads, std::memory_order_relaxed);
+  }
+  int num_threads() const {
+    return num_threads_.load(std::memory_order_relaxed);
+  }
 
   // Process-wide default for newly constructed caches (per-instance
   // set_dyadic_enabled overrides). The on/off cross-check tests and the A/B
@@ -93,17 +131,46 @@ class CircuitCache {
   static void SetDyadicDefaultEnabled(bool enabled);
   static bool DyadicDefaultEnabled();
 
-  const Stats& stats() const { return stats_; }
-  const Compiler::Stats& compiler_stats() const { return compiler_.stats(); }
-  size_t size() const { return circuits_.size(); }
-  void Clear() { circuits_.clear(); }
+  // Snapshot of the atomic counters (not a reference: counters move under
+  // concurrent traffic).
+  Stats stats() const;
+  Compiler::Stats compiler_stats() const;
+  size_t size() const;
+  // Drops every cached circuit. NOT safe to call while other threads hold
+  // references from Get or are mid-evaluation.
+  void Clear();
 
  private:
+  // Hash stripes: 16 is plenty — contention is per distinct structure, and
+  // callers batch per structure.
+  static constexpr size_t kNumStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Cnf, std::unique_ptr<NnfCircuit>, CnfHash, CnfClauseEq>
+        circuits;
+  };
+  struct AtomicStats {
+    std::atomic<uint64_t> compiles{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> batch_passes{0};
+    std::atomic<uint64_t> batched_vectors{0};
+    std::atomic<uint64_t> dyadic_batches{0};
+    std::atomic<uint64_t> dyadic_vectors{0};
+    std::atomic<uint64_t> fixed64_vectors{0};
+    std::atomic<uint64_t> fixed128_vectors{0};
+    std::atomic<uint64_t> bigint_vectors{0};
+    std::atomic<uint64_t> nodes_before_minimize{0};
+    std::atomic<uint64_t> nodes_after_minimize{0};
+  };
+
+  Stripe& StripeFor(const Cnf& cnf);
+
+  mutable std::mutex compiler_mu_;  // guards compiler_ (shared memo + stats)
   Compiler compiler_;
-  // Lineage CNF -> compiled circuit; hashed via Hash64, compared exactly.
-  std::unordered_map<Cnf, NnfCircuit, CnfHash, CnfClauseEq> circuits_;
-  Stats stats_;
-  bool dyadic_enabled_ = DyadicDefaultEnabled();
+  std::array<Stripe, kNumStripes> stripes_;
+  AtomicStats stats_;
+  std::atomic<bool> dyadic_enabled_{DyadicDefaultEnabled()};
+  std::atomic<int> num_threads_{0};
 };
 
 }  // namespace gmc

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace gmc {
 
@@ -30,6 +31,12 @@ bool SameNode(const NnfNode& a, const NnfNode& b) {
 bool IsZeroValue(const Rational& v) { return v.IsZero(); }
 bool IsZeroValue(const Dyadic& v) { return v.IsZero(); }
 bool IsZeroValue(double v) { return v == 0.0; }
+
+// Columns per parallel slice, at minimum: below this, slice setup (one
+// arena allocation per slice) costs more than the columns it covers.
+constexpr int64_t kMinColumnsPerSlice = 4;
+// Variables per chunk for the parallel conversion/complement preambles.
+constexpr int64_t kMinVarsPerChunk = 8;
 
 }  // namespace
 
@@ -171,35 +178,37 @@ std::vector<bool> NnfCircuit::DecisionVars() const {
   return decides;
 }
 
-// One contiguous row-major arena: the K values of node `id` live at
-// value[id * K .. id * K + K).
+// One contiguous row-major arena per slice: within a slice of width
+// W = k1 - k0, the W values of node `id` live at value[id * W .. id*W + W).
 template <typename Value, typename ColumnFn>
-std::vector<Value> NnfCircuit::EvaluateBatchArena(int num_k, ColumnFn column,
-                                                  const Value* complement,
-                                                  const Value& one) const {
-  std::vector<Value> value(nodes_.size() * num_k);
+void NnfCircuit::EvaluateBatchSlice(int k0, int k1, int num_k,
+                                    ColumnFn column, const Value* complement,
+                                    const Value& one,
+                                    Value* out_roots) const {
+  const int num_w = k1 - k0;
+  std::vector<Value> value(nodes_.size() * num_w);
   for (size_t id = 0; id < nodes_.size(); ++id) {
     const NnfNode& node = nodes_[id];
-    Value* out = value.data() + id * num_k;
+    Value* out = value.data() + id * num_w;
     switch (node.kind) {
       case NnfKind::kFalse:
         break;  // arena default-constructs to zero
       case NnfKind::kTrue:
-        for (int k = 0; k < num_k; ++k) out[k] = one;
+        for (int k = 0; k < num_w; ++k) out[k] = one;
         break;
       case NnfKind::kVar: {
-        const Value* p = column(node.var);
-        for (int k = 0; k < num_k; ++k) out[k] = p[k];
+        const Value* p = column(node.var) + k0;
+        for (int k = 0; k < num_w; ++k) out[k] = p[k];
         break;
       }
       case NnfKind::kAnd: {
         const Value* first = value.data() +
-                             static_cast<size_t>(node.children[0]) * num_k;
-        for (int k = 0; k < num_k; ++k) out[k] = first[k];
+                             static_cast<size_t>(node.children[0]) * num_w;
+        for (int k = 0; k < num_w; ++k) out[k] = first[k];
         for (size_t c = 1; c < node.children.size(); ++c) {
           const Value* child =
-              value.data() + static_cast<size_t>(node.children[c]) * num_k;
-          for (int k = 0; k < num_k; ++k) {
+              value.data() + static_cast<size_t>(node.children[c]) * num_w;
+          for (int k = 0; k < num_w; ++k) {
             if (IsZeroValue(out[k])) continue;
             out[k] *= child[k];
           }
@@ -207,13 +216,14 @@ std::vector<Value> NnfCircuit::EvaluateBatchArena(int num_k, ColumnFn column,
         break;
       }
       case NnfKind::kDecision: {
-        const Value* p = column(node.var);
-        const Value* q = complement + static_cast<size_t>(node.var) * num_k;
+        const Value* p = column(node.var) + k0;
+        const Value* q =
+            complement + static_cast<size_t>(node.var) * num_k + k0;
         const Value* high =
-            value.data() + static_cast<size_t>(node.high) * num_k;
+            value.data() + static_cast<size_t>(node.high) * num_w;
         const Value* low =
-            value.data() + static_cast<size_t>(node.low) * num_k;
-        for (int k = 0; k < num_k; ++k) {
+            value.data() + static_cast<size_t>(node.low) * num_w;
+        for (int k = 0; k < num_w; ++k) {
           // p·high + q·low through the in-place operators: no allocation
           // beyond the two products for Value types with heap state.
           Value t = p[k];
@@ -227,71 +237,89 @@ std::vector<Value> NnfCircuit::EvaluateBatchArena(int num_k, ColumnFn column,
       }
     }
   }
-  std::vector<Value> result;
-  result.reserve(num_k);
-  Value* root = value.data() + static_cast<size_t>(root_) * num_k;
-  for (int k = 0; k < num_k; ++k) result.push_back(std::move(root[k]));
+  Value* root = value.data() + static_cast<size_t>(root_) * num_w;
+  for (int k = 0; k < num_w; ++k) out_roots[k0 + k] = std::move(root[k]);
+}
+
+template <typename Value, typename ColumnFn>
+std::vector<Value> NnfCircuit::EvaluateBatchArena(int num_k, int num_threads,
+                                                  ColumnFn column,
+                                                  const Value* complement,
+                                                  const Value& one) const {
+  std::vector<Value> result(num_k);
+  ParallelFor(num_k, num_threads, kMinColumnsPerSlice,
+              [&](int64_t k0, int64_t k1, int /*chunk*/) {
+                EvaluateBatchSlice<Value>(static_cast<int>(k0),
+                                          static_cast<int>(k1), num_k, column,
+                                          complement, one, result.data());
+              });
   return result;
 }
 
-std::vector<Rational> NnfCircuit::EvaluateBatch(
-    const WeightMatrix& weights) const {
+std::vector<Rational> NnfCircuit::EvaluateBatch(const WeightMatrix& weights,
+                                                int num_threads) const {
   GMC_CHECK(weights.num_vars() >= num_vars_);
   const int num_k = weights.num_vectors();
 
   // Complements 1 − p, computed once per (variable, vector) for exactly the
   // variables that head a decision node. Column layout mirrors the weight
-  // matrix.
+  // matrix. Chunked over variables: each chunk owns a disjoint slice.
   const std::vector<bool> decides = DecisionVars();
   std::vector<Rational> complement(static_cast<size_t>(num_vars_) * num_k);
-  for (int v = 0; v < num_vars_; ++v) {
-    if (!decides[v]) continue;
-    const Rational* p = weights.Column(v);
-    Rational* out = complement.data() + static_cast<size_t>(v) * num_k;
-    for (int k = 0; k < num_k; ++k) out[k] = Rational::One() - p[k];
-  }
+  ParallelFor(num_vars_, num_threads, kMinVarsPerChunk,
+              [&](int64_t v0, int64_t v1, int /*chunk*/) {
+                for (int64_t v = v0; v < v1; ++v) {
+                  if (!decides[v]) continue;
+                  const Rational* p = weights.Column(static_cast<int>(v));
+                  Rational* out =
+                      complement.data() + static_cast<size_t>(v) * num_k;
+                  for (int k = 0; k < num_k; ++k) {
+                    out[k] = Rational::One() - p[k];
+                  }
+                }
+              });
 
   return EvaluateBatchArena<Rational>(
-      num_k, [&weights](int var) { return weights.Column(var); },
-      complement.data(), Rational::One());
+      num_k, num_threads,
+      [&weights](int var) { return weights.Column(var); }, complement.data(),
+      Rational::One());
 }
 
-std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
-    const WeightMatrix& weights) const {
+std::vector<Rational> NnfCircuit::EvaluateBatchDyadicBig(
+    const WeightMatrix& weights, int num_threads) const {
   GMC_CHECK(weights.num_vars() >= num_vars_);
   const int num_k = weights.num_vectors();
 
   // Weight columns converted once, then raised to a per-variable common
   // exponent (batch-level normalization): every add over a column aligns
-  // for free and the decision complements share one 2^E.
+  // for free and the decision complements share one 2^E. Conversion and
+  // complements chunk over variables — disjoint column slices per chunk.
   std::vector<Dyadic> probability(static_cast<size_t>(num_vars_) * num_k);
-  for (int v = 0; v < num_vars_; ++v) {
-    const Rational* p = weights.Column(v);
-    Dyadic* out = probability.data() + static_cast<size_t>(v) * num_k;
-    for (int k = 0; k < num_k; ++k) {
-      std::optional<Dyadic> value = Dyadic::FromRational(p[k]);
-      GMC_CHECK_MSG(value.has_value(),
-                    "EvaluateBatchDyadic needs all-dyadic weights "
-                    "(WeightMatrix::AllDyadic)");
-      out[k] = std::move(*value);
-    }
-    Dyadic::AlignExponents(out, static_cast<size_t>(num_k));
-  }
-
-  // Complement mantissas 2^E − m, computed once per (variable, vector) for
-  // exactly the variables that head a decision node.
   const std::vector<bool> decides = DecisionVars();
   std::vector<Dyadic> complement(static_cast<size_t>(num_vars_) * num_k);
-  for (int v = 0; v < num_vars_; ++v) {
-    if (!decides[v]) continue;
-    const Dyadic* p = probability.data() + static_cast<size_t>(v) * num_k;
-    Dyadic* out = complement.data() + static_cast<size_t>(v) * num_k;
-    for (int k = 0; k < num_k; ++k) out[k] = p[k].OneMinus();
-  }
+  ParallelFor(
+      num_vars_, num_threads, kMinVarsPerChunk,
+      [&](int64_t v0, int64_t v1, int /*chunk*/) {
+        for (int64_t v = v0; v < v1; ++v) {
+          const Rational* p = weights.Column(static_cast<int>(v));
+          Dyadic* out = probability.data() + static_cast<size_t>(v) * num_k;
+          for (int k = 0; k < num_k; ++k) {
+            std::optional<Dyadic> value = Dyadic::FromRational(p[k]);
+            GMC_CHECK_MSG(value.has_value(),
+                          "EvaluateBatchDyadic needs all-dyadic weights "
+                          "(WeightMatrix::AllDyadic)");
+            out[k] = std::move(*value);
+          }
+          Dyadic::AlignExponents(out, static_cast<size_t>(num_k));
+          if (!decides[v]) continue;
+          Dyadic* comp = complement.data() + static_cast<size_t>(v) * num_k;
+          for (int k = 0; k < num_k; ++k) comp[k] = out[k].OneMinus();
+        }
+      });
 
   const Dyadic one = Dyadic::One();
   std::vector<Dyadic> roots = EvaluateBatchArena<Dyadic>(
-      num_k,
+      num_k, num_threads,
       [&probability, num_k](int var) {
         return probability.data() + static_cast<size_t>(var) * num_k;
       },
@@ -303,43 +331,54 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
 }
 
 std::vector<double> NnfCircuit::EvaluateBatchDouble(
-    const WeightMatrix& weights, int recheck_stride,
-    double recheck_tolerance) const {
+    const WeightMatrix& weights, int recheck_stride, double recheck_tolerance,
+    int num_threads) const {
   GMC_CHECK(weights.num_vars() >= num_vars_);
   const int num_k = weights.num_vectors();
 
   // The weight columns, converted once; BigInt never appears in the pass.
   std::vector<double> probability(static_cast<size_t>(num_vars_) * num_k);
-  for (int v = 0; v < num_vars_; ++v) {
-    const Rational* p = weights.Column(v);
-    double* out = probability.data() + static_cast<size_t>(v) * num_k;
-    for (int k = 0; k < num_k; ++k) out[k] = p[k].ToDouble();
-  }
-
   const std::vector<bool> decides = DecisionVars();
   std::vector<double> complement(static_cast<size_t>(num_vars_) * num_k,
                                  0.0);
-  for (int v = 0; v < num_vars_; ++v) {
-    if (!decides[v]) continue;
-    const double* p = probability.data() + static_cast<size_t>(v) * num_k;
-    double* out = complement.data() + static_cast<size_t>(v) * num_k;
-    for (int k = 0; k < num_k; ++k) out[k] = 1.0 - p[k];
-  }
+  ParallelFor(num_vars_, num_threads, kMinVarsPerChunk,
+              [&](int64_t v0, int64_t v1, int /*chunk*/) {
+                for (int64_t v = v0; v < v1; ++v) {
+                  const Rational* p = weights.Column(static_cast<int>(v));
+                  double* out =
+                      probability.data() + static_cast<size_t>(v) * num_k;
+                  for (int k = 0; k < num_k; ++k) out[k] = p[k].ToDouble();
+                  if (!decides[v]) continue;
+                  double* comp =
+                      complement.data() + static_cast<size_t>(v) * num_k;
+                  for (int k = 0; k < num_k; ++k) comp[k] = 1.0 - out[k];
+                }
+              });
 
   std::vector<double> result = EvaluateBatchArena<double>(
-      num_k,
+      num_k, num_threads,
       [&probability, num_k](int var) {
         return probability.data() + static_cast<size_t>(var) * num_k;
       },
       complement.data(), 1.0);
 
   if (recheck_stride > 0) {
-    for (int k = 0; k < num_k; k += recheck_stride) {
-      const double exact = Evaluate(weights.Row(k)).ToDouble();
-      const double scale = std::max(1.0, std::abs(exact));
-      GMC_CHECK_MSG(std::abs(result[k] - exact) <= recheck_tolerance * scale,
-                    "EvaluateBatchDouble drifted from the exact evaluator");
-    }
+    // Re-checks are the expensive half (one exact Evaluate each), and each
+    // checks one column independently — chunk them over the pool too.
+    const int num_checks = (num_k + recheck_stride - 1) / recheck_stride;
+    ParallelFor(num_checks, num_threads, 1,
+                [&](int64_t c0, int64_t c1, int /*chunk*/) {
+                  for (int64_t c = c0; c < c1; ++c) {
+                    const int k = static_cast<int>(c) * recheck_stride;
+                    const double exact = Evaluate(weights.Row(k)).ToDouble();
+                    const double scale = std::max(1.0, std::abs(exact));
+                    GMC_CHECK_MSG(
+                        std::abs(result[k] - exact) <=
+                            recheck_tolerance * scale,
+                        "EvaluateBatchDouble drifted from the exact "
+                        "evaluator");
+                  }
+                });
   }
   return result;
 }

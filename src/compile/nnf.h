@@ -85,6 +85,15 @@ struct NnfNode {
   std::vector<int> children;  // kAnd (always ≥ 2 after folding)
 };
 
+// Per-call routing report of EvaluateBatchDyadic: how many of the K weight
+// vectors were served by each mantissa width. The three counters sum to K;
+// CircuitCache aggregates them into its stats.
+struct DyadicBatchStats {
+  int fixed64_vectors = 0;   // raw uint64 mantissa kernel
+  int fixed128_vectors = 0;  // two-limb UInt128 mantissa kernel
+  int bigint_vectors = 0;    // BigInt Dyadic arena (arbitrary precision)
+};
+
 class NnfCircuit {
  public:
   struct Stats {
@@ -125,37 +134,62 @@ class NnfCircuit {
   Rational Evaluate(const std::vector<Rational>& probabilities) const;
 
   // Batched weighted model count: all K weight vectors in ONE topological
-  // pass. The scratch arena is a single contiguous row-major block (K values
-  // per node), node metadata is decoded once per node instead of once per
+  // pass. The scratch arena is a contiguous row-major block (K values per
+  // node), node metadata is decoded once per node instead of once per
   // (node, vector), and decision complements 1 − p are computed once per
   // (variable, vector) instead of once per (decision node, vector) — the
   // interpolation sweeps of the hardness reductions probe hundreds of weight
   // vectors against one gadget circuit, which is exactly this shape.
   // Returns the K root values in input order.
-  std::vector<Rational> EvaluateBatch(const WeightMatrix& weights) const;
+  //
+  // All three batch evaluators are column-parallel: the K weight vectors
+  // are split into contiguous column slices and each slice runs the full
+  // topological pass over its own arena on one worker of the shared pool
+  // (util/parallel.h). Columns never interact — no value depends on
+  // another weight vector — so results are BIT-IDENTICAL at every thread
+  // count. `num_threads`: 0 = process default (DefaultNumThreads, i.e. the
+  // GMC_THREADS knob), 1 = serial, n = at most n slices.
+  std::vector<Rational> EvaluateBatch(const WeightMatrix& weights,
+                                      int num_threads = 0) const;
 
-  // Exact dyadic fast path of EvaluateBatch: the same single topological
-  // pass, but over a Dyadic (mantissa · 2^-exp) arena, so the inner loops
-  // are straight bignum integer streaming — no gcd and no per-operation
-  // canonicalization anywhere. Weight columns are raised to a common
-  // exponent up front (batch-level normalization), per-variable complement
-  // mantissas 2^E − m are computed once, and the K root values are reduced
-  // back to canonical Rationals by stripping factors of two on the way out.
-  // Requires weights.AllDyadic(); aborts otherwise. Results are
+  // Exact dyadic fast path of EvaluateBatch: the same topological pass over
+  // dyadic (mantissa · 2^-exp) values, so the inner loops are straight
+  // integer streaming — no gcd and no per-operation canonicalization
+  // anywhere. Requires weights.AllDyadic(); aborts otherwise. Results are
   // bit-identical to EvaluateBatch on the same weights.
-  std::vector<Rational> EvaluateBatchDyadic(const WeightMatrix& weights) const;
+  //
+  // Mantissa width is chosen per batch by a static exponent analysis
+  // (nnf_fixed.cc): circuit values are probabilities, so a node's mantissa
+  // is bounded by 2^E with E the node's exponent under the batch's weight
+  // exponents, computed by one fold over the circuit BEFORE evaluating.
+  // When every node exponent fits, the pass runs on fixed-width mantissas
+  // (uint64 up to 63, two-limb UInt128 up to 127 — branch-free SoA loops,
+  // see util/dyadic_fixed.h) with no per-operation overflow checks at all;
+  // otherwise columns that fit individually run fixed-width one at a time
+  // and only the remainder pays for the BigInt Dyadic arena. `stats`, if
+  // non-null, reports how the K vectors were routed.
+  std::vector<Rational> EvaluateBatchDyadic(
+      const WeightMatrix& weights, int num_threads = 0,
+      DyadicBatchStats* stats = nullptr) const;
 
   // Double-precision fast path of EvaluateBatch for sweeps that only need
-  // interpolation-grade inputs: same single pass over a double arena, no
-  // BigInt allocation anywhere. If `recheck_stride > 0`, every stride-th
-  // weight vector is additionally evaluated exactly and the double result
-  // must match within `recheck_tolerance` relative error (aborts
-  // otherwise) — the knob that spot-verifies the fast path against the
-  // exact one at a K/stride fraction of the exact cost.
+  // interpolation-grade inputs: same pass over a double arena, no BigInt
+  // allocation anywhere. If `recheck_stride > 0`, every stride-th weight
+  // vector is additionally evaluated exactly and the double result must
+  // match within `recheck_tolerance` relative error (aborts otherwise) —
+  // the knob that spot-verifies the fast path against the exact one at a
+  // K/stride fraction of the exact cost.
   std::vector<double> EvaluateBatchDouble(const WeightMatrix& weights,
                                           int recheck_stride = 0,
-                                          double recheck_tolerance =
-                                              1e-9) const;
+                                          double recheck_tolerance = 1e-9,
+                                          int num_threads = 0) const;
+
+  // Process-wide A/B knob for the fixed-width dyadic kernels (on by
+  // default). Off forces every dyadic batch through the BigInt arena;
+  // results are bit-identical either way — the knob exists for the
+  // cross-check tests and benchmarks, not for correctness.
+  static void SetFixedWidthDefaultEnabled(bool enabled);
+  static bool FixedWidthDefaultEnabled();
 
   Stats ComputeStats() const;
 
@@ -183,17 +217,43 @@ class NnfCircuit {
   // decides[v] iff some decision node tests v — only those variables need
   // complements 1 − p.
   std::vector<bool> DecisionVars() const;
-  // Shared body of the three batched evaluators (Rational / Dyadic /
-  // double): ONE topological pass over a contiguous row-major arena of
-  // `Value`s, K per node. `column(var)` yields the K probabilities of a
-  // variable; `complement` is the matching variable-major arena of 1 − p
-  // (filled only for DecisionVars). Returns the K root values. The public
-  // entry points differ only in their weight-conversion preamble and
-  // result postprocessing.
+  // Shared body of the batched evaluators (Rational / Dyadic / double):
+  // one topological pass over a contiguous row-major arena of `Value`s for
+  // the column slice [k0, k1) of a K-wide batch. `column(var)` yields the
+  // full K-wide probability column of a variable; `complement` is the
+  // matching variable-major arena of 1 − p (filled only for DecisionVars).
+  // Writes the slice's root values to out_roots[k0 .. k1). Slices are
+  // fully independent — the parallel driver below hands disjoint slices
+  // to the shared pool.
   template <typename Value, typename ColumnFn>
-  std::vector<Value> EvaluateBatchArena(int num_k, ColumnFn column,
+  void EvaluateBatchSlice(int k0, int k1, int num_k, ColumnFn column,
+                          const Value* complement, const Value& one,
+                          Value* out_roots) const;
+  // Parallel driver: splits the K columns into contiguous slices (at most
+  // `num_threads`; 0 = process default) and runs EvaluateBatchSlice per
+  // slice. Returns the K root values in input order.
+  template <typename Value, typename ColumnFn>
+  std::vector<Value> EvaluateBatchArena(int num_k, int num_threads,
+                                        ColumnFn column,
                                         const Value* complement,
                                         const Value& one) const;
+  // The BigInt Dyadic arena pass (the pre-fixed-width EvaluateBatchDyadic
+  // body): exact at any exponent, used when the fixed-width analysis finds
+  // mantissas too wide. nnf.cc.
+  std::vector<Rational> EvaluateBatchDyadicBig(const WeightMatrix& weights,
+                                               int num_threads) const;
+  // Fixed-width machinery (nnf_fixed.cc). FoldDyadicExponents propagates
+  // per-variable weight exponents bottom-up (saturating), filling one
+  // exponent per node, and returns the maximum — the mantissa-width bound
+  // that picks the kernel. EvaluateBatchDyadicFixed runs the whole batch
+  // on `M` mantissas (uint64_t or UInt128) under those exponents.
+  uint64_t FoldDyadicExponents(const std::vector<uint64_t>& var_exp,
+                               std::vector<uint64_t>* node_exp) const;
+  template <typename M>
+  std::vector<Rational> EvaluateBatchDyadicFixed(
+      const WeightMatrix& weights, int num_threads,
+      const std::vector<uint64_t>& var_exp,
+      const std::vector<uint64_t>& node_exp) const;
   // Variable support of every node, as sorted id vectors (audits only).
   std::vector<std::vector<int>> Supports() const;
   // Reachability from the root (constants are always kept).

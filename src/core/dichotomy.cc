@@ -36,6 +36,7 @@ GfomcResult GfomcSession::Evaluate(const Query& query, const Tid& tid) {
 
 std::vector<GfomcResult> GfomcSession::EvaluateMany(
     const Query& query, const std::vector<Tid>& tids) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.queries += tids.size();
   std::vector<GfomcResult> results(tids.size());
   // Safe branch. EvaluateMany (not Evaluate) so GFOMC instances route
@@ -86,6 +87,7 @@ std::vector<GfomcResult> GfomcSession::EvaluateMany(
 }
 
 GfomcSession::Stats GfomcSession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Stats out = counters_;
   out.circuit_compiles = safe_.circuits().stats().compiles +
                          engine_.circuits().stats().compiles;

@@ -19,6 +19,7 @@
 #define GMC_CORE_DICHOTOMY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,14 @@ GfomcResult Gfomc(const Query& query, const Tid& tid);
 // oversized lineages fall back to the recursive engine (compilation is
 // worst-case exponential, same as recursion, but the recursive engine's
 // memo is cheaper when nothing is reused).
+//
+// Thread safety: a session may be shared across request threads. Calls
+// serialize on a session mutex (the evaluators' per-call scratch state —
+// the recursive engine's memo, the lifted plan's counters — is not
+// concurrency-safe); throughput within each call comes from the
+// column-parallel batch passes underneath (set_num_threads), and the
+// embedded CircuitCaches are themselves striped-lock thread-safe, so
+// sessions sharing nothing but a cache never contend.
 class GfomcSession {
  public:
   struct Stats {
@@ -80,10 +89,21 @@ class GfomcSession {
   std::vector<GfomcResult> EvaluateMany(const Query& query,
                                         const std::vector<Tid>& tids);
 
+  // Worker bound for this session's batched circuit passes, applied to
+  // both embedded caches: 0 (the default) defers to the process default —
+  // the GMC_THREADS environment variable, else the hardware thread count
+  // (util/parallel.h) — 1 forces serial, n allows at most n column slices
+  // per pass. Results are bit-identical at every setting.
+  void set_num_threads(int num_threads) {
+    safe_.set_num_threads(num_threads);
+    engine_.set_num_threads(num_threads);
+  }
+
   // Counters above plus live compile/hit totals from the embedded caches.
   Stats stats() const;
 
  private:
+  mutable std::mutex mu_;  // serializes Evaluate/EvaluateMany/stats
   SafeEvaluator safe_;
   WmcEngine engine_;
   Stats counters_;

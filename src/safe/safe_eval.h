@@ -56,6 +56,13 @@ class SafeEvaluator {
   const Stats& stats() const { return stats_; }
   const CircuitCache& circuits() const { return circuits_; }
 
+  // Worker bound for the embedded circuit cache's batch passes (see
+  // CircuitCache::set_num_threads); 0 defers to the process default
+  // (GMC_THREADS / DefaultNumThreads). Results are identical either way.
+  void set_num_threads(int num_threads) {
+    circuits_.set_num_threads(num_threads);
+  }
+
  private:
   Stats stats_;
   CircuitCache circuits_;

@@ -674,6 +674,20 @@ uint64_t BigInt::BitLength() const {
          (32 - static_cast<uint64_t>(std::countl_zero(limbs_.back())));
 }
 
+uint64_t BigInt::Bits64At(uint64_t offset) const {
+  const uint64_t first = offset / 32;
+  const unsigned shift = static_cast<unsigned>(offset % 32);
+  auto limb = [this](uint64_t i) -> uint64_t {
+    return i < limbs_.size() ? limbs_[i] : 0;
+  };
+  // Three 32-bit limbs cover any 64-bit window at an unaligned offset.
+  uint64_t word = limb(first) | (limb(first + 1) << 32);
+  if (shift != 0) {
+    word = (word >> shift) | (limb(first + 2) << (64 - shift));
+  }
+  return word;
+}
+
 BigInt BigInt::ISqrt() const {
   GMC_CHECK_MSG(sign_ >= 0, "ISqrt of negative number");
   if (IsZero()) return BigInt(0);

@@ -184,6 +184,10 @@ class BigInt {
   uint64_t BitLength() const;
   // Number of trailing zero bits in the magnitude (0 for zero).
   uint64_t TrailingZeroBits() const;
+  // The 64 magnitude bits starting at bit `offset` (little-endian),
+  // zero-padded past the top — the fixed-width dyadic kernels' word
+  // extraction, O(1) with no allocation.
+  uint64_t Bits64At(uint64_t offset) const;
 
   // Floor square root of the magnitude (requires *this >= 0).
   BigInt ISqrt() const;

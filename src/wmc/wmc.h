@@ -70,6 +70,13 @@ class WmcEngine {
   void ResetStats() { stats_ = Stats(); }
   void ClearCache() { cache_.clear(); }
 
+  // Worker bound for the embedded circuit cache's batch passes (see
+  // CircuitCache::set_num_threads); 0 defers to the process default
+  // (GMC_THREADS / DefaultNumThreads). Results are identical either way.
+  void set_num_threads(int num_threads) {
+    circuits_.set_num_threads(num_threads);
+  }
+
  private:
   Rational Recurse(const Cnf& cnf);
 

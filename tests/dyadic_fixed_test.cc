@@ -1,0 +1,413 @@
+// Fixed-width dyadic layer: the UInt128 limb-pair word, the Dyadic64 /
+// Dyadic128 scalar types (overflow-checked ops vs the BigInt Dyadic), the
+// BigInt::Bits64At extraction they build on, and the width-routed batch
+// kernels — every dispatch class (uint64 / UInt128 / BigInt fallback /
+// per-column split) pinned by DyadicBatchStats and cross-checked
+// bit-identically against the Rational evaluator.
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compile/circuit_cache.h"
+#include "compile/compiler.h"
+#include "compile/nnf.h"
+#include "hardness/p2cnf.h"
+#include "hardness/reduction_type1.h"
+#include "lineage/grounder.h"
+#include "logic/parser.h"
+#include "util/bigint.h"
+#include "util/dyadic.h"
+#include "util/dyadic_fixed.h"
+#include "util/rational.h"
+
+namespace gmc {
+namespace {
+
+struct KnobGuard {
+  ~KnobGuard() {
+    NnfCircuit::SetFixedWidthDefaultEnabled(true);
+    CircuitCache::SetDyadicDefaultEnabled(true);
+  }
+};
+
+Query H1() {
+  return ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+BigInt RandomMagnitude(std::mt19937_64& rng, int bits) {
+  BigInt out;
+  for (int produced = 0; produced < bits; produced += 32) {
+    out = out.ShiftLeft(32) +
+          BigInt(static_cast<int64_t>(rng() & 0xffffffffu));
+  }
+  return out.ShiftRight(out.BitLength() > static_cast<uint64_t>(bits)
+                            ? out.BitLength() - bits
+                            : 0);
+}
+
+// ------------------------------------------------------------- Bits64At
+
+TEST(Bits64AtTest, MatchesShiftAndMask) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BigInt value = RandomMagnitude(rng, 1 + static_cast<int>(rng() % 200));
+    const uint64_t offset = rng() % 220;
+    const BigInt reference = value.ShiftRight(offset);
+    uint64_t expected = 0;
+    for (int bit = 63; bit >= 0; --bit) {
+      expected <<= 1;
+      if (!(reference.ShiftRight(bit) % BigInt(2)).IsZero()) expected |= 1;
+    }
+    EXPECT_EQ(value.Bits64At(offset), expected)
+        << value.ToString() << " @ " << offset;
+  }
+}
+
+// -------------------------------------------------------------- UInt128
+
+TEST(UInt128Test, RoundTripAndOrdering) {
+  std::mt19937_64 rng(22);
+  for (int trial = 0; trial < 500; ++trial) {
+    const BigInt a = RandomMagnitude(rng, 1 + static_cast<int>(rng() % 128));
+    const UInt128 ua = UInt128::FromBigInt(a);
+    EXPECT_EQ(ua.ToBigInt(), a);
+    EXPECT_EQ(ua.BitLength(), a.BitLength());
+    EXPECT_EQ(ua.CountTrailingZeros(),
+              a.IsZero() ? 0u : a.TrailingZeroBits());
+    const BigInt b = RandomMagnitude(rng, 1 + static_cast<int>(rng() % 128));
+    const UInt128 ub = UInt128::FromBigInt(b);
+    EXPECT_EQ(ua < ub, a < b);
+    EXPECT_EQ(ua == ub, a == b);
+  }
+}
+
+TEST(UInt128Test, ArithmeticMatchesBigInt) {
+  std::mt19937_64 rng(33);
+  const BigInt modulus = BigInt(1).ShiftLeft(128);
+  for (int trial = 0; trial < 500; ++trial) {
+    const BigInt a = RandomMagnitude(rng, 1 + static_cast<int>(rng() % 127));
+    const BigInt b = RandomMagnitude(rng, 1 + static_cast<int>(rng() % 127));
+    const UInt128 ua = UInt128::FromBigInt(a);
+    const UInt128 ub = UInt128::FromBigInt(b);
+    EXPECT_EQ((ua + ub).ToBigInt(), (a + b) % modulus);
+    if (b <= a) {
+      EXPECT_EQ((ua - ub).ToBigInt(), a - b);
+    }
+    const unsigned shift = static_cast<unsigned>(rng() % 128);
+    EXPECT_EQ(ua.Shl(shift).ToBigInt(), a.ShiftLeft(shift) % modulus);
+    EXPECT_EQ(ua.Shr(shift).ToBigInt(), a.ShiftRight(shift));
+    // Unchecked Mul is exercised only where a product provably fits.
+    const BigInt product = a * b;
+    UInt128 checked;
+    if (UInt128::MulChecked(ua, ub, &checked)) {
+      EXPECT_LE(product.BitLength(), 128u);
+      EXPECT_EQ(checked.ToBigInt(), product);
+      EXPECT_EQ(UInt128::Mul(ua, ub).ToBigInt(), product);
+    } else {
+      EXPECT_GT(product.BitLength(), 128u);
+    }
+  }
+}
+
+// ------------------------------------------------- scalar fixed dyadics
+
+TEST(Dyadic64Test, FromRationalAndRoundTrip) {
+  EXPECT_EQ(Dyadic64::Zero().ToRational(), Rational::Zero());
+  EXPECT_EQ(Dyadic64::One().ToRational(), Rational::One());
+  ASSERT_TRUE(Dyadic64::FromRational(Rational(5, 16)).has_value());
+  EXPECT_EQ(Dyadic64::FromRational(Rational(5, 16))->ToRational(),
+            Rational(5, 16));
+  // Not dyadic, negative, or too wide: all rejected.
+  EXPECT_FALSE(Dyadic64::FromRational(Rational(1, 3)).has_value());
+  EXPECT_FALSE(Dyadic64::FromRational(Rational(-1, 2)).has_value());
+  EXPECT_FALSE(Dyadic64::FromRational(
+                   Rational(BigInt(1), BigInt(1).ShiftLeft(64)))
+                   .has_value());
+  // Exponent 63 still fits.
+  const Rational tiny(BigInt(1), BigInt(1).ShiftLeft(63));
+  ASSERT_TRUE(Dyadic64::FromRational(tiny).has_value());
+  EXPECT_EQ(Dyadic64::FromRational(tiny)->ToRational(), tiny);
+}
+
+TEST(Dyadic64Test, CheckedOpsMatchBigIntDyadic) {
+  std::mt19937_64 rng(44);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Ranges chosen so no checked op can overflow: 30-bit mantissas with
+    // exponent gaps of at most 20 stay within 64 bits under alignment.
+    const uint64_t ea = rng() % 20, eb = rng() % 20;
+    const Dyadic64 a{rng() >> (64 - 30), ea};
+    const Dyadic64 b{rng() >> (64 - 30), eb};
+    const Dyadic wide_a = a.ToDyadic(), wide_b = b.ToDyadic();
+    Dyadic64 mul = a;
+    ASSERT_TRUE(mul.MulAssign(b));
+    EXPECT_EQ(mul.ToRational(), (wide_a * wide_b).ToRational());
+    Dyadic64 add = a;
+    ASSERT_TRUE(add.AddAssign(b));
+    EXPECT_EQ(add.ToRational(), (wide_a + wide_b).ToRational());
+  }
+}
+
+TEST(Dyadic64Test, OverflowIsDetectedAndNonDestructive) {
+  Dyadic64 big{uint64_t{1} << 62, 1};
+  const Dyadic64 saved = big;
+  EXPECT_FALSE(big.MulAssign(Dyadic64{uint64_t{1} << 10, 0}));
+  EXPECT_EQ(big.mantissa, saved.mantissa);
+  EXPECT_EQ(big.exponent, saved.exponent);
+  // Alignment overflow: huge exponent gap forces the smaller-exponent
+  // mantissa past 64 bits.
+  Dyadic64 low{uint64_t{1} << 40, 0};
+  EXPECT_FALSE(low.AddAssign(Dyadic64{1, 63}));
+  EXPECT_EQ(low.mantissa, uint64_t{1} << 40);
+  // OneMinus on a value above one reports failure.
+  Dyadic64 above_one{3, 1};  // 3/2
+  EXPECT_FALSE(above_one.OneMinusAssign());
+  Dyadic64 half{1, 1};
+  ASSERT_TRUE(half.OneMinusAssign());
+  EXPECT_EQ(half.ToRational(), Rational::Half());
+}
+
+TEST(Dyadic128Test, CheckedOpsMatchBigIntDyadic) {
+  std::mt19937_64 rng(55);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Dyadic128 a{UInt128(rng(), rng() >> 40), rng() % 100};
+    const Dyadic128 b{UInt128(rng(), rng() >> 40), rng() % 100};
+    const Dyadic wide_a = a.ToDyadic(), wide_b = b.ToDyadic();
+    Dyadic128 mul = a;
+    if (mul.MulAssign(b)) {
+      EXPECT_EQ(mul.ToRational(), (wide_a * wide_b).ToRational());
+    }
+    Dyadic128 add = a;
+    if (add.AddAssign(b)) {
+      EXPECT_EQ(add.ToRational(), (wide_a + wide_b).ToRational());
+    } else {
+      add = a;  // overflow must have left the destination untouched
+      EXPECT_EQ(add.ToRational(), wide_a.ToRational());
+    }
+  }
+}
+
+TEST(Dyadic128Test, OneMinusMatchesBigIntDyadic) {
+  std::mt19937_64 rng(66);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t exponent = rng() % 120;
+    UInt128 one = UInt128(1).Shl(static_cast<unsigned>(exponent));
+    // A mantissa below 2^exponent: a genuine probability.
+    UInt128 mantissa = UInt128(rng(), exponent >= 64 ? rng() : 0);
+    while (one < mantissa) mantissa = mantissa.Shr(1);
+    Dyadic128 value{mantissa, exponent};
+    const Dyadic wide = value.ToDyadic();
+    ASSERT_TRUE(value.OneMinusAssign());
+    EXPECT_EQ(value.ToRational(), wide.OneMinus().ToRational());
+  }
+}
+
+// ------------------------------------------------------- batch routing
+
+// The Type-I gadget circuit used throughout, with a weight grid of
+// denominator 2^e on every tuple.
+struct GadgetFixture {
+  Lineage lineage;
+  NnfCircuit circuit;
+  GadgetFixture(int n, int m) {
+    Type1Reduction reduction(H1());
+    P2Cnf phi = P2Cnf::Random(n, m, /*seed=*/42);
+    lineage = Ground(reduction.query(), reduction.BuildTid(phi, 2, 2));
+    Compiler compiler;
+    circuit = compiler.Compile(lineage);
+  }
+  WeightMatrix Grid(int num_k, int exponent) const {
+    std::vector<std::vector<Rational>> rows;
+    for (int k = 1; k <= num_k; ++k) {
+      std::vector<Rational> row;
+      for (size_t v = 0; v < lineage.probabilities.size(); ++v) {
+        row.emplace_back(1 + ((k + v) % (int64_t{1} << exponent)),
+                         int64_t{1} << exponent);
+      }
+      rows.push_back(std::move(row));
+    }
+    return WeightMatrix::FromRows(rows);
+  }
+};
+
+TEST(FixedWidthBatchTest, Uint64ClassMatchesRationalBitIdentically) {
+  KnobGuard guard;
+  GadgetFixture gadget(3, 2);  // 31 lineage variables
+  WeightMatrix weights = gadget.Grid(24, /*exponent=*/2);  // bound ≈ 62
+  DyadicBatchStats stats;
+  const std::vector<Rational> fixed =
+      gadget.circuit.EvaluateBatchDyadic(weights, 1, &stats);
+  EXPECT_EQ(stats.fixed64_vectors, 24);
+  EXPECT_EQ(stats.fixed128_vectors, 0);
+  EXPECT_EQ(stats.bigint_vectors, 0);
+  EXPECT_EQ(fixed, gadget.circuit.EvaluateBatch(weights, 1));
+}
+
+TEST(FixedWidthBatchTest, Uint128ClassMatchesRationalBitIdentically) {
+  KnobGuard guard;
+  GadgetFixture gadget(5, 5);  // 75 lineage variables
+  WeightMatrix weights = gadget.Grid(24, /*exponent=*/1);  // bound ≈ 75
+  DyadicBatchStats stats;
+  const std::vector<Rational> fixed =
+      gadget.circuit.EvaluateBatchDyadic(weights, 1, &stats);
+  EXPECT_EQ(stats.fixed64_vectors, 0);
+  EXPECT_EQ(stats.fixed128_vectors, 24);
+  EXPECT_EQ(stats.bigint_vectors, 0);
+  EXPECT_EQ(fixed, gadget.circuit.EvaluateBatch(weights, 1));
+}
+
+TEST(FixedWidthBatchTest, WideExponentsFallBackToBigInt) {
+  KnobGuard guard;
+  GadgetFixture gadget(5, 5);
+  WeightMatrix weights = gadget.Grid(8, /*exponent=*/7);  // bound ≈ 525
+  DyadicBatchStats stats;
+  const std::vector<Rational> fixed =
+      gadget.circuit.EvaluateBatchDyadic(weights, 1, &stats);
+  EXPECT_EQ(stats.fixed64_vectors, 0);
+  EXPECT_EQ(stats.fixed128_vectors, 0);
+  EXPECT_EQ(stats.bigint_vectors, 8);
+  EXPECT_EQ(fixed, gadget.circuit.EvaluateBatch(weights, 1));
+}
+
+TEST(FixedWidthBatchTest, MixedPrecisionSplitsPerColumn) {
+  KnobGuard guard;
+  // A small chain circuit (exponent depth 3) where half the columns use
+  // 1/2-grid weights (bound 3 — fits uint64) and half use 2^43
+  // denominators (bound 129 — needs BigInt): the batch-wide bound spills,
+  // the per-column fallback routes each class separately.
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.AddClause({0, 1});
+  cnf.AddClause({1, 2});
+  cnf.AddClause({2, 3});
+  Compiler compiler;
+  NnfCircuit circuit = compiler.Compile(cnf);
+  std::vector<std::vector<Rational>> rows;
+  const BigInt wide_den = BigInt(1).ShiftLeft(43);
+  for (int k = 0; k < 16; ++k) {
+    std::vector<Rational> row;
+    for (int v = 0; v < 4; ++v) {
+      if (k % 2 == 0) {
+        row.push_back(Rational(1 + (k + v) % 2, 2));
+      } else {
+        // Odd numerators: the fractions never reduce, so every wide
+        // column keeps the full 43-bit exponents (bound 129 > 127).
+        row.push_back(Rational(BigInt(2 * (k + v) + 1), wide_den));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  WeightMatrix weights = WeightMatrix::FromRows(rows);
+  DyadicBatchStats stats;
+  const std::vector<Rational> fixed =
+      circuit.EvaluateBatchDyadic(weights, 1, &stats);
+  EXPECT_EQ(stats.fixed64_vectors, 8);
+  EXPECT_EQ(stats.fixed128_vectors, 0);
+  EXPECT_EQ(stats.bigint_vectors, 8);
+  EXPECT_EQ(fixed, circuit.EvaluateBatch(weights, 1));
+}
+
+TEST(FixedWidthBatchTest, NonUnitWeightsUseBigIntAndStillAgree) {
+  KnobGuard guard;
+  // Weights above one (legal for plain WMC) violate the probability
+  // invariant the fixed kernels rely on — the router must detect that and
+  // keep the exact BigInt arena.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.AddClause({0, 1});
+  cnf.AddClause({1, 2});
+  Compiler compiler;
+  NnfCircuit circuit = compiler.Compile(cnf);
+  std::vector<std::vector<Rational>> rows;
+  for (int k = 1; k <= 6; ++k) {
+    rows.emplace_back(3, Rational(3 * k, 2));  // 3k/2 > 1
+  }
+  WeightMatrix weights = WeightMatrix::FromRows(rows);
+  DyadicBatchStats stats;
+  const std::vector<Rational> dyadic =
+      circuit.EvaluateBatchDyadic(weights, 1, &stats);
+  EXPECT_EQ(stats.bigint_vectors, 6);
+  EXPECT_EQ(stats.fixed64_vectors + stats.fixed128_vectors, 0);
+  EXPECT_EQ(dyadic, circuit.EvaluateBatch(weights, 1));
+}
+
+TEST(FixedWidthBatchTest, KnobOffForcesBigIntWithIdenticalResults) {
+  KnobGuard guard;
+  GadgetFixture gadget(3, 2);
+  WeightMatrix weights = gadget.Grid(16, /*exponent=*/2);
+  DyadicBatchStats on_stats;
+  const std::vector<Rational> on =
+      gadget.circuit.EvaluateBatchDyadic(weights, 1, &on_stats);
+  EXPECT_EQ(on_stats.fixed64_vectors, 16);
+  NnfCircuit::SetFixedWidthDefaultEnabled(false);
+  DyadicBatchStats off_stats;
+  const std::vector<Rational> off =
+      gadget.circuit.EvaluateBatchDyadic(weights, 1, &off_stats);
+  EXPECT_EQ(off_stats.bigint_vectors, 16);
+  EXPECT_EQ(off_stats.fixed64_vectors + off_stats.fixed128_vectors, 0);
+  EXPECT_EQ(on, off);
+  NnfCircuit::SetFixedWidthDefaultEnabled(true);
+}
+
+TEST(FixedWidthBatchTest, CircuitCacheSurfacesWidthRouting) {
+  KnobGuard guard;
+  GadgetFixture gadget(3, 2);
+  CircuitCache cache;
+  cache.set_num_threads(1);
+  std::vector<Lineage> lineages;
+  for (int i = 0; i < 5; ++i) lineages.push_back(gadget.lineage);
+  std::vector<Rational> results = cache.ProbabilityBatch(lineages);
+  for (const Rational& r : results) EXPECT_EQ(r, results[0]);
+  const CircuitCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.dyadic_vectors, 5u);
+  // The reduction TID's {1/2, 1} weights put a 31-variable gadget well
+  // inside the uint64 class.
+  EXPECT_EQ(stats.fixed64_vectors, 5u);
+  EXPECT_EQ(stats.bigint_vectors, 0u);
+}
+
+TEST(FixedWidthBatchTest, RandomCircuitsAgreeAcrossAllPaths) {
+  KnobGuard guard;
+  std::mt19937_64 rng(616);
+  Compiler compiler;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int num_vars = 3 + static_cast<int>(rng() % 8);
+    Cnf cnf;
+    cnf.num_vars = num_vars;
+    const int num_clauses = 1 + static_cast<int>(rng() % 10);
+    for (int c = 0; c < num_clauses; ++c) {
+      std::vector<int> clause;
+      const int len = 1 + static_cast<int>(rng() % 3);
+      for (int l = 0; l < len; ++l) {
+        clause.push_back(static_cast<int>(rng() % num_vars));
+      }
+      cnf.AddClause(std::move(clause));
+    }
+    NnfCircuit circuit = compiler.Compile(cnf);
+    // Exponents drawn wide enough to hit all three classes across trials.
+    std::vector<std::vector<Rational>> rows;
+    for (int k = 0; k < 9; ++k) {
+      std::vector<Rational> row;
+      for (int v = 0; v < num_vars; ++v) {
+        const int exponent = static_cast<int>(rng() % 30);
+        const int64_t den = int64_t{1} << exponent;
+        row.push_back(Rational(static_cast<int64_t>(rng() % (den + 1)), den));
+      }
+      rows.push_back(std::move(row));
+    }
+    WeightMatrix weights = WeightMatrix::FromRows(rows);
+    const std::vector<Rational> rational = circuit.EvaluateBatch(weights, 1);
+    EXPECT_EQ(circuit.EvaluateBatchDyadic(weights, 1), rational)
+        << "trial " << trial;
+    NnfCircuit::SetFixedWidthDefaultEnabled(false);
+    EXPECT_EQ(circuit.EvaluateBatchDyadic(weights, 1), rational)
+        << "trial " << trial;
+    NnfCircuit::SetFixedWidthDefaultEnabled(true);
+  }
+}
+
+}  // namespace
+}  // namespace gmc
