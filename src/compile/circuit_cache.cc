@@ -41,9 +41,13 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
   // SAME structure waits here instead of compiling twice, and threads on
   // other stripes only serialize on the compiler mutex below (the
   // compiler's sub-formula memo is shared state).
+  const OrderHeuristic order = order_.load(std::memory_order_relaxed);
   NnfCircuit compiled;
+  NnfCircuit legacy;
+  bool have_legacy = false;
   {
     std::lock_guard<std::mutex> compiler_lock(compiler_mu_);
+    compiler_.set_order(order);
     const Compiler::Stats before = compiler_.stats();
     compiled = compiler_.Compile(cnf);
     stats_.nodes_before_minimize.fetch_add(
@@ -53,6 +57,28 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
     stats_.nodes_after_minimize.fetch_add(
         compiler_.stats().minimize_nodes_after - before.minimize_nodes_after,
         std::memory_order_relaxed);
+    if (order != OrderHeuristic::kDefault &&
+        order_baseline_recording_.load(std::memory_order_relaxed)) {
+      // Reference compile under the legacy order, discarded — only its
+      // edge count survives, as the denominator of the order payoff.
+      compiler_.set_order(OrderHeuristic::kDefault);
+      legacy = compiler_.Compile(cnf);
+      have_legacy = true;
+    }
+  }
+  // Edge accounting happens OUTSIDE the compiler mutex: both circuits are
+  // locals, and compiler_mu_ serializes compiles across every stripe, so
+  // the O(edges) ComputeStats walks must not lengthen that critical
+  // section.
+  if (order != OrderHeuristic::kDefault) {
+    stats_.ordered_compiles.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t edges = compiled.ComputeStats().edges;
+    stats_.order_edges.fetch_add(edges, std::memory_order_relaxed);
+    if (have_legacy) {
+      stats_.recorded_order_edges.fetch_add(edges, std::memory_order_relaxed);
+      stats_.legacy_order_edges.fetch_add(legacy.ComputeStats().edges,
+                                          std::memory_order_relaxed);
+    }
   }
   auto inserted = stripe.circuits.emplace(
       cnf, std::make_unique<NnfCircuit>(std::move(compiled)));
@@ -164,6 +190,13 @@ CircuitCache::Stats CircuitCache::stats() const {
       stats_.nodes_before_minimize.load(std::memory_order_relaxed);
   out.nodes_after_minimize =
       stats_.nodes_after_minimize.load(std::memory_order_relaxed);
+  out.ordered_compiles =
+      stats_.ordered_compiles.load(std::memory_order_relaxed);
+  out.order_edges = stats_.order_edges.load(std::memory_order_relaxed);
+  out.recorded_order_edges =
+      stats_.recorded_order_edges.load(std::memory_order_relaxed);
+  out.legacy_order_edges =
+      stats_.legacy_order_edges.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -2,11 +2,11 @@
 //
 // Circuits are cached by the lineage CNF (hashed with Cnf::Hash64,
 // compared exactly on the clause lists), so any caller that probes the
-// same grounded structure at different
-// tuple-probability settings — the Type I interpolation sweep, the Type II
-// Möbius inversion's per-block queries, a zig-zag cross-check — pays for
-// compilation once and a linear circuit pass per evaluation thereafter.
-// Note the key is the CNF alone, not the weights: that is the whole point.
+// same grounded structure at different tuple-probability settings — the
+// Type I interpolation sweep, the Type II Möbius inversion's per-block
+// queries, a zig-zag cross-check — pays for compilation once and a linear
+// circuit pass per evaluation thereafter. Note the key is the CNF alone,
+// not the weights: that is the whole point.
 //
 // Thread safety: the cache is safe to share across threads. The memo is
 // partitioned into hash stripes, each guarded by its own mutex, so lookups
@@ -32,6 +32,7 @@
 
 #include "compile/compiler.h"
 #include "compile/nnf.h"
+#include "compile/vtree.h"
 #include "lineage/grounder.h"
 #include "logic/query.h"
 #include "prob/tid.h"
@@ -39,72 +40,124 @@
 
 namespace gmc {
 
-// Gate for routing repeated-query traffic through the compiled path: the
-// circuit cache is a win for compact, heavily repeated lineages, but
-// compilation is worst-case exponential in lineage size, so larger
-// lineages stay on their caller's native algorithm (the lifted plan for
-// safe queries, the recursive engine for unsafe ones). Shared by
-// SafeEvaluator::EvaluateMany and GfomcSession.
+/// Gate for routing repeated-query traffic through the compiled path: the
+/// circuit cache is a win for compact, heavily repeated lineages, but
+/// compilation is worst-case exponential in lineage size, so larger
+/// lineages stay on their caller's native algorithm (the lifted plan for
+/// safe queries, the recursive engine for unsafe ones). Shared by
+/// SafeEvaluator::EvaluateMany and GfomcSession.
 inline constexpr size_t kMaxCompiledLineageVars = 96;
 
+/// Thread-safe compile-once / evaluate-many circuit store. All evaluation
+/// entry points are exact (results are canonical reduced Rationals,
+/// bit-identical across the dyadic/Rational routing, every order
+/// heuristic, and every thread count); ownership of every compiled
+/// circuit stays with the cache — references returned by Get are valid
+/// until Clear() or destruction.
 class CircuitCache {
  public:
+  /// Monitoring counters, all cumulative. Snapshot semantics: see stats().
   struct Stats {
     uint64_t compiles = 0;
     uint64_t hits = 0;
-    uint64_t batch_passes = 0;      // batched passes issued (either path)
-    uint64_t batched_vectors = 0;   // weight vectors served by those passes
-    // Dyadic routing: batches whose weights all had power-of-two
-    // denominators and therefore took EvaluateBatchDyadic instead of the
-    // Rational EvaluateBatch (see nnf.h; results are bit-identical).
+    uint64_t batch_passes = 0;      ///< batched passes issued (either path)
+    uint64_t batched_vectors = 0;   ///< weight vectors served by those passes
+    /// Dyadic routing: batches whose weights all had power-of-two
+    /// denominators and therefore took EvaluateBatchDyadic instead of the
+    /// Rational EvaluateBatch (see nnf.h; results are bit-identical).
     uint64_t dyadic_batches = 0;
     uint64_t dyadic_vectors = 0;
-    // Width routing inside the dyadic path (see nnf_fixed.cc): vectors
-    // served by the uint64 / UInt128 fixed-width kernels vs the BigInt
-    // Dyadic arena. fixed64 + fixed128 + bigint == dyadic_vectors.
+    /// Width routing inside the dyadic path (see nnf_fixed.cc): vectors
+    /// served by the uint64 / UInt128 fixed-width kernels vs the BigInt
+    /// Dyadic arena. fixed64 + fixed128 + bigint == dyadic_vectors.
     uint64_t fixed64_vectors = 0;
     uint64_t fixed128_vectors = 0;
     uint64_t bigint_vectors = 0;
-    // Sweep-and-merge payoff across all compiles (mirrors the compiler's
-    // minimize_nodes_before/after, surfaced here because this cache is the
-    // front end repeated-query traffic goes through).
+    /// Sweep-and-merge payoff across all compiles (mirrors the compiler's
+    /// minimize_nodes_before/after, surfaced here because this cache is
+    /// the front end repeated-query traffic goes through — except that
+    /// the discarded legacy reference compiles of baseline recording are
+    /// excluded here but do count in compiler_stats()).
     uint64_t nodes_before_minimize = 0;
     uint64_t nodes_after_minimize = 0;
+    /// Vtree-order accounting: compiles that ran under a non-default
+    /// OrderHeuristic, and the total edges (after minimization) of the
+    /// circuits they produced. While set_order_baseline_recording(true)
+    /// pays for the extra reference compilations, each such compile also
+    /// adds its ordered edges to recorded_order_edges and the edges the
+    /// SAME structure compiles to under the legacy kDefault order to
+    /// legacy_order_edges — so recorded_order_edges vs legacy_order_edges
+    /// is the per-cache circuit-size payoff of the active order over a
+    /// like-for-like structure set, even if recording was toggled mid-run
+    /// (order_edges alone also counts unrecorded compiles).
+    uint64_t ordered_compiles = 0;
+    uint64_t order_edges = 0;
+    uint64_t recorded_order_edges = 0;
+    uint64_t legacy_order_edges = 0;
   };
 
+  /// A fresh cache adopts the process-wide defaults: DefaultOrderHeuristic
+  /// (the GMC_ORDER environment knob) and DyadicDefaultEnabled.
   CircuitCache() = default;
 
-  // The compiled circuit for `cnf`, compiling on first sight. The
-  // reference stays valid until Clear() or destruction (concurrent Get
-  // calls never move existing circuits).
+  /// The compiled circuit for `cnf`, compiling on first sight. The
+  /// reference stays valid until Clear() or destruction (concurrent Get
+  /// calls never move existing circuits).
   const NnfCircuit& Get(const Cnf& cnf);
 
-  // One circuit evaluation; compiles on the first call per CNF structure.
+  /// One circuit evaluation; compiles on the first call per CNF structure.
   Rational Probability(const Cnf& cnf,
                        const std::vector<Rational>& probabilities);
   Rational Probability(const Lineage& lineage);
-  // Grounds and evaluates: Pr_∆(Q) through the compiled path.
+  /// Grounds and evaluates: Pr_∆(Q) through the compiled path.
   Rational QueryProbability(const Query& query, const Tid& tid);
 
-  // Batched evaluate-many: all K weight vectors of one CNF structure in a
-  // single topological circuit pass (NnfCircuit::EvaluateBatch) instead of
-  // K independent walks. The pass itself is column-parallel (see nnf.h);
-  // set_num_threads below bounds the workers it may use.
+  /// Batched evaluate-many: all K weight vectors of one CNF structure in a
+  /// single topological circuit pass (NnfCircuit::EvaluateBatch) instead
+  /// of K independent walks. The pass itself is column-parallel (see
+  /// nnf.h); set_num_threads below bounds the workers it may use.
   std::vector<Rational> ProbabilityBatch(const Cnf& cnf,
                                          const WeightMatrix& weights);
-  // Mixed-structure form: groups the lineages by CNF structure, compiles
-  // each distinct structure once, and serves every group with one batch
-  // pass over that group's weight vectors. Results come back in input
-  // order, so callers need not know (or care) how the grouping fell out —
-  // gadget sweeps whose grounding folds different certain tuples per
-  // setting still batch within each surviving structure.
+  /// Mixed-structure form: groups the lineages by CNF structure, compiles
+  /// each distinct structure once, and serves every group with one batch
+  /// pass over that group's weight vectors. Results come back in input
+  /// order, so callers need not know (or care) how the grouping fell out —
+  /// gadget sweeps whose grounding folds different certain tuples per
+  /// setting still batch within each surviving structure.
   std::vector<Rational> ProbabilityBatch(const std::vector<Lineage>& lineages);
 
-  // Dyadic routing knob, on by default: batches whose weights are all
-  // dyadic (power-of-two denominators — every interpolation sweep and GFOMC
-  // instance) are served by NnfCircuit::EvaluateBatchDyadic. The results
-  // are bit-identical to the Rational path either way; the knob exists for
-  // cross-checks and A/B benchmarks, not for correctness.
+  /// Shannon-order selection for every compile this cache performs from
+  /// now on (default: DefaultOrderHeuristic(), i.e. the GMC_ORDER
+  /// environment knob). Affects only the SIZE of newly compiled circuits —
+  /// results are bit-identical under every heuristic. Structures already
+  /// cached keep the circuit they were compiled with (the cache key is the
+  /// CNF alone); Clear() first for a clean A/B. Thread-safe.
+  void set_order(OrderHeuristic order) {
+    order_.store(order, std::memory_order_relaxed);
+  }
+  OrderHeuristic order() const {
+    return order_.load(std::memory_order_relaxed);
+  }
+
+  /// Order-payoff instrumentation (off by default): while enabled, every
+  /// compile under a non-default heuristic ALSO compiles the structure
+  /// under the legacy kDefault order — the extra circuit is discarded, its
+  /// edge count lands in Stats::legacy_order_edges. Roughly doubles
+  /// compile cost while on; evaluation traffic is unaffected. For
+  /// benchmarks, tests, and production canaries measuring what the active
+  /// order buys.
+  void set_order_baseline_recording(bool enabled) {
+    order_baseline_recording_.store(enabled, std::memory_order_relaxed);
+  }
+  bool order_baseline_recording() const {
+    return order_baseline_recording_.load(std::memory_order_relaxed);
+  }
+
+  /// Dyadic routing knob, on by default: batches whose weights are all
+  /// dyadic (power-of-two denominators — every interpolation sweep and
+  /// GFOMC instance) are served by NnfCircuit::EvaluateBatchDyadic. The
+  /// results are bit-identical to the Rational path either way; the knob
+  /// exists for cross-checks and A/B benchmarks, not for correctness.
   void set_dyadic_enabled(bool enabled) {
     dyadic_enabled_.store(enabled, std::memory_order_relaxed);
   }
@@ -112,10 +165,10 @@ class CircuitCache {
     return dyadic_enabled_.load(std::memory_order_relaxed);
   }
 
-  // Worker bound for this cache's batch passes: 0 (default) defers to the
-  // process default (DefaultNumThreads, i.e. GMC_THREADS), 1 forces
-  // serial, n allows at most n column slices. Results are bit-identical
-  // at every setting.
+  /// Worker bound for this cache's batch passes: 0 (default) defers to the
+  /// process default (DefaultNumThreads, i.e. GMC_THREADS), 1 forces
+  /// serial, n allows at most n column slices. Results are bit-identical
+  /// at every setting.
   void set_num_threads(int num_threads) {
     num_threads_.store(num_threads, std::memory_order_relaxed);
   }
@@ -123,21 +176,21 @@ class CircuitCache {
     return num_threads_.load(std::memory_order_relaxed);
   }
 
-  // Process-wide default for newly constructed caches (per-instance
-  // set_dyadic_enabled overrides). The on/off cross-check tests and the A/B
-  // benchmarks flip this to drive the full caller stack — Type-I/Type-II
-  // reductions, WmcEngine, SafeEvaluator — down either path; results must
-  // be bit-identical both ways.
+  /// Process-wide default for newly constructed caches (per-instance
+  /// set_dyadic_enabled overrides). The on/off cross-check tests and the
+  /// A/B benchmarks flip this to drive the full caller stack —
+  /// Type-I/Type-II reductions, WmcEngine, SafeEvaluator — down either
+  /// path; results must be bit-identical both ways.
   static void SetDyadicDefaultEnabled(bool enabled);
   static bool DyadicDefaultEnabled();
 
-  // Snapshot of the atomic counters (not a reference: counters move under
-  // concurrent traffic).
+  /// Snapshot of the atomic counters (not a reference: counters move under
+  /// concurrent traffic).
   Stats stats() const;
   Compiler::Stats compiler_stats() const;
   size_t size() const;
-  // Drops every cached circuit. NOT safe to call while other threads hold
-  // references from Get or are mid-evaluation.
+  /// Drops every cached circuit. NOT safe to call while other threads hold
+  /// references from Get or are mid-evaluation.
   void Clear();
 
  private:
@@ -161,6 +214,10 @@ class CircuitCache {
     std::atomic<uint64_t> bigint_vectors{0};
     std::atomic<uint64_t> nodes_before_minimize{0};
     std::atomic<uint64_t> nodes_after_minimize{0};
+    std::atomic<uint64_t> ordered_compiles{0};
+    std::atomic<uint64_t> order_edges{0};
+    std::atomic<uint64_t> recorded_order_edges{0};
+    std::atomic<uint64_t> legacy_order_edges{0};
   };
 
   Stripe& StripeFor(const Cnf& cnf);
@@ -171,6 +228,8 @@ class CircuitCache {
   AtomicStats stats_;
   std::atomic<bool> dyadic_enabled_{DyadicDefaultEnabled()};
   std::atomic<int> num_threads_{0};
+  std::atomic<OrderHeuristic> order_{DefaultOrderHeuristic()};
+  std::atomic<bool> order_baseline_recording_{false};
 };
 
 }  // namespace gmc

@@ -9,6 +9,15 @@
 namespace gmc {
 
 NnfCircuit Compiler::Compile(const Cnf& cnf) {
+  rank_.clear();
+  if (order_ != OrderHeuristic::kDefault) {
+    // One vtree per top-level compilation, over the full CNF: the ranks
+    // stay fixed for every sub-formula, so the memo (cleared below) is
+    // keyed consistently under the order in force.
+    Vtree vtree = Vtree::Build(cnf, order_);
+    rank_ = vtree.decision_rank();
+    ++stats_.vtree_builds;
+  }
   NnfCircuit circuit;
   circuit_ = &circuit;
   memo_.clear();
@@ -32,6 +41,23 @@ NnfCircuit Compiler::Compile(const Lineage& lineage) {
   return Compile(lineage.cnf);
 }
 
+int Compiler::BranchVariable(const Cnf& cnf) const {
+  if (rank_.empty()) return cnf.MostOccurringVariable();
+  // Vtree dissection: the occurring variable whose dissection point is
+  // highest in the tree — i.e. minimum decision rank. Every variable of a
+  // sub-CNF occurred in the top-level CNF (conditioning only removes
+  // literals), so its rank is always present.
+  int best_var = -1;
+  for (const auto& clause : cnf.clauses) {
+    for (int v : clause) {
+      GMC_CHECK(v >= 0 && v < static_cast<int>(rank_.size()));
+      GMC_CHECK(rank_[v] >= 0);
+      if (best_var == -1 || rank_[v] < rank_[best_var]) best_var = v;
+    }
+  }
+  return best_var;
+}
+
 int Compiler::CompileNode(const Cnf& cnf) {
   ++stats_.compile_calls;
   if (cnf.clauses.empty()) return circuit_->True();
@@ -44,9 +70,8 @@ int Compiler::CompileNode(const Cnf& cnf) {
   }
 
   // Connected-component decomposition: disjoint variable sets compile to a
-  // decomposable AND. The split and the branch-variable choice below are
-  // the same Cnf helpers WmcEngine uses, so the circuit is exactly the
-  // memoized trace of one WmcEngine run.
+  // decomposable AND. The split is the same Cnf helper WmcEngine uses;
+  // the branch-variable choice below follows the active order heuristic.
   std::vector<Cnf> parts = cnf.SplitComponents();
   int result;
   if (parts.size() > 1) {
@@ -59,10 +84,9 @@ int Compiler::CompileNode(const Cnf& cnf) {
     }
     result = circuit_->And(std::move(children));
   } else {
-    // Shannon expansion on the most frequent variable — a deterministic
-    // decision node.
+    // Shannon expansion — a deterministic decision node.
     ++stats_.shannon_branches;
-    const int best_var = cnf.MostOccurringVariable();
+    const int best_var = BranchVariable(cnf);
     GMC_CHECK(best_var >= 0);
     const int high = CompileNode(cnf.Condition(best_var, true));
     const int low = CompileNode(cnf.Condition(best_var, false));

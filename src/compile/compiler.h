@@ -1,55 +1,85 @@
 // Bottom-up exact compiler: monotone CNF → d-DNNF circuit.
 //
-// The recursion mirrors WmcEngine exactly — connected-component
-// decomposition (independent conjuncts per Lemma B.5; the bipartite gadget
-// lineages split eagerly once an articulation tuple is conditioned) and
-// Shannon expansion on a most-occurring variable — but emits circuit nodes
-// instead of a Rational: components become a decomposable AND, Shannon
-// branches a deterministic decision node. Sub-formulas are memoized on the
-// canonical 64-bit CNF hash (shared with WmcEngine's memo; see
-// Cnf::Hash64), so the compiled circuit is a DAG no larger than the trace
-// of one WmcEngine run — and every later Evaluate costs a single linear
-// pass instead of re-running the recursion.
+// The recursion mirrors WmcEngine — connected-component decomposition
+// (independent conjuncts per Lemma B.5; the bipartite gadget lineages
+// split eagerly once an articulation tuple is conditioned) and Shannon
+// expansion — but emits circuit nodes instead of a Rational: components
+// become a decomposable AND, Shannon branches a deterministic decision
+// node. Sub-formulas are memoized on the canonical 64-bit CNF hash (shared
+// with WmcEngine's memo; see Cnf::Hash64), so the compiled circuit is a
+// DAG no larger than the trace of one recursive run — and every later
+// Evaluate costs a single linear pass instead of re-running the recursion.
+//
+// The Shannon branch variable is chosen by the active OrderHeuristic
+// (compile/vtree.h): the legacy most-occurring variable under kDefault, or
+// top-down vtree dissection under kMinFill / kBalanced — the knob that
+// moves circuit SIZE while results stay bit-identical.
 
 #ifndef GMC_COMPILE_COMPILER_H_
 #define GMC_COMPILE_COMPILER_H_
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "compile/minimize.h"
 #include "compile/nnf.h"
+#include "compile/vtree.h"
 #include "lineage/boolean_formula.h"
 #include "lineage/grounder.h"
 
 namespace gmc {
 
+/// One-CNF-at-a-time d-DNNF compiler.
+///
+/// Thread safety: NOT thread-safe — the sub-formula memo and the in-flight
+/// circuit pointer are per-instance mutable state. CircuitCache wraps one
+/// Compiler behind a mutex; use that (or one Compiler per thread) for
+/// concurrent compilation.
+///
+/// Exactness: the emitted circuit computes the CNF exactly for every
+/// weight vector (worst-case exponential size, as #P-hardness demands);
+/// Compile is deterministic — same CNF, same order heuristic, same
+/// minimize setting → structurally identical circuit.
 class Compiler {
  public:
+  /// Cumulative counters across Compile calls (ResetStats clears).
   struct Stats {
     uint64_t compile_calls = 0;
     uint64_t cache_hits = 0;
     uint64_t component_splits = 0;
     uint64_t shannon_branches = 0;
-    // Sweep-and-merge totals (cumulative across Compile calls; equal when
-    // minimization is disabled).
+    /// Vtrees built — one per Compile call under a non-default heuristic.
+    uint64_t vtree_builds = 0;
+    /// Sweep-and-merge totals (cumulative across Compile calls; equal when
+    /// minimization is disabled).
     uint64_t minimize_nodes_before = 0;
     uint64_t minimize_nodes_after = 0;
   };
 
   Compiler() = default;
 
-  // Compiles the CNF into a fresh circuit whose root computes it. Exact for
-  // every monotone CNF; worst-case exponential circuit size, as #P-hardness
-  // demands. The raw circuit then goes through one sweep-and-merge
-  // Minimizer pass (see minimize.h) unless disabled below.
+  /// Compiles the CNF into a fresh circuit whose root computes it. Exact
+  /// for every monotone CNF. The raw circuit then goes through one
+  /// sweep-and-merge Minimizer pass (see minimize.h) unless disabled
+  /// below. The returned circuit is owned by the caller and holds no
+  /// reference back into the compiler.
   NnfCircuit Compile(const Cnf& cnf);
-  // Lineage convenience: an unsatisfiable lineage compiles to the FALSE
-  // circuit. Evaluate with lineage.probabilities (or any other weights).
+  /// Lineage convenience: an unsatisfiable lineage compiles to the FALSE
+  /// circuit. Evaluate with lineage.probabilities (or any other weights).
   NnfCircuit Compile(const Lineage& lineage);
 
-  // Post-compile minimization knob (on by default; benchmarks flip it off
-  // to measure the pass's payoff in isolation).
+  /// Shannon-order selection (default kDefault — the legacy
+  /// most-occurring-variable heuristic). Non-default orders build one
+  /// Vtree per Compile call from the CNF's primal graph and branch by its
+  /// dissection; see compile/vtree.h. Affects circuit size only — results
+  /// are bit-identical under every setting. Takes effect on the next
+  /// Compile call.
+  void set_order(OrderHeuristic order) { order_ = order; }
+  OrderHeuristic order() const { return order_; }
+
+  /// Post-compile minimization knob (on by default; benchmarks flip it
+  /// off to measure the pass's payoff in isolation).
   void set_minimize(bool minimize) { minimize_ = minimize; }
   bool minimize() const { return minimize_; }
 
@@ -64,11 +94,21 @@ class Compiler {
 
  private:
   int CompileNode(const Cnf& cnf);
+  /// The Shannon branch variable for `cnf` under the active order:
+  /// minimum-decision-rank occurring variable when a vtree is in force,
+  /// else the legacy most-occurring variable.
+  int BranchVariable(const Cnf& cnf) const;
 
   NnfCircuit* circuit_ = nullptr;
   // Sub-CNF -> node id; hashed via Hash64, compared exactly (CnfClauseEq).
+  // Cleared at the top of every Compile, so entries never leak across
+  // orders — the memo is keyed consistently under whichever order the
+  // in-flight compilation runs.
   std::unordered_map<Cnf, int, CnfHash, CnfClauseEq> memo_;
+  // Decision ranks of the in-flight vtree (empty under kDefault).
+  std::vector<int> rank_;
   Minimizer minimizer_;
+  OrderHeuristic order_ = OrderHeuristic::kDefault;
   bool minimize_ = true;
   Stats stats_;
 };

@@ -33,24 +33,29 @@
 
 namespace gmc {
 
+/// Node kinds of the d-DNNF circuit (see the header comment for their
+/// semantics).
 enum class NnfKind : uint8_t { kFalse, kTrue, kVar, kAnd, kDecision };
 
-// K weight vectors over V variables — the input of the batched evaluator.
-// Storage is variable-major (the K values of one variable are contiguous),
-// so the per-node inner loops of EvaluateBatch stream one contiguous column
-// instead of striding across K separate vectors.
+/// K weight vectors over V variables — the input of the batched evaluator.
+/// Storage is variable-major (the K values of one variable are contiguous),
+/// so the per-node inner loops of EvaluateBatch stream one contiguous column
+/// instead of striding across K separate vectors. Value type (owns its
+/// entries); safe for concurrent reads once filled, mutation (Set) is
+/// single-threaded.
 class WeightMatrix {
  public:
+  /// A K×V matrix of zero weights; fill with Set.
   WeightMatrix(int num_vectors, int num_vars);
 
-  // Builds from K row vectors (one weight vector per row, all the same
-  // length). Aborts on an empty or ragged input.
+  /// Builds from K row vectors (one weight vector per row, all the same
+  /// length). Aborts on an empty or ragged input.
   static WeightMatrix FromRows(const std::vector<std::vector<Rational>>& rows);
 
   int num_vectors() const { return num_vectors_; }
   int num_vars() const { return num_vars_; }
 
-  // Value of variable `var` in weight vector `k`.
+  /// Value of variable `var` in weight vector `k`.
   const Rational& at(int k, int var) const {
     return values_[static_cast<size_t>(var) * num_vectors_ + k];
   }
@@ -58,17 +63,17 @@ class WeightMatrix {
     values_[static_cast<size_t>(var) * num_vectors_ + k] = std::move(value);
   }
 
-  // The K contiguous values of one variable.
+  /// The K contiguous values of one variable.
   const Rational* Column(int var) const {
     return values_.data() + static_cast<size_t>(var) * num_vectors_;
   }
 
-  // One weight vector, re-assembled (loop-comparison and re-check paths).
+  /// One weight vector, re-assembled (loop-comparison and re-check paths).
   std::vector<Rational> Row(int k) const;
 
-  // True iff every entry has a power-of-two denominator — the whole batch
-  // qualifies for the dyadic exact path (EvaluateBatchDyadic). One scan,
-  // no allocation.
+  /// True iff every entry has a power-of-two denominator — the whole batch
+  /// qualifies for the dyadic exact path (EvaluateBatchDyadic). One scan,
+  /// no allocation.
   bool AllDyadic() const;
 
  private:
@@ -77,44 +82,63 @@ class WeightMatrix {
   std::vector<Rational> values_;  // values_[var * num_vectors_ + k]
 };
 
+/// One circuit node. Plain data; child ids always point at lower-numbered
+/// nodes (ascending id order is a topological order).
 struct NnfNode {
   NnfKind kind = NnfKind::kFalse;
-  int var = -1;               // kVar and kDecision
-  int high = -1;              // kDecision: branch with var = true
-  int low = -1;               // kDecision: branch with var = false
-  std::vector<int> children;  // kAnd (always ≥ 2 after folding)
+  int var = -1;               ///< kVar and kDecision
+  int high = -1;              ///< kDecision: branch with var = true
+  int low = -1;               ///< kDecision: branch with var = false
+  std::vector<int> children;  ///< kAnd (always ≥ 2 after folding)
 };
 
-// Per-call routing report of EvaluateBatchDyadic: how many of the K weight
-// vectors were served by each mantissa width. The three counters sum to K;
-// CircuitCache aggregates them into its stats.
+/// Per-call routing report of EvaluateBatchDyadic: how many of the K weight
+/// vectors were served by each mantissa width. The three counters sum to K;
+/// CircuitCache aggregates them into its stats.
 struct DyadicBatchStats {
   int fixed64_vectors = 0;   // raw uint64 mantissa kernel
   int fixed128_vectors = 0;  // two-limb UInt128 mantissa kernel
   int bigint_vectors = 0;    // BigInt Dyadic arena (arbitrary precision)
 };
 
+/// One d-DNNF circuit.
+///
+/// Ownership: plain value type — the nodes live inside the object, copies
+/// are deep and independent, and nothing returned by the accessors
+/// outlives the circuit.
+///
+/// Thread safety: construction and mutation (Var/And/Decision/SetRoot/
+/// PruneUnreachable) are single-threaded; every evaluation entry point is
+/// const and safe to call concurrently from any number of threads (the
+/// batch passes additionally parallelize internally over the shared
+/// pool, bit-identically at any thread count).
+///
+/// Exactness: Evaluate, EvaluateBatch, and EvaluateBatchDyadic return
+/// exact canonical Rationals — bit-identical to one another on the same
+/// weights; EvaluateBatchDouble is the one approximate pass and re-checks
+/// itself against the exact evaluator at a configurable stride.
 class NnfCircuit {
  public:
+  /// Structural summary, computed by ComputeStats in one pass.
   struct Stats {
     size_t num_nodes = 0;
     size_t var_nodes = 0;
     size_t and_nodes = 0;
     size_t decision_nodes = 0;
     size_t edges = 0;
-    int depth = 0;  // longest root-to-leaf path, 0 for a bare constant
+    int depth = 0;  ///< longest root-to-leaf path, 0 for a bare constant
   };
 
-  // Every circuit owns nodes 0 = FALSE and 1 = TRUE.
+  /// Every circuit owns nodes 0 = FALSE and 1 = TRUE.
   NnfCircuit();
 
   int False() const { return 0; }
   int True() const { return 1; }
 
-  // Node constructors. All are hash-consed and constant-folding:
-  //   And: drops TRUE children, collapses to FALSE on any FALSE child,
-  //        sorts children canonically, unwraps singletons;
-  //   Decision: high == low folds the test away, (TRUE, FALSE) is Var(var).
+  /// Node constructors. All are hash-consed and constant-folding:
+  ///   And: drops TRUE children, collapses to FALSE on any FALSE child,
+  ///        sorts children canonically, unwraps singletons;
+  ///   Decision: high == low folds the test away, (TRUE, FALSE) is Var(var).
   int Var(int var);
   int And(std::vector<int> children);
   int Decision(int var, int high, int low);
@@ -123,90 +147,90 @@ class NnfCircuit {
   int root() const { return root_; }
   const std::vector<NnfNode>& nodes() const { return nodes_; }
   size_t num_nodes() const { return nodes_.size(); }
-  // 1 + the largest variable id mentioned (0 for constant circuits).
+  /// 1 + the largest variable id mentioned (0 for constant circuits).
   int num_vars() const { return num_vars_; }
 
-  // Weighted model count in one bottom-up pass: the probability that the
-  // circuit is satisfied when variable v is independently true with
-  // probability probabilities[v]. Callable any number of times with
-  // different weight vectors; this is the compile-once / evaluate-many
-  // payoff.
+  /// Weighted model count in one bottom-up pass: the probability that the
+  /// circuit is satisfied when variable v is independently true with
+  /// probability probabilities[v]. Callable any number of times with
+  /// different weight vectors; this is the compile-once / evaluate-many
+  /// payoff.
   Rational Evaluate(const std::vector<Rational>& probabilities) const;
 
-  // Batched weighted model count: all K weight vectors in ONE topological
-  // pass. The scratch arena is a contiguous row-major block (K values per
-  // node), node metadata is decoded once per node instead of once per
-  // (node, vector), and decision complements 1 − p are computed once per
-  // (variable, vector) instead of once per (decision node, vector) — the
-  // interpolation sweeps of the hardness reductions probe hundreds of weight
-  // vectors against one gadget circuit, which is exactly this shape.
-  // Returns the K root values in input order.
-  //
-  // All three batch evaluators are column-parallel: the K weight vectors
-  // are split into contiguous column slices and each slice runs the full
-  // topological pass over its own arena on one worker of the shared pool
-  // (util/parallel.h). Columns never interact — no value depends on
-  // another weight vector — so results are BIT-IDENTICAL at every thread
-  // count. `num_threads`: 0 = process default (DefaultNumThreads, i.e. the
-  // GMC_THREADS knob), 1 = serial, n = at most n slices.
+  /// Batched weighted model count: all K weight vectors in ONE topological
+  /// pass. The scratch arena is a contiguous row-major block (K values per
+  /// node), node metadata is decoded once per node instead of once per
+  /// (node, vector), and decision complements 1 − p are computed once per
+  /// (variable, vector) instead of once per (decision node, vector) — the
+  /// interpolation sweeps of the hardness reductions probe hundreds of weight
+  /// vectors against one gadget circuit, which is exactly this shape.
+  /// Returns the K root values in input order.
+  ///
+  /// All three batch evaluators are column-parallel: the K weight vectors
+  /// are split into contiguous column slices and each slice runs the full
+  /// topological pass over its own arena on one worker of the shared pool
+  /// (util/parallel.h). Columns never interact — no value depends on
+  /// another weight vector — so results are BIT-IDENTICAL at every thread
+  /// count. `num_threads`: 0 = process default (DefaultNumThreads, i.e. the
+  /// GMC_THREADS knob), 1 = serial, n = at most n slices.
   std::vector<Rational> EvaluateBatch(const WeightMatrix& weights,
                                       int num_threads = 0) const;
 
-  // Exact dyadic fast path of EvaluateBatch: the same topological pass over
-  // dyadic (mantissa · 2^-exp) values, so the inner loops are straight
-  // integer streaming — no gcd and no per-operation canonicalization
-  // anywhere. Requires weights.AllDyadic(); aborts otherwise. Results are
-  // bit-identical to EvaluateBatch on the same weights.
-  //
-  // Mantissa width is chosen per batch by a static exponent analysis
-  // (nnf_fixed.cc): circuit values are probabilities, so a node's mantissa
-  // is bounded by 2^E with E the node's exponent under the batch's weight
-  // exponents, computed by one fold over the circuit BEFORE evaluating.
-  // When every node exponent fits, the pass runs on fixed-width mantissas
-  // (uint64 up to 63, two-limb UInt128 up to 127 — branch-free SoA loops,
-  // see util/dyadic_fixed.h) with no per-operation overflow checks at all;
-  // otherwise columns that fit individually run fixed-width one at a time
-  // and only the remainder pays for the BigInt Dyadic arena. `stats`, if
-  // non-null, reports how the K vectors were routed.
+  /// Exact dyadic fast path of EvaluateBatch: the same topological pass over
+  /// dyadic (mantissa · 2^-exp) values, so the inner loops are straight
+  /// integer streaming — no gcd and no per-operation canonicalization
+  /// anywhere. Requires weights.AllDyadic(); aborts otherwise. Results are
+  /// bit-identical to EvaluateBatch on the same weights.
+  ///
+  /// Mantissa width is chosen per batch by a static exponent analysis
+  /// (nnf_fixed.cc): circuit values are probabilities, so a node's mantissa
+  /// is bounded by 2^E with E the node's exponent under the batch's weight
+  /// exponents, computed by one fold over the circuit BEFORE evaluating.
+  /// When every node exponent fits, the pass runs on fixed-width mantissas
+  /// (uint64 up to 63, two-limb UInt128 up to 127 — branch-free SoA loops,
+  /// see util/dyadic_fixed.h) with no per-operation overflow checks at all;
+  /// otherwise columns that fit individually run fixed-width one at a time
+  /// and only the remainder pays for the BigInt Dyadic arena. `stats`, if
+  /// non-null, reports how the K vectors were routed.
   std::vector<Rational> EvaluateBatchDyadic(
       const WeightMatrix& weights, int num_threads = 0,
       DyadicBatchStats* stats = nullptr) const;
 
-  // Double-precision fast path of EvaluateBatch for sweeps that only need
-  // interpolation-grade inputs: same pass over a double arena, no BigInt
-  // allocation anywhere. If `recheck_stride > 0`, every stride-th weight
-  // vector is additionally evaluated exactly and the double result must
-  // match within `recheck_tolerance` relative error (aborts otherwise) —
-  // the knob that spot-verifies the fast path against the exact one at a
-  // K/stride fraction of the exact cost.
+  /// Double-precision fast path of EvaluateBatch for sweeps that only need
+  /// interpolation-grade inputs: same pass over a double arena, no BigInt
+  /// allocation anywhere. If `recheck_stride > 0`, every stride-th weight
+  /// vector is additionally evaluated exactly and the double result must
+  /// match within `recheck_tolerance` relative error (aborts otherwise) —
+  /// the knob that spot-verifies the fast path against the exact one at a
+  /// K/stride fraction of the exact cost.
   std::vector<double> EvaluateBatchDouble(const WeightMatrix& weights,
                                           int recheck_stride = 0,
                                           double recheck_tolerance = 1e-9,
                                           int num_threads = 0) const;
 
-  // Process-wide A/B knob for the fixed-width dyadic kernels (on by
-  // default). Off forces every dyadic batch through the BigInt arena;
-  // results are bit-identical either way — the knob exists for the
-  // cross-check tests and benchmarks, not for correctness.
+  /// Process-wide A/B knob for the fixed-width dyadic kernels (on by
+  /// default). Off forces every dyadic batch through the BigInt arena;
+  /// results are bit-identical either way — the knob exists for the
+  /// cross-check tests and benchmarks, not for correctness.
   static void SetFixedWidthDefaultEnabled(bool enabled);
   static bool FixedWidthDefaultEnabled();
 
   Stats ComputeStats() const;
 
-  // Structural audits (tests): AND children have pairwise disjoint variable
-  // supports (decomposability); no decision branch mentions its decision
-  // variable (so the Shannon split is a genuine deterministic OR).
+  /// Structural audits (tests): AND children have pairwise disjoint variable
+  /// supports (decomposability); no decision branch mentions its decision
+  /// variable (so the Shannon split is a genuine deterministic OR).
   bool CheckDecomposable() const;
   bool CheckDeterministic() const;
 
-  // Drops nodes unreachable from the root (constant folding can orphan
-  // subcircuits, e.g. component nodes built before a FALSE sibling
-  // collapsed their AND) and renumbers the rest, keeping children before
-  // parents. Evaluate cost is proportional to node count, so the compiler
-  // calls this once per compilation to keep the evaluate-many path lean.
+  /// Drops nodes unreachable from the root (constant folding can orphan
+  /// subcircuits, e.g. component nodes built before a FALSE sibling
+  /// collapsed their AND) and renumbers the rest, keeping children before
+  /// parents. Evaluate cost is proportional to node count, so the compiler
+  /// calls this once per compilation to keep the evaluate-many path lean.
   void PruneUnreachable();
 
-  // Graphviz dump of the subcircuit reachable from the root.
+  /// Graphviz dump of the subcircuit reachable from the root.
   std::string ToDot() const;
 
  private:

@@ -99,6 +99,15 @@ class GfomcSession {
     engine_.set_num_threads(num_threads);
   }
 
+  // Shannon-order heuristic for every circuit this session compiles,
+  // applied to both embedded caches (new sessions start from the GMC_ORDER
+  // environment knob via DefaultOrderHeuristic). Circuit size only —
+  // probabilities are bit-identical under every setting.
+  void set_order(OrderHeuristic order) {
+    safe_.set_order(order);
+    engine_.set_order(order);
+  }
+
   // Counters above plus live compile/hit totals from the embedded caches.
   Stats stats() const;
 

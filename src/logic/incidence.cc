@@ -1,0 +1,207 @@
+#include "logic/incidence.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace gmc {
+
+PrimalGraph PrimalGraph::FromClauses(
+    int num_vars, const std::vector<std::vector<int>>& clauses) {
+  PrimalGraph graph;
+  graph.num_vars = num_vars;
+  graph.adjacency.assign(static_cast<size_t>(num_vars), {});
+  graph.occurs.assign(static_cast<size_t>(num_vars), 0);
+  for (const auto& clause : clauses) {
+    for (size_t i = 0; i < clause.size(); ++i) {
+      GMC_CHECK(clause[i] >= 0 && clause[i] < num_vars);
+      graph.occurs[clause[i]] = 1;
+      for (size_t j = i + 1; j < clause.size(); ++j) {
+        graph.adjacency[clause[i]].push_back(clause[j]);
+        graph.adjacency[clause[j]].push_back(clause[i]);
+      }
+    }
+  }
+  for (auto& neighbors : graph.adjacency) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+  return graph;
+}
+
+size_t PrimalGraph::NumEdges() const {
+  size_t twice = 0;
+  for (const auto& neighbors : adjacency) twice += neighbors.size();
+  return twice / 2;
+}
+
+std::vector<int> PrimalGraph::UsedVariables() const {
+  std::vector<int> used;
+  for (int v = 0; v < num_vars; ++v) {
+    if (occurs[v]) used.push_back(v);
+  }
+  return used;
+}
+
+namespace {
+
+// Shared elimination loop: `count_fill` toggles between min-fill (count
+// missing neighbor pairs via an adjacency matrix) and min-degree. The
+// eliminated variable's remaining neighbors are connected into a clique so
+// later rounds see the induced graph, exactly as treewidth heuristics
+// prescribe.
+std::vector<int> EliminationOrder(const PrimalGraph& graph, bool count_fill) {
+  const int n = graph.num_vars;
+  // Working adjacency as sets-in-sorted-vectors plus, for fill counting, a
+  // flat n×n membership matrix (only built when needed — that is the size
+  // limit kMinFillMaxVars protects).
+  std::vector<std::vector<int>> adj = graph.adjacency;
+  std::vector<char> matrix;
+  if (count_fill) {
+    matrix.assign(static_cast<size_t>(n) * n, 0);
+    for (int v = 0; v < n; ++v) {
+      for (int u : adj[v]) matrix[static_cast<size_t>(v) * n + u] = 1;
+    }
+  }
+  auto connected = [&](int a, int b) {
+    return matrix[static_cast<size_t>(a) * n + b] != 0;
+  };
+
+  std::vector<char> eliminated(n, 0);
+  std::vector<int> order;
+  std::vector<int> remaining = graph.UsedVariables();
+  order.reserve(remaining.size());
+  while (!remaining.empty()) {
+    int best = -1;
+    long best_score = -1;
+    long best_degree = -1;
+    for (int v : remaining) {
+      long degree = 0;
+      for (int u : adj[v]) {
+        if (!eliminated[u]) ++degree;
+      }
+      long score;
+      if (count_fill) {
+        // Fill edges: pairs of live neighbors not already adjacent.
+        score = 0;
+        const auto& nv = adj[v];
+        for (size_t i = 0; i < nv.size(); ++i) {
+          if (eliminated[nv[i]]) continue;
+          for (size_t j = i + 1; j < nv.size(); ++j) {
+            if (eliminated[nv[j]]) continue;
+            if (!connected(nv[i], nv[j])) ++score;
+          }
+        }
+      } else {
+        score = degree;
+      }
+      // Primary: fewest fill edges (resp. lowest degree). Tie-break:
+      // LOWEST live degree — eliminating a low-degree simplicial vertex
+      // keeps separators small — then smallest id for determinism.
+      if (best == -1 || score < best_score ||
+          (score == best_score && degree < best_degree)) {
+        best = v;
+        best_score = score;
+        best_degree = degree;
+      }
+    }
+    order.push_back(best);
+    eliminated[best] = 1;
+    // Connect the live neighborhood of `best` into a clique.
+    std::vector<int> live;
+    for (int u : adj[best]) {
+      if (!eliminated[u]) live.push_back(u);
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      for (size_t j = i + 1; j < live.size(); ++j) {
+        const int a = live[i], b = live[j];
+        const bool already =
+            count_fill ? connected(a, b)
+                       : std::binary_search(adj[a].begin(), adj[a].end(), b);
+        if (already) continue;
+        adj[a].insert(std::lower_bound(adj[a].begin(), adj[a].end(), b), b);
+        adj[b].insert(std::lower_bound(adj[b].begin(), adj[b].end(), a), a);
+        if (count_fill) {
+          matrix[static_cast<size_t>(a) * n + b] = 1;
+          matrix[static_cast<size_t>(b) * n + a] = 1;
+        }
+      }
+    }
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best));
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> MinFillOrder(const PrimalGraph& graph) {
+  // The density gate counts OCCURRING variables, not the id space: lineage
+  // CNFs can intern ids far beyond the variables their clauses mention,
+  // and only occurring variables enter the fill matrix.
+  std::vector<int> used = graph.UsedVariables();
+  if (used.size() > static_cast<size_t>(kMinFillMaxVars)) {
+    return MinDegreeOrder(graph);
+  }
+  if (graph.num_vars <= kMinFillMaxVars) {
+    return EliminationOrder(graph, /*count_fill=*/true);
+  }
+  // Sparse occurrence over a huge id space: compact to dense ids so the
+  // fill matrix stays used², order, and map back.
+  std::vector<int> dense_of(graph.num_vars, -1);
+  for (size_t i = 0; i < used.size(); ++i) dense_of[used[i]] = static_cast<int>(i);
+  PrimalGraph compact;
+  compact.num_vars = static_cast<int>(used.size());
+  compact.adjacency.resize(used.size());
+  compact.occurs.assign(used.size(), 1);
+  for (size_t i = 0; i < used.size(); ++i) {
+    for (int u : graph.adjacency[used[i]]) {
+      compact.adjacency[i].push_back(dense_of[u]);
+    }
+  }
+  std::vector<int> order = EliminationOrder(compact, /*count_fill=*/true);
+  for (int& v : order) v = used[v];
+  return order;
+}
+
+std::vector<int> MinDegreeOrder(const PrimalGraph& graph) {
+  return EliminationOrder(graph, /*count_fill=*/false);
+}
+
+std::vector<int> BfsOrder(const PrimalGraph& graph) {
+  const int n = graph.num_vars;
+  std::vector<char> visited(n, 0);
+  // One BFS order per component, rooted at the component's smallest id.
+  std::vector<std::vector<int>> components;
+  for (int root = 0; root < n; ++root) {
+    if (visited[root] || !graph.occurs[root]) continue;
+    std::vector<int> component;
+    std::queue<int> frontier;
+    frontier.push(root);
+    visited[root] = 1;
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop();
+      component.push_back(v);
+      for (int u : graph.adjacency[v]) {  // sorted → deterministic
+        if (!visited[u]) {
+          visited[u] = 1;
+          frontier.push(u);
+        }
+      }
+    }
+    components.push_back(std::move(component));
+  }
+  std::stable_sort(components.begin(), components.end(),
+                   [](const std::vector<int>& a, const std::vector<int>& b) {
+                     return a.size() > b.size();
+                   });
+  std::vector<int> order;
+  for (const auto& component : components) {
+    order.insert(order.end(), component.begin(), component.end());
+  }
+  return order;
+}
+
+}  // namespace gmc

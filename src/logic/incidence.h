@@ -1,0 +1,80 @@
+// Clause–variable incidence structure, as a graph.
+//
+// The Shannon-expansion order of the d-DNNF compiler is a graph problem in
+// disguise: deciding the variables of a small vertex separator first makes
+// the residual formula fall apart into connected components, which compile
+// to decomposable AND nodes instead of deep decision chains. This header
+// extracts the *primal graph* of a clause set (variables adjacent iff they
+// co-occur in some clause) and computes the two classic elimination orders
+// the vtree layer (compile/vtree.h) builds its dissections from.
+//
+// The functions here take raw clause lists rather than a Cnf, so logic/
+// stays below lineage/ in the layering — the compiler hands in
+// cnf.num_vars / cnf.clauses directly.
+
+#ifndef GMC_LOGIC_INCIDENCE_H_
+#define GMC_LOGIC_INCIDENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gmc {
+
+/// The primal (a.k.a. variable-interaction) graph of a clause set:
+/// vertices are variables 0..num_vars-1, and u ~ v iff some clause
+/// contains both. Adjacency lists are sorted and deduplicated; variables
+/// that occur in no clause have empty lists. Plain value type — no
+/// internal sharing, safe to copy and to read from many threads.
+struct PrimalGraph {
+  int num_vars = 0;
+  std::vector<std::vector<int>> adjacency;
+  /// occurs[v] iff v appears in at least one clause — distinct from having
+  /// neighbors: a variable whose only occurrences are unit clauses is
+  /// isolated in the graph but still part of every elimination order.
+  std::vector<char> occurs;
+
+  /// Builds the graph from a clause list over variables 0..num_vars-1.
+  /// Cost is O(sum of clause-length squared) — clauses are cliques.
+  static PrimalGraph FromClauses(int num_vars,
+                                 const std::vector<std::vector<int>>& clauses);
+
+  /// Number of undirected edges.
+  size_t NumEdges() const;
+
+  /// Variables with at least one clause occurrence, sorted ascending.
+  std::vector<int> UsedVariables() const;
+};
+
+/// Min-fill elimination order over the used variables of `graph`: greedily
+/// eliminates the variable whose removal adds the fewest fill edges among
+/// its remaining neighbors, connecting those neighbors into a clique.
+/// The classic treewidth heuristic — REVERSING this order yields the
+/// top-down decision order the vtree layer uses. Deterministic: ties break
+/// toward the smallest variable id. Falls back to MinDegreeOrder (below)
+/// when the graph is too large or too dense for the quadratic adjacency
+/// matrix the fill counting needs (> kMinFillMaxVars vertices), so callers
+/// always get an order in one call.
+std::vector<int> MinFillOrder(const PrimalGraph& graph);
+
+/// Largest vertex count MinFillOrder handles before degrading to
+/// min-degree (the fill computation keeps an n×n adjacency matrix).
+inline constexpr int kMinFillMaxVars = 2048;
+
+/// Min-degree elimination order over the used variables: the cheap
+/// dtree-style fallback for dense or very large instances — eliminates a
+/// minimum-degree variable each round and connects its neighbors, but
+/// never counts fill edges, so it runs in near-linear time on bounded
+/// degree graphs. Deterministic (smallest id on ties).
+std::vector<int> MinDegreeOrder(const PrimalGraph& graph);
+
+/// Breadth-first ordering of the used variables: each connected component
+/// is traversed from its smallest-id vertex with neighbors visited in
+/// ascending order, components emitted largest first (smallest root id on
+/// ties). The balanced-bisection vtree splits this order at the midpoint —
+/// BFS layers make the two halves geometrically contiguous in the graph,
+/// which keeps the cut small on the path-shaped gadget lineages.
+std::vector<int> BfsOrder(const PrimalGraph& graph);
+
+}  // namespace gmc
+
+#endif  // GMC_LOGIC_INCIDENCE_H_

@@ -63,6 +63,11 @@ class SafeEvaluator {
     circuits_.set_num_threads(num_threads);
   }
 
+  // Shannon-order heuristic for the compiled route (see
+  // CircuitCache::set_order / compile/vtree.h); circuit size only, never
+  // results. The lifted per-TID algorithm is unaffected.
+  void set_order(OrderHeuristic order) { circuits_.set_order(order); }
+
  private:
   Stats stats_;
   CircuitCache circuits_;

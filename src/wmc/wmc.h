@@ -77,6 +77,11 @@ class WmcEngine {
     circuits_.set_num_threads(num_threads);
   }
 
+  // Shannon-order heuristic for the compiled path (see
+  // CircuitCache::set_order / compile/vtree.h); affects circuit size only,
+  // never results. The recursive path always uses the legacy heuristic.
+  void set_order(OrderHeuristic order) { circuits_.set_order(order); }
+
  private:
   Rational Recurse(const Cnf& cnf);
 

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo markdown links.
+
+Scans every tracked-looking markdown file in the repository (skipping build
+directories and .git), extracts inline links/images `[text](target)`, and
+checks that every RELATIVE target resolves to an existing file or directory
+relative to the file that contains it. External links (http/https/mailto)
+and pure in-page anchors (#heading) are ignored; a `target#fragment` link is
+checked against `target` only. Fenced code blocks are stripped first so
+markdown examples inside ``` fences never count.
+
+CI runs this as the `docs` job; locally:
+
+    python3 tools/check_docs_links.py [repo_root]
+
+Exit status 0 iff every link resolves; dead links are listed one per line
+as `file:line: target`.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "node_modules", "__pycache__"}
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def iter_markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in sorted(dirnames)
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in sorted(filenames):
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def iter_links(path):
+    """Yields (line_number, target) for every inline link outside fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield line_number, match.group(1)
+
+
+def is_external(target):
+    return (
+        target.startswith("http://")
+        or target.startswith("https://")
+        or target.startswith("mailto:")
+        or target.startswith("#")
+    )
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    checked = 0
+    dead = []
+    for path in iter_markdown_files(root):
+        base = os.path.dirname(path)
+        for line_number, target in iter_links(path):
+            if is_external(target):
+                continue
+            resolved = target.split("#", 1)[0]
+            if not resolved:
+                continue
+            checked += 1
+            if not os.path.exists(os.path.join(base, resolved)):
+                dead.append(
+                    f"{os.path.relpath(path, root)}:{line_number}: {target}")
+    if dead:
+        print(f"{len(dead)} dead intra-repo markdown link(s):")
+        for entry in dead:
+            print(f"  {entry}")
+        return 1
+    print(f"OK: {checked} intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
