@@ -18,6 +18,73 @@ bool CircuitCache::DyadicDefaultEnabled() {
   return g_dyadic_default_enabled.load(std::memory_order_relaxed);
 }
 
+CircuitCache::CircuitCache() {
+  const std::string path = store::DefaultStorePath();
+  if (!path.empty()) set_store_directory(path, /*write_through=*/true);
+}
+
+void CircuitCache::set_store_directory(const std::string& directory,
+                                       bool write_through) {
+  write_through_.store(write_through, std::memory_order_relaxed);
+  std::shared_ptr<const store::CircuitStore> next =
+      directory.empty() ? nullptr
+                        : std::make_shared<const store::CircuitStore>(directory);
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_ = std::move(next);
+}
+
+std::string CircuitCache::store_directory() const {
+  std::shared_ptr<const store::CircuitStore> s = store();
+  return s != nullptr ? s->directory() : std::string();
+}
+
+std::shared_ptr<const store::CircuitStore> CircuitCache::store() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return store_;
+}
+
+size_t CircuitCache::SaveTo(const std::string& directory, std::string* error) {
+  const store::CircuitStore target(directory);
+  const OrderHeuristic order = order_.load(std::memory_order_relaxed);
+  size_t saved = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [cnf, circuit] : stripe.circuits) {
+      std::string save_error;
+      if (target.Save(*circuit, cnf, order, &save_error)) {
+        ++saved;
+      } else if (error != nullptr && error->empty()) {
+        *error = save_error;
+      }
+    }
+  }
+  return saved;
+}
+
+size_t CircuitCache::WarmFrom(const std::string& directory) {
+  const store::CircuitStore source(directory);
+  size_t inserted = 0;
+  for (const std::string& path : source.ListEntries()) {
+    store::LoadedCircuit loaded;
+    std::string load_error;
+    if (!store::LoadCircuit(path, &loaded, &load_error)) {
+      stats_.store_rejected.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Stripe& stripe = StripeFor(loaded.cnf);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    // Keep an already-cached circuit: it is in use (references from Get
+    // stay valid until Clear) and evaluates identically anyway.
+    const bool fresh =
+        stripe.circuits
+            .try_emplace(loaded.cnf, std::make_unique<NnfCircuit>(
+                                         std::move(loaded.circuit)))
+            .second;
+    if (fresh) ++inserted;
+  }
+  return inserted;
+}
+
 CircuitCache::Stripe& CircuitCache::StripeFor(const Cnf& cnf) {
   // The stripe index uses the same 64-bit structural hash as the
   // per-stripe maps; taking the TOP bits keeps the two partitions
@@ -35,6 +102,29 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
   if (auto it = stripe.circuits.find(cnf); it != stripe.circuits.end()) {
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
     return *it->second;
+  }
+  // Read-through: an in-memory miss consults the persistent store (if one
+  // is attached) before paying for compilation. A loaded circuit has been
+  // checksum-, structure-, and fingerprint-validated AND clause-matched
+  // against `cnf`, so it is exactly what the compiler would hand back.
+  const std::shared_ptr<const store::CircuitStore> persistent = store();
+  if (persistent != nullptr) {
+    NnfCircuit loaded;
+    std::string store_error;
+    switch (persistent->TryLoad(cnf, &loaded, nullptr, &store_error)) {
+      case store::StoreLookup::kLoaded: {
+        stats_.store_hits.fetch_add(1, std::memory_order_relaxed);
+        auto inserted = stripe.circuits.emplace(
+            cnf, std::make_unique<NnfCircuit>(std::move(loaded)));
+        return *inserted.first->second;
+      }
+      case store::StoreLookup::kMissing:
+        stats_.store_misses.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case store::StoreLookup::kRejected:
+        stats_.store_rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
   }
   stats_.compiles.fetch_add(1, std::memory_order_relaxed);
   // Compile while holding the stripe lock: a second thread racing for the
@@ -82,6 +172,14 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
   }
   auto inserted = stripe.circuits.emplace(
       cnf, std::make_unique<NnfCircuit>(std::move(compiled)));
+  // Write-through AFTER the insert, from the cached copy: a failed save is
+  // a lost cache entry (the next cold process recompiles), never a query
+  // failure, so the error is deliberately dropped.
+  if (persistent != nullptr &&
+      write_through_.load(std::memory_order_relaxed)) {
+    std::string save_error;
+    persistent->Save(*inserted.first->second, cnf, order, &save_error);
+  }
   return *inserted.first->second;
 }
 
@@ -197,6 +295,9 @@ CircuitCache::Stats CircuitCache::stats() const {
       stats_.recorded_order_edges.load(std::memory_order_relaxed);
   out.legacy_order_edges =
       stats_.legacy_order_edges.load(std::memory_order_relaxed);
+  out.store_hits = stats_.store_hits.load(std::memory_order_relaxed);
+  out.store_misses = stats_.store_misses.load(std::memory_order_relaxed);
+  out.store_rejected = stats_.store_rejected.load(std::memory_order_relaxed);
   return out;
 }
 

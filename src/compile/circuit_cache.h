@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "lineage/grounder.h"
 #include "logic/query.h"
 #include "prob/tid.h"
+#include "store/circuit_store.h"
 #include "util/rational.h"
 
 namespace gmc {
@@ -94,11 +96,23 @@ class CircuitCache {
     uint64_t order_edges = 0;
     uint64_t recorded_order_edges = 0;
     uint64_t legacy_order_edges = 0;
+    /// Persistent-store traffic (zero unless a store is attached — the
+    /// GMC_STORE knob or set_store_directory). A store hit replaces a
+    /// compile entirely; a rejected entry means a file was present but
+    /// unusable (corrupt, version skew, or a CNF mismatch behind a hash
+    /// collision) and the structure was recompiled. store_hits +
+    /// store_misses + store_rejected == the compulsory in-memory misses
+    /// that consulted the store.
+    uint64_t store_hits = 0;
+    uint64_t store_misses = 0;
+    uint64_t store_rejected = 0;
   };
 
   /// A fresh cache adopts the process-wide defaults: DefaultOrderHeuristic
-  /// (the GMC_ORDER environment knob) and DyadicDefaultEnabled.
-  CircuitCache() = default;
+  /// (the GMC_ORDER environment knob), DyadicDefaultEnabled, and — when
+  /// GMC_STORE names a directory (store::DefaultStorePath) — a persistent
+  /// circuit store attached read-through + write-through at that path.
+  CircuitCache();
 
   /// The compiled circuit for `cnf`, compiling on first sight. The
   /// reference stays valid until Clear() or destruction (concurrent Get
@@ -184,6 +198,33 @@ class CircuitCache {
   static void SetDyadicDefaultEnabled(bool enabled);
   static bool DyadicDefaultEnabled();
 
+  /// Attaches (or, with "", detaches) a persistent circuit store rooted at
+  /// `directory`. While attached, every in-memory miss consults the store
+  /// before compiling (read-through; hits skip compilation entirely), and
+  /// with `write_through` every fresh compile is persisted via an atomic
+  /// rename — a lost write is a lost cache entry, never a query failure.
+  /// Results are bit-identical with or without a store (loads re-verify by
+  /// exact clause comparison and fingerprint). Thread-safe; in-flight Gets
+  /// finish against the store they started with.
+  void set_store_directory(const std::string& directory,
+                           bool write_through = true);
+  /// The attached store's directory, or "" when none is attached.
+  std::string store_directory() const;
+
+  /// Persists every currently cached circuit into `directory` (which need
+  /// not be the attached store — flushing a read-only cache to a fresh
+  /// snapshot directory is the replica-priming recipe of docs/SERVING.md).
+  /// Returns the number saved; on I/O failure sets *error to the first
+  /// failure and keeps going.
+  size_t SaveTo(const std::string& directory, std::string* error = nullptr);
+
+  /// Bulk-loads every valid .gmcc entry under `directory` into the
+  /// in-memory cache (structures already cached keep their circuit).
+  /// Invalid files count into Stats::store_rejected and are skipped.
+  /// Returns the number of circuits inserted. Safe to run concurrently
+  /// with Get traffic — warm a replica while it serves.
+  size_t WarmFrom(const std::string& directory);
+
   /// Snapshot of the atomic counters (not a reference: counters move under
   /// concurrent traffic).
   Stats stats() const;
@@ -218,14 +259,23 @@ class CircuitCache {
     std::atomic<uint64_t> order_edges{0};
     std::atomic<uint64_t> recorded_order_edges{0};
     std::atomic<uint64_t> legacy_order_edges{0};
+    std::atomic<uint64_t> store_hits{0};
+    std::atomic<uint64_t> store_misses{0};
+    std::atomic<uint64_t> store_rejected{0};
   };
 
   Stripe& StripeFor(const Cnf& cnf);
+  // The attached store (shared_ptr so in-flight Gets survive a concurrent
+  // set_store_directory), or nullptr.
+  std::shared_ptr<const store::CircuitStore> store() const;
 
   mutable std::mutex compiler_mu_;  // guards compiler_ (shared memo + stats)
   Compiler compiler_;
   std::array<Stripe, kNumStripes> stripes_;
   AtomicStats stats_;
+  mutable std::mutex store_mu_;  // guards store_ (the pointer, not the store)
+  std::shared_ptr<const store::CircuitStore> store_;
+  std::atomic<bool> write_through_{true};
   std::atomic<bool> dyadic_enabled_{DyadicDefaultEnabled()};
   std::atomic<int> num_threads_{0};
   std::atomic<OrderHeuristic> order_{DefaultOrderHeuristic()};

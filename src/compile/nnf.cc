@@ -1,11 +1,9 @@
 #include "compile/nnf.h"
 
 #include <algorithm>
-#include <cmath>
 #include <utility>
 
 #include "util/check.h"
-#include "util/parallel.h"
 
 namespace gmc {
 
@@ -26,17 +24,6 @@ bool SameNode(const NnfNode& a, const NnfNode& b) {
   return a.kind == b.kind && a.var == b.var && a.high == b.high &&
          a.low == b.low && a.children == b.children;
 }
-
-// The arena walk's zero test, uniform across the three value types.
-bool IsZeroValue(const Rational& v) { return v.IsZero(); }
-bool IsZeroValue(const Dyadic& v) { return v.IsZero(); }
-bool IsZeroValue(double v) { return v == 0.0; }
-
-// Columns per parallel slice, at minimum: below this, slice setup (one
-// arena allocation per slice) costs more than the columns it covers.
-constexpr int64_t kMinColumnsPerSlice = 4;
-// Variables per chunk for the parallel conversion/complement preambles.
-constexpr int64_t kMinVarsPerChunk = 8;
 
 }  // namespace
 
@@ -134,253 +121,90 @@ void NnfCircuit::SetRoot(int id) {
   root_ = id;
 }
 
+// Every evaluation entry point flattens once (O(nodes), far below the
+// O(nodes · K) arithmetic of the pass itself) and delegates to the shared
+// walk core — the byte-for-byte same code the circuit store's mmap view
+// runs, which is what makes persisted circuits bit-identical to compiled
+// ones (nnf_walk.h).
+
+FlatCircuit NnfCircuit::Flatten() const {
+  FlatCircuit flat;
+  flat.nodes.reserve(nodes_.size());
+  for (const NnfNode& node : nodes_) {
+    FlatNode out;
+    out.kind = static_cast<uint32_t>(node.kind);
+    out.var = node.var;
+    if (node.kind == NnfKind::kDecision) {
+      out.a = node.high;
+      out.b = node.low;
+    } else if (node.kind == NnfKind::kAnd) {
+      out.a = static_cast<int32_t>(flat.children.size());
+      out.b = static_cast<int32_t>(node.children.size());
+      flat.children.insert(flat.children.end(), node.children.begin(),
+                           node.children.end());
+    }
+    flat.nodes.push_back(out);
+  }
+  flat.root = root_;
+  flat.num_vars = num_vars_;
+  return flat;
+}
+
+NnfCircuit NnfCircuit::FromFlat(const CircuitWalkView& view) {
+  NnfCircuit circuit;
+  circuit.nodes_.clear();
+  circuit.nodes_.reserve(view.num_nodes);
+  for (size_t id = 0; id < view.num_nodes; ++id) {
+    const FlatNode& in = view.nodes[id];
+    NnfNode node;
+    node.kind = static_cast<NnfKind>(in.kind);
+    node.var = in.var;
+    if (node.kind == NnfKind::kDecision) {
+      node.high = in.a;
+      node.low = in.b;
+    } else if (node.kind == NnfKind::kAnd) {
+      node.children.assign(view.children + in.a,
+                           view.children + in.a + in.b);
+    }
+    circuit.nodes_.push_back(std::move(node));
+  }
+  circuit.root_ = view.root;
+  circuit.num_vars_ = view.num_vars;
+  // Rebuild the hash-consing table so the circuit stays mutable (same
+  // post-condition as PruneUnreachable; constants 0/1 stay untabled).
+  for (size_t id = 2; id < circuit.nodes_.size(); ++id) {
+    circuit.unique_[HashNode(circuit.nodes_[id])].push_back(
+        static_cast<int>(id));
+  }
+  return circuit;
+}
+
+uint64_t NnfCircuit::Fingerprint() const {
+  return WalkFingerprint(Flatten().view());
+}
+
 Rational NnfCircuit::Evaluate(
     const std::vector<Rational>& probabilities) const {
-  GMC_CHECK(static_cast<int>(probabilities.size()) >= num_vars_);
-  std::vector<Rational> value(nodes_.size());
-  for (size_t id = 0; id < nodes_.size(); ++id) {
-    const NnfNode& node = nodes_[id];
-    switch (node.kind) {
-      case NnfKind::kFalse:
-        value[id] = Rational::Zero();
-        break;
-      case NnfKind::kTrue:
-        value[id] = Rational::One();
-        break;
-      case NnfKind::kVar:
-        value[id] = probabilities[node.var];
-        break;
-      case NnfKind::kAnd: {
-        Rational product = Rational::One();
-        for (int child : node.children) {
-          product *= value[child];
-          if (product.IsZero()) break;
-        }
-        value[id] = product;
-        break;
-      }
-      case NnfKind::kDecision: {
-        const Rational& p = probabilities[node.var];
-        value[id] =
-            p * value[node.high] + (Rational::One() - p) * value[node.low];
-        break;
-      }
-    }
-  }
-  return value[root_];
-}
-
-std::vector<bool> NnfCircuit::DecisionVars() const {
-  std::vector<bool> decides(static_cast<size_t>(num_vars_), false);
-  for (const NnfNode& node : nodes_) {
-    if (node.kind == NnfKind::kDecision) decides[node.var] = true;
-  }
-  return decides;
-}
-
-// One contiguous row-major arena per slice: within a slice of width
-// W = k1 - k0, the W values of node `id` live at value[id * W .. id*W + W).
-template <typename Value, typename ColumnFn>
-void NnfCircuit::EvaluateBatchSlice(int k0, int k1, int num_k,
-                                    ColumnFn column, const Value* complement,
-                                    const Value& one,
-                                    Value* out_roots) const {
-  const int num_w = k1 - k0;
-  std::vector<Value> value(nodes_.size() * num_w);
-  for (size_t id = 0; id < nodes_.size(); ++id) {
-    const NnfNode& node = nodes_[id];
-    Value* out = value.data() + id * num_w;
-    switch (node.kind) {
-      case NnfKind::kFalse:
-        break;  // arena default-constructs to zero
-      case NnfKind::kTrue:
-        for (int k = 0; k < num_w; ++k) out[k] = one;
-        break;
-      case NnfKind::kVar: {
-        const Value* p = column(node.var) + k0;
-        for (int k = 0; k < num_w; ++k) out[k] = p[k];
-        break;
-      }
-      case NnfKind::kAnd: {
-        const Value* first = value.data() +
-                             static_cast<size_t>(node.children[0]) * num_w;
-        for (int k = 0; k < num_w; ++k) out[k] = first[k];
-        for (size_t c = 1; c < node.children.size(); ++c) {
-          const Value* child =
-              value.data() + static_cast<size_t>(node.children[c]) * num_w;
-          for (int k = 0; k < num_w; ++k) {
-            if (IsZeroValue(out[k])) continue;
-            out[k] *= child[k];
-          }
-        }
-        break;
-      }
-      case NnfKind::kDecision: {
-        const Value* p = column(node.var) + k0;
-        const Value* q =
-            complement + static_cast<size_t>(node.var) * num_k + k0;
-        const Value* high =
-            value.data() + static_cast<size_t>(node.high) * num_w;
-        const Value* low =
-            value.data() + static_cast<size_t>(node.low) * num_w;
-        for (int k = 0; k < num_w; ++k) {
-          // p·high + q·low through the in-place operators: no allocation
-          // beyond the two products for Value types with heap state.
-          Value t = p[k];
-          t *= high[k];
-          Value u = q[k];
-          u *= low[k];
-          t += u;
-          out[k] = std::move(t);
-        }
-        break;
-      }
-    }
-  }
-  Value* root = value.data() + static_cast<size_t>(root_) * num_w;
-  for (int k = 0; k < num_w; ++k) out_roots[k0 + k] = std::move(root[k]);
-}
-
-template <typename Value, typename ColumnFn>
-std::vector<Value> NnfCircuit::EvaluateBatchArena(int num_k, int num_threads,
-                                                  ColumnFn column,
-                                                  const Value* complement,
-                                                  const Value& one) const {
-  std::vector<Value> result(num_k);
-  ParallelFor(num_k, num_threads, kMinColumnsPerSlice,
-              [&](int64_t k0, int64_t k1, int /*chunk*/) {
-                EvaluateBatchSlice<Value>(static_cast<int>(k0),
-                                          static_cast<int>(k1), num_k, column,
-                                          complement, one, result.data());
-              });
-  return result;
+  return WalkEvaluate(Flatten().view(), probabilities);
 }
 
 std::vector<Rational> NnfCircuit::EvaluateBatch(const WeightMatrix& weights,
                                                 int num_threads) const {
-  GMC_CHECK(weights.num_vars() >= num_vars_);
-  const int num_k = weights.num_vectors();
-
-  // Complements 1 − p, computed once per (variable, vector) for exactly the
-  // variables that head a decision node. Column layout mirrors the weight
-  // matrix. Chunked over variables: each chunk owns a disjoint slice.
-  const std::vector<bool> decides = DecisionVars();
-  std::vector<Rational> complement(static_cast<size_t>(num_vars_) * num_k);
-  ParallelFor(num_vars_, num_threads, kMinVarsPerChunk,
-              [&](int64_t v0, int64_t v1, int /*chunk*/) {
-                for (int64_t v = v0; v < v1; ++v) {
-                  if (!decides[v]) continue;
-                  const Rational* p = weights.Column(static_cast<int>(v));
-                  Rational* out =
-                      complement.data() + static_cast<size_t>(v) * num_k;
-                  for (int k = 0; k < num_k; ++k) {
-                    out[k] = Rational::One() - p[k];
-                  }
-                }
-              });
-
-  return EvaluateBatchArena<Rational>(
-      num_k, num_threads,
-      [&weights](int var) { return weights.Column(var); }, complement.data(),
-      Rational::One());
+  return WalkEvaluateBatch(Flatten().view(), weights, num_threads);
 }
 
-std::vector<Rational> NnfCircuit::EvaluateBatchDyadicBig(
-    const WeightMatrix& weights, int num_threads) const {
-  GMC_CHECK(weights.num_vars() >= num_vars_);
-  const int num_k = weights.num_vectors();
-
-  // Weight columns converted once, then raised to a per-variable common
-  // exponent (batch-level normalization): every add over a column aligns
-  // for free and the decision complements share one 2^E. Conversion and
-  // complements chunk over variables — disjoint column slices per chunk.
-  std::vector<Dyadic> probability(static_cast<size_t>(num_vars_) * num_k);
-  const std::vector<bool> decides = DecisionVars();
-  std::vector<Dyadic> complement(static_cast<size_t>(num_vars_) * num_k);
-  ParallelFor(
-      num_vars_, num_threads, kMinVarsPerChunk,
-      [&](int64_t v0, int64_t v1, int /*chunk*/) {
-        for (int64_t v = v0; v < v1; ++v) {
-          const Rational* p = weights.Column(static_cast<int>(v));
-          Dyadic* out = probability.data() + static_cast<size_t>(v) * num_k;
-          for (int k = 0; k < num_k; ++k) {
-            std::optional<Dyadic> value = Dyadic::FromRational(p[k]);
-            GMC_CHECK_MSG(value.has_value(),
-                          "EvaluateBatchDyadic needs all-dyadic weights "
-                          "(WeightMatrix::AllDyadic)");
-            out[k] = std::move(*value);
-          }
-          Dyadic::AlignExponents(out, static_cast<size_t>(num_k));
-          if (!decides[v]) continue;
-          Dyadic* comp = complement.data() + static_cast<size_t>(v) * num_k;
-          for (int k = 0; k < num_k; ++k) comp[k] = out[k].OneMinus();
-        }
-      });
-
-  const Dyadic one = Dyadic::One();
-  std::vector<Dyadic> roots = EvaluateBatchArena<Dyadic>(
-      num_k, num_threads,
-      [&probability, num_k](int var) {
-        return probability.data() + static_cast<size_t>(var) * num_k;
-      },
-      complement.data(), one);
-  std::vector<Rational> result;
-  result.reserve(num_k);
-  for (const Dyadic& root : roots) result.push_back(root.ToRational());
-  return result;
+std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
+    const WeightMatrix& weights, int num_threads,
+    DyadicBatchStats* stats) const {
+  return WalkEvaluateBatchDyadic(Flatten().view(), weights, num_threads,
+                                 stats);
 }
 
 std::vector<double> NnfCircuit::EvaluateBatchDouble(
     const WeightMatrix& weights, int recheck_stride, double recheck_tolerance,
     int num_threads) const {
-  GMC_CHECK(weights.num_vars() >= num_vars_);
-  const int num_k = weights.num_vectors();
-
-  // The weight columns, converted once; BigInt never appears in the pass.
-  std::vector<double> probability(static_cast<size_t>(num_vars_) * num_k);
-  const std::vector<bool> decides = DecisionVars();
-  std::vector<double> complement(static_cast<size_t>(num_vars_) * num_k,
-                                 0.0);
-  ParallelFor(num_vars_, num_threads, kMinVarsPerChunk,
-              [&](int64_t v0, int64_t v1, int /*chunk*/) {
-                for (int64_t v = v0; v < v1; ++v) {
-                  const Rational* p = weights.Column(static_cast<int>(v));
-                  double* out =
-                      probability.data() + static_cast<size_t>(v) * num_k;
-                  for (int k = 0; k < num_k; ++k) out[k] = p[k].ToDouble();
-                  if (!decides[v]) continue;
-                  double* comp =
-                      complement.data() + static_cast<size_t>(v) * num_k;
-                  for (int k = 0; k < num_k; ++k) comp[k] = 1.0 - out[k];
-                }
-              });
-
-  std::vector<double> result = EvaluateBatchArena<double>(
-      num_k, num_threads,
-      [&probability, num_k](int var) {
-        return probability.data() + static_cast<size_t>(var) * num_k;
-      },
-      complement.data(), 1.0);
-
-  if (recheck_stride > 0) {
-    // Re-checks are the expensive half (one exact Evaluate each), and each
-    // checks one column independently — chunk them over the pool too.
-    const int num_checks = (num_k + recheck_stride - 1) / recheck_stride;
-    ParallelFor(num_checks, num_threads, 1,
-                [&](int64_t c0, int64_t c1, int /*chunk*/) {
-                  for (int64_t c = c0; c < c1; ++c) {
-                    const int k = static_cast<int>(c) * recheck_stride;
-                    const double exact = Evaluate(weights.Row(k)).ToDouble();
-                    const double scale = std::max(1.0, std::abs(exact));
-                    GMC_CHECK_MSG(
-                        std::abs(result[k] - exact) <=
-                            recheck_tolerance * scale,
-                        "EvaluateBatchDouble drifted from the exact "
-                        "evaluator");
-                  }
-                });
-  }
-  return result;
+  return WalkEvaluateBatchDouble(Flatten().view(), weights, recheck_stride,
+                                 recheck_tolerance, num_threads);
 }
 
 NnfCircuit::Stats NnfCircuit::ComputeStats() const {

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "compile/nnf_walk.h"
 #include "util/dyadic.h"
 #include "util/rational.h"
 
@@ -215,6 +216,25 @@ class NnfCircuit {
   static void SetFixedWidthDefaultEnabled(bool enabled);
   static bool FixedWidthDefaultEnabled();
 
+  /// The flat, pointer-free form of this circuit — the layout the walk
+  /// core (nnf_walk.h) evaluates and the circuit store persists. One
+  /// linear copy; every evaluation entry point above flattens once and
+  /// delegates, so a circuit loaded or mmap-ed from the store runs the
+  /// byte-for-byte same walk as this object.
+  FlatCircuit Flatten() const;
+
+  /// Rebuilds a circuit from a flat view. TRUSTED input: the view must be
+  /// structurally valid (children precede parents, indices in range,
+  /// nodes 0/1 the constants) — the store validates before calling; in-
+  /// process callers should only feed back Flatten() output. The result
+  /// is a fully owning, mutable circuit (hash-consing table rebuilt).
+  static NnfCircuit FromFlat(const CircuitWalkView& view);
+
+  /// Order-independent structural fingerprint of the DAG under the root
+  /// (see WalkFingerprint): invariant under node renumbering, cheap (one
+  /// linear pass), and the save→load round-trip check of the store.
+  uint64_t Fingerprint() const;
+
   Stats ComputeStats() const;
 
   /// Structural audits (tests): AND children have pairwise disjoint variable
@@ -238,46 +258,6 @@ class NnfCircuit {
   // appends `node`. Buckets are compared exactly, so sharing is sound even
   // under hash collisions.
   int Intern(NnfNode node);
-  // decides[v] iff some decision node tests v — only those variables need
-  // complements 1 − p.
-  std::vector<bool> DecisionVars() const;
-  // Shared body of the batched evaluators (Rational / Dyadic / double):
-  // one topological pass over a contiguous row-major arena of `Value`s for
-  // the column slice [k0, k1) of a K-wide batch. `column(var)` yields the
-  // full K-wide probability column of a variable; `complement` is the
-  // matching variable-major arena of 1 − p (filled only for DecisionVars).
-  // Writes the slice's root values to out_roots[k0 .. k1). Slices are
-  // fully independent — the parallel driver below hands disjoint slices
-  // to the shared pool.
-  template <typename Value, typename ColumnFn>
-  void EvaluateBatchSlice(int k0, int k1, int num_k, ColumnFn column,
-                          const Value* complement, const Value& one,
-                          Value* out_roots) const;
-  // Parallel driver: splits the K columns into contiguous slices (at most
-  // `num_threads`; 0 = process default) and runs EvaluateBatchSlice per
-  // slice. Returns the K root values in input order.
-  template <typename Value, typename ColumnFn>
-  std::vector<Value> EvaluateBatchArena(int num_k, int num_threads,
-                                        ColumnFn column,
-                                        const Value* complement,
-                                        const Value& one) const;
-  // The BigInt Dyadic arena pass (the pre-fixed-width EvaluateBatchDyadic
-  // body): exact at any exponent, used when the fixed-width analysis finds
-  // mantissas too wide. nnf.cc.
-  std::vector<Rational> EvaluateBatchDyadicBig(const WeightMatrix& weights,
-                                               int num_threads) const;
-  // Fixed-width machinery (nnf_fixed.cc). FoldDyadicExponents propagates
-  // per-variable weight exponents bottom-up (saturating), filling one
-  // exponent per node, and returns the maximum — the mantissa-width bound
-  // that picks the kernel. EvaluateBatchDyadicFixed runs the whole batch
-  // on `M` mantissas (uint64_t or UInt128) under those exponents.
-  uint64_t FoldDyadicExponents(const std::vector<uint64_t>& var_exp,
-                               std::vector<uint64_t>* node_exp) const;
-  template <typename M>
-  std::vector<Rational> EvaluateBatchDyadicFixed(
-      const WeightMatrix& weights, int num_threads,
-      const std::vector<uint64_t>& var_exp,
-      const std::vector<uint64_t>& node_exp) const;
   // Variable support of every node, as sorted id vectors (audits only).
   std::vector<std::vector<int>> Supports() const;
   // Reachability from the root (constants are always kept).

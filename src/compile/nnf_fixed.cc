@@ -1,5 +1,6 @@
-// Fixed-width dyadic batch kernels and the width-routing front end of
-// NnfCircuit::EvaluateBatchDyadic.
+// Fixed-width dyadic batch kernels and the width-routing front end of the
+// dyadic walk (WalkEvaluateBatchDyadic, which NnfCircuit::
+// EvaluateBatchDyadic and the store's MappedCircuitView both delegate to).
 //
 // The key invariant (see util/dyadic_fixed.h): every node value of a
 // weighted model count over probabilities in [0, 1] is itself a
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "compile/nnf.h"
+#include "compile/nnf_walk.h"
 #include "util/check.h"
 #include "util/dyadic_fixed.h"
 #include "util/parallel.h"
@@ -107,40 +109,35 @@ Rational WordToRational(UInt128 mantissa, uint64_t exponent) {
       BigInt(1).ShiftLeft(exponent - strip));
 }
 
-}  // namespace
-
-void NnfCircuit::SetFixedWidthDefaultEnabled(bool enabled) {
-  g_fixed_width_default_enabled.store(enabled, std::memory_order_relaxed);
-}
-
-bool NnfCircuit::FixedWidthDefaultEnabled() {
-  return g_fixed_width_default_enabled.load(std::memory_order_relaxed);
-}
-
-uint64_t NnfCircuit::FoldDyadicExponents(
-    const std::vector<uint64_t>& var_exp,
-    std::vector<uint64_t>* node_exp) const {
-  node_exp->assign(nodes_.size(), 0);
+// FoldDyadicExponents propagates per-variable weight exponents bottom-up
+// (saturating), filling one exponent per node, and returns the maximum —
+// the mantissa-width bound that picks the kernel.
+uint64_t FoldDyadicExponents(const CircuitWalkView& view,
+                             const std::vector<uint64_t>& var_exp,
+                             std::vector<uint64_t>* node_exp) {
+  node_exp->assign(view.num_nodes, 0);
   uint64_t max_exp = 0;
-  for (size_t id = 0; id < nodes_.size(); ++id) {
-    const NnfNode& node = nodes_[id];
+  for (size_t id = 0; id < view.num_nodes; ++id) {
+    const FlatNode& node = view.nodes[id];
     uint64_t e = 0;
-    switch (node.kind) {
+    switch (static_cast<NnfKind>(node.kind)) {
       case NnfKind::kFalse:
       case NnfKind::kTrue:
         break;
       case NnfKind::kVar:
         e = var_exp[node.var];
         break;
-      case NnfKind::kAnd:
-        for (int child : node.children) {
-          e = SaturatingAdd(e, (*node_exp)[child]);
+      case NnfKind::kAnd: {
+        const int32_t* child_ids = view.children + node.a;
+        for (int32_t c = 0; c < node.b; ++c) {
+          e = SaturatingAdd(e, (*node_exp)[child_ids[c]]);
         }
         break;
+      }
       case NnfKind::kDecision:
-        e = SaturatingAdd(var_exp[node.var],
-                          std::max((*node_exp)[node.high],
-                                   (*node_exp)[node.low]));
+        e = SaturatingAdd(
+            var_exp[node.var],
+            std::max((*node_exp)[node.a], (*node_exp)[node.b]));
         break;
     }
     (*node_exp)[id] = e;
@@ -149,28 +146,33 @@ uint64_t NnfCircuit::FoldDyadicExponents(
   return max_exp;
 }
 
+// EvaluateBatchDyadicFixed runs the whole batch on `M` mantissas
+// (uint64_t or UInt128) under the folded exponents.
 template <typename M>
-std::vector<Rational> NnfCircuit::EvaluateBatchDyadicFixed(
-    const WeightMatrix& weights, int num_threads,
+std::vector<Rational> EvaluateBatchDyadicFixed(
+    const CircuitWalkView& view, const WeightMatrix& weights, int num_threads,
     const std::vector<uint64_t>& var_exp,
-    const std::vector<uint64_t>& node_exp) const {
+    const std::vector<uint64_t>& node_exp) {
   const int num_k = weights.num_vectors();
+  const int num_vars = view.num_vars;
 
   // SoA weight columns, aligned per variable to var_exp[v], plus the
   // complement columns 2^E − m for decision variables — all branch-free.
   // Variables no node mentions are skipped: the pass never reads them, and
   // their exponents are outside the fold's width guarantee.
-  std::vector<bool> used(static_cast<size_t>(num_vars_), false);
-  for (const NnfNode& node : nodes_) {
-    if (node.kind == NnfKind::kVar || node.kind == NnfKind::kDecision) {
+  std::vector<bool> used(static_cast<size_t>(num_vars), false);
+  for (size_t id = 0; id < view.num_nodes; ++id) {
+    const FlatNode& node = view.nodes[id];
+    const NnfKind kind = static_cast<NnfKind>(node.kind);
+    if (kind == NnfKind::kVar || kind == NnfKind::kDecision) {
       used[node.var] = true;
     }
   }
-  std::vector<M> probability(static_cast<size_t>(num_vars_) * num_k);
-  std::vector<M> complement(static_cast<size_t>(num_vars_) * num_k);
-  const std::vector<bool> decides = DecisionVars();
+  std::vector<M> probability(static_cast<size_t>(num_vars) * num_k);
+  std::vector<M> complement(static_cast<size_t>(num_vars) * num_k);
+  const std::vector<bool> decides = walk_internal::WalkDecisionVars(view);
   ParallelFor(
-      num_vars_, num_threads, 8,
+      num_vars, num_threads, 8,
       [&](int64_t v0, int64_t v1, int /*chunk*/) {
         for (int64_t v = v0; v < v1; ++v) {
           if (!used[v]) continue;
@@ -197,11 +199,11 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadicFixed(
       [&](int64_t k0_64, int64_t k1_64, int /*chunk*/) {
         const int k0 = static_cast<int>(k0_64);
         const int num_w = static_cast<int>(k1_64 - k0_64);
-        std::vector<M> value(nodes_.size() * num_w);
-        for (size_t id = 0; id < nodes_.size(); ++id) {
-          const NnfNode& node = nodes_[id];
+        std::vector<M> value(view.num_nodes * num_w);
+        for (size_t id = 0; id < view.num_nodes; ++id) {
+          const FlatNode& node = view.nodes[id];
           M* out = value.data() + id * num_w;
-          switch (node.kind) {
+          switch (static_cast<NnfKind>(node.kind)) {
             case NnfKind::kFalse:
               break;  // zero-initialized
             case NnfKind::kTrue:
@@ -214,14 +216,13 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadicFixed(
               break;
             }
             case NnfKind::kAnd: {
+              const int32_t* child_ids = view.children + node.a;
               const M* first =
-                  value.data() +
-                  static_cast<size_t>(node.children[0]) * num_w;
+                  value.data() + static_cast<size_t>(child_ids[0]) * num_w;
               for (int k = 0; k < num_w; ++k) out[k] = first[k];
-              for (size_t c = 1; c < node.children.size(); ++c) {
+              for (int32_t c = 1; c < node.b; ++c) {
                 const M* child =
-                    value.data() +
-                    static_cast<size_t>(node.children[c]) * num_w;
+                    value.data() + static_cast<size_t>(child_ids[c]) * num_w;
                 for (int k = 0; k < num_w; ++k) {
                   out[k] = WordMul(out[k], child[k]);
                 }
@@ -234,17 +235,17 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadicFixed(
               const M* q = complement.data() +
                            static_cast<size_t>(node.var) * num_k + k0;
               const M* high =
-                  value.data() + static_cast<size_t>(node.high) * num_w;
+                  value.data() + static_cast<size_t>(node.a) * num_w;
               const M* low =
-                  value.data() + static_cast<size_t>(node.low) * num_w;
+                  value.data() + static_cast<size_t>(node.b) * num_w;
               // Shift amounts are per NODE, not per element: both branch
               // products rise to the node exponent with one uniform shift
               // each (one of the two is always zero).
               const uint64_t ve = var_exp[node.var];
               const unsigned sa = static_cast<unsigned>(
-                  node_exp[id] - (ve + node_exp[node.high]));
+                  node_exp[id] - (ve + node_exp[node.a]));
               const unsigned sb = static_cast<unsigned>(
-                  node_exp[id] - (ve + node_exp[node.low]));
+                  node_exp[id] - (ve + node_exp[node.b]));
               for (int k = 0; k < num_w; ++k) {
                 out[k] = WordShl(WordMul(p[k], high[k]), sa) +
                          WordShl(WordMul(q[k], low[k]), sb);
@@ -253,11 +254,11 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadicFixed(
             }
           }
         }
-        const M* root = value.data() + static_cast<size_t>(root_) * num_w;
+        const M* root = value.data() + static_cast<size_t>(view.root) * num_w;
         for (int k = 0; k < num_w; ++k) roots[k0 + k] = root[k];
       });
 
-  const uint64_t root_exp = node_exp[root_];
+  const uint64_t root_exp = node_exp[view.root];
   std::vector<Rational> result;
   result.reserve(num_k);
   for (int k = 0; k < num_k; ++k) {
@@ -266,11 +267,23 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadicFixed(
   return result;
 }
 
-std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
-    const WeightMatrix& weights, int num_threads,
-    DyadicBatchStats* stats) const {
-  GMC_CHECK(weights.num_vars() >= num_vars_);
+}  // namespace
+
+void NnfCircuit::SetFixedWidthDefaultEnabled(bool enabled) {
+  g_fixed_width_default_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool NnfCircuit::FixedWidthDefaultEnabled() {
+  return g_fixed_width_default_enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<Rational> WalkEvaluateBatchDyadic(const CircuitWalkView& view,
+                                              const WeightMatrix& weights,
+                                              int num_threads,
+                                              DyadicBatchStats* stats) {
+  GMC_CHECK(weights.num_vars() >= view.num_vars);
   const int num_k = weights.num_vectors();
+  const int num_vars = view.num_vars;
   auto report = [stats](int fixed64, int fixed128, int bigint) {
     if (stats == nullptr) return;
     stats->fixed64_vectors += fixed64;
@@ -280,9 +293,9 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
 
   // The fixed kernels' probability invariant needs weights in [0, 1];
   // anything else (legal for plain WMC) keeps the BigInt arena.
-  bool unit_range = FixedWidthDefaultEnabled();
-  std::vector<uint64_t> var_exp(static_cast<size_t>(num_vars_), 0);
-  for (int v = 0; v < num_vars_ && unit_range; ++v) {
+  bool unit_range = NnfCircuit::FixedWidthDefaultEnabled();
+  std::vector<uint64_t> var_exp(static_cast<size_t>(num_vars), 0);
+  for (int v = 0; v < num_vars && unit_range; ++v) {
     const Rational* column = weights.Column(v);
     for (int k = 0; k < num_k; ++k) {
       const Rational& p = column[k];
@@ -298,35 +311,37 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
   }
   if (!unit_range) {
     report(0, 0, num_k);
-    return EvaluateBatchDyadicBig(weights, num_threads);
+    return walk_internal::WalkEvaluateBatchDyadicBig(view, weights,
+                                                     num_threads);
   }
 
   // Width selection: one fold with the batch-wide per-variable exponents.
   std::vector<uint64_t> node_exp;
-  const uint64_t bound = FoldDyadicExponents(var_exp, &node_exp);
+  const uint64_t bound = FoldDyadicExponents(view, var_exp, &node_exp);
   if (bound <= kFixed64MaxExponent) {
     report(num_k, 0, 0);
-    return EvaluateBatchDyadicFixed<uint64_t>(weights, num_threads, var_exp,
-                                              node_exp);
+    return EvaluateBatchDyadicFixed<uint64_t>(view, weights, num_threads,
+                                              var_exp, node_exp);
   }
   if (bound <= kFixed128MaxExponent) {
     report(0, num_k, 0);
-    return EvaluateBatchDyadicFixed<UInt128>(weights, num_threads, var_exp,
-                                             node_exp);
+    return EvaluateBatchDyadicFixed<UInt128>(view, weights, num_threads,
+                                             var_exp, node_exp);
   }
 
   // Too wide as one batch — classify per column: a column's private
   // exponents often fit a fixed width even when the batch-wide max does
   // not (mixed-precision sweeps). This is the per-column fallback: fixed
   // width where the fold proves it safe, BigInt Dyadic for the rest.
-  std::vector<uint64_t> col_exp(static_cast<size_t>(num_vars_));
+  std::vector<uint64_t> col_exp(static_cast<size_t>(num_vars));
   std::vector<uint64_t> col_node_exp;
   std::vector<int> fits64, fits128, needs_big;
   for (int k = 0; k < num_k; ++k) {
-    for (int v = 0; v < num_vars_; ++v) {
+    for (int v = 0; v < num_vars; ++v) {
       col_exp[v] = DenominatorExponent(weights.Column(v)[k]);
     }
-    const uint64_t col_bound = FoldDyadicExponents(col_exp, &col_node_exp);
+    const uint64_t col_bound =
+        FoldDyadicExponents(view, col_exp, &col_node_exp);
     if (col_bound <= kFixed64MaxExponent) {
       fits64.push_back(k);
     } else if (col_bound <= kFixed128MaxExponent) {
@@ -341,7 +356,8 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
   // whole batch on the arena and keep the pass monolithic.
   if ((fits64.size() + fits128.size()) * 4 < static_cast<size_t>(num_k)) {
     report(0, 0, num_k);
-    return EvaluateBatchDyadicBig(weights, num_threads);
+    return walk_internal::WalkEvaluateBatchDyadicBig(view, weights,
+                                                     num_threads);
   }
   report(static_cast<int>(fits64.size()), static_cast<int>(fits128.size()),
          static_cast<int>(needs_big.size()));
@@ -372,35 +388,37 @@ std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
                              uint64_t max_exponent) {
     if (columns.empty()) return;
     WeightMatrix sub = gather(columns);
-    std::vector<uint64_t> sub_exp(static_cast<size_t>(num_vars_), 0);
-    for (int v = 0; v < num_vars_; ++v) {
+    std::vector<uint64_t> sub_exp(static_cast<size_t>(num_vars), 0);
+    for (int v = 0; v < num_vars; ++v) {
       for (size_t m = 0; m < columns.size(); ++m) {
         sub_exp[v] = std::max(sub_exp[v], DenominatorExponent(
                                               weights.Column(v)[columns[m]]));
       }
     }
     std::vector<uint64_t> sub_node_exp;
-    const uint64_t sub_bound = FoldDyadicExponents(sub_exp, &sub_node_exp);
+    const uint64_t sub_bound =
+        FoldDyadicExponents(view, sub_exp, &sub_node_exp);
     if (sub_bound <= max_exponent) {
       std::vector<Rational> values =
           max_exponent <= kFixed64MaxExponent
-              ? EvaluateBatchDyadicFixed<uint64_t>(sub, num_threads, sub_exp,
-                                                   sub_node_exp)
-              : EvaluateBatchDyadicFixed<UInt128>(sub, num_threads, sub_exp,
-                                                  sub_node_exp);
+              ? EvaluateBatchDyadicFixed<uint64_t>(view, sub, num_threads,
+                                                   sub_exp, sub_node_exp)
+              : EvaluateBatchDyadicFixed<UInt128>(view, sub, num_threads,
+                                                  sub_exp, sub_node_exp);
       scatter(columns, std::move(values));
       return;
     }
     for (int k : columns) {
       std::vector<Rational> one =
-          EvaluateBatchDyadic(gather({k}), num_threads, nullptr);
+          WalkEvaluateBatchDyadic(view, gather({k}), num_threads, nullptr);
       result[k] = std::move(one[0]);
     }
   };
   run_fixed_class(fits64, kFixed64MaxExponent);
   run_fixed_class(fits128, kFixed128MaxExponent);
   if (!needs_big.empty()) {
-    scatter(needs_big, EvaluateBatchDyadicBig(gather(needs_big), num_threads));
+    scatter(needs_big, walk_internal::WalkEvaluateBatchDyadicBig(
+                           view, gather(needs_big), num_threads));
   }
   return result;
 }

@@ -1,0 +1,121 @@
+// Flat, pointer-free circuit walks — the shared evaluation core.
+//
+// Every evaluation entry point of NnfCircuit (single, batched Rational,
+// batched dyadic, batched double) is one bottom-up topological pass over
+// the node arena. This header factors those passes out of NnfCircuit into
+// free functions over CircuitWalkView, a non-owning view of a circuit in
+// FLAT form: fixed-size 16-byte node records plus one contiguous child-id
+// pool, no per-node heap state anywhere.
+//
+// Two producers instantiate the view:
+//   * NnfCircuit::Flatten() — one linear copy of the hash-consed nodes,
+//     built per evaluation call (O(nodes) against the O(nodes · K)
+//     arithmetic it precedes);
+//   * store/MappedCircuitView — the SAME record layout read directly from
+//     an mmap-ed circuit file, so a persisted circuit is evaluable with
+//     zero deserialization and N replicas share one read-only page-cache
+//     copy.
+// Both run the identical code below, which is what makes save→load→
+// evaluate bit-identical to the in-memory result by construction.
+//
+// Preconditions: the view must be structurally valid — children precede
+// parents, indices in range, nodes 0/1 the FALSE/TRUE constants. Flatten
+// guarantees this by construction; the store validates before handing out
+// views (store/circuit_io.h). The walks do not re-validate.
+
+#ifndef GMC_COMPILE_NNF_WALK_H_
+#define GMC_COMPILE_NNF_WALK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace gmc {
+
+class WeightMatrix;
+struct DyadicBatchStats;
+
+/// One flat circuit node: a fixed 16-byte record of four 32-bit words.
+/// This is both the in-memory walk layout and the on-disk node record of
+/// the circuit store (little-endian; see store/circuit_format.h), so a
+/// mapped file IS a node arena.
+struct FlatNode {
+  uint32_t kind = 0;  ///< NnfKind, widened to a fixed-size word
+  int32_t var = -1;   ///< kVar and kDecision
+  int32_t a = -1;     ///< kDecision: high branch. kAnd: first pool index.
+  int32_t b = -1;     ///< kDecision: low branch. kAnd: child count (>= 2).
+};
+static_assert(sizeof(FlatNode) == 16, "FlatNode is the on-disk record");
+static_assert(std::is_trivially_copyable_v<FlatNode>,
+              "FlatNode must be memcpy-able");
+
+/// Non-owning view of a flat circuit. Plain pointers + extents; copying
+/// the view never copies the circuit. Safe for concurrent walks (all
+/// walks are pure readers).
+struct CircuitWalkView {
+  const FlatNode* nodes = nullptr;
+  size_t num_nodes = 0;
+  const int32_t* children = nullptr;  ///< kAnd child-id pool
+  size_t num_children = 0;
+  int32_t root = 0;
+  int32_t num_vars = 0;
+};
+
+/// Owning flat form (what NnfCircuit::Flatten returns). view() is valid
+/// for the lifetime of the object.
+struct FlatCircuit {
+  std::vector<FlatNode> nodes;
+  std::vector<int32_t> children;
+  int32_t root = 0;
+  int32_t num_vars = 0;
+
+  CircuitWalkView view() const {
+    return CircuitWalkView{nodes.data(),    nodes.size(), children.data(),
+                           children.size(), root,         num_vars};
+  }
+};
+
+/// The walks. Semantics, exactness, thread behaviour, and parameter
+/// meanings are those of the NnfCircuit methods of the same name (nnf.h),
+/// which are now thin Flatten-then-delegate wrappers over these.
+Rational WalkEvaluate(const CircuitWalkView& view,
+                      const std::vector<Rational>& probabilities);
+std::vector<Rational> WalkEvaluateBatch(const CircuitWalkView& view,
+                                        const WeightMatrix& weights,
+                                        int num_threads);
+std::vector<Rational> WalkEvaluateBatchDyadic(const CircuitWalkView& view,
+                                              const WeightMatrix& weights,
+                                              int num_threads,
+                                              DyadicBatchStats* stats);
+std::vector<double> WalkEvaluateBatchDouble(const CircuitWalkView& view,
+                                            const WeightMatrix& weights,
+                                            int recheck_stride,
+                                            double recheck_tolerance,
+                                            int num_threads);
+
+/// Order-independent structural fingerprint: a 64-bit hash of the circuit
+/// REACHABLE from the root that is invariant under node renumbering (AND
+/// children combine commutatively; a decision's branches stay ordered —
+/// high/low are semantically distinct). Equal circuits-as-DAGs hash equal
+/// regardless of arena order; save→load round-trips are verified against
+/// it (cheap: one linear pass, no sorting).
+uint64_t WalkFingerprint(const CircuitWalkView& view);
+
+namespace walk_internal {
+/// The BigInt Dyadic arena pass — exact at any exponent, the fallback of
+/// the fixed-width routing in nnf_fixed.cc. Exposed here only so the two
+/// walk translation units can share it.
+std::vector<Rational> WalkEvaluateBatchDyadicBig(const CircuitWalkView& view,
+                                                 const WeightMatrix& weights,
+                                                 int num_threads);
+/// decides[v] iff some decision node tests v (those variables need
+/// complements 1 − p).
+std::vector<bool> WalkDecisionVars(const CircuitWalkView& view);
+}  // namespace walk_internal
+
+}  // namespace gmc
+
+#endif  // GMC_COMPILE_NNF_WALK_H_

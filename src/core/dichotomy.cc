@@ -93,6 +93,12 @@ GfomcSession::Stats GfomcSession::stats() const {
                          engine_.circuits().stats().compiles;
   out.circuit_hits =
       safe_.circuits().stats().hits + engine_.circuits().stats().hits;
+  out.store_hits = safe_.circuits().stats().store_hits +
+                   engine_.circuits().stats().store_hits;
+  out.store_misses = safe_.circuits().stats().store_misses +
+                     engine_.circuits().stats().store_misses;
+  out.store_rejected = safe_.circuits().stats().store_rejected +
+                       engine_.circuits().stats().store_rejected;
   return out;
 }
 

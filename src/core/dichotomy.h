@@ -80,6 +80,11 @@ class GfomcSession {
     // lineage compiled vs was served from cache — the repeated-query win.
     uint64_t circuit_compiles = 0;
     uint64_t circuit_hits = 0;
+    // Persistent-store traffic, aggregated the same way (zero unless a
+    // store is attached; see CircuitCache::Stats and docs/SERVING.md).
+    uint64_t store_hits = 0;
+    uint64_t store_misses = 0;
+    uint64_t store_rejected = 0;
   };
 
   GfomcResult Evaluate(const Query& query, const Tid& tid);
@@ -106,6 +111,33 @@ class GfomcSession {
   void set_order(OrderHeuristic order) {
     safe_.set_order(order);
     engine_.set_order(order);
+  }
+
+  // Persistent circuit store for both embedded caches (see
+  // CircuitCache::set_store_directory): read-through on every compile
+  // miss, write-through for every fresh compile. New sessions start from
+  // the GMC_STORE environment knob; this overrides per session. Results
+  // are bit-identical with or without a store.
+  void set_store_directory(const std::string& directory,
+                           bool write_through = true) {
+    safe_.set_store_directory(directory, write_through);
+    engine_.set_store_directory(directory, write_through);
+  }
+  // Flushes every circuit both caches hold into `directory` (the graceful-
+  // shutdown hook of gmc_serve and the replica-priming recipe of
+  // docs/SERVING.md). Returns the number persisted; first I/O failure
+  // lands in *error, the rest still save.
+  size_t SaveCircuitsTo(const std::string& directory,
+                        std::string* error = nullptr) {
+    return safe_.SaveCircuitsTo(directory, error) +
+           engine_.SaveCircuitsTo(directory, error);
+  }
+  // Bulk warm start: loads every valid persisted circuit into both caches
+  // before traffic arrives (safe to run while serving). Returns the
+  // number of circuits now resident that came from the directory.
+  size_t WarmCircuitsFrom(const std::string& directory) {
+    return safe_.WarmCircuitsFrom(directory) +
+           engine_.WarmCircuitsFrom(directory);
   }
 
   // Counters above plus live compile/hit totals from the embedded caches.

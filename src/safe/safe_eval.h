@@ -15,6 +15,7 @@
 #define GMC_SAFE_SAFE_EVAL_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "compile/circuit_cache.h"
@@ -67,6 +68,22 @@ class SafeEvaluator {
   // CircuitCache::set_order / compile/vtree.h); circuit size only, never
   // results. The lifted per-TID algorithm is unaffected.
   void set_order(OrderHeuristic order) { circuits_.set_order(order); }
+
+  // Persistent-store plumbing for the embedded cache (see
+  // CircuitCache::set_store_directory / SaveTo / WarmFrom): warm starts
+  // and write-through for the compiled route. Results are bit-identical
+  // with or without a store.
+  void set_store_directory(const std::string& directory,
+                           bool write_through = true) {
+    circuits_.set_store_directory(directory, write_through);
+  }
+  size_t SaveCircuitsTo(const std::string& directory,
+                        std::string* error = nullptr) {
+    return circuits_.SaveTo(directory, error);
+  }
+  size_t WarmCircuitsFrom(const std::string& directory) {
+    return circuits_.WarmFrom(directory);
+  }
 
  private:
   Stats stats_;

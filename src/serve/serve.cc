@@ -1,0 +1,447 @@
+#include "serve/serve.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace gmc {
+namespace serve {
+
+namespace {
+
+// A hostile client must not be able to buffer unbounded bytes server-side;
+// one line (one request) comfortably fits well below this.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+// Small non-negative integer ("0".."999999999"), for domain sizes and
+// constant ids. Bounded length so no overflow path exists at all.
+bool ParseSmallInt(const std::string& token, int* out) {
+  if (!AllDigits(token) || token.size() > 9) return false;
+  *out = std::stoi(token);
+  return true;
+}
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) words.push_back(std::move(word));
+  return words;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool ParseProbability(const std::string& token, Rational* out) {
+  const size_t slash = token.find('/');
+  std::string num = token.substr(0, slash);
+  std::string den =
+      slash == std::string::npos ? "1" : token.substr(slash + 1);
+  // Digit-only and length-capped: FromString is safe to call afterwards
+  // (it aborts on malformed input, which must never be reachable from the
+  // socket), and 18 digits keep the magnitudes tame.
+  if (!AllDigits(num) || !AllDigits(den) || num.size() > 18 ||
+      den.size() > 18) {
+    return false;
+  }
+  // The zero-denominator check must come BEFORE the division: Rational's
+  // operator/ aborts on a zero divisor, and these bytes are untrusted.
+  Rational denominator = Rational::FromString(den);
+  if (denominator.IsZero()) return false;
+  Rational value = Rational::FromString(num) / denominator;
+  if (value > Rational::One()) return false;
+  return (*out = std::move(value), true);
+}
+
+}  // namespace internal
+
+GmcServer::GmcServer(Query query, GmcServerOptions options)
+    : query_(std::move(query)), options_(std::move(options)) {}
+
+GmcServer::~GmcServer() { Stop(); }
+
+bool GmcServer::Start(std::string* error) {
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path empty or too long for sockaddr_un";
+    }
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a crash
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr) {
+      *error = "bind/listen(" + options_.socket_path +
+               "): " + std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  session_.set_num_threads(options_.num_threads);
+  if (!options_.store_directory.empty()) {
+    session_.set_store_directory(options_.store_directory);
+    if (options_.warm_start) {
+      session_.WarmCircuitsFrom(options_.store_directory);
+    }
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&GmcServer::AcceptLoop, this);
+  batch_thread_ = std::thread(&GmcServer::BatchLoop, this);
+  return true;
+}
+
+void GmcServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Unblock accept() (on Linux a SHUT_RDWR on the listening socket wakes
+  // it with EINVAL), then the per-connection readers, then the batch loop
+  // — in dependency order, joining at each stage so no producer survives
+  // its consumer.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (const auto& conn : connections_) {
+      std::lock_guard<std::mutex> write_lock(conn->write_mu);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (std::thread& reader : readers_) {
+      if (reader.joinable()) reader.join();
+    }
+    readers_.clear();
+    connections_.clear();
+  }
+  queue_cv_.notify_all();
+  if (batch_thread_.joinable()) batch_thread_.join();  // drains the queue
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+
+  // Belt-and-braces flush: write-through already persisted every compile,
+  // but a final SaveCircuitsTo also covers circuits that entered the
+  // caches by other roads (e.g. a WarmFrom from a different directory).
+  if (!options_.store_directory.empty()) {
+    session_.SaveCircuitsTo(options_.store_directory);
+  }
+}
+
+void GmcServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket shut down (Stop) or broken
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> write_lock(conn->write_mu);
+      const std::string hello = "HELLO gmc_serve 1\n";
+      (void)!::send(fd, hello.data(), hello.size(), MSG_NOSIGNAL);
+    }
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connections_.push_back(conn);
+    readers_.emplace_back(&GmcServer::ReaderLoop, this, conn);
+  }
+}
+
+void GmcServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  bool close_connection = false;
+  while (!close_connection) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or Stop()'s shutdown
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > kMaxLineBytes) break;  // hostile line length
+    size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      HandleLine(conn, line, &close_connection);
+      if (close_connection) break;
+    }
+  }
+  // The reader is the only closer; writers take write_mu and check fd, so
+  // the descriptor can never be reused under a concurrent send.
+  std::lock_guard<std::mutex> write_lock(conn->write_mu);
+  if (conn->fd >= 0) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void GmcServer::HandleLine(const std::shared_ptr<Connection>& conn,
+                           const std::string& line, bool* close_connection) {
+  const std::vector<std::string> words = SplitWords(line);
+  if (words.empty()) return;
+
+  auto reply = [&](const std::string& text) {
+    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    if (conn->fd < 0) return;
+    const std::string out = text + "\n";
+    size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n =
+          ::send(conn->fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      off += static_cast<size_t>(n);
+    }
+  };
+
+  if (words[0] == "QUIT") {
+    reply("BYE");
+    *close_connection = true;
+    return;
+  }
+  if (words[0] == "STATS") {
+    reply(StatsLine());
+    return;
+  }
+  if (words[0] != "EVAL") {
+    stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    reply("ERR - PARSE unknown command '" + words[0] + "'");
+    return;
+  }
+
+  const std::string id = words.size() > 1 ? words[1] : "-";
+  auto parse_error = [&](const std::string& detail) {
+    stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    reply("ERR " + id + " PARSE " + detail);
+  };
+
+  if (words.size() < 5) {
+    parse_error("want: EVAL <id> <num_left> <num_right> <default_p> ...");
+    return;
+  }
+  int num_left = 0;
+  int num_right = 0;
+  if (!ParseSmallInt(words[2], &num_left) ||
+      !ParseSmallInt(words[3], &num_right) ||
+      num_left > options_.max_domain || num_right > options_.max_domain) {
+    parse_error("domain sides must be integers in [0, " +
+                std::to_string(options_.max_domain) + "]");
+    return;
+  }
+  Rational default_p = Rational::One();
+  if (!internal::ParseProbability(words[4], &default_p)) {
+    parse_error("default probability must be a rational in [0, 1]");
+    return;
+  }
+
+  Tid tid(query_.vocab_ptr(), num_left, num_right, default_p);
+  for (size_t w = 5; w < words.size(); ++w) {
+    // Tuple assignment: Name(u)=p or Name(u,v)=p.
+    const std::string& token = words[w];
+    const size_t lparen = token.find('(');
+    const size_t rparen = token.find(')', lparen == std::string::npos
+                                              ? std::string::npos
+                                              : lparen + 1);
+    if (lparen == std::string::npos || rparen == std::string::npos ||
+        rparen + 1 >= token.size() || token[rparen + 1] != '=') {
+      parse_error("bad tuple assignment '" + token + "'");
+      return;
+    }
+    const std::string name = token.substr(0, lparen);
+    const std::string args = token.substr(lparen + 1, rparen - lparen - 1);
+    Rational p = Rational::Zero();
+    if (!internal::ParseProbability(token.substr(rparen + 2), &p)) {
+      parse_error("bad probability in '" + token + "'");
+      return;
+    }
+    const SymbolId symbol = query_.vocab().Find(name);
+    if (symbol < 0) {
+      parse_error("unknown symbol '" + name + "'");
+      return;
+    }
+    const size_t comma = args.find(',');
+    int u = 0;
+    int v = 0;
+    const bool unary = comma == std::string::npos;
+    if (unary ? !ParseSmallInt(args, &u)
+              : (!ParseSmallInt(args.substr(0, comma), &u) ||
+                 !ParseSmallInt(args.substr(comma + 1), &v))) {
+      parse_error("bad constants in '" + token + "'");
+      return;
+    }
+    // Range-check BEFORE touching the Tid: its setters abort on bad keys,
+    // and untrusted bytes must never reach an abort.
+    switch (query_.vocab().kind(symbol)) {
+      case SymbolKind::kUnaryLeft:
+        if (!unary || u >= num_left) {
+          parse_error("'" + token + "': want one left constant < " +
+                      std::to_string(num_left));
+          return;
+        }
+        tid.SetUnaryLeft(symbol, u, p);
+        break;
+      case SymbolKind::kUnaryRight:
+        if (!unary || u >= num_right) {
+          parse_error("'" + token + "': want one right constant < " +
+                      std::to_string(num_right));
+          return;
+        }
+        tid.SetUnaryRight(symbol, u, p);
+        break;
+      case SymbolKind::kBinary:
+        if (unary || u >= num_left || v >= num_right) {
+          parse_error("'" + token + "': want constants < " +
+                      std::to_string(num_left) + "," +
+                      std::to_string(num_right));
+          return;
+        }
+        tid.SetBinary(symbol, u, v, p);
+        break;
+    }
+  }
+
+  // Admission control: bounded queue, shed (typed, immediate) past the
+  // limit. The check and the push are one critical section, so the bound
+  // holds exactly under concurrent readers.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_.load(std::memory_order_acquire) ||
+        pending_.size() >= options_.max_pending) {
+      stats_.shed.fetch_add(1, std::memory_order_relaxed);
+      reply("ERR " + id + " SHED queue full (limit " +
+            std::to_string(options_.max_pending) + ")");
+      return;
+    }
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    pending_.push_back(PendingEval{id, std::move(tid), conn});
+  }
+  queue_cv_.notify_one();
+}
+
+void GmcServer::BatchLoop() {
+  while (true) {
+    std::vector<PendingEval> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      batch.swap(pending_);
+    }
+    if (batch.empty()) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;  // spurious wakeup
+    }
+    RunBatch(std::move(batch));
+  }
+}
+
+void GmcServer::RunBatch(std::vector<PendingEval> batch) {
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.batched_requests.fetch_add(batch.size(), std::memory_order_relaxed);
+  uint64_t seen = stats_.max_batch.load(std::memory_order_relaxed);
+  while (seen < batch.size() && !stats_.max_batch.compare_exchange_weak(
+                                    seen, batch.size(),
+                                    std::memory_order_relaxed)) {
+  }
+
+  // The coalescing payoff: the WHOLE drained queue goes through ONE
+  // EvaluateMany call — requests sharing a grounded lineage structure are
+  // answered by one batched circuit pass over a multi-column WeightMatrix
+  // instead of one walk each.
+  std::vector<Tid> tids;
+  tids.reserve(batch.size());
+  for (const PendingEval& eval : batch) tids.push_back(eval.tid);
+  const std::vector<GfomcResult> results = session_.EvaluateMany(query_, tids);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const std::shared_ptr<Connection>& conn = batch[i].conn;
+    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    if (conn->fd < 0) continue;  // client already gone
+    const std::string out = "OK " + batch[i].id + " " +
+                            results[i].probability.ToString() +
+                            " lifted=" + (results[i].used_lifted ? "1" : "0") +
+                            "\n";
+    size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n =
+          ::send(conn->fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    stats_.responses.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+GmcServer::Stats GmcServer::stats() const {
+  Stats out;
+  out.connections = stats_.connections.load(std::memory_order_relaxed);
+  out.requests = stats_.requests.load(std::memory_order_relaxed);
+  out.responses = stats_.responses.load(std::memory_order_relaxed);
+  out.shed = stats_.shed.load(std::memory_order_relaxed);
+  out.parse_errors = stats_.parse_errors.load(std::memory_order_relaxed);
+  out.batches = stats_.batches.load(std::memory_order_relaxed);
+  out.batched_requests =
+      stats_.batched_requests.load(std::memory_order_relaxed);
+  out.max_batch = stats_.max_batch.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::string GmcServer::StatsLine() const {
+  const Stats s = stats();
+  const GfomcSession::Stats q = session_.stats();
+  std::ostringstream out;
+  out << "STATS connections=" << s.connections << " requests=" << s.requests
+      << " responses=" << s.responses << " shed=" << s.shed
+      << " parse_errors=" << s.parse_errors << " batches=" << s.batches
+      << " batched_requests=" << s.batched_requests
+      << " max_batch=" << s.max_batch << " queries=" << q.queries
+      << " circuit_compiles=" << q.circuit_compiles
+      << " circuit_hits=" << q.circuit_hits << " store_hits=" << q.store_hits
+      << " store_misses=" << q.store_misses
+      << " store_rejected=" << q.store_rejected;
+  return out.str();
+}
+
+}  // namespace serve
+}  // namespace gmc

@@ -1,0 +1,184 @@
+// gmc_serve's engine: a long-lived serving tier over GfomcSession.
+//
+// One GmcServer owns one query and one GfomcSession and answers tuple-
+// probability evaluations over a Unix-domain stream socket. The design
+// goals, in order:
+//
+//   1. Compile once, serve forever: the session's CircuitCaches persist
+//      across requests, and with a store directory attached the server
+//      warm-starts from disk (WarmCircuitsFrom) and write-throughs every
+//      fresh compile — a restarted or replicated server re-serves in
+//      milliseconds what first cost a compilation.
+//   2. Coalesce concurrent load: requests land in a bounded queue; a
+//      single batch loop drains the WHOLE queue each round and answers it
+//      with ONE GfomcSession::EvaluateMany call, so K concurrent requests
+//      against the same lineage structure cost one topological circuit
+//      pass over a K-column WeightMatrix instead of K walks.
+//   3. Shed, don't stall: past the admission limit a request is refused
+//      immediately with a typed SHED error — the client can retry or
+//      fail over; the queue never grows without bound.
+//
+// Wire protocol (UTF-8 lines, '\n'-terminated, over AF_UNIX SOCK_STREAM):
+//
+//   server → client on connect:
+//     HELLO gmc_serve 1
+//   client → server:
+//     EVAL <id> <num_left> <num_right> <default_p> [<tuple>=<p> ...]
+//         one evaluation: a TID over a num_left × num_right bipartite
+//         domain, unassigned tuples at <default_p>; tuples are
+//         R(u), T(v), or S(u,v) with symbol names from the server's
+//         query, probabilities are non-negative rationals "a/b" or "a"
+//         in [0, 1]. <id> is an opaque token echoed in the response.
+//     STATS        one-line server + session counter dump
+//     QUIT         server answers BYE and closes the connection
+//   server → client:
+//     OK <id> <probability> lifted=<0|1>
+//     ERR <id> SHED <detail>     admission control refused the request
+//     ERR <id> PARSE <detail>    malformed request (nothing evaluated)
+//
+// Every malformed input yields an ERR line, never a crash or an abort —
+// the socket is a process boundary and its bytes are untrusted.
+//
+// Thread model: one accept thread, one reader thread per connection, one
+// batch loop. Responses are written under a per-connection mutex, so OK
+// lines from the batch loop and ERR lines from the reader interleave as
+// whole lines. Start()/Stop() bracket the lifetime; Stop() drains the
+// queue, answers everything in flight, flushes the write-through store,
+// and joins every thread (also run by the destructor).
+
+#ifndef GMC_SERVE_SERVE_H_
+#define GMC_SERVE_SERVE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dichotomy.h"
+#include "logic/query.h"
+#include "prob/tid.h"
+#include "util/rational.h"
+
+namespace gmc {
+namespace serve {
+
+struct GmcServerOptions {
+  /// Filesystem path of the listening socket (unlinked and rebound on
+  /// Start, unlinked again on Stop). Must fit sockaddr_un (~100 bytes).
+  std::string socket_path;
+  /// Admission limit: EVALs arriving while this many are already queued
+  /// are shed with a typed error instead of enqueued.
+  size_t max_pending = 64;
+  /// Largest accepted per-request domain side — a line of text must not
+  /// be able to demand an arbitrarily large grounding.
+  int max_domain = 256;
+  /// Worker bound for the session's batch passes (GfomcSession::
+  /// set_num_threads semantics; 0 = process default).
+  int num_threads = 0;
+  /// Optional circuit store: attached read-through + write-through on
+  /// Start, warm-started from (if warm_start) and flushed to on Stop.
+  std::string store_directory;
+  bool warm_start = true;
+};
+
+class GmcServer {
+ public:
+  /// Serving-layer counters (the session's evaluation counters live in
+  /// session_stats()). max_batch is the largest single coalesced round —
+  /// >1 proves concurrent requests shared one batch pass.
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t requests = 0;    ///< well-formed EVALs admitted to the queue
+    uint64_t responses = 0;   ///< OK lines written
+    uint64_t shed = 0;        ///< EVALs refused by admission control
+    uint64_t parse_errors = 0;
+    uint64_t batches = 0;     ///< coalesced rounds executed
+    uint64_t batched_requests = 0;  ///< EVALs those rounds served
+    uint64_t max_batch = 0;
+  };
+
+  GmcServer(Query query, GmcServerOptions options);
+  ~GmcServer();  // runs Stop()
+
+  GmcServer(const GmcServer&) = delete;
+  GmcServer& operator=(const GmcServer&) = delete;
+
+  /// Binds, listens, warm-starts, and spawns the serving threads. False
+  /// with *error on socket failure (nothing left running).
+  bool Start(std::string* error);
+
+  /// Graceful shutdown: stops accepting, unblocks readers, answers every
+  /// queued request, flushes the store, joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  Stats stats() const;
+  GfomcSession::Stats session_stats() const { return session_.stats(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+  };
+  struct PendingEval {
+    std::string id;
+    Tid tid;
+    std::shared_ptr<Connection> conn;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void BatchLoop();
+  void HandleLine(const std::shared_ptr<Connection>& conn,
+                  const std::string& line, bool* close_connection);
+  void RunBatch(std::vector<PendingEval> batch);
+  std::string StatsLine() const;
+
+  Query query_;
+  GmcServerOptions options_;
+  GfomcSession session_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<PendingEval> pending_;
+
+  std::mutex threads_mu_;
+  std::thread accept_thread_;
+  std::thread batch_thread_;
+  std::vector<std::thread> readers_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> connections{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> responses{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> parse_errors{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> batched_requests{0};
+    std::atomic<uint64_t> max_batch{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+namespace internal {
+/// Non-aborting "a" / "a/b" probability parser (socket input is
+/// untrusted; Rational::FromString aborts). Accepts only canonical
+/// non-negative rationals with value in [0, 1].
+bool ParseProbability(const std::string& token, Rational* out);
+}  // namespace internal
+
+}  // namespace serve
+}  // namespace gmc
+
+#endif  // GMC_SERVE_SERVE_H_

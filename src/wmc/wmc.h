@@ -15,6 +15,7 @@
 #define GMC_WMC_WMC_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -81,6 +82,22 @@ class WmcEngine {
   // CircuitCache::set_order / compile/vtree.h); affects circuit size only,
   // never results. The recursive path always uses the legacy heuristic.
   void set_order(OrderHeuristic order) { circuits_.set_order(order); }
+
+  // Persistent-store plumbing for the embedded cache (see
+  // CircuitCache::set_store_directory / SaveTo / WarmFrom): warm starts
+  // and write-through for the compiled path. Results are bit-identical
+  // with or without a store.
+  void set_store_directory(const std::string& directory,
+                           bool write_through = true) {
+    circuits_.set_store_directory(directory, write_through);
+  }
+  size_t SaveCircuitsTo(const std::string& directory,
+                        std::string* error = nullptr) {
+    return circuits_.SaveTo(directory, error);
+  }
+  size_t WarmCircuitsFrom(const std::string& directory) {
+    return circuits_.WarmFrom(directory);
+  }
 
  private:
   Rational Recurse(const Cnf& cnf);

@@ -1,0 +1,417 @@
+// End-to-end tests of the serving tier: a real GmcServer on a real Unix
+// socket, talked to through the wire protocol (see serve.h). Pins
+// (a) exact probabilities — socket answers are bit-identical to an
+// in-process GfomcSession on the same TID; (b) coalescing — concurrent
+// requests share one batched EvaluateMany round (max_batch > 1);
+// (c) admission control — past max_pending, requests are shed with a
+// typed error, never queued or stalled; (d) hostile input — malformed
+// lines yield ERR and leave the connection serviceable (the parser
+// fronts aborting APIs, so "no crash" is a real property); (e) store
+// warm-starts — a restarted server re-serves from disk without
+// recompiling.
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dichotomy.h"
+#include "logic/parser.h"
+#include "prob/tid.h"
+#include "serve/serve.h"
+#include "store/circuit_store.h"
+
+namespace gmc {
+namespace serve {
+namespace {
+
+Query H1() {
+  return ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+std::string TestSocketPath(const std::string& name) {
+  return "/tmp/gmc_serve_test_" + std::to_string(::getpid()) + "_" + name +
+         ".sock";
+}
+
+// A blocking line-oriented client; the HELLO banner is consumed by
+// Connect so tests start at a clean request/response boundary. Reads are
+// bounded by SO_RCVTIMEO so a server bug fails the test instead of
+// stalling it into the ctest timeout.
+class LineClient {
+ public:
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    timeval timeout{};
+    timeout.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) return false;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return false;
+    }
+    return ReadLine() == "HELLO gmc_serve 1";
+  }
+
+  bool SendLine(const std::string& line) {
+    const std::string out = line + "\n";
+    size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::send(fd_, out.data() + off, out.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // The next '\n'-terminated line, or "" on EOF/timeout.
+  std::string ReadLine() {
+    size_t pos;
+    while ((pos = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string line = buffer_.substr(0, pos);
+    buffer_.erase(0, pos + 1);
+    return line;
+  }
+
+  std::string Roundtrip(const std::string& line) {
+    if (!SendLine(line)) return "";
+    return ReadLine();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// Scratch store directory per test, removed with its .gmcc contents.
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/gmc_serve_store_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    store_dir_ = tmpl;
+  }
+  void TearDown() override {
+    for (const std::string& path :
+         store::CircuitStore(store_dir_).ListEntries()) {
+      ::unlink(path.c_str());
+    }
+    ::rmdir(store_dir_.c_str());
+  }
+
+  std::string store_dir_;
+};
+
+TEST_F(ServeTest, ExactProbabilitiesOverTheWire) {
+  GmcServerOptions options;
+  options.socket_path = TestSocketPath("exact");
+  GmcServer server(H1(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // The same two TIDs, evaluated in-process — the ground truth the wire
+  // answers must match to the bit (ToString is canonical).
+  Query query = H1();
+  GfomcSession reference;
+  Tid uniform(query.vocab_ptr(), 2, 2, Rational::Half());
+  Tid skewed(query.vocab_ptr(), 2, 2, Rational::Half());
+  skewed.SetUnaryLeft(query.vocab().Find("R"), 0, Rational(1, 4));
+  skewed.SetBinary(query.vocab().Find("S"), 0, 1, Rational(3, 8));
+  skewed.SetUnaryRight(query.vocab().Find("T"), 1, Rational::Zero());
+  const std::string want_uniform =
+      reference.Evaluate(query, uniform).probability.ToString();
+  const std::string want_skewed =
+      reference.Evaluate(query, skewed).probability.ToString();
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.socket_path()));
+  EXPECT_EQ(client.Roundtrip("EVAL q1 2 2 1/2"),
+            "OK q1 " + want_uniform + " lifted=0");
+  EXPECT_EQ(client.Roundtrip("EVAL q2 2 2 1/2 R(0)=1/4 S(0,1)=3/8 T(1)=0"),
+            "OK q2 " + want_skewed + " lifted=0");
+  // Same structure, same weights: the second answer came from the cache,
+  // but the bytes on the wire are identical.
+  EXPECT_EQ(client.Roundtrip("EVAL q3 2 2 1/2"),
+            "OK q3 " + want_uniform + " lifted=0");
+  EXPECT_EQ(client.Roundtrip("QUIT"), "BYE");
+
+  server.Stop();
+  const GmcServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.responses, 3u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.parse_errors, 0u);
+}
+
+TEST_F(ServeTest, ConcurrentRequestsCoalesceIntoBatches) {
+  GmcServerOptions options;
+  options.socket_path = TestSocketPath("coalesce");
+  options.max_pending = 256;
+  GmcServer server(H1(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Warm the cache so batch rounds are fast and the queue actually backs
+  // up behind an in-flight round.
+  {
+    LineClient warm;
+    ASSERT_TRUE(warm.Connect(server.socket_path()));
+    ASSERT_NE(warm.Roundtrip("EVAL warm 3 3 1/2"), "");
+  }
+
+  // Blast concurrent rounds until one coalesced batch served >1 request.
+  // Each client varies its default probability so the requests are
+  // genuinely distinct work, not byte-identical lines.
+  constexpr int kClients = 12;
+  for (int round = 0; round < 20 && server.stats().max_batch < 2; ++round) {
+    std::vector<std::thread> workers;
+    std::vector<int> ok(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+      workers.emplace_back([&, c] {
+        LineClient client;
+        if (!client.Connect(server.socket_path())) return;
+        const std::string p = std::to_string(c + 1) + "/16";
+        const std::string response =
+            client.Roundtrip("EVAL r" + std::to_string(c) + " 3 3 " + p);
+        ok[c] = response.rfind("OK r" + std::to_string(c) + " ", 0) == 0;
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (int c = 0; c < kClients; ++c) EXPECT_EQ(ok[c], 1) << "client " << c;
+  }
+
+  const GmcServer::Stats stats = server.stats();
+  EXPECT_GE(stats.max_batch, 2u)
+      << "no coalesced batch after 20 rounds of " << kClients
+      << " concurrent clients";
+  // Coalescing bookkeeping is consistent: every admitted request was
+  // served by some batch.
+  EXPECT_EQ(stats.batched_requests, stats.requests);
+  EXPECT_LT(stats.batches, stats.requests);  // at least one round shared
+}
+
+TEST_F(ServeTest, AdmissionControlShedsPastTheLimit) {
+  GmcServerOptions options;
+  options.socket_path = TestSocketPath("shed");
+  options.max_pending = 0;  // every EVAL exceeds the limit — deterministic
+  GmcServer server(H1(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.socket_path()));
+  const std::string response = client.Roundtrip("EVAL q1 2 2 1/2");
+  EXPECT_EQ(response, "ERR q1 SHED queue full (limit 0)");
+  // Shedding is immediate and non-fatal: the connection still serves.
+  EXPECT_EQ(client.Roundtrip("QUIT"), "BYE");
+
+  const GmcServer::Stats stats = server.stats();
+  EXPECT_GE(stats.shed, 1u);
+  EXPECT_EQ(stats.requests, 0u);  // nothing was admitted
+}
+
+TEST_F(ServeTest, MalformedInputYieldsErrNotACrash) {
+  GmcServerOptions options;
+  options.socket_path = TestSocketPath("parse");
+  options.max_domain = 8;
+  GmcServer server(H1(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Query query = H1();
+  GfomcSession reference;
+  Tid uniform(query.vocab_ptr(), 2, 2, Rational::Half());
+  const std::string want =
+      reference.Evaluate(query, uniform).probability.ToString();
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.socket_path()));
+  const std::vector<std::string> hostile = {
+      "FROBNICATE",                          // unknown command
+      "EVAL",                                // truncated
+      "EVAL q 2 2",                          // missing default probability
+      "EVAL q -3 2 1/2",                     // negative domain
+      "EVAL q 2 2 3/2",                      // probability > 1
+      "EVAL q 2 2 1/0",                      // zero denominator
+      "EVAL q 2 2 0x10",                     // non-digit bytes
+      "EVAL q 999999999999999 2 1/2",        // oversized int
+      "EVAL q 9 9 1/2",                      // domain past max_domain
+      "EVAL q 2 2 1/2 Q(0)=1/2",             // unknown symbol
+      "EVAL q 2 2 1/2 R(0,1)=1/2",           // wrong arity
+      "EVAL q 2 2 1/2 S(5,0)=1/2",           // constant out of range
+      "EVAL q 2 2 1/2 R(0)1/2",              // missing '='
+      "EVAL q 2 2 1/2 R(0)=",                // empty probability
+  };
+  for (const std::string& line : hostile) {
+    const std::string response = client.Roundtrip(line);
+    EXPECT_EQ(response.rfind("ERR ", 0), 0u) << line << " -> " << response;
+    EXPECT_NE(response.find("PARSE"), std::string::npos) << line;
+  }
+  // The connection survived all of it and still evaluates exactly.
+  EXPECT_EQ(client.Roundtrip("EVAL ok 2 2 1/2"),
+            "OK ok " + want + " lifted=0");
+
+  const GmcServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.parse_errors, hostile.size());
+  EXPECT_EQ(stats.requests, 1u);
+}
+
+TEST_F(ServeTest, StatsLineReportsServerAndSessionCounters) {
+  GmcServerOptions options;
+  options.socket_path = TestSocketPath("stats");
+  options.store_directory = store_dir_;
+  GmcServer server(H1(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.socket_path()));
+  ASSERT_NE(client.Roundtrip("EVAL q1 2 2 1/2"), "");
+  // Counters are monitoring snapshots: the batch thread's responses++
+  // lands just after the OK bytes, so poll until the line settles.
+  std::string stats_line = client.Roundtrip("STATS");
+  for (int i = 0; i < 100 && stats_line.find("responses=1") ==
+                                 std::string::npos;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stats_line = client.Roundtrip("STATS");
+  }
+  EXPECT_EQ(stats_line.rfind("STATS ", 0), 0u) << stats_line;
+  for (const char* field :
+       {"connections=", "requests=1", "responses=1", "shed=0", "batches=",
+        "max_batch=", "queries=1", "circuit_compiles=", "store_misses="}) {
+    EXPECT_NE(stats_line.find(field), std::string::npos)
+        << "missing " << field << " in: " << stats_line;
+  }
+}
+
+TEST_F(ServeTest, RestartWarmStartsFromTheStore) {
+  const std::string socket_path = TestSocketPath("warm");
+  Query query = H1();
+  GfomcSession reference;
+  Tid uniform(query.vocab_ptr(), 3, 3, Rational::Half());
+  const std::string want =
+      reference.Evaluate(query, uniform).probability.ToString();
+
+  // First server: compiles cold, write-through persists the circuit, and
+  // Stop() flushes the store besides.
+  {
+    GmcServerOptions options;
+    options.socket_path = socket_path;
+    options.store_directory = store_dir_;
+    GmcServer server(H1(), options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    LineClient client;
+    ASSERT_TRUE(client.Connect(socket_path));
+    EXPECT_EQ(client.Roundtrip("EVAL cold 3 3 1/2"),
+              "OK cold " + want + " lifted=0");
+    server.Stop();
+    EXPECT_GT(server.session_stats().circuit_compiles, 0u);
+  }
+  ASSERT_FALSE(store::CircuitStore(store_dir_).ListEntries().empty());
+
+  // Second server, same store, warm-start disabled so the READ-THROUGH
+  // path is what serves: the first request must hit the store, compile
+  // nothing, and answer the same bytes.
+  {
+    GmcServerOptions options;
+    options.socket_path = socket_path;
+    options.store_directory = store_dir_;
+    options.warm_start = false;
+    GmcServer server(H1(), options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    LineClient client;
+    ASSERT_TRUE(client.Connect(socket_path));
+    EXPECT_EQ(client.Roundtrip("EVAL warm 3 3 1/2"),
+              "OK warm " + want + " lifted=0");
+    server.Stop();
+    const GfomcSession::Stats session = server.session_stats();
+    EXPECT_GE(session.store_hits, 1u);
+    EXPECT_EQ(session.circuit_compiles, 0u);
+  }
+
+  // Third server: the default warm_start=true bulk-loads the directory on
+  // Start, so serving is a pure in-memory hit (no store probe at all).
+  {
+    GmcServerOptions options;
+    options.socket_path = socket_path;
+    options.store_directory = store_dir_;
+    GmcServer server(H1(), options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    LineClient client;
+    ASSERT_TRUE(client.Connect(socket_path));
+    EXPECT_EQ(client.Roundtrip("EVAL hot 3 3 1/2"),
+              "OK hot " + want + " lifted=0");
+    server.Stop();
+    const GfomcSession::Stats session = server.session_stats();
+    EXPECT_EQ(session.circuit_compiles, 0u);
+    EXPECT_GE(session.circuit_hits, 1u);
+  }
+}
+
+TEST_F(ServeTest, StopAnswersQueuedRequestsBeforeExiting) {
+  GmcServerOptions options;
+  options.socket_path = TestSocketPath("drain");
+  GmcServer server(H1(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.socket_path()));
+  ASSERT_TRUE(client.SendLine("EVAL d1 2 2 1/2"));
+  // Stop() drains the queue before joining the batch loop, so the answer
+  // arrives even when shutdown races the request. (It may also have been
+  // answered before Stop began — both orders must deliver the OK line.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::thread stopper([&] { server.Stop(); });
+  const std::string response = client.ReadLine();
+  stopper.join();
+  EXPECT_EQ(response.rfind("OK d1 ", 0), 0u) << response;
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeInternalTest, ParseProbabilityRejectsHostileTokens) {
+  Rational out = Rational::Zero();
+  EXPECT_TRUE(internal::ParseProbability("1/2", &out));
+  EXPECT_EQ(out, Rational::Half());
+  EXPECT_TRUE(internal::ParseProbability("0", &out));
+  EXPECT_TRUE(internal::ParseProbability("1", &out));
+  EXPECT_TRUE(internal::ParseProbability("3/8", &out));
+  EXPECT_TRUE(internal::ParseProbability("4/8", &out));  // non-canonical ok
+  for (const char* bad :
+       {"", "/", "1/", "/2", "-1/2", "3/2", "1/0", "0x1", "1.5", "1e3",
+        " 1/2", "1/2/3", "9999999999999999999/1", "1/9999999999999999999"}) {
+    EXPECT_FALSE(internal::ParseProbability(bad, &out)) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace gmc

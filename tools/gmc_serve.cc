@@ -1,0 +1,106 @@
+// gmc_serve — a long-lived GFOMC evaluation server.
+//
+// Wraps serve::GmcServer (see src/serve/serve.h for the wire protocol)
+// around one query: compile-once / evaluate-many across PROCESSES, with
+// optional circuit persistence so restarts and replicas warm-start from
+// disk instead of recompiling.
+//
+// Usage:
+//   gmc_serve --socket=/tmp/gmc.sock --query='Ax Ay (R(x) | S(x,y))' \
+//             [--store=DIR] [--threads=N] [--max-pending=N] [--no-warm]
+//
+// Talk to it with any line client, e.g.:
+//   printf 'EVAL q1 2 2 1/2\nQUIT\n' | nc -U /tmp/gmc.sock
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: queued requests are
+// answered, the write-through store is flushed, then the process exits.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "logic/parser.h"
+#include "serve/serve.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+// --flag=value extraction; returns true and fills *value on match.
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH --query=QUERY [--store=DIR] "
+               "[--threads=N] [--max-pending=N] [--max-domain=N] "
+               "[--no-warm]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string query_text;
+  gmc::serve::GmcServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (FlagValue(argv[i], "--socket", &value)) {
+      socket_path = value;
+    } else if (FlagValue(argv[i], "--query", &value)) {
+      query_text = value;
+    } else if (FlagValue(argv[i], "--store", &value)) {
+      options.store_directory = value;
+    } else if (FlagValue(argv[i], "--threads", &value)) {
+      options.num_threads = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--max-pending", &value)) {
+      options.max_pending = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (FlagValue(argv[i], "--max-domain", &value)) {
+      options.max_domain = std::atoi(value.c_str());
+    } else if (std::strcmp(argv[i], "--no-warm") == 0) {
+      options.warm_start = false;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() || query_text.empty()) return Usage(argv[0]);
+  options.socket_path = socket_path;
+
+  gmc::serve::GmcServer server(gmc::ParseQueryOrDie(query_text),
+                               std::move(options));
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "gmc_serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "gmc_serve: listening on %s\n", socket_path.c_str());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (!g_stop) sigsuspend(&empty);  // wait for a shutdown signal
+
+  std::fprintf(stderr, "gmc_serve: shutting down\n");
+  server.Stop();
+  const gmc::serve::GmcServer::Stats stats = server.stats();
+  std::fprintf(stderr,
+               "gmc_serve: served %llu requests in %llu batches "
+               "(max batch %llu, shed %llu)\n",
+               static_cast<unsigned long long>(stats.responses),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.max_batch),
+               static_cast<unsigned long long>(stats.shed));
+  return 0;
+}
