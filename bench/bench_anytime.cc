@@ -1,0 +1,263 @@
+// Anytime-tier benchmarks: the certified interval walk and the Karp–Luby
+// sampler against the exact passes they bound, on the gadget corpus.
+//
+// Headline numbers: the directed-rounding interval pass runs at
+// double-batch speed (orders of magnitude under the exact BigInt pass on
+// non-dyadic weights) while still carrying a guarantee; the sampler's cost
+// is linear in its (ε, δ)-derived sample count, independent of circuit
+// size. BM_RouterOverBudget times the full degraded path through
+// GfomcSession — probe, budget exhaustion, sampler — the latency a serving
+// client sees when an instance blows its compile budget.
+//
+// BM_AnytimeCrossCheck fails the run loudly if any certified answer is
+// wrong: an interval that does not enclose the exact probability (checked
+// with exact rational arithmetic), interval results that differ across
+// thread counts, a fixed-seed estimate outside its ε certificate, or an
+// over-budget instance that fails to come back certified. This is the
+// acceptance bar of the anytime tier, enforced on every CI run.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "approx/karp_luby.h"
+#include "compile/compiler.h"
+#include "compile/gmc_options.h"
+#include "compile/nnf.h"
+#include "compile/nnf_walk.h"
+#include "core/dichotomy.h"
+#include "lineage/grounder.h"
+#include "logic/parser.h"
+#include "prob/tid.h"
+#include "util/bigint.h"
+#include "util/rational.h"
+
+namespace {
+
+gmc::Query H1() {
+  return gmc::ParseQueryOrDie(
+      "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+gmc::Query ExampleC9() {
+  return gmc::ParseQueryOrDie(
+      "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax Ay (S1(x,y) | S3(x,y)) & "
+      "Ay (Ax (S3(x,y)) | Ax (S4(x,y)))");
+}
+
+// Unsafe gadget lineages with a NON-dyadic default weight, so the exact
+// batch pass pays full BigInt cost — the workload the interval tier is for.
+gmc::Lineage H1Lineage(int domain) {
+  gmc::Query q = H1();
+  gmc::Tid tid(q.vocab_ptr(), domain, domain, gmc::Rational(3, 7));
+  return gmc::Ground(q, tid);
+}
+
+gmc::Lineage Type2Lineage(int domain) {
+  gmc::Query q = ExampleC9();
+  gmc::Tid tid(q.vocab_ptr(), domain, domain, gmc::Rational(3, 7));
+  return gmc::Ground(q, tid);
+}
+
+// K weight columns with varied non-dyadic entries (denominator 11), so
+// neither the dyadic fast path nor weight-sharing shortcuts kick in.
+gmc::WeightMatrix SweepWeights(const gmc::Lineage& lineage, int k) {
+  gmc::WeightMatrix weights(k, lineage.cnf.num_vars);
+  for (int column = 0; column < k; ++column) {
+    for (int v = 0; v < lineage.cnf.num_vars; ++v) {
+      weights.Set(column, v, gmc::Rational(1 + (column + v) % 9, 11));
+    }
+  }
+  return weights;
+}
+
+// Exact dyadic bracket of a double in [0, 1] — the same construction the
+// enclosure tests use, so the cross-check compares rationals, not floats.
+gmc::Rational RationalOfDouble(double value) {
+  if (value == 0.0) return gmc::Rational::Zero();
+  int exponent = 0;
+  const double fraction = std::frexp(value, &exponent);
+  const double scaled = std::ldexp(fraction, 53);  // integral, < 2^53
+  return gmc::Rational::Dyadic(gmc::BigInt(static_cast<int64_t>(scaled)),
+                               static_cast<uint64_t>(53 - exponent));
+}
+
+bool Encloses(const gmc::ProbInterval& interval, const gmc::Rational& exact) {
+  return !(exact < RationalOfDouble(interval.lo)) &&
+         !(RationalOfDouble(interval.hi) < exact);
+}
+
+// --- The three batch passes over one compiled circuit -----------------
+
+void BatchBench(benchmark::State& state, int mode) {
+  const int k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = Type2Lineage(3);
+  gmc::Compiler compiler;
+  gmc::NnfCircuit circuit = compiler.Compile(lineage);
+  gmc::WeightMatrix weights = SweepWeights(lineage, k);
+  double max_width = 0.0;
+  for (auto _ : state) {
+    switch (mode) {
+      case 0:
+        benchmark::DoNotOptimize(circuit.EvaluateBatch(weights));
+        break;
+      case 1: {
+        std::vector<gmc::ProbInterval> intervals =
+            circuit.EvaluateBatchInterval(weights);
+        for (const gmc::ProbInterval& interval : intervals) {
+          max_width = std::max(max_width, interval.hi - interval.lo);
+        }
+        benchmark::DoNotOptimize(intervals.data());
+        break;
+      }
+      default:
+        benchmark::DoNotOptimize(circuit.EvaluateBatchDouble(weights));
+        break;
+    }
+  }
+  state.counters["sweep_points"] = k;
+  state.counters["circuit_nodes"] =
+      static_cast<double>(circuit.num_nodes());
+  if (mode == 1) state.counters["max_width"] = max_width;
+}
+
+void BM_ExactBatch(benchmark::State& state) { BatchBench(state, 0); }
+BENCHMARK(BM_ExactBatch)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_IntervalBatch(benchmark::State& state) { BatchBench(state, 1); }
+BENCHMARK(BM_IntervalBatch)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_DoubleBatch(benchmark::State& state) { BatchBench(state, 2); }
+BENCHMARK(BM_DoubleBatch)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// --- The sampler ------------------------------------------------------
+
+// Cost scales with the (ε, δ)-derived sample target (ε halves → 4×), not
+// with circuit size: the sampler never compiles anything.
+void BM_KarpLuby(benchmark::State& state) {
+  gmc::Lineage lineage = H1Lineage(static_cast<int>(state.range(0)));
+  gmc::KarpLubyParams params;
+  params.epsilon = 0.1;
+  params.delta = 0.01;
+  params.max_samples = 0;  // run to the (ε, δ) target
+  params.seed = 0x1234abcdull;
+  uint64_t samples = 0;
+  for (auto _ : state) {
+    gmc::KarpLubyResult result = gmc::KarpLubyEstimate(lineage, params);
+    samples = result.samples;
+    benchmark::DoNotOptimize(result.estimate);
+  }
+  state.counters["samples"] = static_cast<double>(samples);
+  state.counters["lineage_clauses"] =
+      static_cast<double>(lineage.cnf.clauses.size());
+}
+BENCHMARK(BM_KarpLuby)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// --- End-to-end degraded routing --------------------------------------
+
+// The serving-path latency of an over-budget instance in kAuto: compile
+// probe, budget exhaustion (memoized after the first miss), Karp–Luby
+// fallback, certified answer.
+void BM_RouterOverBudget(benchmark::State& state) {
+  gmc::Query query = H1();
+  gmc::Tid tid(query.vocab_ptr(), 3, 3, gmc::Rational(3, 7));
+  gmc::GfomcSession session;
+  gmc::GmcOptions options = session.options();
+  options.routing_mode = gmc::RoutingMode::kAuto;
+  options.compile_budget.max_calls = 2;  // every probe exhausts
+  options.epsilon = 0.1;
+  options.delta = 0.01;
+  session.Configure(options);
+  uint64_t samples = 0;
+  for (auto _ : state) {
+    gmc::GmcAnswer answer;
+    gmc::GmcStatus status = session.EvaluateAnswer(query, tid, &answer);
+    if (!status.ok() || answer.tier != gmc::AnswerTier::kSampled) {
+      state.SkipWithError(
+          "over-budget instance did not route to the sampler");
+      return;
+    }
+    samples = answer.samples;
+    benchmark::DoNotOptimize(answer.estimate);
+  }
+  state.counters["samples"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_RouterOverBudget)->Unit(benchmark::kMillisecond);
+
+// --- Correctness guard, CI-enforced -----------------------------------
+
+void BM_AnytimeCrossCheck(benchmark::State& state) {
+  std::vector<gmc::Lineage> corpus = {H1Lineage(3), Type2Lineage(3)};
+  for (auto _ : state) {
+    for (const gmc::Lineage& lineage : corpus) {
+      gmc::Compiler compiler;
+      gmc::NnfCircuit circuit = compiler.Compile(lineage);
+      gmc::WeightMatrix weights = SweepWeights(lineage, 8);
+      const std::vector<gmc::Rational> exact = circuit.EvaluateBatch(weights);
+      const std::vector<gmc::ProbInterval> serial =
+          circuit.EvaluateBatchInterval(weights, /*num_threads=*/1);
+      const std::vector<gmc::ProbInterval> parallel =
+          circuit.EvaluateBatchInterval(weights, /*num_threads=*/8);
+      for (size_t i = 0; i < exact.size(); ++i) {
+        if (serial[i].lo != parallel[i].lo ||
+            serial[i].hi != parallel[i].hi) {
+          state.SkipWithError(
+              "interval results differ across thread counts");
+          return;
+        }
+        if (!Encloses(serial[i], exact[i])) {
+          state.SkipWithError(
+              "certified interval EXCLUDES the exact probability");
+          return;
+        }
+        if (serial[i].hi - serial[i].lo > 1e-6) {
+          state.SkipWithError("interval width blew past 1e-6 on a gadget");
+          return;
+        }
+      }
+      // The sampler's certificate at a fixed seed: |est − p| ≤ ε on the
+      // single-column lineage weights.
+      gmc::KarpLubyParams params;
+      params.epsilon = 0.1;
+      params.delta = 0.01;
+      params.max_samples = 0;
+      params.seed = 0x1234abcdull;
+      const gmc::KarpLubyResult sampled =
+          gmc::KarpLubyEstimate(lineage, params);
+      const double truth =
+          circuit.Evaluate(lineage.probabilities).ToDouble();
+      if (std::fabs(sampled.estimate - truth) > params.epsilon) {
+        state.SkipWithError(
+            "fixed-seed Karp–Luby estimate missed its epsilon certificate");
+        return;
+      }
+    }
+    // An over-budget instance must still come back certified through the
+    // session — the anytime tier's contract end to end.
+    gmc::Query query = H1();
+    gmc::Tid tid(query.vocab_ptr(), 3, 3, gmc::Rational(3, 7));
+    gmc::GmcAnswer reference = {};
+    reference.exact = gmc::Gfomc(query, tid).probability;
+    gmc::GmcOptions options;
+    options.routing_mode = gmc::RoutingMode::kAuto;
+    options.compile_budget.max_calls = 2;
+    options.epsilon = 0.1;
+    options.delta = 0.01;
+    gmc::GmcAnswer answer;
+    gmc::GmcStatus status = gmc::GfomcChecked(query, tid, options, &answer);
+    if (!status.ok() || answer.tier != gmc::AnswerTier::kSampled ||
+        std::fabs(answer.estimate - reference.exact.ToDouble()) >
+            answer.epsilon) {
+      state.SkipWithError(
+          "over-budget routing failed to produce a certified estimate");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_AnytimeCrossCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

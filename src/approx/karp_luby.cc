@@ -1,0 +1,212 @@
+#include "approx/karp_luby.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bigint.h"
+#include "util/check.h"
+
+namespace gmc {
+
+namespace approx_internal {
+
+namespace {
+
+// A uint64 as a BigInt (the int64_t constructor can't hold the top bit).
+BigInt BigIntFromU64(uint64_t value) {
+  BigInt big(static_cast<int64_t>(value >> 32));
+  big.ShiftLeftInPlace(32);
+  big += BigInt(static_cast<int64_t>(value & 0xffffffffull));
+  return big;
+}
+
+}  // namespace
+
+void LazyUniform::Refine() {
+  // Append 64 fresh bits: the draw's enclosing dyadic interval narrows
+  // from [low_, low_ + 2^-bits_) to width 2^-(bits_ + 64).
+  const uint64_t chunk = rng_->Next();
+  bits_ += 64;
+  low_ += Rational::Dyadic(BigIntFromU64(chunk), bits_);
+}
+
+bool LazyUniform::LessThan(const Rational& threshold) {
+  while (true) {
+    // draw ∈ [low_, high_) with high_ = low_ + 2^-bits_.
+    if (bits_ > 0) {
+      const Rational high = low_ + Rational::Dyadic(BigInt(1), bits_);
+      if (high <= threshold) return true;   // draw < high ≤ t
+      if (threshold <= low_) return false;  // draw ≥ low ≥ t
+    } else if (threshold >= Rational::One()) {
+      return true;  // draw < 1 ≤ t, no bits needed
+    } else if (threshold.sign() <= 0) {
+      return false;
+    }
+    Refine();  // t strictly inside the interval: need more bits
+  }
+}
+
+size_t LazyUniform::Categorical(const std::vector<Rational>& prefix,
+                                const Rational& total) {
+  GMC_CHECK(prefix.size() >= 2 && total.sign() > 0);
+  // The sample is the index whose [prefix[i], prefix[i+1]) bucket contains
+  // draw · total. Refine until the draw's interval, scaled by total, fits
+  // inside one bucket. upper_bound on the nondecreasing prefix keeps each
+  // probe logarithmic.
+  auto bucket_of = [&](const Rational& scaled) {
+    const auto it =
+        std::upper_bound(prefix.begin() + 1, prefix.end() - 1, scaled);
+    return static_cast<size_t>(it - prefix.begin()) - 1;
+  };
+  while (true) {
+    if (bits_ > 0) {
+      const Rational scaled_low = low_ * total;
+      const Rational scaled_high =
+          (low_ + Rational::Dyadic(BigInt(1), bits_)) * total;
+      const size_t lo_bucket = bucket_of(scaled_low);
+      // The interval is half-open, so its supremum landing exactly on a
+      // boundary still belongs to the lower bucket.
+      if (scaled_high <= prefix[lo_bucket + 1]) return lo_bucket;
+    }
+    Refine();
+  }
+}
+
+}  // namespace approx_internal
+
+uint64_t KarpLubySampleTarget(uint64_t num_clauses, double epsilon,
+                              double delta) {
+  GMC_CHECK(epsilon > 0.0 && epsilon < 1.0 && delta > 0.0 && delta < 1.0);
+  if (num_clauses == 0) return 0;
+  const double target = std::ceil(3.0 * static_cast<double>(num_clauses) *
+                                  std::log(2.0 / delta) /
+                                  (epsilon * epsilon));
+  return static_cast<uint64_t>(target);
+}
+
+KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
+                                const std::vector<Rational>& probabilities,
+                                const KarpLubyParams& params) {
+  GMC_CHECK(static_cast<int>(probabilities.size()) >= cnf.num_vars);
+  KarpLubyResult result;
+  result.delta = params.delta;
+
+  // Trivial instances are answered exactly — the sampler's guarantee
+  // would be vacuous and the router's tests pin these corners.
+  if (cnf.IsTrue()) {
+    result.estimate = 1.0;
+    result.exact = true;
+    return result;
+  }
+  if (cnf.HasEmptyClause()) {
+    result.estimate = 0.0;
+    result.exact = true;
+    return result;
+  }
+
+  // Disjunct weights w_i = Π_{v ∈ clause_i} (1 − p_v), their prefix sums,
+  // and W — all exact.
+  const size_t m = cnf.clauses.size();
+  std::vector<Rational> prefix(m + 1, Rational::Zero());
+  for (size_t i = 0; i < m; ++i) {
+    Rational weight = Rational::One();
+    for (int v : cnf.clauses[i]) {
+      GMC_CHECK_MSG(
+          probabilities[v].sign() >= 0 && probabilities[v] <= Rational::One(),
+          "KarpLubyEstimate needs probabilities in [0, 1]");
+      weight *= Rational::One() - probabilities[v];
+      if (weight.IsZero()) break;
+    }
+    prefix[i + 1] = prefix[i] + weight;
+  }
+  const Rational& total = prefix[m];
+  result.failure_weight = total.ToDouble();
+
+  if (total.IsZero()) {
+    // Every disjunct has zero weight: the lineage fails with probability 0.
+    result.estimate = 1.0;
+    result.exact = true;
+    return result;
+  }
+  if (m == 1) {
+    // One disjunct: μ = w_0 exactly, nothing to sample.
+    result.estimate = (Rational::One() - total).ToDouble();
+    result.exact = true;
+    return result;
+  }
+
+  uint64_t target = KarpLubySampleTarget(m, params.epsilon, params.delta);
+  result.epsilon = params.epsilon;
+  if (params.max_samples > 0 && target > params.max_samples) {
+    // Anytime: run what the cap allows and certify the epsilon that count
+    // actually buys (invert N = 3m ln(2/δ)/ε²).
+    target = params.max_samples;
+    result.epsilon = std::sqrt(3.0 * static_cast<double>(m) *
+                               std::log(2.0 / params.delta) /
+                               static_cast<double>(target));
+  }
+
+  approx_internal::SplitMix64 rng(params.seed);
+  std::vector<char> assigned(cnf.num_vars);   // sampled this round?
+  std::vector<char> value(cnf.num_vars);      // the sampled truth value
+  uint64_t successes = 0;
+  for (uint64_t n = 0; n < target; ++n) {
+    // 1. Disjunct i ∝ w_i.
+    approx_internal::LazyUniform pick(&rng);
+    const size_t i = pick.Categorical(prefix, total);
+    // 2. Assignment conditioned on D_i: clause_i's variables are false;
+    //    everything else is sampled lazily on first read in step 3 —
+    //    variables in no earlier clause never consume randomness. To keep
+    //    the stream deterministic per sample, reset the scratch marks.
+    std::fill(assigned.begin(), assigned.end(), 0);
+    for (int v : cnf.clauses[i]) {
+      assigned[v] = 1;
+      value[v] = 0;
+    }
+    auto is_true = [&](int v) {
+      if (!assigned[v]) {
+        assigned[v] = 1;
+        approx_internal::LazyUniform draw(&rng);
+        value[v] = draw.LessThan(probabilities[v]) ? 1 : 0;
+      }
+      return value[v] != 0;
+    };
+    // 3. Success iff no EARLIER disjunct is also satisfied (all-false).
+    bool minimal = true;
+    for (size_t j = 0; j < i && minimal; ++j) {
+      bool clause_all_false = true;
+      for (int v : cnf.clauses[j]) {
+        if (is_true(v)) {
+          clause_all_false = false;
+          break;
+        }
+      }
+      if (clause_all_false) minimal = false;
+    }
+    if (minimal) ++successes;
+  }
+
+  // μ̂ = W · successes / N, computed exactly before the one rounding into
+  // the reported double.
+  const Rational mu_hat =
+      total * Rational(static_cast<int64_t>(successes)) /
+      Rational(static_cast<int64_t>(target));
+  result.estimate = (Rational::One() - mu_hat).ToDouble();
+  result.samples = target;
+  result.successes = successes;
+  return result;
+}
+
+KarpLubyResult KarpLubyEstimate(const Lineage& lineage,
+                                const KarpLubyParams& params) {
+  if (lineage.is_false) {
+    KarpLubyResult result;
+    result.delta = params.delta;
+    result.estimate = 0.0;
+    result.exact = true;
+    return result;
+  }
+  return KarpLubyEstimate(lineage.cnf, lineage.probabilities, params);
+}
+
+}  // namespace gmc

@@ -1,0 +1,145 @@
+// Karp–Luby importance sampling over monotone CNF lineages — the (ε, δ)
+// tier of the three-way router.
+//
+// For a monotone lineage CNF F over independent tuple variables, the
+// FAILURE event ¬F is a monotone DNF: ¬F = ∨_i D_i with one disjunct per
+// clause, D_i = ∧_{v ∈ clause_i} ¬v, of weight w_i = Π (1 − p_v). The
+// classical Karp–Luby estimator samples from the weighted union instead of
+// the whole cube:
+//
+//   1. draw a disjunct i with probability w_i / W,  W = Σ_j w_j;
+//   2. draw an assignment conditioned on D_i (clause_i's variables false,
+//      every other variable independently true with its own p_v);
+//   3. score a success iff i is the MINIMAL satisfied disjunct.
+//
+// The success probability is exactly μ / W with μ = Pr(¬F), and
+// μ ≥ max_i w_i ≥ W / m bounds it below by 1/m, so the multiplicative
+// Chernoff bound gives: after N = ⌈3 m ln(2/δ) / ε²⌉ samples, the estimate
+// μ̂ = W · (successes / N) satisfies |μ̂ − μ| ≤ ε·μ ≤ ε with probability at
+// least 1 − δ — a relative guarantee on the failure probability, hence an
+// additive ε guarantee on Pr(F) = 1 − μ. Polynomial in the lineage for
+// every ε, δ: this is an FPRAS, which is what makes the tier principled
+// rather than a heuristic.
+//
+// Exactness of the per-sample randomness: every Bernoulli and categorical
+// draw is decided by comparing a lazily refined dyadic uniform against the
+// exact Rational weights (util/rational.h) — 64 fresh bits per refinement,
+// refinement probability 2^-64 per comparison — so the sampling
+// distribution is exactly the one the analysis above assumes; no floating-
+// point bias anywhere. Doubles appear only in the reported estimate.
+//
+// Anytime contract: when max_samples caps N below the target, the sampler
+// still runs and reports the LARGER epsilon it actually achieved at that
+// sample count (same δ) — a weaker certificate, never a silent lie.
+
+#ifndef GMC_APPROX_KARP_LUBY_H_
+#define GMC_APPROX_KARP_LUBY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lineage/boolean_formula.h"
+#include "lineage/grounder.h"
+#include "util/rational.h"
+
+namespace gmc {
+
+/// Sampler knobs. The defaults mirror GmcOptions; GfomcSession forwards
+/// its configured values and derives `seed` per instance from the base
+/// seed and the lineage hash, so fixed-seed runs reproduce exactly.
+struct KarpLubyParams {
+  double epsilon = 0.05;  ///< target additive error on Pr(F), in (0, 1)
+  double delta = 0.01;    ///< failure probability, in (0, 1)
+  /// Hard cap on samples (0 = none): the anytime knob. When it binds, the
+  /// result reports the epsilon actually achieved at the capped count.
+  uint64_t max_samples = 1 << 20;
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// One sampling run's outcome.
+struct KarpLubyResult {
+  double estimate = 0.0;  ///< point estimate of Pr(F = true)
+  /// The additive epsilon certified at `delta`: the target when the sample
+  /// budget sufficed, the larger achieved value when max_samples bound,
+  /// 0 for instances answered exactly.
+  double epsilon = 0.0;
+  double delta = 0.0;
+  uint64_t samples = 0;
+  uint64_t successes = 0;
+  /// W = Σ_i Π_{v ∈ clause_i} (1 − p_v), the union bound on the failure
+  /// probability (diagnostics; 0 for trivially-true instances).
+  double failure_weight = 0.0;
+  /// True when the instance was resolved exactly without sampling (no
+  /// clauses, an empty clause, a single clause, or zero failure weight):
+  /// `estimate` is then exact and `epsilon` is 0.
+  bool exact = false;
+};
+
+/// Runs the estimator on one lineage CNF with per-variable marginals
+/// `probabilities` (index = variable id; all entries must be in [0, 1] and
+/// the vector at least cnf.num_vars long — aborts otherwise, so callers
+/// validate first). Deterministic given (cnf, probabilities, params).
+KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
+                                const std::vector<Rational>& probabilities,
+                                const KarpLubyParams& params);
+
+/// Lineage convenience: an unsatisfiable lineage is exactly 0.
+KarpLubyResult KarpLubyEstimate(const Lineage& lineage,
+                                const KarpLubyParams& params);
+
+/// The sample count the (ε, δ) target demands for `num_clauses` disjuncts:
+/// ⌈3 m ln(2/δ) / ε²⌉. Exposed for the calibration tests and the session's
+/// cost accounting.
+uint64_t KarpLubySampleTarget(uint64_t num_clauses, double epsilon,
+                              double delta);
+
+namespace approx_internal {
+
+/// splitmix64 — the per-instance PRNG stream. Deterministic, seedable,
+/// passes BigCrush as a 64-bit mixer; quality is ample for Monte Carlo
+/// sampling (this is a certified estimator, not an adversarial setting).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// An exact uniform draw over [0, 1), materialized lazily: each comparison
+/// against an exact Rational consumes just enough 64-bit chunks to decide
+/// it (one, except with probability 2^-64 per extra chunk). Each draw is
+/// independent; construct one per decision.
+class LazyUniform {
+ public:
+  explicit LazyUniform(SplitMix64* rng) : rng_(rng) {}
+
+  /// True iff the draw is < threshold. Exact; threshold must be in [0, 1].
+  bool LessThan(const Rational& threshold);
+
+  /// The index i of the first prefix sum exceeding draw · total, i.e. a
+  /// categorical sample with probabilities (prefix[i+1] − prefix[i]) /
+  /// total. `prefix` has size m + 1, prefix[0] == 0, prefix[m] == total,
+  /// nondecreasing, total > 0. Exact.
+  size_t Categorical(const std::vector<Rational>& prefix,
+                     const Rational& total);
+
+ private:
+  void Refine();
+
+  SplitMix64* rng_;
+  Rational low_;          // the bits drawn so far, as low_ <= draw < high_
+  uint64_t bits_ = 0;     // draw resolution: high_ - low_ == 2^-bits_
+};
+
+}  // namespace approx_internal
+
+}  // namespace gmc
+
+#endif  // GMC_APPROX_KARP_LUBY_H_

@@ -18,13 +18,57 @@ bool CircuitCache::DyadicDefaultEnabled() {
   return g_dyadic_default_enabled.load(std::memory_order_relaxed);
 }
 
-CircuitCache::CircuitCache() {
-  const std::string path = store::DefaultStorePath();
-  if (!path.empty()) set_store_directory(path, /*write_through=*/true);
+CircuitCache::CircuitCache() { Configure(GmcOptions::FromEnv()); }
+
+void CircuitCache::Configure(const GmcOptions& options) {
+  std::lock_guard<std::mutex> lock(options_mu_);
+  num_threads_.store(options.num_threads, std::memory_order_relaxed);
+  order_.store(options.order, std::memory_order_relaxed);
+  dyadic_enabled_.store(options.dyadic_enabled, std::memory_order_relaxed);
+  const bool store_changed =
+      options.store_directory != options_.store_directory ||
+      options.store_write_through != options_.store_write_through;
+  options_ = options;
+  if (store_changed) {
+    ApplyStore(options.store_directory, options.store_write_through);
+  }
+}
+
+GmcOptions CircuitCache::options() const {
+  std::lock_guard<std::mutex> lock(options_mu_);
+  return options_;
+}
+
+void CircuitCache::set_order(OrderHeuristic order) {
+  GmcOptions next = options();
+  next.order = order;
+  Configure(next);
+}
+
+void CircuitCache::set_dyadic_enabled(bool enabled) {
+  GmcOptions next = options();
+  next.dyadic_enabled = enabled;
+  Configure(next);
+}
+
+void CircuitCache::set_num_threads(int num_threads) {
+  GmcOptions next = options();
+  next.num_threads = num_threads;
+  Configure(next);
 }
 
 void CircuitCache::set_store_directory(const std::string& directory,
                                        bool write_through) {
+  // Unlike Configure, the direct setter always re-attaches — callers use
+  // it to force a fresh directory scan of the same path.
+  std::lock_guard<std::mutex> lock(options_mu_);
+  options_.store_directory = directory;
+  options_.store_write_through = write_through;
+  ApplyStore(directory, write_through);
+}
+
+void CircuitCache::ApplyStore(const std::string& directory,
+                              bool write_through) {
   write_through_.store(write_through, std::memory_order_relaxed);
   std::shared_ptr<const store::CircuitStore> next =
       directory.empty() ? nullptr
@@ -97,16 +141,40 @@ CircuitCache::Stripe& CircuitCache::StripeFor(const Cnf& cnf) {
 }
 
 const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
+  // Unbudgeted compilation always produces a circuit.
+  return *GetOrCompile(cnf, nullptr);
+}
+
+const NnfCircuit* CircuitCache::TryGet(const Cnf& cnf,
+                                       const CompileBudget& budget) {
+  if (budget.Unlimited()) return &Get(cnf);
+  return GetOrCompile(cnf, &budget);
+}
+
+const NnfCircuit* CircuitCache::GetOrCompile(const Cnf& cnf,
+                                             const CompileBudget* budget) {
   Stripe& stripe = StripeFor(cnf);
   std::lock_guard<std::mutex> stripe_lock(stripe.mu);
   if (auto it = stripe.circuits.find(cnf); it != stripe.circuits.end()) {
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
-    return *it->second;
+    return it->second.get();
+  }
+  // Budget-exhaustion memo: a structure that already blew through an
+  // equal-or-larger budget is not worth recompiling — fail fast so the
+  // router's probe costs one hash lookup on repeat traffic.
+  if (budget != nullptr) {
+    if (auto it = stripe.failed.find(cnf); it != stripe.failed.end()) {
+      if (!budget->AllowsMoreThan(it->second)) {
+        stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+    }
   }
   // Read-through: an in-memory miss consults the persistent store (if one
   // is attached) before paying for compilation. A loaded circuit has been
   // checksum-, structure-, and fingerprint-validated AND clause-matched
   // against `cnf`, so it is exactly what the compiler would hand back.
+  // Budgets never apply here: loading is linear in the stored circuit.
   const std::shared_ptr<const store::CircuitStore> persistent = store();
   if (persistent != nullptr) {
     NnfCircuit loaded;
@@ -114,9 +182,10 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
     switch (persistent->TryLoad(cnf, &loaded, nullptr, &store_error)) {
       case store::StoreLookup::kLoaded: {
         stats_.store_hits.fetch_add(1, std::memory_order_relaxed);
+        stripe.failed.erase(cnf);
         auto inserted = stripe.circuits.emplace(
             cnf, std::make_unique<NnfCircuit>(std::move(loaded)));
-        return *inserted.first->second;
+        return inserted.first->second.get();
       }
       case store::StoreLookup::kMissing:
         stats_.store_misses.fetch_add(1, std::memory_order_relaxed);
@@ -126,7 +195,6 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
         break;
     }
   }
-  stats_.compiles.fetch_add(1, std::memory_order_relaxed);
   // Compile while holding the stripe lock: a second thread racing for the
   // SAME structure waits here instead of compiling twice, and threads on
   // other stripes only serialize on the compiler mutex below (the
@@ -139,7 +207,22 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
     std::lock_guard<std::mutex> compiler_lock(compiler_mu_);
     compiler_.set_order(order);
     const Compiler::Stats before = compiler_.stats();
-    compiled = compiler_.Compile(cnf);
+    if (budget != nullptr) {
+      std::optional<NnfCircuit> attempt = compiler_.TryCompile(cnf, *budget);
+      if (!attempt.has_value()) {
+        // Remember the largest budget this structure has failed under.
+        auto [it, fresh] = stripe.failed.try_emplace(cnf, *budget);
+        if (!fresh && budget->AllowsMoreThan(it->second)) {
+          it->second = *budget;
+        }
+        stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+      compiled = std::move(*attempt);
+    } else {
+      compiled = compiler_.Compile(cnf);
+    }
+    stats_.compiles.fetch_add(1, std::memory_order_relaxed);
     stats_.nodes_before_minimize.fetch_add(
         compiler_.stats().minimize_nodes_before -
             before.minimize_nodes_before,
@@ -147,10 +230,12 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
     stats_.nodes_after_minimize.fetch_add(
         compiler_.stats().minimize_nodes_after - before.minimize_nodes_after,
         std::memory_order_relaxed);
-    if (order != OrderHeuristic::kDefault &&
+    if (budget == nullptr && order != OrderHeuristic::kDefault &&
         order_baseline_recording_.load(std::memory_order_relaxed)) {
       // Reference compile under the legacy order, discarded — only its
       // edge count survives, as the denominator of the order payoff.
+      // Budgeted probes skip recording: the reference compile would run
+      // unbudgeted on a structure suspected of blowing up.
       compiler_.set_order(OrderHeuristic::kDefault);
       legacy = compiler_.Compile(cnf);
       have_legacy = true;
@@ -170,6 +255,7 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
                                           std::memory_order_relaxed);
     }
   }
+  stripe.failed.erase(cnf);
   auto inserted = stripe.circuits.emplace(
       cnf, std::make_unique<NnfCircuit>(std::move(compiled)));
   // Write-through AFTER the insert, from the cached copy: a failed save is
@@ -180,7 +266,7 @@ const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
     std::string save_error;
     persistent->Save(*inserted.first->second, cnf, order, &save_error);
   }
-  return *inserted.first->second;
+  return inserted.first->second.get();
 }
 
 Rational CircuitCache::Probability(const Cnf& cnf,
@@ -298,6 +384,8 @@ CircuitCache::Stats CircuitCache::stats() const {
   out.store_hits = stats_.store_hits.load(std::memory_order_relaxed);
   out.store_misses = stats_.store_misses.load(std::memory_order_relaxed);
   out.store_rejected = stats_.store_rejected.load(std::memory_order_relaxed);
+  out.budget_exhausted =
+      stats_.budget_exhausted.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -319,6 +407,7 @@ void CircuitCache::Clear() {
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
     stripe.circuits.clear();
+    stripe.failed.clear();
   }
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "compile/compiler.h"
+#include "compile/gmc_options.h"
 #include "compile/nnf.h"
 #include "compile/vtree.h"
 #include "lineage/grounder.h"
@@ -106,18 +107,46 @@ class CircuitCache {
     uint64_t store_hits = 0;
     uint64_t store_misses = 0;
     uint64_t store_rejected = 0;
+    /// TryGet probes that came back empty: the compile hit its
+    /// CompileBudget (or a memoized earlier failure under an
+    /// equal-or-larger budget short-circuited it) and the caller was sent
+    /// to the anytime tier.
+    uint64_t budget_exhausted = 0;
   };
 
-  /// A fresh cache adopts the process-wide defaults: DefaultOrderHeuristic
-  /// (the GMC_ORDER environment knob), DyadicDefaultEnabled, and — when
+  /// A fresh cache adopts the process-wide defaults — one
+  /// Configure(GmcOptions::FromEnv()): DefaultOrderHeuristic (the
+  /// GMC_ORDER environment knob), DyadicDefaultEnabled, and — when
   /// GMC_STORE names a directory (store::DefaultStorePath) — a persistent
   /// circuit store attached read-through + write-through at that path.
   CircuitCache();
+
+  /// Applies every option this cache understands (num_threads, order,
+  /// dyadic_enabled, store_directory + store_write_through; the session-
+  /// level routing fields are ignored) in one atomic step. The store is
+  /// re-attached only when its directory or write-through flag actually
+  /// changed, so re-Configuring with a tweaked unrelated field never
+  /// churns the store. The legacy set_* setters below are thin wrappers
+  /// over this. Thread-safe.
+  void Configure(const GmcOptions& options);
+  /// Snapshot of the options currently in force (tweak-one-field-and-
+  /// re-Configure is the intended update idiom).
+  GmcOptions options() const;
 
   /// The compiled circuit for `cnf`, compiling on first sight. The
   /// reference stays valid until Clear() or destruction (concurrent Get
   /// calls never move existing circuits).
   const NnfCircuit& Get(const Cnf& cnf);
+
+  /// Budgeted Get — the routing probe of the anytime tier. Returns the
+  /// circuit if `cnf` is already cached (in memory or in the attached
+  /// store; budgets never apply to lookups) or compiles inside `budget`;
+  /// nullptr once the compile exhausts it (Stats::budget_exhausted ticks
+  /// and the failure is memoized per budget, so re-probing the same
+  /// structure only recompiles when offered a strictly larger budget —
+  /// see CompileBudget::AllowsMoreThan). An unlimited budget is exactly
+  /// Get. Pointer lifetime matches Get's reference.
+  const NnfCircuit* TryGet(const Cnf& cnf, const CompileBudget& budget);
 
   /// One circuit evaluation; compiles on the first call per CNF structure.
   Rational Probability(const Cnf& cnf,
@@ -145,10 +174,9 @@ class CircuitCache {
   /// environment knob). Affects only the SIZE of newly compiled circuits —
   /// results are bit-identical under every heuristic. Structures already
   /// cached keep the circuit they were compiled with (the cache key is the
-  /// CNF alone); Clear() first for a clean A/B. Thread-safe.
-  void set_order(OrderHeuristic order) {
-    order_.store(order, std::memory_order_relaxed);
-  }
+  /// CNF alone); Clear() first for a clean A/B. Thread-safe. (Legacy
+  /// wrapper over Configure, like every set_* below.)
+  void set_order(OrderHeuristic order);
   OrderHeuristic order() const {
     return order_.load(std::memory_order_relaxed);
   }
@@ -172,9 +200,7 @@ class CircuitCache {
   /// GFOMC instance) are served by NnfCircuit::EvaluateBatchDyadic. The
   /// results are bit-identical to the Rational path either way; the knob
   /// exists for cross-checks and A/B benchmarks, not for correctness.
-  void set_dyadic_enabled(bool enabled) {
-    dyadic_enabled_.store(enabled, std::memory_order_relaxed);
-  }
+  void set_dyadic_enabled(bool enabled);
   bool dyadic_enabled() const {
     return dyadic_enabled_.load(std::memory_order_relaxed);
   }
@@ -183,9 +209,7 @@ class CircuitCache {
   /// process default (DefaultNumThreads, i.e. GMC_THREADS), 1 forces
   /// serial, n allows at most n column slices. Results are bit-identical
   /// at every setting.
-  void set_num_threads(int num_threads) {
-    num_threads_.store(num_threads, std::memory_order_relaxed);
-  }
+  void set_num_threads(int num_threads);
   int num_threads() const {
     return num_threads_.load(std::memory_order_relaxed);
   }
@@ -242,6 +266,10 @@ class CircuitCache {
     mutable std::mutex mu;
     std::unordered_map<Cnf, std::unique_ptr<NnfCircuit>, CnfHash, CnfClauseEq>
         circuits;
+    // Budget-exhaustion memo: the largest budget each structure has failed
+    // under. TryGet consults it to skip recompiling a known blow-up unless
+    // the caller offers strictly more on some axis. Cleared by Clear().
+    std::unordered_map<Cnf, CompileBudget, CnfHash, CnfClauseEq> failed;
   };
   struct AtomicStats {
     std::atomic<uint64_t> compiles{0};
@@ -262,9 +290,16 @@ class CircuitCache {
     std::atomic<uint64_t> store_hits{0};
     std::atomic<uint64_t> store_misses{0};
     std::atomic<uint64_t> store_rejected{0};
+    std::atomic<uint64_t> budget_exhausted{0};
   };
 
   Stripe& StripeFor(const Cnf& cnf);
+  // Shared body of Get (budget == nullptr; never returns nullptr) and
+  // TryGet (nullptr once the budget is spent).
+  const NnfCircuit* GetOrCompile(const Cnf& cnf, const CompileBudget* budget);
+  // (Re-)attaches or detaches the persistent store; the body of the legacy
+  // set_store_directory.
+  void ApplyStore(const std::string& directory, bool write_through);
   // The attached store (shared_ptr so in-flight Gets survive a concurrent
   // set_store_directory), or nullptr.
   std::shared_ptr<const store::CircuitStore> store() const;
@@ -280,6 +315,11 @@ class CircuitCache {
   std::atomic<int> num_threads_{0};
   std::atomic<OrderHeuristic> order_{DefaultOrderHeuristic()};
   std::atomic<bool> order_baseline_recording_{false};
+  // The options last Configured, for options() snapshots and store change
+  // detection. The hot paths never touch this — they read the atomics
+  // above, which Configure keeps in sync.
+  mutable std::mutex options_mu_;
+  GmcOptions options_;
 };
 
 }  // namespace gmc

@@ -9,6 +9,31 @@
 namespace gmc {
 
 NnfCircuit Compiler::Compile(const Cnf& cnf) {
+  budget_ = nullptr;
+  budget_exhausted_ = false;  // never inherit a prior TryCompile's failure
+  return CompileImpl(cnf);
+}
+
+std::optional<NnfCircuit> Compiler::TryCompile(const Cnf& cnf,
+                                               const CompileBudget& budget) {
+  if (budget.Unlimited()) return Compile(cnf);  // resets budget state too
+  budget_ = &budget;
+  budget_exhausted_ = false;
+  budget_calls_ = 0;
+  if (budget.max_millis > 0) {
+    budget_deadline_ = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(budget.max_millis);
+  }
+  NnfCircuit circuit = CompileImpl(cnf);
+  budget_ = nullptr;
+  if (budget_exhausted_) {
+    ++stats_.budget_exhausted;
+    return std::nullopt;
+  }
+  return circuit;
+}
+
+NnfCircuit Compiler::CompileImpl(const Cnf& cnf) {
   rank_.clear();
   if (order_ != OrderHeuristic::kDefault) {
     // One vtree per top-level compilation, over the full CNF: the ranks
@@ -23,6 +48,9 @@ NnfCircuit Compiler::Compile(const Cnf& cnf) {
   memo_.clear();
   circuit.SetRoot(CompileNode(cnf));
   circuit_ = nullptr;
+  // A budget-exhausted run unwinds with a placeholder root; the circuit is
+  // about to be discarded by TryCompile, so skip the post-passes.
+  if (budget_exhausted_) return circuit;
   // Constant folding can orphan nodes (a FALSE component collapses its
   // AND); drop them so every Evaluate pass touches live nodes only.
   circuit.PruneUnreachable();
@@ -58,8 +86,25 @@ int Compiler::BranchVariable(const Cnf& cnf) const {
   return best_var;
 }
 
+bool Compiler::BudgetSpent() {
+  if (budget_ == nullptr || budget_exhausted_) return budget_exhausted_;
+  ++budget_calls_;
+  if ((budget_->max_calls > 0 && budget_calls_ > budget_->max_calls) ||
+      (budget_->max_nodes > 0 &&
+       circuit_->num_nodes() > budget_->max_nodes)) {
+    budget_exhausted_ = true;
+  } else if (budget_->max_millis > 0 && (budget_calls_ & 255) == 0 &&
+             std::chrono::steady_clock::now() > budget_deadline_) {
+    budget_exhausted_ = true;
+  }
+  return budget_exhausted_;
+}
+
 int Compiler::CompileNode(const Cnf& cnf) {
   ++stats_.compile_calls;
+  // Budget gate (TryCompile only): once spent, unwind immediately with a
+  // placeholder — the caller discards the whole circuit.
+  if (BudgetSpent()) return circuit_->True();
   if (cnf.clauses.empty()) return circuit_->True();
   for (const auto& clause : cnf.clauses) {
     if (clause.empty()) return circuit_->False();
@@ -92,7 +137,9 @@ int Compiler::CompileNode(const Cnf& cnf) {
     const int low = CompileNode(cnf.Condition(best_var, false));
     result = circuit_->Decision(best_var, high, low);
   }
-  memo_.emplace(cnf, result);
+  // Never memoize under an exhausted budget: the placeholder results the
+  // unwind produces are not the CNF's circuit.
+  if (!budget_exhausted_) memo_.emplace(cnf, result);
   return result;
 }
 

@@ -18,10 +18,13 @@
 #ifndef GMC_COMPILE_COMPILER_H_
 #define GMC_COMPILE_COMPILER_H_
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "compile/gmc_options.h"
 #include "compile/minimize.h"
 #include "compile/nnf.h"
 #include "compile/vtree.h"
@@ -51,6 +54,9 @@ class Compiler {
     uint64_t shannon_branches = 0;
     /// Vtrees built — one per Compile call under a non-default heuristic.
     uint64_t vtree_builds = 0;
+    /// TryCompile calls that hit a CompileBudget cap and returned nullopt
+    /// (the routing probes that sent an instance to the anytime tier).
+    uint64_t budget_exhausted = 0;
     /// Sweep-and-merge totals (cumulative across Compile calls; equal when
     /// minimization is disabled).
     uint64_t minimize_nodes_before = 0;
@@ -68,6 +74,17 @@ class Compiler {
   /// Lineage convenience: an unsatisfiable lineage compiles to the FALSE
   /// circuit. Evaluate with lineage.probabilities (or any other weights).
   NnfCircuit Compile(const Lineage& lineage);
+
+  /// Budgeted compilation — the routing probe of the anytime tier. Returns
+  /// the circuit iff the whole compilation (node construction, call count,
+  /// wall clock) fits inside `budget`; std::nullopt once any cap is hit
+  /// (the partial circuit is discarded and Stats::budget_exhausted ticks).
+  /// An unlimited budget is exactly Compile: same circuit, bit for bit.
+  /// Node/call caps are deterministic; the wall-clock cap is checked every
+  /// few hundred recursion steps, so overshoot is bounded but timing-
+  /// dependent.
+  std::optional<NnfCircuit> TryCompile(const Cnf& cnf,
+                                       const CompileBudget& budget);
 
   /// Shannon-order selection (default kDefault — the legacy
   /// most-occurring-variable heuristic). Non-default orders build one
@@ -93,13 +110,24 @@ class Compiler {
   }
 
  private:
+  /// Shared body of Compile and TryCompile: one full compilation under
+  /// whatever budget state the caller set up.
+  NnfCircuit CompileImpl(const Cnf& cnf);
   int CompileNode(const Cnf& cnf);
   /// The Shannon branch variable for `cnf` under the active order:
   /// minimum-decision-rank occurring variable when a vtree is in force,
   /// else the legacy most-occurring variable.
   int BranchVariable(const Cnf& cnf) const;
+  /// True once the in-flight budget is spent; flips budget_exhausted_ so
+  /// the recursion unwinds without building further nodes.
+  bool BudgetSpent();
 
   NnfCircuit* circuit_ = nullptr;
+  // In-flight budget state (TryCompile only; Compile runs unbudgeted).
+  const CompileBudget* budget_ = nullptr;
+  bool budget_exhausted_ = false;
+  uint64_t budget_calls_ = 0;
+  std::chrono::steady_clock::time_point budget_deadline_;
   // Sub-CNF -> node id; hashed via Hash64, compared exactly (CnfClauseEq).
   // Cleared at the top of every Compile, so entries never leak across
   // orders — the memo is keyed consistently under whichever order the

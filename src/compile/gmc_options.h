@@ -1,0 +1,147 @@
+// GmcOptions — the one configuration surface of the evaluation stack.
+//
+// Every knob added since the batch-evaluation work (threads, Shannon
+// order, dyadic routing, persistent store) had been copy-pasted as
+// parallel set_* setters across CircuitCache / SafeEvaluator / WmcEngine /
+// GfomcSession; the anytime tier would have added five more (ε, δ, compile
+// budget, sample cap, routing mode). This header replaces that pattern
+// with a single value struct: each class exposes one
+// Configure(const GmcOptions&) that applies the fields it understands, the
+// legacy setters survive as thin wrappers over Configure, and every
+// environment default (GMC_THREADS / GMC_ORDER / GMC_STORE) is resolved in
+// exactly one place, GmcOptions::FromEnv().
+//
+// The struct lives at the compile layer (the lowest consumer is
+// CircuitCache) and is plain data — copying is cheap, and a caller can
+// snapshot, tweak one field, and re-Configure atomically.
+
+#ifndef GMC_COMPILE_GMC_OPTIONS_H_
+#define GMC_COMPILE_GMC_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "compile/vtree.h"
+
+namespace gmc {
+
+/// Resource caps for one d-DNNF compilation (Compiler::TryCompile). A zero
+/// field means "unlimited"; a default-constructed budget allows everything
+/// (the legacy Compile behaviour). Node and call caps are deterministic —
+/// the same CNF under the same budget always succeeds or always fails —
+/// while the wall-clock cap trades that determinism for a hard latency
+/// bound; the routing tests pin tier selection with the deterministic caps
+/// only.
+struct CompileBudget {
+  uint64_t max_nodes = 0;   ///< cap on circuit nodes built (0 = unlimited)
+  uint64_t max_calls = 0;   ///< cap on CompileNode invocations
+  uint64_t max_millis = 0;  ///< wall-clock cap on one Compile call
+
+  bool Unlimited() const {
+    return max_nodes == 0 && max_calls == 0 && max_millis == 0;
+  }
+  /// True iff `other` allows strictly more work on at least one axis — the
+  /// retry rule for structures that already exhausted a budget.
+  bool AllowsMoreThan(const CompileBudget& other) const;
+};
+
+/// The deterministic default budget of RoutingMode::kAuto: generous enough
+/// that every gadget-scale circuit in the test corpus compiles, small
+/// enough that a blow-up is cut off in well under a second.
+CompileBudget DefaultCompileBudget();
+
+/// How GfomcSession routes unsafe queries (safe queries always take the
+/// lifted PTIME plan; it is exact and polynomial, so there is nothing to
+/// trade away).
+enum class RoutingMode : uint8_t {
+  /// Legacy two-way behaviour: exact always. Compact lineages compile
+  /// (unboundedly), oversized ones fall back to the recursive engine —
+  /// worst-case exponential, never approximate. With a finite
+  /// compile_budget the checked API reports kBudgetExhausted instead of
+  /// recursing past the budget.
+  kExact = 0,
+  /// Three-way: try a budgeted compile; inside budget → exact circuit
+  /// evaluation, past it → the Karp–Luby (ε, δ) sampler. The production
+  /// default: large unsafe instances degrade to a certified estimate
+  /// instead of an OOM.
+  kAuto,
+  /// Like kAuto, but instances that do compile are answered with the
+  /// directed-rounding interval walk (a certified [lo, hi] enclosure)
+  /// instead of the exact BigInt pass — the fast certified tier for
+  /// sweeps that need guarantees, not exact rationals.
+  kInterval,
+  /// Every unsafe instance goes straight to the sampler (no compile
+  /// probe) — predictable latency, and the knob the calibration tests and
+  /// benchmarks use to pin the sampled tier.
+  kSample,
+};
+
+/// Stable lowercase name: "exact" / "auto" / "interval" / "sample" — the
+/// vocabulary of the EVAL_APPROX wire verb's mode field.
+const char* RoutingModeName(RoutingMode mode);
+/// Parses a mode name. Returns false and leaves *out untouched on unknown
+/// or null input.
+bool ParseRoutingMode(const char* name, RoutingMode* out);
+
+/// The unified option set. Field groups, with their consumers:
+///   CircuitCache:  num_threads, order, dyadic_enabled, store_directory,
+///                  store_write_through
+///   SafeEvaluator / WmcEngine: forward the above to their embedded cache
+///   GfomcSession:  all of the above plus routing_mode, compile_budget,
+///                  epsilon, delta, max_samples, sample_seed
+/// Configure(options) on any of those classes applies the fields that
+/// class understands and ignores the rest, so one options value can
+/// configure the whole stack.
+struct GmcOptions {
+  /// Worker bound for batched circuit passes: 0 defers to the process
+  /// default (the GMC_THREADS environment variable, else the hardware
+  /// thread count), 1 forces serial, n allows at most n column slices.
+  /// Results are bit-identical at every setting.
+  int num_threads = 0;
+  /// Shannon-order heuristic for newly compiled circuits (circuit size
+  /// only; results are bit-identical under every heuristic).
+  OrderHeuristic order = OrderHeuristic::kDefault;
+  /// Dyadic fast-path routing for all-power-of-two-denominator batches
+  /// (bit-identical either way; the knob exists for A/B cross-checks).
+  bool dyadic_enabled = true;
+  /// Persistent circuit store root ("" = no store), read-through on every
+  /// compile miss and — when store_write_through — write-through on every
+  /// fresh compile.
+  std::string store_directory;
+  bool store_write_through = true;
+
+  /// Routing-mode and anytime-tier knobs (GfomcSession only; see
+  /// docs/ANYTIME.md for the guarantee semantics).
+  RoutingMode routing_mode = RoutingMode::kAuto;
+  /// Compile budget for routing probes. Default: DefaultCompileBudget().
+  /// kExact ignores it through the legacy (unchecked) entry points.
+  CompileBudget compile_budget = DefaultCompileBudget();
+  /// Sampler target: with probability >= 1 - delta the estimate is within
+  /// epsilon * Pr(lineage fails) <= epsilon of the exact probability.
+  double epsilon = 0.05;
+  double delta = 0.01;
+  /// Hard cap on samples per instance (0 = derived from epsilon/delta).
+  /// When the cap binds, the answer reports the larger epsilon it actually
+  /// achieved — the anytime contract.
+  uint64_t max_samples = 1 << 20;
+  /// Base PRNG seed; per-instance streams derive deterministically from it
+  /// and the lineage structure, so fixed-seed runs reproduce exactly.
+  uint64_t sample_seed = 0x9e3779b97f4a7c15ull;
+
+  /// The process-environment defaults, resolved in one place: GMC_ORDER →
+  /// order, GMC_STORE → store_directory, GMC_THREADS → (deliberately) a
+  /// num_threads of 0, because 0 already means "defer to the process
+  /// default", which util/parallel resolves from GMC_THREADS at use time —
+  /// keeping late SetDefaultNumThreads overrides effective. Routing knobs:
+  /// GMC_ROUTING (exact/auto/interval/sample), GMC_BUDGET_NODES /
+  /// GMC_BUDGET_CALLS / GMC_BUDGET_MS (unsigned; 0 = unlimited),
+  /// GMC_EPSILON / GMC_DELTA (decimals strictly in (0, 1)),
+  /// GMC_MAX_SAMPLES and GMC_SEED (unsigned). Unset or malformed values
+  /// keep the struct defaults. Every default-constructed CircuitCache /
+  /// session Configures itself with this value.
+  static GmcOptions FromEnv();
+};
+
+}  // namespace gmc
+
+#endif  // GMC_COMPILE_GMC_OPTIONS_H_

@@ -207,6 +207,11 @@ std::vector<double> NnfCircuit::EvaluateBatchDouble(
                                  recheck_tolerance, num_threads);
 }
 
+std::vector<ProbInterval> NnfCircuit::EvaluateBatchInterval(
+    const WeightMatrix& weights, int num_threads) const {
+  return WalkEvaluateBatchInterval(Flatten().view(), weights, num_threads);
+}
+
 NnfCircuit::Stats NnfCircuit::ComputeStats() const {
   Stats stats;
   stats.num_nodes = nodes_.size();

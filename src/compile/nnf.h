@@ -209,6 +209,14 @@ class NnfCircuit {
                                           double recheck_tolerance = 1e-9,
                                           int num_threads = 0) const;
 
+  /// Certified fast path: the double-speed arena pass with every flop
+  /// outward-rounded, returning per-column enclosures [lo, hi] that
+  /// PROVABLY contain the exact answer (see nnf_interval.cc for the
+  /// argument). Weights must be probabilities in [0, 1]; aborts otherwise.
+  /// The certified tier of RoutingMode::kInterval.
+  std::vector<ProbInterval> EvaluateBatchInterval(const WeightMatrix& weights,
+                                                  int num_threads = 0) const;
+
   /// Process-wide A/B knob for the fixed-width dyadic kernels (on by
   /// default). Off forces every dyadic batch through the BigInt arena;
   /// results are bit-identical either way — the knob exists for the

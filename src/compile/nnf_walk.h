@@ -78,6 +78,19 @@ struct FlatCircuit {
   }
 };
 
+/// A certified enclosure of one probability: lo <= exact <= hi, both ends
+/// finite doubles in [0, 1]. Produced by the directed-rounding interval
+/// walk; the width is the walk's honest error report (typically a few ulp
+/// per circuit level).
+struct ProbInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  double midpoint() const { return lo + (hi - lo) / 2; }
+  bool Contains(double value) const { return lo <= value && value <= hi; }
+};
+
 /// The walks. Semantics, exactness, thread behaviour, and parameter
 /// meanings are those of the NnfCircuit methods of the same name (nnf.h),
 /// which are now thin Flatten-then-delegate wrappers over these.
@@ -95,6 +108,15 @@ std::vector<double> WalkEvaluateBatchDouble(const CircuitWalkView& view,
                                             int recheck_stride,
                                             double recheck_tolerance,
                                             int num_threads);
+/// Directed-rounding interval pass (nnf_interval.cc): the double arena walk
+/// with every flop outward-rounded, so each returned interval PROVABLY
+/// contains the exact Rational answer — double speed with a guarantee
+/// instead of a spot re-check. Weights must be probabilities in [0, 1]
+/// (aborts otherwise); column-parallel and deterministic at every thread
+/// count like the other batch walks.
+std::vector<ProbInterval> WalkEvaluateBatchInterval(
+    const CircuitWalkView& view, const WeightMatrix& weights,
+    int num_threads);
 
 /// Order-independent structural fingerprint: a 64-bit hash of the circuit
 /// REACHABLE from the root that is invariant under node renumbering (AND

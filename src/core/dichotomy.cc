@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "approx/karp_luby.h"
 #include "lineage/grounder.h"
 #include "util/check.h"
 #include "wmc/wmc.h"
@@ -28,6 +29,66 @@ DichotomyReport Classify(const Query& query) {
 GfomcResult Gfomc(const Query& query, const Tid& tid) {
   GfomcSession session;
   return session.Evaluate(query, tid);
+}
+
+const char* AnswerTierName(AnswerTier tier) {
+  switch (tier) {
+    case AnswerTier::kLifted:
+      return "lifted";
+    case AnswerTier::kCompiledExact:
+      return "compiled";
+    case AnswerTier::kRecursiveExact:
+      return "recursive";
+    case AnswerTier::kCertifiedInterval:
+      return "interval";
+    case AnswerTier::kSampled:
+      return "sampled";
+  }
+  return "unknown";
+}
+
+double GmcAnswer::PointEstimate() const {
+  switch (tier) {
+    case AnswerTier::kCertifiedInterval:
+      return interval.midpoint();
+    case AnswerTier::kSampled:
+      return estimate;
+    default:
+      return exact.ToDouble();
+  }
+}
+
+namespace {
+
+bool IsProbability(const Rational& p) {
+  return p.sign() >= 0 && p <= Rational::One();
+}
+
+}  // namespace
+
+GmcStatus ValidateTid(const Tid& tid) {
+  if (!IsProbability(tid.default_probability())) {
+    return GmcStatus::Error(GmcStatusCode::kInvalidWeight,
+                            "default probability outside [0, 1]");
+  }
+  for (const auto& [key, probability] : tid.explicit_tuples()) {
+    if (!IsProbability(probability)) {
+      return GmcStatus::Error(
+          GmcStatusCode::kInvalidWeight,
+          "tuple probability outside [0, 1] (symbol " +
+              std::to_string(key.symbol) + ", constants " +
+              std::to_string(key.left) + "," + std::to_string(key.right) +
+              ")");
+    }
+  }
+  return GmcStatus::Ok();
+}
+
+GmcStatus GfomcChecked(const Query& query, const Tid& tid,
+                       const GmcOptions& options, GmcAnswer* answer) {
+  GfomcSession session;
+  session.Configure(options);
+  return session.EvaluateAnswer(query, tid, answer);
 }
 
 GfomcResult GfomcSession::Evaluate(const Query& query, const Tid& tid) {
@@ -84,6 +145,180 @@ std::vector<GfomcResult> GfomcSession::EvaluateMany(
     }
   }
   return results;
+}
+
+void GfomcSession::Configure(const GmcOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  safe_.Configure(options);
+  engine_.Configure(options);
+}
+
+GmcOptions GfomcSession::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+void GfomcSession::set_num_threads(int num_threads) {
+  GmcOptions next = options();
+  next.num_threads = num_threads;
+  Configure(next);
+}
+
+void GfomcSession::set_order(OrderHeuristic order) {
+  GmcOptions next = options();
+  next.order = order;
+  Configure(next);
+}
+
+void GfomcSession::set_store_directory(const std::string& directory,
+                                       bool write_through) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.store_directory = directory;
+    options_.store_write_through = write_through;
+  }
+  // Through the caches' own setters (not Configure) so a repeated call with
+  // the same directory still forces a fresh scan — the legacy contract.
+  safe_.set_store_directory(directory, write_through);
+  engine_.set_store_directory(directory, write_through);
+}
+
+GmcStatus GfomcSession::EvaluateAnswer(const Query& query, const Tid& tid,
+                                       GmcAnswer* answer) {
+  std::vector<GmcAnswer> answers;
+  GmcStatus status = EvaluateAnswers(query, {tid}, &answers);
+  if (status.ok()) *answer = std::move(answers[0]);
+  return status;
+}
+
+GmcStatus GfomcSession::EvaluateAnswers(const Query& query,
+                                        const std::vector<Tid>& tids,
+                                        std::vector<GmcAnswer>* answers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pre-validation: every failure mode of the evaluators' GMC_CHECKs is
+  // caught here and typed, so untrusted inputs never reach an abort.
+  const RoutingPolicy policy(options_);
+  if (!(options_.epsilon > 0.0 && options_.epsilon < 1.0 &&
+        options_.delta > 0.0 && options_.delta < 1.0)) {
+    ++counters_.invalid_requests;
+    return GmcStatus::Error(GmcStatusCode::kInvalidOptions,
+                            "epsilon and delta must be in (0, 1)");
+  }
+  for (size_t i = 0; i < tids.size(); ++i) {
+    if (GmcStatus status = ValidateTid(tids[i]); !status.ok()) {
+      ++counters_.invalid_requests;
+      status.message = "tid " + std::to_string(i) + ": " + status.message;
+      return status;
+    }
+  }
+
+  counters_.queries += tids.size();
+  std::vector<GmcAnswer> routed(tids.size());
+  // Safe branch, exactly as EvaluateMany: safety is PTIME exact, so the
+  // anytime tiers never apply — there is nothing to trade away.
+  const int compiled_before = safe_.stats().compiled_assignments;
+  if (auto safe = safe_.EvaluateMany(query, tids); safe.has_value()) {
+    const bool compiled =
+        safe_.stats().compiled_assignments > compiled_before;
+    for (size_t i = 0; i < tids.size(); ++i) {
+      routed[i].tier =
+          compiled ? AnswerTier::kCompiledExact : AnswerTier::kLifted;
+      routed[i].exact = std::move((*safe)[i]);
+    }
+    if (compiled) {
+      counters_.safe_compiled += tids.size();
+    } else {
+      counters_.safe_lifted += tids.size();
+    }
+    *answers = std::move(routed);
+    return GmcStatus::Ok();
+  }
+  // Unsafe: ground and route each instance through the policy.
+  for (size_t i = 0; i < tids.size(); ++i) {
+    const Lineage lineage = Ground(query, tids[i]);
+    if (GmcStatus status = RouteUnsafe(lineage, policy, &routed[i]);
+        !status.ok()) {
+      status.message = "tid " + std::to_string(i) + ": " + status.message;
+      return status;
+    }
+  }
+  *answers = std::move(routed);
+  return GmcStatus::Ok();
+}
+
+GmcStatus GfomcSession::RouteUnsafe(const Lineage& lineage,
+                                    const RoutingPolicy& policy,
+                                    GmcAnswer* answer) {
+  if (lineage.is_false || lineage.cnf.HasEmptyClause()) {
+    // Some ground clause is unsatisfiable: exactly 0, every mode.
+    answer->tier = AnswerTier::kCompiledExact;
+    answer->exact = Rational::Zero();
+    ++counters_.unsafe_compiled;
+    return GmcStatus::Ok();
+  }
+  // kExact with an unlimited budget reproduces the legacy routing verbatim:
+  // the var-count gate picks circuits or recursion, both exact.
+  if (policy.mode() == RoutingMode::kExact && policy.budget().Unlimited()) {
+    answer->tier = AnswerTier::kCompiledExact;
+    if (lineage.variables.size() > kMaxCompiledLineageVars) {
+      answer->tier = AnswerTier::kRecursiveExact;
+      answer->exact = engine_.Probability(lineage);
+      ++counters_.unsafe_recursive;
+    } else {
+      answer->exact = engine_.CompiledProbability(lineage);
+      ++counters_.unsafe_compiled;
+    }
+    return GmcStatus::Ok();
+  }
+  // Budgeted compile probe (skipped by kSample). Under a budget the var
+  // gate is retired: the budget itself bounds compile work, which is a
+  // sharper admission test than counting variables.
+  const NnfCircuit* circuit =
+      policy.WantsCompileProbe()
+          ? engine_.TryGetCircuit(lineage.cnf, policy.budget())
+          : nullptr;
+  if (circuit != nullptr) {
+    const WeightMatrix weights =
+        WeightMatrix::FromRows({lineage.probabilities});
+    if (policy.TierForCompiled() == AnswerTier::kCertifiedInterval) {
+      answer->tier = AnswerTier::kCertifiedInterval;
+      answer->interval =
+          circuit->EvaluateBatchInterval(weights, options_.num_threads)[0];
+      ++counters_.anytime_interval;
+    } else {
+      answer->tier = AnswerTier::kCompiledExact;
+      answer->exact =
+          circuit->EvaluateBatch(weights, options_.num_threads)[0];
+      ++counters_.unsafe_compiled;
+    }
+    return GmcStatus::Ok();
+  }
+  if (policy.WantsCompileProbe()) ++counters_.budget_exhausted;
+  if (policy.ExhaustedIsError()) {
+    return GmcStatus::Error(
+        GmcStatusCode::kBudgetExhausted,
+        "compile budget exhausted and RoutingMode::kExact has no anytime "
+        "fallback (raise the budget or switch to kAuto)");
+  }
+  // (ε, δ) sampler — the anytime floor. The per-instance seed mixes the
+  // session seed with the lineage structure, so fixed-seed runs reproduce
+  // per instance regardless of batch order.
+  KarpLubyParams params;
+  params.epsilon = options_.epsilon;
+  params.delta = options_.delta;
+  params.max_samples = options_.max_samples;
+  params.seed = approx_internal::SplitMix64(options_.sample_seed ^
+                                            lineage.cnf.Hash64())
+                    .Next();
+  const KarpLubyResult sampled = KarpLubyEstimate(lineage, params);
+  answer->tier = AnswerTier::kSampled;
+  answer->estimate = sampled.estimate;
+  answer->epsilon = sampled.epsilon;
+  answer->delta = sampled.delta;
+  answer->samples = sampled.samples;
+  ++counters_.anytime_sampled;
+  return GmcStatus::Ok();
 }
 
 GfomcSession::Stats GfomcSession::stats() const {

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "compile/gmc_options.h"
+#include "compile/nnf_walk.h"
 #include "hardness/reduction_type1.h"
 #include "logic/bipartite.h"
 #include "logic/query.h"
@@ -51,6 +53,121 @@ struct GfomcResult {
 
 GfomcResult Gfomc(const Query& query, const Tid& tid);
 
+struct GmcAnswer;
+struct GmcStatus;
+
+/// Checked one-shot form of Gfomc: validates inputs, applies `options`, and
+/// routes through a throwaway GfomcSession (see
+/// GfomcSession::EvaluateAnswer). Repeated-query traffic should hold a
+/// session instead — the one-shot form recompiles everything every call.
+GmcStatus GfomcChecked(const Query& query, const Tid& tid,
+                       const GmcOptions& options, GmcAnswer* answer);
+
+/// Which evaluation tier produced an answer — the three-way routing's
+/// receipt. The first three are exact; the last two are the certified
+/// anytime tiers (see docs/ANYTIME.md).
+enum class AnswerTier : uint8_t {
+  kLifted = 0,         ///< safe query, lifted PTIME plan (exact)
+  kCompiledExact,      ///< d-DNNF circuit pass (exact)
+  kRecursiveExact,     ///< recursive WMC fallback (exact)
+  kCertifiedInterval,  ///< directed-rounding enclosure [lo, hi]
+  kSampled,            ///< Karp–Luby (ε, δ) estimate
+};
+/// Stable lowercase name ("lifted" / "compiled" / "recursive" /
+/// "interval" / "sampled") — the wire vocabulary of EVAL_APPROX replies.
+const char* AnswerTierName(AnswerTier tier);
+
+/// One routed answer: exactly one of the three payloads is meaningful,
+/// selected by `tier`.
+struct GmcAnswer {
+  AnswerTier tier = AnswerTier::kCompiledExact;
+  /// Exact tiers (kLifted / kCompiledExact / kRecursiveExact).
+  Rational exact;
+  /// kCertifiedInterval: a guaranteed enclosure of the exact probability.
+  ProbInterval interval;
+  /// kSampled: with probability >= 1 - delta, |estimate - exact| <=
+  /// epsilon. `epsilon` is the certificate actually achieved (it exceeds
+  /// the configured target when max_samples bound — the anytime contract).
+  double estimate = 0.0;
+  double epsilon = 0.0;
+  double delta = 0.0;
+  uint64_t samples = 0;
+
+  bool IsExact() const { return tier <= AnswerTier::kRecursiveExact; }
+  /// A point estimate regardless of tier: the exact value, the interval
+  /// midpoint, or the sampled estimate.
+  double PointEstimate() const;
+};
+
+/// Typed error surface of the checked session entry points — the
+/// replacement for abort-on-bad-input at the public boundary. The
+/// pre-validation mirrors (and is shared with) gmc_serve's wire checks:
+/// untrusted inputs must never reach a GMC_CHECK abort.
+enum class GmcStatusCode : uint8_t {
+  kOk = 0,
+  kInvalidWeight,    ///< a tuple probability outside [0, 1]
+  kInvalidOptions,   ///< epsilon/delta outside (0, 1)
+  kBudgetExhausted,  ///< RoutingMode::kExact refused an over-budget instance
+};
+struct GmcStatus {
+  GmcStatusCode code = GmcStatusCode::kOk;
+  std::string message;  ///< empty on success, human-readable otherwise
+
+  bool ok() const { return code == GmcStatusCode::kOk; }
+  static GmcStatus Ok() { return GmcStatus{}; }
+  static GmcStatus Error(GmcStatusCode code, std::string message) {
+    return GmcStatus{code, std::move(message)};
+  }
+};
+
+/// Every probability of `tid` (the default and each explicit tuple) is in
+/// [0, 1]. This is the session-level mirror of serve.cc's parse-time
+/// validation; Rational's own invariants already exclude zero
+/// denominators.
+GmcStatus ValidateTid(const Tid& tid);
+
+/// The pure tier-selection rules, factored out of the session so the
+/// routing pins are testable without evaluators: given the configured mode
+/// and whether the budgeted compile probe produced a circuit, which tier
+/// answers an UNSAFE instance? (Safe queries always take the lifted or
+/// compiled-safe path; safety is PTIME exact, so there is nothing to
+/// trade.)
+class RoutingPolicy {
+ public:
+  explicit RoutingPolicy(const GmcOptions& options) : options_(options) {}
+
+  RoutingMode mode() const { return options_.routing_mode; }
+  const CompileBudget& budget() const { return options_.compile_budget; }
+  /// kSample skips the compile probe entirely.
+  bool WantsCompileProbe() const {
+    return options_.routing_mode != RoutingMode::kSample;
+  }
+  /// The tier when the probe produced a circuit: kCompiledExact, except
+  /// kInterval mode answers with the certified enclosure.
+  AnswerTier TierForCompiled() const {
+    return options_.routing_mode == RoutingMode::kInterval
+               ? AnswerTier::kCertifiedInterval
+               : AnswerTier::kCompiledExact;
+  }
+  /// The tier when the probe exhausted its budget (or was skipped):
+  /// kSampled for the anytime modes. kExact mode has no anytime fallback —
+  /// an unlimited budget recurses exactly (kRecursiveExact), a finite one
+  /// refuses with kBudgetExhausted (never an unbounded algorithm behind a
+  /// bounded-work request); ExhaustedIsError distinguishes the two.
+  AnswerTier TierForExhausted() const {
+    return options_.routing_mode == RoutingMode::kExact
+               ? AnswerTier::kRecursiveExact
+               : AnswerTier::kSampled;
+  }
+  bool ExhaustedIsError() const {
+    return options_.routing_mode == RoutingMode::kExact &&
+           !options_.compile_budget.Unlimited();
+  }
+
+ private:
+  GmcOptions options_;
+};
+
 // Stateful GFOMC evaluation for repeated-query traffic. One-shot Gfomc()
 // rebuilds its evaluators — and loses their compiled circuits — on every
 // call; a session keeps the SafeEvaluator and WmcEngine (each backed by a
@@ -76,6 +193,14 @@ class GfomcSession {
     uint64_t safe_compiled = 0;      // safe GFOMC instances, circuit cache
     uint64_t unsafe_compiled = 0;    // unsafe, compact lineage → circuits
     uint64_t unsafe_recursive = 0;   // unsafe, oversized → recursive WMC
+    // Anytime-tier traffic (EvaluateAnswers only; the legacy entry points
+    // are always exact): answers served as certified intervals, answers
+    // served by the (ε, δ) sampler, compile probes that hit their budget,
+    // and checked calls rejected by validation.
+    uint64_t anytime_interval = 0;
+    uint64_t anytime_sampled = 0;
+    uint64_t budget_exhausted = 0;
+    uint64_t invalid_requests = 0;
     // Aggregated over both embedded CircuitCaches: how often a grounded
     // lineage compiled vs was served from cache — the repeated-query win.
     uint64_t circuit_compiles = 0;
@@ -90,28 +215,47 @@ class GfomcSession {
   GfomcResult Evaluate(const Query& query, const Tid& tid);
   // Batched form: safe queries use SafeEvaluator::EvaluateMany (grouped
   // batched circuit passes); unsafe ones group compact lineages through
-  // WmcEngine::CompiledProbabilityBatch. Results in input order.
+  // WmcEngine::CompiledProbabilityBatch. Results in input order. Always
+  // EXACT and bit-identical to every pre-anytime release (these legacy
+  // entry points never route to the approximate tiers, whatever the
+  // configured routing_mode); inputs are trusted (GMC_CHECK aborts on bad
+  // weights) — use EvaluateAnswers for the checked, routed surface.
   std::vector<GfomcResult> EvaluateMany(const Query& query,
                                         const std::vector<Tid>& tids);
+
+  // The checked, three-way-routed surface. Validates every Tid (and the
+  // configured epsilon/delta) up front — invalid inputs come back as a
+  // typed GmcStatus, never an abort — then routes each instance: safe →
+  // lifted/compiled exact; unsafe → budgeted compile probe (exact circuit
+  // pass or certified interval on success, Karp–Luby (ε, δ) estimate once
+  // the budget is exhausted), per the configured RoutingMode (see
+  // RoutingPolicy and docs/ANYTIME.md). On failure *answers is left
+  // untouched; on success it holds one GmcAnswer per tid, in input order.
+  GmcStatus EvaluateAnswers(const Query& query, const std::vector<Tid>& tids,
+                            std::vector<GmcAnswer>* answers);
+  GmcStatus EvaluateAnswer(const Query& query, const Tid& tid,
+                           GmcAnswer* answer);
+
+  // One-call configuration (see compile/gmc_options.h): applies the
+  // cache-level fields to BOTH embedded caches and keeps the session-level
+  // routing fields (routing_mode, compile_budget, epsilon, delta,
+  // max_samples, sample_seed) for EvaluateAnswers. New sessions start from
+  // GmcOptions::FromEnv(). The set_* setters below are thin wrappers.
+  void Configure(const GmcOptions& options);
+  GmcOptions options() const;
 
   // Worker bound for this session's batched circuit passes, applied to
   // both embedded caches: 0 (the default) defers to the process default —
   // the GMC_THREADS environment variable, else the hardware thread count
   // (util/parallel.h) — 1 forces serial, n allows at most n column slices
   // per pass. Results are bit-identical at every setting.
-  void set_num_threads(int num_threads) {
-    safe_.set_num_threads(num_threads);
-    engine_.set_num_threads(num_threads);
-  }
+  void set_num_threads(int num_threads);
 
   // Shannon-order heuristic for every circuit this session compiles,
   // applied to both embedded caches (new sessions start from the GMC_ORDER
   // environment knob via DefaultOrderHeuristic). Circuit size only —
   // probabilities are bit-identical under every setting.
-  void set_order(OrderHeuristic order) {
-    safe_.set_order(order);
-    engine_.set_order(order);
-  }
+  void set_order(OrderHeuristic order);
 
   // Persistent circuit store for both embedded caches (see
   // CircuitCache::set_store_directory): read-through on every compile
@@ -119,10 +263,7 @@ class GfomcSession {
   // the GMC_STORE environment knob; this overrides per session. Results
   // are bit-identical with or without a store.
   void set_store_directory(const std::string& directory,
-                           bool write_through = true) {
-    safe_.set_store_directory(directory, write_through);
-    engine_.set_store_directory(directory, write_through);
-  }
+                           bool write_through = true);
   // Flushes every circuit both caches hold into `directory` (the graceful-
   // shutdown hook of gmc_serve and the replica-priming recipe of
   // docs/SERVING.md). Returns the number persisted; first I/O failure
@@ -144,10 +285,20 @@ class GfomcSession {
   Stats stats() const;
 
  private:
+  // EvaluateAnswers helper: routes one unsafe grounded lineage per the
+  // policy. Requires mu_ held; returns non-OK only when the policy refuses
+  // (kExact with a finite, exhausted budget).
+  GmcStatus RouteUnsafe(const Lineage& lineage, const RoutingPolicy& policy,
+                        GmcAnswer* answer);
+
   mutable std::mutex mu_;  // serializes Evaluate/EvaluateMany/stats
   SafeEvaluator safe_;
   WmcEngine engine_;
   Stats counters_;
+  // The session-level routing fields; the cache-level fields live in the
+  // embedded caches (kept in sync by Configure). Starts from FromEnv(),
+  // matching the caches' own constructors.
+  GmcOptions options_ = GmcOptions::FromEnv();
 };
 
 // Runs #P2CNF ≤P FOMC(Q) for an unsafe Type I-I query `query` (it is first

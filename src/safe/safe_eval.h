@@ -57,6 +57,14 @@ class SafeEvaluator {
   const Stats& stats() const { return stats_; }
   const CircuitCache& circuits() const { return circuits_; }
 
+  // One-call configuration (see compile/gmc_options.h): forwards the
+  // cache-level fields to the embedded CircuitCache; the session-level
+  // routing fields don't apply to the lifted plan (safe queries are PTIME
+  // exact — there is nothing to trade away) and are ignored. The set_*
+  // setters below are the legacy per-field wrappers.
+  void Configure(const GmcOptions& options) { circuits_.Configure(options); }
+  GmcOptions options() const { return circuits_.options(); }
+
   // Worker bound for the embedded circuit cache's batch passes (see
   // CircuitCache::set_num_threads); 0 defers to the process default
   // (GMC_THREADS / DefaultNumThreads). Results are identical either way.

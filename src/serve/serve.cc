@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <iomanip>
 #include <sstream>
 #include <utility>
 
@@ -242,7 +243,8 @@ void GmcServer::HandleLine(const std::shared_ptr<Connection>& conn,
     reply(StatsLine());
     return;
   }
-  if (words[0] != "EVAL") {
+  const bool approx = words[0] == "EVAL_APPROX";
+  if (words[0] != "EVAL" && !approx) {
     stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
     reply("ERR - PARSE unknown command '" + words[0] + "'");
     return;
@@ -254,90 +256,46 @@ void GmcServer::HandleLine(const std::shared_ptr<Connection>& conn,
     reply("ERR " + id + " PARSE " + detail);
   };
 
-  if (words.size() < 5) {
+  PendingEval eval{id, Tid(query_.vocab_ptr(), 0, 0), conn};
+  size_t first = 2;  // index of <num_left> in `words`
+  if (approx) {
+    eval.approx = true;
+    first = 5;
+    if (words.size() < 8) {
+      parse_error(
+          "want: EVAL_APPROX <id> <mode> <eps> <delta> <num_left> "
+          "<num_right> <default_p> ...");
+      return;
+    }
+    if (!ParseRoutingMode(words[2].c_str(), &eval.mode)) {
+      parse_error("mode must be auto, exact, interval, or sample");
+      return;
+    }
+    // eps and delta ride the same non-aborting rational parser as the
+    // probabilities, then must land strictly inside (0, 1).
+    Rational eps = Rational::Zero();
+    Rational delta = Rational::Zero();
+    if (!internal::ParseProbability(words[3], &eps) ||
+        !internal::ParseProbability(words[4], &delta) || eps.IsZero() ||
+        delta.IsZero() || eps == Rational::One() ||
+        delta == Rational::One()) {
+      parse_error("eps and delta must be rationals strictly in (0, 1)");
+      return;
+    }
+    eval.epsilon = eps.ToDouble();
+    eval.delta = delta.ToDouble();
+  } else if (words.size() < 5) {
     parse_error("want: EVAL <id> <num_left> <num_right> <default_p> ...");
     return;
   }
-  int num_left = 0;
-  int num_right = 0;
-  if (!ParseSmallInt(words[2], &num_left) ||
-      !ParseSmallInt(words[3], &num_right) ||
-      num_left > options_.max_domain || num_right > options_.max_domain) {
-    parse_error("domain sides must be integers in [0, " +
-                std::to_string(options_.max_domain) + "]");
-    return;
-  }
-  Rational default_p = Rational::One();
-  if (!internal::ParseProbability(words[4], &default_p)) {
-    parse_error("default probability must be a rational in [0, 1]");
-    return;
-  }
 
-  Tid tid(query_.vocab_ptr(), num_left, num_right, default_p);
-  for (size_t w = 5; w < words.size(); ++w) {
-    // Tuple assignment: Name(u)=p or Name(u,v)=p.
-    const std::string& token = words[w];
-    const size_t lparen = token.find('(');
-    const size_t rparen = token.find(')', lparen == std::string::npos
-                                              ? std::string::npos
-                                              : lparen + 1);
-    if (lparen == std::string::npos || rparen == std::string::npos ||
-        rparen + 1 >= token.size() || token[rparen + 1] != '=') {
-      parse_error("bad tuple assignment '" + token + "'");
-      return;
-    }
-    const std::string name = token.substr(0, lparen);
-    const std::string args = token.substr(lparen + 1, rparen - lparen - 1);
-    Rational p = Rational::Zero();
-    if (!internal::ParseProbability(token.substr(rparen + 2), &p)) {
-      parse_error("bad probability in '" + token + "'");
-      return;
-    }
-    const SymbolId symbol = query_.vocab().Find(name);
-    if (symbol < 0) {
-      parse_error("unknown symbol '" + name + "'");
-      return;
-    }
-    const size_t comma = args.find(',');
-    int u = 0;
-    int v = 0;
-    const bool unary = comma == std::string::npos;
-    if (unary ? !ParseSmallInt(args, &u)
-              : (!ParseSmallInt(args.substr(0, comma), &u) ||
-                 !ParseSmallInt(args.substr(comma + 1), &v))) {
-      parse_error("bad constants in '" + token + "'");
-      return;
-    }
-    // Range-check BEFORE touching the Tid: its setters abort on bad keys,
-    // and untrusted bytes must never reach an abort.
-    switch (query_.vocab().kind(symbol)) {
-      case SymbolKind::kUnaryLeft:
-        if (!unary || u >= num_left) {
-          parse_error("'" + token + "': want one left constant < " +
-                      std::to_string(num_left));
-          return;
-        }
-        tid.SetUnaryLeft(symbol, u, p);
-        break;
-      case SymbolKind::kUnaryRight:
-        if (!unary || u >= num_right) {
-          parse_error("'" + token + "': want one right constant < " +
-                      std::to_string(num_right));
-          return;
-        }
-        tid.SetUnaryRight(symbol, u, p);
-        break;
-      case SymbolKind::kBinary:
-        if (unary || u >= num_left || v >= num_right) {
-          parse_error("'" + token + "': want constants < " +
-                      std::to_string(num_left) + "," +
-                      std::to_string(num_right));
-          return;
-        }
-        tid.SetBinary(symbol, u, v, p);
-        break;
-    }
+  std::string detail;
+  std::optional<Tid> tid = ParseTidSpec(words, first, &detail);
+  if (!tid.has_value()) {
+    parse_error(detail);
+    return;
   }
+  eval.tid = std::move(*tid);
 
   // Admission control: bounded queue, shed (typed, immediate) past the
   // limit. The check and the push are one critical section, so the bound
@@ -352,9 +310,99 @@ void GmcServer::HandleLine(const std::shared_ptr<Connection>& conn,
       return;
     }
     stats_.requests.fetch_add(1, std::memory_order_relaxed);
-    pending_.push_back(PendingEval{id, std::move(tid), conn});
+    if (approx) {
+      stats_.approx_requests.fetch_add(1, std::memory_order_relaxed);
+    }
+    pending_.push_back(std::move(eval));
   }
   queue_cv_.notify_one();
+}
+
+std::optional<Tid> GmcServer::ParseTidSpec(
+    const std::vector<std::string>& words, size_t first,
+    std::string* detail) {
+  if (words.size() < first + 3) {
+    return (*detail = "want: <num_left> <num_right> <default_p> ...",
+            std::nullopt);
+  }
+  int num_left = 0;
+  int num_right = 0;
+  if (!ParseSmallInt(words[first], &num_left) ||
+      !ParseSmallInt(words[first + 1], &num_right) ||
+      num_left > options_.max_domain || num_right > options_.max_domain) {
+    return (*detail = "domain sides must be integers in [0, " +
+                      std::to_string(options_.max_domain) + "]",
+            std::nullopt);
+  }
+  Rational default_p = Rational::One();
+  if (!internal::ParseProbability(words[first + 2], &default_p)) {
+    return (*detail = "default probability must be a rational in [0, 1]",
+            std::nullopt);
+  }
+
+  Tid tid(query_.vocab_ptr(), num_left, num_right, default_p);
+  for (size_t w = first + 3; w < words.size(); ++w) {
+    // Tuple assignment: Name(u)=p or Name(u,v)=p.
+    const std::string& token = words[w];
+    const size_t lparen = token.find('(');
+    const size_t rparen = token.find(')', lparen == std::string::npos
+                                              ? std::string::npos
+                                              : lparen + 1);
+    if (lparen == std::string::npos || rparen == std::string::npos ||
+        rparen + 1 >= token.size() || token[rparen + 1] != '=') {
+      return (*detail = "bad tuple assignment '" + token + "'",
+              std::nullopt);
+    }
+    const std::string name = token.substr(0, lparen);
+    const std::string args = token.substr(lparen + 1, rparen - lparen - 1);
+    Rational p = Rational::Zero();
+    if (!internal::ParseProbability(token.substr(rparen + 2), &p)) {
+      return (*detail = "bad probability in '" + token + "'", std::nullopt);
+    }
+    const SymbolId symbol = query_.vocab().Find(name);
+    if (symbol < 0) {
+      return (*detail = "unknown symbol '" + name + "'", std::nullopt);
+    }
+    const size_t comma = args.find(',');
+    int u = 0;
+    int v = 0;
+    const bool unary = comma == std::string::npos;
+    if (unary ? !ParseSmallInt(args, &u)
+              : (!ParseSmallInt(args.substr(0, comma), &u) ||
+                 !ParseSmallInt(args.substr(comma + 1), &v))) {
+      return (*detail = "bad constants in '" + token + "'", std::nullopt);
+    }
+    // Range-check BEFORE touching the Tid: its setters abort on bad keys,
+    // and untrusted bytes must never reach an abort.
+    switch (query_.vocab().kind(symbol)) {
+      case SymbolKind::kUnaryLeft:
+        if (!unary || u >= num_left) {
+          return (*detail = "'" + token + "': want one left constant < " +
+                            std::to_string(num_left),
+                  std::nullopt);
+        }
+        tid.SetUnaryLeft(symbol, u, p);
+        break;
+      case SymbolKind::kUnaryRight:
+        if (!unary || u >= num_right) {
+          return (*detail = "'" + token + "': want one right constant < " +
+                            std::to_string(num_right),
+                  std::nullopt);
+        }
+        tid.SetUnaryRight(symbol, u, p);
+        break;
+      case SymbolKind::kBinary:
+        if (unary || u >= num_left || v >= num_right) {
+          return (*detail = "'" + token + "': want constants < " +
+                            std::to_string(num_left) + "," +
+                            std::to_string(num_right),
+                  std::nullopt);
+        }
+        tid.SetBinary(symbol, u, v, p);
+        break;
+    }
+  }
+  return tid;
 }
 
 void GmcServer::BatchLoop() {
@@ -375,6 +423,18 @@ void GmcServer::BatchLoop() {
   }
 }
 
+namespace {
+
+// Shortest decimal that round-trips (the wire carries doubles for the
+// approximate tiers; exact tiers stay rational).
+std::string FormatDouble(double value) {
+  std::ostringstream out;
+  out << std::setprecision(17) << value;
+  return out.str();
+}
+
+}  // namespace
+
 void GmcServer::RunBatch(std::vector<PendingEval> batch) {
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
   stats_.batched_requests.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -384,23 +444,12 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
                                     std::memory_order_relaxed)) {
   }
 
-  // The coalescing payoff: the WHOLE drained queue goes through ONE
-  // EvaluateMany call — requests sharing a grounded lineage structure are
-  // answered by one batched circuit pass over a multi-column WeightMatrix
-  // instead of one walk each.
-  std::vector<Tid> tids;
-  tids.reserve(batch.size());
-  for (const PendingEval& eval : batch) tids.push_back(eval.tid);
-  const std::vector<GfomcResult> results = session_.EvaluateMany(query_, tids);
-
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const std::shared_ptr<Connection>& conn = batch[i].conn;
+  auto write_line = [&](const PendingEval& eval, const std::string& text,
+                        bool is_ok) {
+    const std::shared_ptr<Connection>& conn = eval.conn;
     std::lock_guard<std::mutex> write_lock(conn->write_mu);
-    if (conn->fd < 0) continue;  // client already gone
-    const std::string out = "OK " + batch[i].id + " " +
-                            results[i].probability.ToString() +
-                            " lifted=" + (results[i].used_lifted ? "1" : "0") +
-                            "\n";
+    if (conn->fd < 0) return;  // client already gone
+    const std::string out = text + "\n";
     size_t off = 0;
     while (off < out.size()) {
       const ssize_t n =
@@ -409,17 +458,95 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
       if (n <= 0) break;
       off += static_cast<size_t>(n);
     }
-    stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    if (is_ok) {
+      stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.eval_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // The coalescing payoff: every legacy EVAL in the drained queue goes
+  // through ONE EvaluateMany call — requests sharing a grounded lineage
+  // structure are answered by one batched circuit pass over a multi-column
+  // WeightMatrix instead of one walk each.
+  std::vector<Tid> tids;
+  std::vector<size_t> exact_index;
+  tids.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].approx) continue;
+    tids.push_back(batch[i].tid);
+    exact_index.push_back(i);
   }
+  if (!tids.empty()) {
+    const std::vector<GfomcResult> results =
+        session_.EvaluateMany(query_, tids);
+    for (size_t m = 0; m < exact_index.size(); ++m) {
+      const PendingEval& eval = batch[exact_index[m]];
+      write_line(eval,
+                 "OK " + eval.id + " " + results[m].probability.ToString() +
+                     " lifted=" + (results[m].used_lifted ? "1" : "0"),
+                 /*is_ok=*/true);
+    }
+  }
+
+  // EVAL_APPROX requests carry per-request routing knobs, so each runs as
+  // one checked EvaluateAnswer with the session temporarily configured for
+  // it (this loop is the only config writer; the base is restored after).
+  const GmcOptions base = session_.options();
+  bool reconfigured = false;
+  for (const PendingEval& eval : batch) {
+    if (!eval.approx) continue;
+    GmcOptions opts = base;
+    opts.routing_mode = eval.mode;
+    opts.epsilon = eval.epsilon;
+    opts.delta = eval.delta;
+    session_.Configure(opts);
+    reconfigured = true;
+    GmcAnswer answer;
+    const GmcStatus status = session_.EvaluateAnswer(query_, eval.tid, &answer);
+    if (!status.ok()) {
+      const char* kind =
+          status.code == GmcStatusCode::kBudgetExhausted ? "BUDGET"
+                                                         : "INVALID";
+      write_line(eval, "ERR " + eval.id + " " + kind + " " + status.message,
+                 /*is_ok=*/false);
+      continue;
+    }
+    std::string line;
+    switch (answer.tier) {
+      case AnswerTier::kCertifiedInterval:
+        line = "OK " + eval.id + " INTERVAL " +
+               FormatDouble(answer.interval.lo) + " " +
+               FormatDouble(answer.interval.hi) + " tier=interval";
+        break;
+      case AnswerTier::kSampled:
+        line = "OK " + eval.id + " ESTIMATE " +
+               FormatDouble(answer.estimate) +
+               " eps=" + FormatDouble(answer.epsilon) +
+               " delta=" + FormatDouble(answer.delta) +
+               " samples=" + std::to_string(answer.samples) +
+               " tier=sampled";
+        break;
+      default:
+        line = "OK " + eval.id + " EXACT " + answer.exact.ToString() +
+               " tier=" + AnswerTierName(answer.tier);
+        break;
+    }
+    write_line(eval, line, /*is_ok=*/true);
+  }
+  if (reconfigured) session_.Configure(base);
 }
 
 GmcServer::Stats GmcServer::stats() const {
   Stats out;
   out.connections = stats_.connections.load(std::memory_order_relaxed);
   out.requests = stats_.requests.load(std::memory_order_relaxed);
+  out.approx_requests =
+      stats_.approx_requests.load(std::memory_order_relaxed);
   out.responses = stats_.responses.load(std::memory_order_relaxed);
   out.shed = stats_.shed.load(std::memory_order_relaxed);
   out.parse_errors = stats_.parse_errors.load(std::memory_order_relaxed);
+  out.eval_errors = stats_.eval_errors.load(std::memory_order_relaxed);
   out.batches = stats_.batches.load(std::memory_order_relaxed);
   out.batched_requests =
       stats_.batched_requests.load(std::memory_order_relaxed);
@@ -427,21 +554,41 @@ GmcServer::Stats GmcServer::stats() const {
   return out;
 }
 
-std::string GmcServer::StatsLine() const {
-  const Stats s = stats();
-  const GfomcSession::Stats q = session_.stats();
+GmcServer::StatsSnapshot GmcServer::snapshot() const {
+  StatsSnapshot snap;
+  snap.server = stats();
+  snap.session = session_.stats();
+  return snap;
+}
+
+std::string GmcServer::StatsSnapshot::ToLine() const {
   std::ostringstream out;
-  out << "STATS connections=" << s.connections << " requests=" << s.requests
-      << " responses=" << s.responses << " shed=" << s.shed
-      << " parse_errors=" << s.parse_errors << " batches=" << s.batches
-      << " batched_requests=" << s.batched_requests
-      << " max_batch=" << s.max_batch << " queries=" << q.queries
-      << " circuit_compiles=" << q.circuit_compiles
-      << " circuit_hits=" << q.circuit_hits << " store_hits=" << q.store_hits
-      << " store_misses=" << q.store_misses
-      << " store_rejected=" << q.store_rejected;
+  out << "STATS connections=" << server.connections
+      << " requests=" << server.requests
+      << " approx_requests=" << server.approx_requests
+      << " responses=" << server.responses << " shed=" << server.shed
+      << " parse_errors=" << server.parse_errors
+      << " eval_errors=" << server.eval_errors
+      << " batches=" << server.batches
+      << " batched_requests=" << server.batched_requests
+      << " max_batch=" << server.max_batch << " queries=" << session.queries
+      << " safe_lifted=" << session.safe_lifted
+      << " safe_compiled=" << session.safe_compiled
+      << " unsafe_compiled=" << session.unsafe_compiled
+      << " unsafe_recursive=" << session.unsafe_recursive
+      << " anytime_interval=" << session.anytime_interval
+      << " anytime_sampled=" << session.anytime_sampled
+      << " budget_exhausted=" << session.budget_exhausted
+      << " invalid_requests=" << session.invalid_requests
+      << " circuit_compiles=" << session.circuit_compiles
+      << " circuit_hits=" << session.circuit_hits
+      << " store_hits=" << session.store_hits
+      << " store_misses=" << session.store_misses
+      << " store_rejected=" << session.store_rejected;
   return out.str();
 }
+
+std::string GmcServer::StatsLine() const { return snapshot().ToLine(); }
 
 }  // namespace serve
 }  // namespace gmc

@@ -29,12 +29,31 @@
 //         R(u), T(v), or S(u,v) with symbol names from the server's
 //         query, probabilities are non-negative rationals "a/b" or "a"
 //         in [0, 1]. <id> is an opaque token echoed in the response.
+//     EVAL_APPROX <id> <mode> <eps> <delta> <num_left> <num_right>
+//                 <default_p> [<tuple>=<p> ...]
+//         the checked, three-way-routed evaluation (GfomcSession::
+//         EvaluateAnswer; see docs/ANYTIME.md). <mode> is auto, exact,
+//         interval, or sample; <eps> and <delta> are rationals strictly
+//         inside (0, 1) with the (ε, δ) semantics of the sampled tier.
+//         The TID tail is identical to EVAL's.
 //     STATS        one-line server + session counter dump
 //     QUIT         server answers BYE and closes the connection
 //   server → client:
-//     OK <id> <probability> lifted=<0|1>
+//     OK <id> <probability> lifted=<0|1>                      (EVAL)
+//     OK <id> EXACT <probability> tier=<t>                    (EVAL_APPROX)
+//         t ∈ {lifted, compiled, recursive}; <probability> is the exact
+//         rational, bit-identical to what EVAL would answer.
+//     OK <id> INTERVAL <lo> <hi> tier=interval                (EVAL_APPROX)
+//         a guaranteed enclosure: lo <= Pr <= hi.
+//     OK <id> ESTIMATE <p> eps=<e> delta=<d> samples=<n> tier=sampled
+//         |p − Pr| <= e with probability >= 1 − d; e is the certificate
+//         actually achieved (it exceeds the requested eps when the
+//         sample cap bound — the anytime contract).
 //     ERR <id> SHED <detail>     admission control refused the request
 //     ERR <id> PARSE <detail>    malformed request (nothing evaluated)
+//     ERR <id> INVALID <detail>  EVAL_APPROX inputs failed validation
+//     ERR <id> BUDGET <detail>   mode=exact refused an over-budget
+//                                instance (no anytime fallback)
 //
 // Every malformed input yields an ERR line, never a crash or an abort —
 // the socket is a process boundary and its bytes are untrusted.
@@ -54,6 +73,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -93,13 +113,28 @@ class GmcServer {
   struct Stats {
     uint64_t connections = 0;
     uint64_t requests = 0;    ///< well-formed EVALs admitted to the queue
+    uint64_t approx_requests = 0;  ///< the EVAL_APPROX share of `requests`
     uint64_t responses = 0;   ///< OK lines written
     uint64_t shed = 0;        ///< EVALs refused by admission control
     uint64_t parse_errors = 0;
+    uint64_t eval_errors = 0;  ///< ERR INVALID + ERR BUDGET lines written
     uint64_t batches = 0;     ///< coalesced rounds executed
     uint64_t batched_requests = 0;  ///< EVALs those rounds served
     uint64_t max_batch = 0;
   };
+
+  /// One coherent picture of the whole serving stack, taken in a single
+  /// call: the serving-layer counters plus the session's evaluation/tier/
+  /// cache/store counters. STATS lines and the docs/SERVING.md key list
+  /// are both generated from this one struct, so they cannot drift apart.
+  struct StatsSnapshot {
+    Stats server;
+    GfomcSession::Stats session;
+    /// The STATS wire line: every field above as "key=value", in struct
+    /// order, single space separated, prefixed "STATS".
+    std::string ToLine() const;
+  };
+  StatsSnapshot snapshot() const;
 
   GmcServer(Query query, GmcServerOptions options);
   ~GmcServer();  // runs Stop()
@@ -130,6 +165,11 @@ class GmcServer {
     std::string id;
     Tid tid;
     std::shared_ptr<Connection> conn;
+    // EVAL_APPROX extras; `approx` false means the legacy exact EVAL path.
+    bool approx = false;
+    RoutingMode mode = RoutingMode::kAuto;
+    double epsilon = 0.05;
+    double delta = 0.01;
   };
 
   void AcceptLoop();
@@ -137,6 +177,11 @@ class GmcServer {
   void BatchLoop();
   void HandleLine(const std::shared_ptr<Connection>& conn,
                   const std::string& line, bool* close_connection);
+  // The shared TID tail parser of EVAL and EVAL_APPROX:
+  // words[first..] = <num_left> <num_right> <default_p> [<tuple>=<p> ...].
+  // nullopt with *detail set on malformed input (nothing is evaluated).
+  std::optional<Tid> ParseTidSpec(const std::vector<std::string>& words,
+                                  size_t first, std::string* detail);
   void RunBatch(std::vector<PendingEval> batch);
   std::string StatsLine() const;
 
@@ -161,9 +206,11 @@ class GmcServer {
   struct AtomicStats {
     std::atomic<uint64_t> connections{0};
     std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> approx_requests{0};
     std::atomic<uint64_t> responses{0};
     std::atomic<uint64_t> shed{0};
     std::atomic<uint64_t> parse_errors{0};
+    std::atomic<uint64_t> eval_errors{0};
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> batched_requests{0};
     std::atomic<uint64_t> max_batch{0};

@@ -71,6 +71,21 @@ class WmcEngine {
   void ResetStats() { stats_ = Stats(); }
   void ClearCache() { cache_.clear(); }
 
+  // One-call configuration (see compile/gmc_options.h): forwards the
+  // cache-level fields to the embedded CircuitCache. The recursive path
+  // has no knobs; routing fields are the session's business and are
+  // ignored here. The set_* setters below are the legacy wrappers.
+  void Configure(const GmcOptions& options) { circuits_.Configure(options); }
+  GmcOptions options() const { return circuits_.options(); }
+
+  // Budgeted compiled-path probe for the anytime router: the circuit if
+  // `cnf` is cached or compiles inside `budget`, nullptr once the budget
+  // is exhausted (see CircuitCache::TryGet). Pointer valid until the
+  // cache is cleared.
+  const NnfCircuit* TryGetCircuit(const Cnf& cnf, const CompileBudget& budget) {
+    return circuits_.TryGet(cnf, budget);
+  }
+
   // Worker bound for the embedded circuit cache's batch passes (see
   // CircuitCache::set_num_threads); 0 defers to the process default
   // (GMC_THREADS / DefaultNumThreads). Results are identical either way.

@@ -1,0 +1,595 @@
+// The certified anytime tier: directed-rounding interval enclosures,
+// Karp–Luby (ε, δ) sampling, compile budgets, and the three-way router.
+// Everything here is deterministic — the sampler runs fixed seeds, the
+// budgets use the node/call caps (never wall clock) — so every pin is a
+// hard equality or containment, not a flaky tolerance.
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "approx/karp_luby.h"
+#include "compile/circuit_cache.h"
+#include "compile/compiler.h"
+#include "compile/nnf.h"
+#include "core/dichotomy.h"
+#include "lineage/grounder.h"
+#include "logic/parser.h"
+#include "prob/tid.h"
+#include "util/rational.h"
+#include "wmc/wmc.h"
+
+namespace gmc {
+namespace {
+
+Query H1() {
+  return ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+Query H1Wide() {
+  return ParseQueryOrDie(
+      "Ax Ay (R(x) | S1(x,y) | S2(x,y)) & Ax Ay (S1(x,y) | T(y))");
+}
+
+Query ExampleC9() {
+  return ParseQueryOrDie(
+      "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax Ay (S1(x,y) | S3(x,y)) & "
+      "Ay (Ax (S3(x,y)) | Ax (S4(x,y)))");
+}
+
+// A finite double as the exact rational it denotes (doubles are dyadic).
+// Only needed for values in [0, 2), where the dyadic exponent is
+// non-negative; that covers every probability bound in these tests.
+Rational RationalOfDouble(double value) {
+  if (value == 0.0) return Rational::Zero();
+  int exponent = 0;
+  const double fraction = std::frexp(value, &exponent);
+  const double scaled = std::ldexp(fraction, 53);  // integral, < 2^53
+  EXPECT_LE(exponent, 53);
+  return Rational::Dyadic(BigInt(static_cast<int64_t>(scaled)),
+                          static_cast<uint64_t>(53 - exponent));
+}
+
+// The enclosure contract, checked exactly: lo <= p <= hi as rationals.
+void ExpectEncloses(const ProbInterval& interval, const Rational& exact) {
+  EXPECT_LE(RationalOfDouble(interval.lo), exact)
+      << "lo=" << interval.lo << " exact=" << exact.ToDouble();
+  EXPECT_LE(exact, RationalOfDouble(interval.hi))
+      << "hi=" << interval.hi << " exact=" << exact.ToDouble();
+}
+
+// A TID over the query's vocabulary with varied non-dyadic weights.
+Tid CorpusTid(const Query& query, int num_left, int num_right, int salt) {
+  Tid tid(query.vocab_ptr(), num_left, num_right, Rational::Half());
+  const Vocabulary& vocab = query.vocab();
+  for (SymbolId s = 0; s < vocab.size(); ++s) {
+    switch (vocab.kind(s)) {
+      case SymbolKind::kUnaryLeft:
+        tid.SetUnaryLeft(s, 0, Rational(1 + (salt % 6), 7));
+        break;
+      case SymbolKind::kUnaryRight:
+        tid.SetUnaryRight(s, 0, Rational(2 + (salt % 5), 9));
+        break;
+      case SymbolKind::kBinary:
+        tid.SetBinary(s, 0, 0, Rational(1 + (salt % 10), 11));
+        if (num_left > 1 && num_right > 1) {
+          tid.SetBinary(s, 1, 1, Rational(3, 13));
+        }
+        break;
+    }
+  }
+  return tid;
+}
+
+TEST(ProbIntervalTest, Basics) {
+  ProbInterval interval{0.25, 0.75};
+  EXPECT_DOUBLE_EQ(interval.width(), 0.5);
+  EXPECT_DOUBLE_EQ(interval.midpoint(), 0.5);
+  EXPECT_TRUE(interval.Contains(0.25));
+  EXPECT_TRUE(interval.Contains(0.75));
+  EXPECT_FALSE(interval.Contains(0.76));
+}
+
+TEST(IntervalEvalTest, EnclosesExactAcrossCorpusOrdersAndThreads) {
+  const Query queries[] = {H1(), H1Wide(), ExampleC9()};
+  int checked = 0;
+  for (const Query& query : queries) {
+    for (int salt = 0; salt < 3; ++salt) {
+      const Lineage lineage = Ground(query, CorpusTid(query, 3, 3, salt));
+      if (lineage.is_false || lineage.cnf.clauses.empty()) continue;
+      const WeightMatrix weights =
+          WeightMatrix::FromRows({lineage.probabilities});
+      for (OrderHeuristic order :
+           {OrderHeuristic::kDefault, OrderHeuristic::kMinFill,
+            OrderHeuristic::kBalanced}) {
+        CircuitCache cache;
+        cache.set_order(order);
+        const NnfCircuit& circuit = cache.Get(lineage.cnf);
+        const Rational exact = circuit.EvaluateBatch(weights, 1)[0];
+        for (int threads : {1, 8}) {
+          const std::vector<ProbInterval> intervals =
+              circuit.EvaluateBatchInterval(weights, threads);
+          ASSERT_EQ(intervals.size(), 1u);
+          ExpectEncloses(intervals[0], exact);
+          // Rounding error grows per node, not per magnitude: these
+          // gadget circuits stay far inside a comfortable bound.
+          EXPECT_LT(intervals[0].width(), 1e-9);
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GE(checked, 3 * 3 * 2);  // the corpus actually exercised
+}
+
+TEST(IntervalEvalTest, MultiColumnBatchEnclosesEveryColumn) {
+  const Lineage lineage = Ground(H1(), CorpusTid(H1(), 3, 3, 0));
+  std::vector<std::vector<Rational>> rows;
+  for (int k = 0; k <= 8; ++k) {
+    std::vector<Rational> row = lineage.probabilities;
+    row[0] = Rational(k, 8);  // sweep one weight across [0, 1]
+    rows.push_back(std::move(row));
+  }
+  const WeightMatrix weights = WeightMatrix::FromRows(rows);
+  CircuitCache cache;
+  const NnfCircuit& circuit = cache.Get(lineage.cnf);
+  const std::vector<Rational> exact = circuit.EvaluateBatch(weights, 1);
+  const std::vector<ProbInterval> intervals =
+      circuit.EvaluateBatchInterval(weights, 4);
+  ASSERT_EQ(intervals.size(), exact.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    ExpectEncloses(intervals[i], exact[i]);
+  }
+}
+
+TEST(IntervalEvalTest, EndpointWeightsStayEnclosedAndClamped) {
+  // Probabilities 0 and 1 bracket exactly; the walk still rounds each
+  // product outward (one ulp per node), and the clamp pins the enclosure
+  // inside [0, 1] — so a formula forced true encloses 1 with hi == 1.
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.clauses = {{0}, {1}};
+  NnfCircuit circuit = Compiler().Compile(cnf);
+  const WeightMatrix weights =
+      WeightMatrix::FromRows({{Rational::One(), Rational::One()}});
+  const ProbInterval interval =
+      circuit.EvaluateBatchInterval(weights, 1)[0];
+  ExpectEncloses(interval, Rational::One());
+  EXPECT_EQ(interval.hi, 1.0);  // the clamp: never past the unit interval
+  EXPECT_LT(interval.width(), 1e-15);
+}
+
+TEST(KarpLubyTest, TrivialInstancesAreExact) {
+  KarpLubyParams params;
+  Cnf empty;  // no clauses: always true
+  empty.num_vars = 1;
+  KarpLubyResult r = KarpLubyEstimate(empty, {Rational::Half()}, params);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.estimate, 1.0);
+  EXPECT_EQ(r.epsilon, 0.0);
+
+  Cnf falsy;
+  falsy.num_vars = 1;
+  falsy.clauses = {{}};
+  r = KarpLubyEstimate(falsy, {Rational::Half()}, params);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.estimate, 0.0);
+
+  // A single clause: Pr = 1 − Π(1 − p_v), no sampling needed.
+  Cnf single;
+  single.num_vars = 2;
+  single.clauses = {{0, 1}};
+  r = KarpLubyEstimate(single, {Rational::Half(), Rational(1, 4)}, params);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.estimate, 1.0 - 0.5 * 0.75);
+
+  // Zero failure weight: some variable in every clause has p = 1.
+  Cnf certain;
+  certain.num_vars = 1;
+  certain.clauses = {{0}, {0}};
+  r = KarpLubyEstimate(certain, {Rational::One()}, params);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.estimate, 1.0);
+}
+
+TEST(KarpLubyTest, SampleTargetMatchesTheFormula) {
+  const double eps = 0.1;
+  const double delta = 0.05;
+  const uint64_t m = 10;
+  const uint64_t expected = static_cast<uint64_t>(
+      std::ceil(3.0 * m * std::log(2.0 / delta) / (eps * eps)));
+  EXPECT_EQ(KarpLubySampleTarget(m, eps, delta), expected);
+  EXPECT_EQ(KarpLubySampleTarget(0, eps, delta), 0u);
+}
+
+TEST(KarpLubyTest, CalibratesAgainstExactWmc) {
+  // The grounded H1 gadget at two weight profiles: the fixed-seed estimate
+  // must land within the certified epsilon of the exact probability.
+  for (int salt : {0, 1}) {
+    const Lineage lineage = Ground(H1(), CorpusTid(H1(), 3, 3, salt));
+    ASSERT_FALSE(lineage.is_false);
+    const Rational exact = WmcEngine().Probability(lineage);
+    KarpLubyParams params;
+    params.epsilon = 0.05;
+    params.delta = 0.01;
+    params.max_samples = 0;  // run the full (ε, δ) target
+    params.seed = 0x1234abcd + salt;
+    const KarpLubyResult r = KarpLubyEstimate(lineage, params);
+    EXPECT_FALSE(r.exact);
+    EXPECT_EQ(r.samples, KarpLubySampleTarget(lineage.cnf.clauses.size(),
+                                              params.epsilon, params.delta));
+    EXPECT_EQ(r.epsilon, params.epsilon);
+    EXPECT_LE(std::abs(r.estimate - exact.ToDouble()), params.epsilon)
+        << "estimate=" << r.estimate << " exact=" << exact.ToDouble();
+  }
+}
+
+TEST(KarpLubyTest, FixedSeedReproducesExactly) {
+  const Lineage lineage = Ground(H1(), CorpusTid(H1(), 3, 3, 2));
+  KarpLubyParams params;
+  params.max_samples = 4096;
+  params.seed = 99;
+  const KarpLubyResult a = KarpLubyEstimate(lineage, params);
+  const KarpLubyResult b = KarpLubyEstimate(lineage, params);
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(KarpLubyTest, SampleCapReportsTheAchievedEpsilon) {
+  const Lineage lineage = Ground(H1(), CorpusTid(H1(), 3, 3, 0));
+  const size_t m = lineage.cnf.clauses.size();
+  KarpLubyParams params;
+  params.epsilon = 0.01;  // target far beyond the cap
+  params.max_samples = 500;
+  const KarpLubyResult r = KarpLubyEstimate(lineage, params);
+  ASSERT_GT(KarpLubySampleTarget(m, params.epsilon, params.delta), 500u);
+  EXPECT_EQ(r.samples, 500u);
+  // The anytime contract: the certificate is the epsilon 500 samples buy.
+  const double achieved =
+      std::sqrt(3.0 * static_cast<double>(m) * std::log(2.0 / params.delta) /
+                500.0);
+  EXPECT_DOUBLE_EQ(r.epsilon, achieved);
+  EXPECT_GT(r.epsilon, params.epsilon);
+}
+
+TEST(CompileBudgetTest, TryCompileRefusesAndRecovers) {
+  const Lineage lineage = Ground(H1(), CorpusTid(H1(), 3, 3, 0));
+  Compiler compiler;
+  CompileBudget tiny;
+  tiny.max_calls = 2;
+  EXPECT_FALSE(compiler.TryCompile(lineage.cnf, tiny).has_value());
+  EXPECT_EQ(compiler.stats().budget_exhausted, 1u);
+  // The budget state must not leak: an unbudgeted Compile afterwards
+  // produces the real circuit, and a generous budget succeeds.
+  NnfCircuit full = compiler.Compile(lineage.cnf);
+  EXPECT_GT(full.num_nodes(), 1u);
+  Compiler fresh;
+  std::optional<NnfCircuit> budgeted =
+      fresh.TryCompile(lineage.cnf, DefaultCompileBudget());
+  ASSERT_TRUE(budgeted.has_value());
+  const WeightMatrix weights =
+      WeightMatrix::FromRows({lineage.probabilities});
+  EXPECT_EQ(full.EvaluateBatch(weights, 1)[0],
+            budgeted->EvaluateBatch(weights, 1)[0]);
+}
+
+TEST(CompileBudgetTest, CacheTryGetMemoizesFailuresUntilABiggerBudget) {
+  const Lineage lineage = Ground(H1(), CorpusTid(H1(), 3, 3, 1));
+  CircuitCache cache;
+  CompileBudget tiny;
+  tiny.max_calls = 2;
+  EXPECT_EQ(cache.TryGet(lineage.cnf, tiny), nullptr);
+  EXPECT_EQ(cache.stats().budget_exhausted, 1u);
+  EXPECT_EQ(cache.stats().compiles, 0u);
+  // Same (or smaller) budget: refused from the failure memo, no recompile.
+  EXPECT_EQ(cache.TryGet(lineage.cnf, tiny), nullptr);
+  EXPECT_EQ(cache.stats().budget_exhausted, 2u);
+  EXPECT_EQ(cache.stats().compiles, 0u);
+  // Strictly more budget: the retry rule compiles for real.
+  const NnfCircuit* circuit =
+      cache.TryGet(lineage.cnf, DefaultCompileBudget());
+  ASSERT_NE(circuit, nullptr);
+  EXPECT_EQ(cache.stats().compiles, 1u);
+  // Once cached, even the tiny budget is served from the cache.
+  EXPECT_EQ(cache.TryGet(lineage.cnf, tiny), circuit);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(GmcOptionsTest, ConfigureRoundTripsThroughTheStack) {
+  GmcOptions options;
+  options.num_threads = 3;
+  options.order = OrderHeuristic::kMinFill;
+  options.dyadic_enabled = false;
+  options.routing_mode = RoutingMode::kInterval;
+  options.compile_budget.max_calls = 123;
+  options.epsilon = 0.25;
+  options.delta = 0.125;
+  options.max_samples = 777;
+  options.sample_seed = 42;
+
+  CircuitCache cache;
+  cache.Configure(options);
+  EXPECT_EQ(cache.options().num_threads, 3);
+  EXPECT_EQ(cache.options().order, OrderHeuristic::kMinFill);
+  EXPECT_FALSE(cache.options().dyadic_enabled);
+
+  GfomcSession session;
+  session.Configure(options);
+  const GmcOptions got = session.options();
+  EXPECT_EQ(got.routing_mode, RoutingMode::kInterval);
+  EXPECT_EQ(got.compile_budget.max_calls, 123u);
+  EXPECT_EQ(got.epsilon, 0.25);
+  EXPECT_EQ(got.delta, 0.125);
+  EXPECT_EQ(got.max_samples, 777u);
+  EXPECT_EQ(got.sample_seed, 42u);
+  EXPECT_EQ(got.num_threads, 3);
+}
+
+TEST(GmcOptionsTest, LegacySettersAreThinWrappers) {
+  GfomcSession by_setter;
+  by_setter.set_num_threads(2);
+  by_setter.set_order(OrderHeuristic::kBalanced);
+
+  GfomcSession by_configure;
+  GmcOptions options = by_configure.options();
+  options.num_threads = 2;
+  options.order = OrderHeuristic::kBalanced;
+  by_configure.Configure(options);
+
+  EXPECT_EQ(by_setter.options().num_threads,
+            by_configure.options().num_threads);
+  EXPECT_EQ(by_setter.options().order, by_configure.options().order);
+}
+
+TEST(GmcOptionsTest, FromEnvReadsTheRoutingKnobs) {
+  ::setenv("GMC_ROUTING", "sample", 1);
+  ::setenv("GMC_BUDGET_CALLS", "77", 1);
+  ::setenv("GMC_EPSILON", "0.125", 1);
+  ::setenv("GMC_MAX_SAMPLES", "1000", 1);
+  const GmcOptions options = GmcOptions::FromEnv();
+  ::unsetenv("GMC_ROUTING");
+  ::unsetenv("GMC_BUDGET_CALLS");
+  ::unsetenv("GMC_EPSILON");
+  ::unsetenv("GMC_MAX_SAMPLES");
+  EXPECT_EQ(options.routing_mode, RoutingMode::kSample);
+  EXPECT_EQ(options.compile_budget.max_calls, 77u);
+  EXPECT_EQ(options.epsilon, 0.125);
+  EXPECT_EQ(options.max_samples, 1000u);
+  // Unset again: back to the struct defaults.
+  const GmcOptions defaults = GmcOptions::FromEnv();
+  EXPECT_EQ(defaults.routing_mode, RoutingMode::kAuto);
+  EXPECT_EQ(defaults.compile_budget.max_calls,
+            DefaultCompileBudget().max_calls);
+}
+
+TEST(RoutingPolicyTest, TierSelectionPins) {
+  GmcOptions options;
+
+  options.routing_mode = RoutingMode::kAuto;
+  RoutingPolicy auto_policy(options);
+  EXPECT_TRUE(auto_policy.WantsCompileProbe());
+  EXPECT_EQ(auto_policy.TierForCompiled(), AnswerTier::kCompiledExact);
+  EXPECT_EQ(auto_policy.TierForExhausted(), AnswerTier::kSampled);
+  EXPECT_FALSE(auto_policy.ExhaustedIsError());
+
+  options.routing_mode = RoutingMode::kInterval;
+  RoutingPolicy interval_policy(options);
+  EXPECT_TRUE(interval_policy.WantsCompileProbe());
+  EXPECT_EQ(interval_policy.TierForCompiled(),
+            AnswerTier::kCertifiedInterval);
+  EXPECT_EQ(interval_policy.TierForExhausted(), AnswerTier::kSampled);
+
+  options.routing_mode = RoutingMode::kSample;
+  RoutingPolicy sample_policy(options);
+  EXPECT_FALSE(sample_policy.WantsCompileProbe());
+  EXPECT_EQ(sample_policy.TierForExhausted(), AnswerTier::kSampled);
+
+  options.routing_mode = RoutingMode::kExact;  // finite default budget
+  RoutingPolicy exact_policy(options);
+  EXPECT_EQ(exact_policy.TierForExhausted(), AnswerTier::kRecursiveExact);
+  EXPECT_TRUE(exact_policy.ExhaustedIsError());
+  options.compile_budget = CompileBudget{};  // unlimited
+  RoutingPolicy legacy_policy(options);
+  EXPECT_FALSE(legacy_policy.ExhaustedIsError());
+}
+
+TEST(SessionRouterTest, SafeQueriesStayExactInEveryMode) {
+  const Query safe = ParseQueryOrDie("Ax Ay (R(x) | S(x,y))");
+  Tid tid = CorpusTid(safe, 2, 2, 0);
+  const Rational exact = Gfomc(safe, tid).probability;
+  for (RoutingMode mode : {RoutingMode::kExact, RoutingMode::kAuto,
+                           RoutingMode::kInterval, RoutingMode::kSample}) {
+    GfomcSession session;
+    GmcOptions options = session.options();
+    options.routing_mode = mode;
+    session.Configure(options);
+    GmcAnswer answer;
+    ASSERT_TRUE(session.EvaluateAnswer(safe, tid, &answer).ok());
+    EXPECT_TRUE(answer.IsExact());
+    EXPECT_EQ(answer.tier, AnswerTier::kLifted);
+    EXPECT_EQ(answer.exact, exact);
+  }
+}
+
+TEST(SessionRouterTest, AutoCompilesInsideTheBudgetBitIdentically) {
+  const Query h1 = H1();
+  std::vector<Tid> tids;
+  for (int salt = 0; salt < 4; ++salt) {
+    tids.push_back(CorpusTid(h1, 2, 2, salt));
+  }
+  GfomcSession legacy;
+  const std::vector<GfomcResult> expected = legacy.EvaluateMany(h1, tids);
+
+  GfomcSession session;  // default mode is kAuto with the default budget
+  ASSERT_EQ(session.options().routing_mode, RoutingMode::kAuto);
+  std::vector<GmcAnswer> answers;
+  ASSERT_TRUE(session.EvaluateAnswers(h1, tids, &answers).ok());
+  ASSERT_EQ(answers.size(), tids.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    EXPECT_EQ(answers[i].tier, AnswerTier::kCompiledExact);
+    EXPECT_EQ(answers[i].exact, expected[i].probability);  // bit-identical
+  }
+  EXPECT_EQ(session.stats().unsafe_compiled, tids.size());
+  EXPECT_EQ(session.stats().anytime_sampled, 0u);
+}
+
+TEST(SessionRouterTest, IntervalModeCertifiablyEnclosesTheExactAnswer) {
+  const Query h1 = H1();
+  const Tid tid = CorpusTid(h1, 3, 3, 0);
+  const Rational exact = Gfomc(h1, tid).probability;
+
+  GfomcSession session;
+  GmcOptions options = session.options();
+  options.routing_mode = RoutingMode::kInterval;
+  session.Configure(options);
+  GmcAnswer answer;
+  ASSERT_TRUE(session.EvaluateAnswer(h1, tid, &answer).ok());
+  EXPECT_EQ(answer.tier, AnswerTier::kCertifiedInterval);
+  EXPECT_FALSE(answer.IsExact());
+  ExpectEncloses(answer.interval, exact);
+  EXPECT_LT(answer.interval.width(), 1e-9);
+  EXPECT_EQ(session.stats().anytime_interval, 1u);
+}
+
+TEST(SessionRouterTest, SampleModeSkipsTheProbeAndCertifies) {
+  const Query h1 = H1();
+  const Tid tid = CorpusTid(h1, 3, 3, 1);
+  const Rational exact = Gfomc(h1, tid).probability;
+
+  GfomcSession session;
+  GmcOptions options = session.options();
+  options.routing_mode = RoutingMode::kSample;
+  options.sample_seed = 7;
+  session.Configure(options);
+  GmcAnswer answer;
+  ASSERT_TRUE(session.EvaluateAnswer(h1, tid, &answer).ok());
+  EXPECT_EQ(answer.tier, AnswerTier::kSampled);
+  EXPECT_GT(answer.samples, 0u);
+  EXPECT_EQ(answer.delta, options.delta);
+  EXPECT_LE(std::abs(answer.estimate - exact.ToDouble()), answer.epsilon);
+  const GfomcSession::Stats stats = session.stats();
+  EXPECT_EQ(stats.anytime_sampled, 1u);
+  EXPECT_EQ(stats.circuit_compiles, 0u);  // no probe, no compile
+  EXPECT_EQ(stats.budget_exhausted, 0u);
+}
+
+TEST(SessionRouterTest, OverBudgetInstanceDegradesToTheSampler) {
+  // The headline contract: an unsafe instance whose compile probe exceeds
+  // the budget still gets a certified answer, never an unbounded compile.
+  const Query h1 = H1();
+  const Tid tid = CorpusTid(h1, 3, 3, 0);
+  const Rational exact = Gfomc(h1, tid).probability;
+
+  GfomcSession session;
+  GmcOptions options = session.options();
+  options.routing_mode = RoutingMode::kAuto;
+  options.compile_budget = CompileBudget{};
+  options.compile_budget.max_calls = 2;  // guaranteed exhaustion
+  session.Configure(options);
+  GmcAnswer answer;
+  ASSERT_TRUE(session.EvaluateAnswer(h1, tid, &answer).ok());
+  EXPECT_EQ(answer.tier, AnswerTier::kSampled);
+  EXPECT_LE(std::abs(answer.estimate - exact.ToDouble()), answer.epsilon);
+  const GfomcSession::Stats stats = session.stats();
+  EXPECT_EQ(stats.budget_exhausted, 1u);
+  EXPECT_EQ(stats.anytime_sampled, 1u);
+  EXPECT_EQ(stats.unsafe_compiled, 0u);
+}
+
+TEST(SessionRouterTest, ExactModeRefusesOverBudgetWithATypedStatus) {
+  GfomcSession session;
+  GmcOptions options = session.options();
+  options.routing_mode = RoutingMode::kExact;
+  options.compile_budget = CompileBudget{};
+  options.compile_budget.max_calls = 2;
+  session.Configure(options);
+  GmcAnswer answer;
+  const GmcStatus status =
+      session.EvaluateAnswer(H1(), CorpusTid(H1(), 3, 3, 0), &answer);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code, GmcStatusCode::kBudgetExhausted);
+  EXPECT_NE(status.message.find("budget"), std::string::npos);
+}
+
+TEST(SessionRouterTest, ExactModeUnlimitedReproducesLegacyRouting) {
+  const Query h1 = H1();
+  const Tid tid = CorpusTid(h1, 2, 2, 0);
+  GfomcSession legacy;
+  const GfomcResult expected = legacy.Evaluate(h1, tid);
+
+  GfomcSession session;
+  GmcOptions options = session.options();
+  options.routing_mode = RoutingMode::kExact;
+  options.compile_budget = CompileBudget{};  // unlimited, like the legacy path
+  session.Configure(options);
+  GmcAnswer answer;
+  ASSERT_TRUE(session.EvaluateAnswer(h1, tid, &answer).ok());
+  EXPECT_EQ(answer.tier, AnswerTier::kCompiledExact);
+  EXPECT_EQ(answer.exact, expected.probability);
+  EXPECT_EQ(answer.PointEstimate(), expected.probability.ToDouble());
+}
+
+TEST(SessionRouterTest, ExactModeUnlimitedRecursesPastTheVarGate) {
+  // Oversized lineage (> kMaxCompiledLineageVars): the legacy gate sends
+  // it to the recursive engine, and kExact + unlimited budget must do the
+  // same — tier kRecursiveExact, value bit-identical to EvaluateMany.
+  const Query h1 = H1();
+  Tid tid(h1.vocab_ptr(), 5, 20, Rational::Half());
+  GfomcSession legacy;
+  const GfomcResult expected = legacy.Evaluate(h1, tid);
+  EXPECT_EQ(legacy.stats().unsafe_recursive, 1u);
+
+  GfomcSession session;
+  GmcOptions options = session.options();
+  options.routing_mode = RoutingMode::kExact;
+  options.compile_budget = CompileBudget{};  // unlimited
+  session.Configure(options);
+  GmcAnswer answer;
+  ASSERT_TRUE(session.EvaluateAnswer(h1, tid, &answer).ok());
+  EXPECT_EQ(answer.tier, AnswerTier::kRecursiveExact);
+  EXPECT_EQ(answer.exact, expected.probability);
+  EXPECT_EQ(session.stats().unsafe_recursive, 1u);
+}
+
+TEST(SessionRouterTest, InvalidOptionsComeBackTyped) {
+  GfomcSession session;
+  GmcOptions options = session.options();
+  options.epsilon = 1.5;  // outside (0, 1)
+  session.Configure(options);
+  GmcAnswer answer;
+  const GmcStatus status =
+      session.EvaluateAnswer(H1(), CorpusTid(H1(), 2, 2, 0), &answer);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code, GmcStatusCode::kInvalidOptions);
+  EXPECT_EQ(session.stats().invalid_requests, 1u);
+  EXPECT_EQ(session.stats().queries, 0u);  // rejected before evaluation
+}
+
+TEST(SessionRouterTest, ValidateTidAcceptsWellFormedInputs) {
+  const GmcStatus status = ValidateTid(CorpusTid(H1(), 2, 2, 0));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code, GmcStatusCode::kOk);
+}
+
+TEST(SessionRouterTest, AnswerTierNamesAreTheWireVocabulary) {
+  EXPECT_STREQ(AnswerTierName(AnswerTier::kLifted), "lifted");
+  EXPECT_STREQ(AnswerTierName(AnswerTier::kCompiledExact), "compiled");
+  EXPECT_STREQ(AnswerTierName(AnswerTier::kRecursiveExact), "recursive");
+  EXPECT_STREQ(AnswerTierName(AnswerTier::kCertifiedInterval), "interval");
+  EXPECT_STREQ(AnswerTierName(AnswerTier::kSampled), "sampled");
+}
+
+TEST(SessionRouterTest, GfomcCheckedOneShotMatchesTheSession) {
+  const Query h1 = H1();
+  const Tid tid = CorpusTid(h1, 2, 2, 1);
+  GmcOptions options;
+  GmcAnswer answer;
+  ASSERT_TRUE(GfomcChecked(h1, tid, options, &answer).ok());
+  EXPECT_EQ(answer.tier, AnswerTier::kCompiledExact);
+  EXPECT_EQ(answer.exact, Gfomc(h1, tid).probability);
+}
+
+}  // namespace
+}  // namespace gmc

@@ -16,7 +16,9 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -395,6 +397,104 @@ TEST_F(ServeTest, StopAnswersQueuedRequestsBeforeExiting) {
   stopper.join();
   EXPECT_EQ(response.rfind("OK d1 ", 0), 0u) << response;
   EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServeTest, ApproxWireAnswersEveryTier) {
+  GmcServerOptions options;
+  options.socket_path = TestSocketPath("approx");
+  GmcServer server(H1(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.socket_path()));
+
+  // The exact rational over the legacy verb, as the reference.
+  const std::string legacy = client.Roundtrip("EVAL e1 2 2 1/2");
+  ASSERT_EQ(legacy.rfind("OK e1 ", 0), 0u) << legacy;
+  const std::string exact_p = legacy.substr(6, legacy.find(' ', 6) - 6);
+
+  // mode=auto on a compact instance: the exact circuit tier, bit-identical
+  // to the legacy answer.
+  const std::string autoed =
+      client.Roundtrip("EVAL_APPROX a1 auto 1/20 1/100 2 2 1/2");
+  EXPECT_EQ(autoed, "OK a1 EXACT " + exact_p + " tier=compiled") << autoed;
+
+  // mode=interval: a certified enclosure, lo <= hi within [0, 1].
+  const std::string interval =
+      client.Roundtrip("EVAL_APPROX a2 interval 1/20 1/100 2 2 1/2");
+  ASSERT_EQ(interval.rfind("OK a2 INTERVAL ", 0), 0u) << interval;
+  std::istringstream in(interval.substr(15));
+  double lo = -1.0;
+  double hi = -1.0;
+  ASSERT_TRUE(static_cast<bool>(in >> lo >> hi)) << interval;
+  EXPECT_LE(0.0, lo);
+  EXPECT_LE(lo, hi);
+  EXPECT_LE(hi, 1.0);
+  EXPECT_NE(interval.find("tier=interval"), std::string::npos);
+
+  // mode=sample: the (ε, δ) certificate rides the reply.
+  const std::string sampled =
+      client.Roundtrip("EVAL_APPROX a3 sample 1/10 1/100 2 2 1/2");
+  ASSERT_EQ(sampled.rfind("OK a3 ESTIMATE ", 0), 0u) << sampled;
+  for (const char* field : {"eps=", "delta=", "samples=", "tier=sampled"}) {
+    EXPECT_NE(sampled.find(field), std::string::npos)
+        << "missing " << field << " in: " << sampled;
+  }
+
+  // Malformed approx requests are parse errors, never evaluations.
+  EXPECT_EQ(client.Roundtrip("EVAL_APPROX b1 frobnicate 1/20 1/100 2 2 1/2")
+                .rfind("ERR b1 PARSE ", 0),
+            0u);
+  EXPECT_EQ(client.Roundtrip("EVAL_APPROX b2 auto 1 1/100 2 2 1/2")
+                .rfind("ERR b2 PARSE ", 0),
+            0u);
+  EXPECT_EQ(client.Roundtrip("EVAL_APPROX b3 auto 1/20 1/100")
+                .rfind("ERR b3 PARSE ", 0),
+            0u);
+}
+
+TEST_F(ServeTest, OverBudgetInstanceDegradesOverTheWire) {
+  // The serving-tier half of the headline contract: with a tiny compile
+  // budget (via the GMC_BUDGET_CALLS environment default), an unsafe
+  // instance still gets a certified (ε, δ) answer through the socket in
+  // auto mode — and a typed BUDGET refusal in exact mode.
+  ::setenv("GMC_BUDGET_CALLS", "2", 1);
+  GmcServerOptions options;
+  options.socket_path = TestSocketPath("budget");
+  GmcServer server(H1(), options);
+  ::unsetenv("GMC_BUDGET_CALLS");
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.socket_path()));
+  const std::string sampled =
+      client.Roundtrip("EVAL_APPROX o1 auto 1/10 1/100 3 3 1/2");
+  EXPECT_EQ(sampled.rfind("OK o1 ESTIMATE ", 0), 0u) << sampled;
+  EXPECT_NE(sampled.find("tier=sampled"), std::string::npos) << sampled;
+
+  const std::string refused =
+      client.Roundtrip("EVAL_APPROX o2 exact 1/10 1/100 3 3 1/2");
+  EXPECT_EQ(refused.rfind("ERR o2 BUDGET ", 0), 0u) << refused;
+
+  // The anytime counters surface in STATS (snapshot-driven, so the keys
+  // here are exactly the docs/SERVING.md vocabulary).
+  // Counter updates land just after the reply bytes, so poll until the
+  // last-written counter (the ERR's eval_errors) settles.
+  std::string stats_line = client.Roundtrip("STATS");
+  for (int i = 0; i < 100 && stats_line.find("eval_errors=1") ==
+                                 std::string::npos;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stats_line = client.Roundtrip("STATS");
+  }
+  for (const char* field :
+       {"approx_requests=2", "anytime_sampled=1", "anytime_interval=0",
+        "budget_exhausted=", "invalid_requests=0", "eval_errors=1"}) {
+    EXPECT_NE(stats_line.find(field), std::string::npos)
+        << "missing " << field << " in: " << stats_line;
+  }
 }
 
 TEST(ServeInternalTest, ParseProbabilityRejectsHostileTokens) {
