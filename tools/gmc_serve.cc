@@ -15,6 +15,8 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: queued requests are
 // answered, the write-through store is flushed, then the process exits.
 
+#include <signal.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +79,23 @@ int main(int argc, char** argv) {
   if (socket_path.empty() || query_text.empty()) return Usage(argv[0]);
   options.socket_path = socket_path;
 
+  // A client that disconnects mid-write must surface as EPIPE from send,
+  // never as process death; GmcServer::Start ignores SIGPIPE too, but the
+  // disposition belongs to the process and is set before any socket exists.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Block the shutdown signals BEFORE installing handlers or spawning the
+  // server threads (which inherit the mask): delivery can then only happen
+  // inside sigsuspend below, closing the window where a signal lands
+  // between the g_stop check and the suspend and is lost forever.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGINT);
+  sigaddset(&shutdown_signals, SIGTERM);
+  ::sigprocmask(SIG_BLOCK, &shutdown_signals, nullptr);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
   gmc::serve::GmcServer server(gmc::ParseQueryOrDie(query_text),
                                std::move(options));
   std::string error;
@@ -86,11 +105,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "gmc_serve: listening on %s\n", socket_path.c_str());
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
-  sigset_t empty;
-  sigemptyset(&empty);
-  while (!g_stop) sigsuspend(&empty);  // wait for a shutdown signal
+  sigset_t wait_mask;
+  ::sigprocmask(SIG_SETMASK, nullptr, &wait_mask);
+  sigdelset(&wait_mask, SIGINT);
+  sigdelset(&wait_mask, SIGTERM);
+  while (!g_stop) sigsuspend(&wait_mask);  // wait for a shutdown signal
 
   std::fprintf(stderr, "gmc_serve: shutting down\n");
   server.Stop();
