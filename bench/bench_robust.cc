@@ -1,0 +1,201 @@
+// The robustness layer's overhead contract: deadlines and fault points are
+// always compiled in, so their dormant cost must be unmeasurable.
+//
+// Two always-on costs are pinned here:
+//   - cancel polling: every batch arena slice calls CancelToken::Poll()
+//     every 64 nodes. With an armed-but-distant deadline that is one
+//     relaxed load plus a steady-clock read per 64 nodes; with no token it
+//     is a null-pointer test. Design target: an armed token that never
+//     fires costs < 2% over the no-token pass (BM_BatchEvalNoToken vs
+//     BM_BatchEvalArmedToken). BM_RobustCrossCheck enforces a generous
+//     hard cap (25%, min-of-7 runs) so CI noise cannot flake the job while
+//     a real regression — an accidental clock read per node, a poll in the
+//     inner BigInt loop — still fails loudly.
+//   - dormant fault points: fault::ShouldFail with no spec installed is
+//     one relaxed atomic load and a predictable branch; with a spec armed
+//     on a DIFFERENT point it additionally pays the crossing counter.
+//     Both are measured per call (BM_FaultPointDormant / Armed) so the
+//     baselines pin them at nanoseconds, not microseconds.
+//
+// BM_RobustCrossCheck also pins the cancellation semantics the overhead
+// numbers depend on: a pass completed under an unfired token is
+// bit-identical to the no-token pass, and a pre-fired token still returns
+// a full-size (discardable) result without crashing.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "compile/nnf.h"
+#include "hardness/p2cnf.h"
+#include "hardness/reduction_type1.h"
+#include "lineage/grounder.h"
+#include "logic/parser.h"
+#include "util/cancel.h"
+#include "util/fault.h"
+#include "util/rational.h"
+
+namespace {
+
+gmc::Query H1() {
+  return gmc::ParseQueryOrDie(
+      "Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+gmc::Lineage SweepLineage() {
+  gmc::Type1Reduction reduction(H1());
+  gmc::P2Cnf phi = gmc::P2Cnf::Random(5, 5, /*seed=*/42);
+  gmc::Tid tid = reduction.BuildTid(phi, 2, 2);
+  return gmc::Ground(reduction.query(), tid);
+}
+
+gmc::NnfCircuit SweepCircuit(const gmc::Lineage& lineage) {
+  gmc::Compiler compiler;
+  compiler.set_minimize(true);
+  return compiler.Compile(lineage);
+}
+
+gmc::WeightMatrix SweepWeights(const gmc::Lineage& lineage, int num_k) {
+  std::vector<std::vector<gmc::Rational>> rows;
+  for (int k = 1; k <= num_k; ++k) {
+    rows.emplace_back(lineage.probabilities.size(),
+                      gmc::Rational(k, num_k + 1));
+  }
+  return gmc::WeightMatrix::FromRows(rows);
+}
+
+// A deadline far enough out that the token never fires inside a bench
+// iteration, so the pass pays the full armed polling cost end to end.
+constexpr uint64_t kDistantDeadlineMs = 3600ull * 1000ull;
+
+// Single-threaded passes throughout: the pin is per-node polling cost, and
+// one slice per pass keeps the measurement free of pool-scheduling noise.
+
+void BM_BatchEvalNoToken(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = SweepCircuit(lineage);
+  gmc::WeightMatrix weights = SweepWeights(lineage, num_k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        circuit.EvaluateBatch(weights, /*num_threads=*/1));
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["circuit_nodes"] = static_cast<double>(circuit.num_nodes());
+}
+BENCHMARK(BM_BatchEvalNoToken)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_BatchEvalArmedToken(benchmark::State& state) {
+  const int num_k = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = SweepCircuit(lineage);
+  gmc::WeightMatrix weights = SweepWeights(lineage, num_k);
+  for (auto _ : state) {
+    // A fresh token per pass: real requests arm one token per deadline,
+    // and constructing it (one clock read) is part of the cost.
+    gmc::CancelToken token(kDistantDeadlineMs);
+    benchmark::DoNotOptimize(
+        circuit.EvaluateBatch(weights, /*num_threads=*/1, &token));
+  }
+  state.counters["weight_vectors"] = num_k;
+  state.counters["circuit_nodes"] = static_cast<double>(circuit.num_nodes());
+}
+BENCHMARK(BM_BatchEvalArmedToken)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// One dormant crossing: no spec installed anywhere, so this is the exact
+// cost every store read/write and cache insert pays in production.
+void BM_FaultPointDormant(benchmark::State& state) {
+  gmc::fault::Reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gmc::fault::ShouldFail(gmc::fault::Point::kStoreWrite));
+  }
+  state.counters["injected"] = static_cast<double>(
+      gmc::fault::InjectedCount(gmc::fault::Point::kStoreWrite));
+  gmc::fault::Reset();
+}
+BENCHMARK(BM_FaultPointDormant);
+
+// A spec armed on a DIFFERENT point: the crossing pays the enabled path
+// (counter bump + hash + compare against a zero threshold) but never
+// fires — the worst case for a point that is merely near active faults.
+void BM_FaultPointArmed(benchmark::State& state) {
+  gmc::fault::Configure("cache.insert=0.5,seed=1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gmc::fault::ShouldFail(gmc::fault::Point::kStoreWrite));
+  }
+  state.counters["injected"] = static_cast<double>(
+      gmc::fault::InjectedCount(gmc::fault::Point::kStoreWrite));
+  gmc::fault::Reset();
+}
+BENCHMARK(BM_FaultPointArmed);
+
+// Correctness + overhead guard, registered as a benchmark so a violation
+// fails the bench run loudly:
+//   - armed-but-unfired pass is bit-identical to the no-token pass;
+//   - a pre-fired token returns a full-size result (discardable, but
+//     well-formed) and reports cancelled;
+//   - min-of-7 armed wall time stays within 25% of min-of-7 baseline
+//     (design target < 2%; the cap is generous because CI runners are
+//     noisy, while a poll misplaced into the per-node inner loop costs
+//     well over 25% and still trips it).
+void BM_RobustCrossCheck(benchmark::State& state) {
+  const int num_k = 64;
+  gmc::Lineage lineage = SweepLineage();
+  gmc::NnfCircuit circuit = SweepCircuit(lineage);
+  gmc::WeightMatrix weights = SweepWeights(lineage, num_k);
+  using Clock = std::chrono::steady_clock;
+  double ratio = 0.0;
+  for (auto _ : state) {
+    const std::vector<gmc::Rational> baseline =
+        circuit.EvaluateBatch(weights, /*num_threads=*/1);
+    gmc::CancelToken distant(kDistantDeadlineMs);
+    const std::vector<gmc::Rational> armed =
+        circuit.EvaluateBatch(weights, /*num_threads=*/1, &distant);
+    if (distant.cancelled() || armed != baseline) {
+      state.SkipWithError("armed-but-unfired pass is not bit-identical");
+      return;
+    }
+    gmc::CancelToken fired;
+    fired.Cancel();
+    const std::vector<gmc::Rational> discarded =
+        circuit.EvaluateBatch(weights, /*num_threads=*/1, &fired);
+    if (!fired.cancelled() || discarded.size() != baseline.size()) {
+      state.SkipWithError("cancelled pass lost its output shape");
+      return;
+    }
+
+    double best_base = 1e300;
+    double best_armed = 1e300;
+    for (int rep = 0; rep < 7; ++rep) {
+      auto t0 = Clock::now();
+      benchmark::DoNotOptimize(
+          circuit.EvaluateBatch(weights, /*num_threads=*/1));
+      auto t1 = Clock::now();
+      gmc::CancelToken token(kDistantDeadlineMs);
+      benchmark::DoNotOptimize(
+          circuit.EvaluateBatch(weights, /*num_threads=*/1, &token));
+      auto t2 = Clock::now();
+      best_base =
+          std::min(best_base, std::chrono::duration<double>(t1 - t0).count());
+      best_armed =
+          std::min(best_armed, std::chrono::duration<double>(t2 - t1).count());
+    }
+    ratio = best_armed / best_base;
+    if (ratio > 1.25) {
+      state.SkipWithError("armed cancel polling costs >25% over baseline");
+      return;
+    }
+  }
+  state.counters["armed_over_baseline"] = ratio;
+  state.counters["weight_vectors"] = num_k;
+}
+BENCHMARK(BM_RobustCrossCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

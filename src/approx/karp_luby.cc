@@ -150,7 +150,16 @@ KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
   std::vector<char> assigned(cnf.num_vars);   // sampled this round?
   std::vector<char> value(cnf.num_vars);      // the sampled truth value
   uint64_t successes = 0;
+  uint64_t drawn = 0;
   for (uint64_t n = 0; n < target; ++n) {
+    // A fired deadline degrades to the anytime report below — the samples
+    // already drawn stay valid (each is i.i.d.; stopping is oblivious to
+    // their outcomes, so no bias). Poll every 64 samples, and never before
+    // the first: one sample always completes, keeping μ̂ well-defined.
+    if (params.cancel != nullptr && n > 0 && (n & 63) == 0 &&
+        params.cancel->Poll()) {
+      break;
+    }
     // 1. Disjunct i ∝ w_i.
     approx_internal::LazyUniform pick(&rng);
     const size_t i = pick.Categorical(prefix, total);
@@ -184,15 +193,23 @@ KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
       if (clause_all_false) minimal = false;
     }
     if (minimal) ++successes;
+    ++drawn;
+  }
+  if (drawn < target) {
+    // Deadline fired mid-run: certify the epsilon the drawn count buys,
+    // exactly as a binding max_samples would (invert N = 3m ln(2/δ)/ε²).
+    result.epsilon = std::sqrt(3.0 * static_cast<double>(m) *
+                               std::log(2.0 / params.delta) /
+                               static_cast<double>(drawn));
   }
 
   // μ̂ = W · successes / N, computed exactly before the one rounding into
   // the reported double.
   const Rational mu_hat =
       total * Rational(static_cast<int64_t>(successes)) /
-      Rational(static_cast<int64_t>(target));
+      Rational(static_cast<int64_t>(drawn));
   result.estimate = (Rational::One() - mu_hat).ToDouble();
-  result.samples = target;
+  result.samples = drawn;
   result.successes = successes;
   return result;
 }

@@ -40,6 +40,7 @@
 
 #include "lineage/boolean_formula.h"
 #include "lineage/grounder.h"
+#include "util/cancel.h"
 #include "util/rational.h"
 
 namespace gmc {
@@ -54,6 +55,12 @@ struct KarpLubyParams {
   /// result reports the epsilon actually achieved at the capped count.
   uint64_t max_samples = 1 << 20;
   uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// Optional request-deadline token, polled every few samples. A fired
+  /// deadline stops the loop at however many samples were drawn and
+  /// certifies the epsilon THAT count buys — the same anytime degradation
+  /// as a binding max_samples, never an error (the one tier where a
+  /// deadline costs certificate strength instead of the answer).
+  const CancelToken* cancel = nullptr;
 };
 
 /// One sampling run's outcome.

@@ -4,6 +4,8 @@
 #include <bit>
 #include <utility>
 
+#include "util/fault.h"
+
 namespace gmc {
 
 namespace {
@@ -25,6 +27,8 @@ void CircuitCache::Configure(const GmcOptions& options) {
   num_threads_.store(options.num_threads, std::memory_order_relaxed);
   order_.store(options.order, std::memory_order_relaxed);
   dyadic_enabled_.store(options.dyadic_enabled, std::memory_order_relaxed);
+  max_resident_bytes_.store(options.max_resident_bytes,
+                            std::memory_order_relaxed);
   const bool store_changed =
       options.store_directory != options_.store_directory ||
       options.store_write_through != options_.store_write_through;
@@ -93,9 +97,9 @@ size_t CircuitCache::SaveTo(const std::string& directory, std::string* error) {
   size_t saved = 0;
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
-    for (const auto& [cnf, circuit] : stripe.circuits) {
+    for (const auto& [cnf, entry] : stripe.circuits) {
       std::string save_error;
-      if (target.Save(*circuit, cnf, order, &save_error)) {
+      if (target.Save(*entry.circuit, cnf, order, &save_error)) {
         ++saved;
       } else if (error != nullptr && error->empty()) {
         *error = save_error;
@@ -119,12 +123,26 @@ size_t CircuitCache::WarmFrom(const std::string& directory) {
     std::lock_guard<std::mutex> lock(stripe.mu);
     // Keep an already-cached circuit: it is in use (references from Get
     // stay valid until Clear) and evaluates identically anyway.
+    Entry entry;
+    entry.circuit =
+        std::make_shared<const NnfCircuit>(std::move(loaded.circuit));
+    entry.bytes = entry.circuit->MemoryBytes();
+    entry.last_used = use_clock_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t bytes = entry.bytes;
     const bool fresh =
-        stripe.circuits
-            .try_emplace(loaded.cnf, std::make_unique<NnfCircuit>(
-                                         std::move(loaded.circuit)))
-            .second;
-    if (fresh) ++inserted;
+        stripe.circuits.try_emplace(loaded.cnf, std::move(entry)).second;
+    if (fresh) {
+      ++inserted;
+      resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+  // One sweep after the bulk load (protecting nothing: a warm scan has no
+  // in-flight entry to shield) so warming a replica against a byte budget
+  // ends within it rather than at the full store size.
+  const uint64_t max_bytes = max_resident_bytes_.load(std::memory_order_relaxed);
+  if (max_bytes > 0 &&
+      resident_bytes_.load(std::memory_order_relaxed) > max_bytes) {
+    MaybeEvict(max_bytes, use_clock_.load(std::memory_order_relaxed));
   }
   return inserted;
 }
@@ -141,137 +159,245 @@ CircuitCache::Stripe& CircuitCache::StripeFor(const Cnf& cnf) {
 }
 
 const NnfCircuit& CircuitCache::Get(const Cnf& cnf) {
-  // Unbudgeted compilation always produces a circuit.
-  return *GetOrCompile(cnf, nullptr);
+  // Unbudgeted, uncancellable compilation always produces a circuit.
+  return *GetOrCompile(cnf, nullptr, nullptr);
+}
+
+std::shared_ptr<const NnfCircuit> CircuitCache::GetShared(
+    const Cnf& cnf, const CancelToken* cancel) {
+  return GetOrCompile(cnf, nullptr, cancel);
 }
 
 const NnfCircuit* CircuitCache::TryGet(const Cnf& cnf,
                                        const CompileBudget& budget) {
   if (budget.Unlimited()) return &Get(cnf);
-  return GetOrCompile(cnf, &budget);
+  return GetOrCompile(cnf, &budget, nullptr).get();
 }
 
-const NnfCircuit* CircuitCache::GetOrCompile(const Cnf& cnf,
-                                             const CompileBudget* budget) {
+std::shared_ptr<const NnfCircuit> CircuitCache::TryGetShared(
+    const Cnf& cnf, const CompileBudget& budget, const CancelToken* cancel) {
+  if (budget.Unlimited()) return GetOrCompile(cnf, nullptr, cancel);
+  return GetOrCompile(cnf, &budget, cancel);
+}
+
+std::shared_ptr<const NnfCircuit> CircuitCache::GetOrCompile(
+    const Cnf& cnf, const CompileBudget* budget, const CancelToken* cancel) {
   Stripe& stripe = StripeFor(cnf);
-  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-  if (auto it = stripe.circuits.find(cnf); it != stripe.circuits.end()) {
-    stats_.hits.fetch_add(1, std::memory_order_relaxed);
-    return it->second.get();
-  }
-  // Budget-exhaustion memo: a structure that already blew through an
-  // equal-or-larger budget is not worth recompiling — fail fast so the
-  // router's probe costs one hash lookup on repeat traffic.
-  if (budget != nullptr) {
-    if (auto it = stripe.failed.find(cnf); it != stripe.failed.end()) {
-      if (!budget->AllowsMoreThan(it->second)) {
-        stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
-        return nullptr;
-      }
+  // The shared_ptr the caller takes home, and the clock reading the LRU
+  // sweep must not evict (the just-inserted entry). Both escape the locked
+  // scope: eviction runs after every lock is dropped.
+  std::shared_ptr<const NnfCircuit> result;
+  uint64_t keep_from = 0;
+  // Inserts one freshly produced circuit (compiled or store-loaded) under
+  // the stripe lock. The fault point models a lost insert — an allocator
+  // or admission failure between compile and publish: the caller still
+  // gets ITS circuit (pinned until Clear so legacy references survive),
+  // the map just never learns about it and the next lookup recompiles.
+  auto publish = [&](NnfCircuit&& circuit) {
+    stripe.failed.erase(cnf);
+    auto shared = std::make_shared<const NnfCircuit>(std::move(circuit));
+    keep_from = use_clock_.fetch_add(1, std::memory_order_relaxed);
+    if (fault::ShouldFail(fault::Point::kCacheInsert)) {
+      std::lock_guard<std::mutex> pin_lock(pinned_mu_);
+      pinned_.push_back(shared);
+      result = std::move(shared);
+      return;
     }
-  }
-  // Read-through: an in-memory miss consults the persistent store (if one
-  // is attached) before paying for compilation. A loaded circuit has been
-  // checksum-, structure-, and fingerprint-validated AND clause-matched
-  // against `cnf`, so it is exactly what the compiler would hand back.
-  // Budgets never apply here: loading is linear in the stored circuit.
-  const std::shared_ptr<const store::CircuitStore> persistent = store();
-  if (persistent != nullptr) {
-    NnfCircuit loaded;
-    std::string store_error;
-    switch (persistent->TryLoad(cnf, &loaded, nullptr, &store_error)) {
-      case store::StoreLookup::kLoaded: {
-        stats_.store_hits.fetch_add(1, std::memory_order_relaxed);
-        stripe.failed.erase(cnf);
-        auto inserted = stripe.circuits.emplace(
-            cnf, std::make_unique<NnfCircuit>(std::move(loaded)));
-        return inserted.first->second.get();
-      }
-      case store::StoreLookup::kMissing:
-        stats_.store_misses.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case store::StoreLookup::kRejected:
-        stats_.store_rejected.fetch_add(1, std::memory_order_relaxed);
-        break;
-    }
-  }
-  // Compile while holding the stripe lock: a second thread racing for the
-  // SAME structure waits here instead of compiling twice, and threads on
-  // other stripes only serialize on the compiler mutex below (the
-  // compiler's sub-formula memo is shared state).
-  const OrderHeuristic order = order_.load(std::memory_order_relaxed);
-  NnfCircuit compiled;
-  NnfCircuit legacy;
-  bool have_legacy = false;
+    Entry entry;
+    entry.circuit = shared;
+    entry.bytes = shared->MemoryBytes();
+    entry.last_used = keep_from;
+    resident_bytes_.fetch_add(entry.bytes, std::memory_order_relaxed);
+    stripe.circuits.emplace(cnf, std::move(entry));
+    result = std::move(shared);
+  };
   {
-    std::lock_guard<std::mutex> compiler_lock(compiler_mu_);
-    compiler_.set_order(order);
-    const Compiler::Stats before = compiler_.stats();
-    if (budget != nullptr) {
-      std::optional<NnfCircuit> attempt = compiler_.TryCompile(cnf, *budget);
-      if (!attempt.has_value()) {
-        // Remember the largest budget this structure has failed under.
-        auto [it, fresh] = stripe.failed.try_emplace(cnf, *budget);
-        if (!fresh && budget->AllowsMoreThan(it->second)) {
-          it->second = *budget;
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    if (auto it = stripe.circuits.find(cnf); it != stripe.circuits.end()) {
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      keep_from = use_clock_.fetch_add(1, std::memory_order_relaxed);
+      it->second.last_used = keep_from;
+      // A hit exits through the shared eviction tail below, not an early
+      // return: under a byte budget, pure-hit traffic must also be able
+      // to shrink an over-budget cache — eviction pressure cannot depend
+      // on the next insert ever happening. The hit entry itself is
+      // shielded by its fresh keep_from stamp.
+      result = it->second.circuit;
+    }
+    // Budget-exhaustion memo: a structure that already blew through an
+    // equal-or-larger budget is not worth recompiling — fail fast so the
+    // router's probe costs one hash lookup on repeat traffic.
+    if (result == nullptr && budget != nullptr) {
+      if (auto it = stripe.failed.find(cnf); it != stripe.failed.end()) {
+        if (!budget->AllowsMoreThan(it->second)) {
+          stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+          return nullptr;
         }
-        stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
-        return nullptr;
       }
-      compiled = std::move(*attempt);
-    } else {
-      compiled = compiler_.Compile(cnf);
     }
-    stats_.compiles.fetch_add(1, std::memory_order_relaxed);
-    stats_.nodes_before_minimize.fetch_add(
-        compiler_.stats().minimize_nodes_before -
-            before.minimize_nodes_before,
-        std::memory_order_relaxed);
-    stats_.nodes_after_minimize.fetch_add(
-        compiler_.stats().minimize_nodes_after - before.minimize_nodes_after,
-        std::memory_order_relaxed);
-    if (budget == nullptr && order != OrderHeuristic::kDefault &&
-        order_baseline_recording_.load(std::memory_order_relaxed)) {
-      // Reference compile under the legacy order, discarded — only its
-      // edge count survives, as the denominator of the order payoff.
-      // Budgeted probes skip recording: the reference compile would run
-      // unbudgeted on a structure suspected of blowing up.
-      compiler_.set_order(OrderHeuristic::kDefault);
-      legacy = compiler_.Compile(cnf);
-      have_legacy = true;
+    // Read-through: an in-memory miss consults the persistent store (if one
+    // is attached) before paying for compilation. A loaded circuit has been
+    // checksum-, structure-, and fingerprint-validated AND clause-matched
+    // against `cnf`, so it is exactly what the compiler would hand back.
+    // Budgets never apply here: loading is linear in the stored circuit.
+    // This is also what an EVICTED entry degrades to: a byte-budget drop of
+    // a persisted circuit costs one load, never a recompile.
+    const std::shared_ptr<const store::CircuitStore> persistent = store();
+    if (result == nullptr && persistent != nullptr) {
+      NnfCircuit loaded;
+      std::string store_error;
+      switch (persistent->TryLoad(cnf, &loaded, nullptr, &store_error)) {
+        case store::StoreLookup::kLoaded:
+          stats_.store_hits.fetch_add(1, std::memory_order_relaxed);
+          publish(std::move(loaded));
+          break;
+        case store::StoreLookup::kMissing:
+          stats_.store_misses.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case store::StoreLookup::kRejected:
+          stats_.store_rejected.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+    if (result == nullptr) {
+      // Compile while holding the stripe lock: a second thread racing for
+      // the SAME structure waits here instead of compiling twice, and
+      // threads on other stripes only serialize on the compiler mutex
+      // below (the compiler's sub-formula memo is shared state).
+      const OrderHeuristic order = order_.load(std::memory_order_relaxed);
+      NnfCircuit compiled;
+      NnfCircuit legacy;
+      bool have_legacy = false;
+      {
+        std::lock_guard<std::mutex> compiler_lock(compiler_mu_);
+        compiler_.set_order(order);
+        const Compiler::Stats before = compiler_.stats();
+        if (budget != nullptr) {
+          std::optional<NnfCircuit> attempt =
+              compiler_.TryCompile(cnf, *budget, cancel);
+          if (!attempt.has_value()) {
+            // A fired deadline is NOT a budget failure: it says nothing
+            // about the instance, so no memo and no exhaustion tick — a
+            // later unhurried probe must be free to compile.
+            if (cancel != nullptr && cancel->cancelled()) return nullptr;
+            // Remember the largest budget this structure has failed under.
+            auto [it, fresh] = stripe.failed.try_emplace(cnf, *budget);
+            if (!fresh && budget->AllowsMoreThan(it->second)) {
+              it->second = *budget;
+            }
+            stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+          }
+          compiled = std::move(*attempt);
+        } else {
+          compiled = compiler_.Compile(cnf, cancel);
+          // A cancelled unbudgeted compile hands back a placeholder-laced
+          // partial circuit — discard it, cache nothing.
+          if (cancel != nullptr && cancel->cancelled()) return nullptr;
+        }
+        stats_.compiles.fetch_add(1, std::memory_order_relaxed);
+        stats_.nodes_before_minimize.fetch_add(
+            compiler_.stats().minimize_nodes_before -
+                before.minimize_nodes_before,
+            std::memory_order_relaxed);
+        stats_.nodes_after_minimize.fetch_add(
+            compiler_.stats().minimize_nodes_after -
+                before.minimize_nodes_after,
+            std::memory_order_relaxed);
+        if (budget == nullptr && order != OrderHeuristic::kDefault &&
+            order_baseline_recording_.load(std::memory_order_relaxed)) {
+          // Reference compile under the legacy order, discarded — only its
+          // edge count survives, as the denominator of the order payoff.
+          // Budgeted probes skip recording: the reference compile would run
+          // unbudgeted on a structure suspected of blowing up.
+          compiler_.set_order(OrderHeuristic::kDefault);
+          legacy = compiler_.Compile(cnf);
+          have_legacy = true;
+        }
+      }
+      // Edge accounting happens OUTSIDE the compiler mutex: both circuits
+      // are locals, and compiler_mu_ serializes compiles across every
+      // stripe, so the O(edges) ComputeStats walks must not lengthen that
+      // critical section.
+      if (order != OrderHeuristic::kDefault) {
+        stats_.ordered_compiles.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t edges = compiled.ComputeStats().edges;
+        stats_.order_edges.fetch_add(edges, std::memory_order_relaxed);
+        if (have_legacy) {
+          stats_.recorded_order_edges.fetch_add(edges,
+                                                std::memory_order_relaxed);
+          stats_.legacy_order_edges.fetch_add(legacy.ComputeStats().edges,
+                                              std::memory_order_relaxed);
+        }
+      }
+      publish(std::move(compiled));
+      // Write-through AFTER the insert, from the caller's copy: a failed
+      // save is a lost cache entry (the next cold process recompiles),
+      // never a query failure, so the error is deliberately dropped.
+      if (persistent != nullptr &&
+          write_through_.load(std::memory_order_relaxed)) {
+        std::string save_error;
+        persistent->Save(*result, cnf, order, &save_error);
+      }
     }
   }
-  // Edge accounting happens OUTSIDE the compiler mutex: both circuits are
-  // locals, and compiler_mu_ serializes compiles across every stripe, so
-  // the O(edges) ComputeStats walks must not lengthen that critical
-  // section.
-  if (order != OrderHeuristic::kDefault) {
-    stats_.ordered_compiles.fetch_add(1, std::memory_order_relaxed);
-    const uint64_t edges = compiled.ComputeStats().edges;
-    stats_.order_edges.fetch_add(edges, std::memory_order_relaxed);
-    if (have_legacy) {
-      stats_.recorded_order_edges.fetch_add(edges, std::memory_order_relaxed);
-      stats_.legacy_order_edges.fetch_add(legacy.ComputeStats().edges,
-                                          std::memory_order_relaxed);
+  // LRU sweep outside every lock (it takes stripe locks itself). The
+  // freshly published entry is shielded via keep_from; everything older is
+  // fair game.
+  const uint64_t max_bytes =
+      max_resident_bytes_.load(std::memory_order_relaxed);
+  if (max_bytes > 0 &&
+      resident_bytes_.load(std::memory_order_relaxed) > max_bytes) {
+    MaybeEvict(max_bytes, keep_from);
+  }
+  return result;
+}
+
+void CircuitCache::MaybeEvict(uint64_t max_bytes, uint64_t keep_from) {
+  // Evict the globally least-recently-used entry, repeatedly, until the
+  // footprint fits. Each round locks one stripe at a time (callers hold no
+  // stripe lock), so a concurrent hit can bump last_used between the scan
+  // and the erase — the re-check under the victim's lock keeps that race
+  // harmless: worst case we evict the second-least-recent entry. Entries
+  // stamped at or after keep_from are never touched, so the one circuit
+  // the triggering caller just published survives its own sweep (a budget
+  // smaller than a single circuit degrades to evict-on-next-insert, not to
+  // thrash-on-every-lookup).
+  const int kMaxRounds = 1024;  // paranoia bound, not a policy
+  for (int round = 0; round < kMaxRounds; ++round) {
+    if (resident_bytes_.load(std::memory_order_relaxed) <= max_bytes) return;
+    size_t victim_stripe = kNumStripes;
+    uint64_t victim_used = keep_from;
+    Cnf victim_key;
+    for (size_t s = 0; s < kNumStripes; ++s) {
+      std::lock_guard<std::mutex> lock(stripes_[s].mu);
+      for (const auto& [cnf, entry] : stripes_[s].circuits) {
+        if (entry.last_used < victim_used) {
+          victim_used = entry.last_used;
+          victim_stripe = s;
+          victim_key = cnf;
+        }
+      }
     }
+    if (victim_stripe == kNumStripes) return;  // nothing evictable remains
+    Stripe& stripe = stripes_[victim_stripe];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.circuits.find(victim_key);
+    if (it == stripe.circuits.end()) continue;  // raced with Clear
+    if (it->second.last_used >= keep_from) continue;  // hit since the scan
+    resident_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    // The erase drops the map's reference; an in-flight evaluation that
+    // pinned via GetShared keeps the circuit alive until it finishes.
+    stripe.circuits.erase(it);
   }
-  stripe.failed.erase(cnf);
-  auto inserted = stripe.circuits.emplace(
-      cnf, std::make_unique<NnfCircuit>(std::move(compiled)));
-  // Write-through AFTER the insert, from the cached copy: a failed save is
-  // a lost cache entry (the next cold process recompiles), never a query
-  // failure, so the error is deliberately dropped.
-  if (persistent != nullptr &&
-      write_through_.load(std::memory_order_relaxed)) {
-    std::string save_error;
-    persistent->Save(*inserted.first->second, cnf, order, &save_error);
-  }
-  return inserted.first->second.get();
 }
 
 Rational CircuitCache::Probability(const Cnf& cnf,
                                    const std::vector<Rational>& probabilities) {
-  return Get(cnf).Evaluate(probabilities);
+  // GetShared, not Get: the pin keeps the circuit alive through the
+  // evaluation even if a concurrent insert evicts this entry.
+  return GetShared(cnf)->Evaluate(probabilities);
 }
 
 Rational CircuitCache::Probability(const Lineage& lineage) {
@@ -286,10 +412,17 @@ Rational CircuitCache::QueryProbability(const Query& query, const Tid& tid) {
 }
 
 std::vector<Rational> CircuitCache::ProbabilityBatch(
-    const Cnf& cnf, const WeightMatrix& weights) {
-  const NnfCircuit& circuit = Get(cnf);
-  // The Get above accounted one compile or hit; the remaining K − 1 vectors
-  // are all cache-served evaluations.
+    const Cnf& cnf, const WeightMatrix& weights, const CancelToken* cancel) {
+  const std::shared_ptr<const NnfCircuit> pinned = GetShared(cnf, cancel);
+  if (pinned == nullptr) {
+    // Deadline fired during the compile: the contract is "well-formed but
+    // meaningless" — the caller checks cancel->cancelled() and discards.
+    return std::vector<Rational>(
+        static_cast<size_t>(weights.num_vectors()));
+  }
+  const NnfCircuit& circuit = *pinned;
+  // The GetShared above accounted one compile or hit; the remaining K − 1
+  // vectors are all cache-served evaluations.
   stats_.hits.fetch_add(weights.num_vectors() - 1, std::memory_order_relaxed);
   stats_.batch_passes.fetch_add(1, std::memory_order_relaxed);
   stats_.batched_vectors.fetch_add(weights.num_vectors(),
@@ -305,7 +438,7 @@ std::vector<Rational> CircuitCache::ProbabilityBatch(
                                     std::memory_order_relaxed);
     DyadicBatchStats widths;
     std::vector<Rational> result =
-        circuit.EvaluateBatchDyadic(weights, num_threads, &widths);
+        circuit.EvaluateBatchDyadic(weights, num_threads, &widths, cancel);
     stats_.fixed64_vectors.fetch_add(widths.fixed64_vectors,
                                      std::memory_order_relaxed);
     stats_.fixed128_vectors.fetch_add(widths.fixed128_vectors,
@@ -314,7 +447,7 @@ std::vector<Rational> CircuitCache::ProbabilityBatch(
                                     std::memory_order_relaxed);
     return result;
   }
-  return circuit.EvaluateBatch(weights, num_threads);
+  return circuit.EvaluateBatch(weights, num_threads, cancel);
 }
 
 std::vector<Rational> CircuitCache::ProbabilityBatch(
@@ -386,6 +519,8 @@ CircuitCache::Stats CircuitCache::stats() const {
   out.store_rejected = stats_.store_rejected.load(std::memory_order_relaxed);
   out.budget_exhausted =
       stats_.budget_exhausted.load(std::memory_order_relaxed);
+  out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  out.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -406,9 +541,14 @@ size_t CircuitCache::size() const {
 void CircuitCache::Clear() {
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [cnf, entry] : stripe.circuits) {
+      resident_bytes_.fetch_sub(entry.bytes, std::memory_order_relaxed);
+    }
     stripe.circuits.clear();
     stripe.failed.clear();
   }
+  std::lock_guard<std::mutex> pin_lock(pinned_mu_);
+  pinned_.clear();
 }
 
 }  // namespace gmc

@@ -112,6 +112,14 @@ class CircuitCache {
     /// equal-or-larger budget short-circuited it) and the caller was sent
     /// to the anytime tier.
     uint64_t budget_exhausted = 0;
+    /// Memory governance (zero unless max_resident_bytes is set): entries
+    /// dropped by the LRU sweep, and the current byte footprint of the
+    /// cached circuits (a gauge, not cumulative — NnfCircuit::MemoryBytes
+    /// per entry). In-flight evaluations pin evicted circuits alive via
+    /// shared_ptr, so resident_bytes tracks what the CACHE retains, not
+    /// total process memory.
+    uint64_t evictions = 0;
+    uint64_t resident_bytes = 0;
   };
 
   /// A fresh cache adopts the process-wide defaults — one
@@ -135,8 +143,21 @@ class CircuitCache {
 
   /// The compiled circuit for `cnf`, compiling on first sight. The
   /// reference stays valid until Clear() or destruction (concurrent Get
-  /// calls never move existing circuits).
+  /// calls never move existing circuits) — PROVIDED eviction is off
+  /// (max_resident_bytes == 0, the default). With a byte budget set, an
+  /// entry can be evicted while a bare reference is outstanding; eviction-
+  /// aware callers must use GetShared, which pins the circuit.
   const NnfCircuit& Get(const Cnf& cnf);
+
+  /// Pinning Get: the returned shared_ptr keeps the circuit alive across
+  /// any concurrent eviction or Clear — THE lookup for callers running
+  /// under max_resident_bytes. `cancel`, if non-null, is threaded into the
+  /// compile; a fired token abandons the compile and returns nullptr
+  /// WITHOUT caching the partial circuit or memoizing a failure (a
+  /// deadline says nothing about the instance — see compiler.h). This is
+  /// the only way GetShared returns null.
+  std::shared_ptr<const NnfCircuit> GetShared(
+      const Cnf& cnf, const CancelToken* cancel = nullptr);
 
   /// Budgeted Get — the routing probe of the anytime tier. Returns the
   /// circuit if `cnf` is already cached (in memory or in the attached
@@ -145,8 +166,17 @@ class CircuitCache {
   /// and the failure is memoized per budget, so re-probing the same
   /// structure only recompiles when offered a strictly larger budget —
   /// see CompileBudget::AllowsMoreThan). An unlimited budget is exactly
-  /// Get. Pointer lifetime matches Get's reference.
+  /// Get. Pointer lifetime matches Get's reference (same eviction caveat).
   const NnfCircuit* TryGet(const Cnf& cnf, const CompileBudget& budget);
+
+  /// Pinning TryGet: TryGet's routing semantics with GetShared's lifetime
+  /// and cancellation. Null means EITHER budget exhaustion (memoized,
+  /// Stats::budget_exhausted ticks) or a fired `cancel` (not memoized, no
+  /// stat) — callers under a deadline check cancel->cancelled() to tell
+  /// the two apart.
+  std::shared_ptr<const NnfCircuit> TryGetShared(
+      const Cnf& cnf, const CompileBudget& budget,
+      const CancelToken* cancel = nullptr);
 
   /// One circuit evaluation; compiles on the first call per CNF structure.
   Rational Probability(const Cnf& cnf,
@@ -159,8 +189,13 @@ class CircuitCache {
   /// single topological circuit pass (NnfCircuit::EvaluateBatch) instead
   /// of K independent walks. The pass itself is column-parallel (see
   /// nnf.h); set_num_threads below bounds the workers it may use.
+  /// `cancel`, if non-null, covers both the compile and the batch pass; a
+  /// fired token makes the RESULT meaningless (well-formed sizes, garbage
+  /// values) — the caller owns the cancelled() check-and-discard, exactly
+  /// as with NnfCircuit::EvaluateBatch.
   std::vector<Rational> ProbabilityBatch(const Cnf& cnf,
-                                         const WeightMatrix& weights);
+                                         const WeightMatrix& weights,
+                                         const CancelToken* cancel = nullptr);
   /// Mixed-structure form: groups the lineages by CNF structure, compiles
   /// each distinct structure once, and serves every group with one batch
   /// pass over that group's weight vectors. Results come back in input
@@ -262,10 +297,20 @@ class CircuitCache {
   // Hash stripes: 16 is plenty — contention is per distinct structure, and
   // callers batch per structure.
   static constexpr size_t kNumStripes = 16;
+  // One cached circuit plus its eviction bookkeeping. shared_ptr (not
+  // unique_ptr) so eviction can drop the map entry while in-flight
+  // evaluations that pinned via GetShared keep the circuit alive; `bytes`
+  // is the MemoryBytes() the entry charged against resident_bytes_, and
+  // `last_used` is a global use-clock reading (updated under the stripe
+  // lock on every hit) that the LRU sweep compares across stripes.
+  struct Entry {
+    std::shared_ptr<const NnfCircuit> circuit;
+    uint64_t bytes = 0;
+    uint64_t last_used = 0;
+  };
   struct Stripe {
     mutable std::mutex mu;
-    std::unordered_map<Cnf, std::unique_ptr<NnfCircuit>, CnfHash, CnfClauseEq>
-        circuits;
+    std::unordered_map<Cnf, Entry, CnfHash, CnfClauseEq> circuits;
     // Budget-exhaustion memo: the largest budget each structure has failed
     // under. TryGet consults it to skip recompiling a known blow-up unless
     // the caller offers strictly more on some axis. Cleared by Clear().
@@ -291,12 +336,21 @@ class CircuitCache {
     std::atomic<uint64_t> store_misses{0};
     std::atomic<uint64_t> store_rejected{0};
     std::atomic<uint64_t> budget_exhausted{0};
+    std::atomic<uint64_t> evictions{0};
   };
 
   Stripe& StripeFor(const Cnf& cnf);
-  // Shared body of Get (budget == nullptr; never returns nullptr) and
-  // TryGet (nullptr once the budget is spent).
-  const NnfCircuit* GetOrCompile(const Cnf& cnf, const CompileBudget* budget);
+  // Shared body of every lookup. Null iff the budget was spent (memoized)
+  // or `cancel` fired (not memoized).
+  std::shared_ptr<const NnfCircuit> GetOrCompile(const Cnf& cnf,
+                                                 const CompileBudget* budget,
+                                                 const CancelToken* cancel);
+  // LRU sweep: drops globally least-recently-used entries until
+  // resident_bytes_ fits `max_bytes`, never touching entries used at or
+  // after `keep_from` (the just-inserted entry's clock reading — evicting
+  // it immediately would thrash). Takes stripe locks one at a time;
+  // callers must hold NONE.
+  void MaybeEvict(uint64_t max_bytes, uint64_t keep_from);
   // (Re-)attaches or detaches the persistent store; the body of the legacy
   // set_store_directory.
   void ApplyStore(const std::string& directory, bool write_through);
@@ -311,6 +365,17 @@ class CircuitCache {
   mutable std::mutex store_mu_;  // guards store_ (the pointer, not the store)
   std::shared_ptr<const store::CircuitStore> store_;
   std::atomic<bool> write_through_{true};
+  // Memory governance: byte cap (0 = unlimited), current footprint, and
+  // the monotone use-clock every hit/insert stamps entries with.
+  std::atomic<uint64_t> max_resident_bytes_{0};
+  std::atomic<uint64_t> resident_bytes_{0};
+  std::atomic<uint64_t> use_clock_{0};
+  // Circuits whose cache insertion was suppressed by fault injection
+  // (fault::Point::kCacheInsert) are parked here so legacy Get references
+  // honor their valid-until-Clear contract even when the map never held
+  // the entry. Empty in production (no faults configured).
+  mutable std::mutex pinned_mu_;
+  std::vector<std::shared_ptr<const NnfCircuit>> pinned_;
   std::atomic<bool> dyadic_enabled_{DyadicDefaultEnabled()};
   std::atomic<int> num_threads_{0};
   std::atomic<OrderHeuristic> order_{DefaultOrderHeuristic()};

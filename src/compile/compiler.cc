@@ -8,24 +8,37 @@
 
 namespace gmc {
 
-NnfCircuit Compiler::Compile(const Cnf& cnf) {
+NnfCircuit Compiler::Compile(const Cnf& cnf, const CancelToken* cancel) {
   budget_ = nullptr;
   budget_exhausted_ = false;  // never inherit a prior TryCompile's failure
-  return CompileImpl(cnf);
+  budget_calls_ = 0;
+  budget_token_.reset();
+  cancel_ = cancel;
+  cancelled_ = false;
+  NnfCircuit circuit = CompileImpl(cnf);
+  cancel_ = nullptr;
+  return circuit;
 }
 
 std::optional<NnfCircuit> Compiler::TryCompile(const Cnf& cnf,
-                                               const CompileBudget& budget) {
-  if (budget.Unlimited()) return Compile(cnf);  // resets budget state too
+                                               const CompileBudget& budget,
+                                               const CancelToken* cancel) {
+  if (budget.Unlimited()) {
+    NnfCircuit circuit = Compile(cnf, cancel);  // resets budget state too
+    if (cancelled_) return std::nullopt;
+    return circuit;
+  }
   budget_ = &budget;
   budget_exhausted_ = false;
   budget_calls_ = 0;
-  if (budget.max_millis > 0) {
-    budget_deadline_ = std::chrono::steady_clock::now() +
-                       std::chrono::milliseconds(budget.max_millis);
-  }
+  budget_token_.reset();
+  if (budget.max_millis > 0) budget_token_.emplace(budget.max_millis);
+  cancel_ = cancel;
+  cancelled_ = false;
   NnfCircuit circuit = CompileImpl(cnf);
   budget_ = nullptr;
+  cancel_ = nullptr;
+  if (cancelled_) return std::nullopt;
   if (budget_exhausted_) {
     ++stats_.budget_exhausted;
     return std::nullopt;
@@ -48,8 +61,12 @@ NnfCircuit Compiler::CompileImpl(const Cnf& cnf) {
   memo_.clear();
   circuit.SetRoot(CompileNode(cnf));
   circuit_ = nullptr;
-  // A budget-exhausted run unwinds with a placeholder root; the circuit is
-  // about to be discarded by TryCompile, so skip the post-passes.
+  // A budget-exhausted or cancelled run unwinds with a placeholder root;
+  // the circuit is about to be discarded, so skip the post-passes.
+  if (cancelled_) {
+    ++stats_.cancelled;
+    return circuit;
+  }
   if (budget_exhausted_) return circuit;
   // Constant folding can orphan nodes (a FALSE component collapses its
   // AND); drop them so every Evaluate pass touches live nodes only.
@@ -87,14 +104,22 @@ int Compiler::BranchVariable(const Cnf& cnf) const {
 }
 
 bool Compiler::BudgetSpent() {
-  if (budget_ == nullptr || budget_exhausted_) return budget_exhausted_;
+  if (budget_exhausted_ || cancelled_) return true;
   ++budget_calls_;
+  // The external deadline outranks the budget and applies to unbudgeted
+  // compiles too; its clock read shares the budget's every-256 stride.
+  if (cancel_ != nullptr &&
+      ((budget_calls_ & 255) == 0 ? cancel_->Poll() : cancel_->cancelled())) {
+    cancelled_ = true;
+    return true;
+  }
+  if (budget_ == nullptr) return false;
   if ((budget_->max_calls > 0 && budget_calls_ > budget_->max_calls) ||
       (budget_->max_nodes > 0 &&
        circuit_->num_nodes() > budget_->max_nodes)) {
     budget_exhausted_ = true;
-  } else if (budget_->max_millis > 0 && (budget_calls_ & 255) == 0 &&
-             std::chrono::steady_clock::now() > budget_deadline_) {
+  } else if (budget_token_.has_value() && (budget_calls_ & 255) == 0 &&
+             budget_token_->Poll()) {
     budget_exhausted_ = true;
   }
   return budget_exhausted_;
@@ -137,9 +162,9 @@ int Compiler::CompileNode(const Cnf& cnf) {
     const int low = CompileNode(cnf.Condition(best_var, false));
     result = circuit_->Decision(best_var, high, low);
   }
-  // Never memoize under an exhausted budget: the placeholder results the
-  // unwind produces are not the CNF's circuit.
-  if (!budget_exhausted_) memo_.emplace(cnf, result);
+  // Never memoize under an exhausted budget or a fired deadline: the
+  // placeholder results the unwind produces are not the CNF's circuit.
+  if (!budget_exhausted_ && !cancelled_) memo_.emplace(cnf, result);
   return result;
 }
 

@@ -18,7 +18,6 @@
 #ifndef GMC_COMPILE_COMPILER_H_
 #define GMC_COMPILE_COMPILER_H_
 
-#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -30,6 +29,7 @@
 #include "compile/vtree.h"
 #include "lineage/boolean_formula.h"
 #include "lineage/grounder.h"
+#include "util/cancel.h"
 
 namespace gmc {
 
@@ -57,6 +57,11 @@ class Compiler {
     /// TryCompile calls that hit a CompileBudget cap and returned nullopt
     /// (the routing probes that sent an instance to the anytime tier).
     uint64_t budget_exhausted = 0;
+    /// Compilations stopped by an external CancelToken (request deadline).
+    /// Distinct from budget_exhausted: a cancelled compile says nothing
+    /// about the instance's hardness, so callers must not memoize it as a
+    /// budget failure.
+    uint64_t cancelled = 0;
     /// Sweep-and-merge totals (cumulative across Compile calls; equal when
     /// minimization is disabled).
     uint64_t minimize_nodes_before = 0;
@@ -70,7 +75,12 @@ class Compiler {
   /// sweep-and-merge Minimizer pass (see minimize.h) unless disabled
   /// below. The returned circuit is owned by the caller and holds no
   /// reference back into the compiler.
-  NnfCircuit Compile(const Cnf& cnf);
+  ///
+  /// `cancel` (optional) is the request-deadline token, polled every few
+  /// hundred recursion steps. A cancelled run returns a well-formed but
+  /// MEANINGLESS circuit — the caller must check cancel->cancelled() after
+  /// every pass it shares a token with and discard on true.
+  NnfCircuit Compile(const Cnf& cnf, const CancelToken* cancel = nullptr);
   /// Lineage convenience: an unsatisfiable lineage compiles to the FALSE
   /// circuit. Evaluate with lineage.probabilities (or any other weights).
   NnfCircuit Compile(const Lineage& lineage);
@@ -82,9 +92,12 @@ class Compiler {
   /// An unlimited budget is exactly Compile: same circuit, bit for bit.
   /// Node/call caps are deterministic; the wall-clock cap is checked every
   /// few hundred recursion steps, so overshoot is bounded but timing-
-  /// dependent.
+  /// dependent. A fired `cancel` token also yields std::nullopt, but ticks
+  /// Stats::cancelled instead of budget_exhausted — callers distinguish
+  /// the two by checking cancel->cancelled().
   std::optional<NnfCircuit> TryCompile(const Cnf& cnf,
-                                       const CompileBudget& budget);
+                                       const CompileBudget& budget,
+                                       const CancelToken* cancel = nullptr);
 
   /// Shannon-order selection (default kDefault — the legacy
   /// most-occurring-variable heuristic). Non-default orders build one
@@ -118,8 +131,9 @@ class Compiler {
   /// minimum-decision-rank occurring variable when a vtree is in force,
   /// else the legacy most-occurring variable.
   int BranchVariable(const Cnf& cnf) const;
-  /// True once the in-flight budget is spent; flips budget_exhausted_ so
-  /// the recursion unwinds without building further nodes.
+  /// True once the in-flight budget is spent or the external token fired;
+  /// flips budget_exhausted_ / cancelled_ so the recursion unwinds without
+  /// building further nodes.
   bool BudgetSpent();
 
   NnfCircuit* circuit_ = nullptr;
@@ -127,7 +141,12 @@ class Compiler {
   const CompileBudget* budget_ = nullptr;
   bool budget_exhausted_ = false;
   uint64_t budget_calls_ = 0;
-  std::chrono::steady_clock::time_point budget_deadline_;
+  // The budget's own wall-clock cap (max_millis), armed per TryCompile.
+  std::optional<CancelToken> budget_token_;
+  // External request-deadline token (both entry points); polling it is
+  // amortized on the same every-256-calls stride as the budget clock.
+  const CancelToken* cancel_ = nullptr;
+  bool cancelled_ = false;
   // Sub-CNF -> node id; hashed via Hash64, compared exactly (CnfClauseEq).
   // Cleared at the top of every Compile, so entries never leak across
   // orders — the memo is keyed consistently under whichever order the

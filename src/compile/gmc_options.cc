@@ -100,6 +100,8 @@ GmcOptions GmcOptions::FromEnv() {
   EnvUnitDouble("GMC_DELTA", &options.delta);
   EnvU64("GMC_MAX_SAMPLES", &options.max_samples);
   EnvU64("GMC_SEED", &options.sample_seed);
+  EnvU64("GMC_DEADLINE_MS", &options.deadline_ms);
+  EnvU64("GMC_CACHE_BYTES", &options.max_resident_bytes);
   return options;
 }
 

@@ -128,6 +128,22 @@ struct GmcOptions {
   /// and the lineage structure, so fixed-seed runs reproduce exactly.
   uint64_t sample_seed = 0x9e3779b97f4a7c15ull;
 
+  /// End-to-end wall-clock deadline per checked request, in milliseconds
+  /// (0 = none). One CancelToken armed with this deadline covers grounding,
+  /// the compile probe, every arena evaluation pass, and the sampler; when
+  /// it fires, EvaluateAnswer returns kDeadlineExceeded (exact tiers) or
+  /// the sampler's achieved-ε anytime report (sampled tier). Unlike
+  /// compile_budget.max_millis — which stops only the compiler — this
+  /// deadline bounds the whole request (GfomcSession only).
+  uint64_t deadline_ms = 0;
+
+  /// Byte cap on circuits resident in the CircuitCache (0 = unlimited).
+  /// Past the cap the least-recently-used circuits are evicted; in-flight
+  /// evaluations hold shared_ptr pins, so eviction frees memory without
+  /// ever invalidating a running pass. Evicted-but-persisted circuits
+  /// degrade to store read-through hits, not recompiles.
+  uint64_t max_resident_bytes = 0;
+
   /// The process-environment defaults, resolved in one place: GMC_ORDER →
   /// order, GMC_STORE → store_directory, GMC_THREADS → (deliberately) a
   /// num_threads of 0, because 0 already means "defer to the process
@@ -136,9 +152,11 @@ struct GmcOptions {
   /// GMC_ROUTING (exact/auto/interval/sample), GMC_BUDGET_NODES /
   /// GMC_BUDGET_CALLS / GMC_BUDGET_MS (unsigned; 0 = unlimited),
   /// GMC_EPSILON / GMC_DELTA (decimals strictly in (0, 1)),
-  /// GMC_MAX_SAMPLES and GMC_SEED (unsigned). Unset or malformed values
-  /// keep the struct defaults. Every default-constructed CircuitCache /
-  /// session Configures itself with this value.
+  /// GMC_MAX_SAMPLES and GMC_SEED (unsigned), GMC_DEADLINE_MS →
+  /// deadline_ms and GMC_CACHE_BYTES → max_resident_bytes (unsigned;
+  /// 0 = off). Unset or malformed values keep the struct defaults. Every
+  /// default-constructed CircuitCache / session Configures itself with
+  /// this value.
   static GmcOptions FromEnv();
 };
 

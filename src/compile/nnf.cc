@@ -188,28 +188,31 @@ Rational NnfCircuit::Evaluate(
   return WalkEvaluate(Flatten().view(), probabilities);
 }
 
-std::vector<Rational> NnfCircuit::EvaluateBatch(const WeightMatrix& weights,
-                                                int num_threads) const {
-  return WalkEvaluateBatch(Flatten().view(), weights, num_threads);
+std::vector<Rational> NnfCircuit::EvaluateBatch(
+    const WeightMatrix& weights, int num_threads,
+    const CancelToken* cancel) const {
+  return WalkEvaluateBatch(Flatten().view(), weights, num_threads, cancel);
 }
 
 std::vector<Rational> NnfCircuit::EvaluateBatchDyadic(
-    const WeightMatrix& weights, int num_threads,
-    DyadicBatchStats* stats) const {
+    const WeightMatrix& weights, int num_threads, DyadicBatchStats* stats,
+    const CancelToken* cancel) const {
   return WalkEvaluateBatchDyadic(Flatten().view(), weights, num_threads,
-                                 stats);
+                                 stats, cancel);
 }
 
 std::vector<double> NnfCircuit::EvaluateBatchDouble(
     const WeightMatrix& weights, int recheck_stride, double recheck_tolerance,
-    int num_threads) const {
+    int num_threads, const CancelToken* cancel) const {
   return WalkEvaluateBatchDouble(Flatten().view(), weights, recheck_stride,
-                                 recheck_tolerance, num_threads);
+                                 recheck_tolerance, num_threads, cancel);
 }
 
 std::vector<ProbInterval> NnfCircuit::EvaluateBatchInterval(
-    const WeightMatrix& weights, int num_threads) const {
-  return WalkEvaluateBatchInterval(Flatten().view(), weights, num_threads);
+    const WeightMatrix& weights, int num_threads,
+    const CancelToken* cancel) const {
+  return WalkEvaluateBatchInterval(Flatten().view(), weights, num_threads,
+                                   cancel);
 }
 
 NnfCircuit::Stats NnfCircuit::ComputeStats() const {
@@ -241,6 +244,23 @@ NnfCircuit::Stats NnfCircuit::ComputeStats() const {
   }
   stats.depth = depth[root_];
   return stats;
+}
+
+size_t NnfCircuit::MemoryBytes() const {
+  // Element counts, not allocator capacities: the estimate must be a pure
+  // function of the circuit's structure so eviction accounting balances
+  // exactly across insert and erase.
+  size_t bytes = sizeof(NnfCircuit) + nodes_.size() * sizeof(NnfNode);
+  for (const NnfNode& node : nodes_) {
+    bytes += node.children.size() * sizeof(int);
+  }
+  for (const auto& [hash, bucket] : unique_) {
+    // Per-entry map overhead: key + value + one hash-table node's worth of
+    // bookkeeping (a fixed nominal 32 bytes — close enough for a budget).
+    bytes += sizeof(hash) + sizeof(bucket) + 32;
+    bytes += bucket.size() * sizeof(int);
+  }
+  return bytes;
 }
 
 std::vector<std::vector<int>> NnfCircuit::Supports() const {

@@ -174,8 +174,16 @@ class NnfCircuit {
   /// another weight vector — so results are BIT-IDENTICAL at every thread
   /// count. `num_threads`: 0 = process default (DefaultNumThreads, i.e. the
   /// GMC_THREADS knob), 1 = serial, n = at most n slices.
+  ///
+  /// `cancel` (all four batch evaluators): optional request-deadline token
+  /// polled periodically inside every column slice. A pass that finishes
+  /// with the token unfired is bit-identical to an uncancelled one; once
+  /// it fires the return value is meaningless and the caller must discard
+  /// it after checking cancel->cancelled() — see nnf_walk.h.
   std::vector<Rational> EvaluateBatch(const WeightMatrix& weights,
-                                      int num_threads = 0) const;
+                                      int num_threads = 0,
+                                      const CancelToken* cancel =
+                                          nullptr) const;
 
   /// Exact dyadic fast path of EvaluateBatch: the same topological pass over
   /// dyadic (mantissa · 2^-exp) values, so the inner loops are straight
@@ -195,7 +203,8 @@ class NnfCircuit {
   /// non-null, reports how the K vectors were routed.
   std::vector<Rational> EvaluateBatchDyadic(
       const WeightMatrix& weights, int num_threads = 0,
-      DyadicBatchStats* stats = nullptr) const;
+      DyadicBatchStats* stats = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   /// Double-precision fast path of EvaluateBatch for sweeps that only need
   /// interpolation-grade inputs: same pass over a double arena, no BigInt
@@ -207,15 +216,18 @@ class NnfCircuit {
   std::vector<double> EvaluateBatchDouble(const WeightMatrix& weights,
                                           int recheck_stride = 0,
                                           double recheck_tolerance = 1e-9,
-                                          int num_threads = 0) const;
+                                          int num_threads = 0,
+                                          const CancelToken* cancel =
+                                              nullptr) const;
 
   /// Certified fast path: the double-speed arena pass with every flop
   /// outward-rounded, returning per-column enclosures [lo, hi] that
   /// PROVABLY contain the exact answer (see nnf_interval.cc for the
   /// argument). Weights must be probabilities in [0, 1]; aborts otherwise.
   /// The certified tier of RoutingMode::kInterval.
-  std::vector<ProbInterval> EvaluateBatchInterval(const WeightMatrix& weights,
-                                                  int num_threads = 0) const;
+  std::vector<ProbInterval> EvaluateBatchInterval(
+      const WeightMatrix& weights, int num_threads = 0,
+      const CancelToken* cancel = nullptr) const;
 
   /// Process-wide A/B knob for the fixed-width dyadic kernels (on by
   /// default). Off forces every dyadic batch through the BigInt arena;
@@ -244,6 +256,13 @@ class NnfCircuit {
   uint64_t Fingerprint() const;
 
   Stats ComputeStats() const;
+
+  /// Deterministic estimate of this circuit's resident heap footprint in
+  /// bytes (nodes, child vectors, and the hash-consing table), counting
+  /// element sizes rather than allocator capacities so the same circuit
+  /// always reports the same number — the accounting unit of
+  /// CircuitCache's max_resident_bytes eviction.
+  size_t MemoryBytes() const;
 
   /// Structural audits (tests): AND children have pairwise disjoint variable
   /// supports (decomposability); no decision branch mentions its decision

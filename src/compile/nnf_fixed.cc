@@ -57,6 +57,8 @@ constexpr uint64_t kFixed128MaxExponent = 127;
 // Columns per slice for the fixed kernels: cheaper per column than the
 // BigInt arena, so slices need more columns to amortize their arena.
 constexpr int64_t kMinFixedColumnsPerSlice = 16;
+// Deadline-poll stride, mirroring nnf_walk.cc's arena loops.
+constexpr size_t kCancelNodeStride = 64;
 
 uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
   return std::min(kExponentCap, std::min(kExponentCap, a) + b);
@@ -152,7 +154,7 @@ template <typename M>
 std::vector<Rational> EvaluateBatchDyadicFixed(
     const CircuitWalkView& view, const WeightMatrix& weights, int num_threads,
     const std::vector<uint64_t>& var_exp,
-    const std::vector<uint64_t>& node_exp) {
+    const std::vector<uint64_t>& node_exp, const CancelToken* cancel) {
   const int num_k = weights.num_vectors();
   const int num_vars = view.num_vars;
 
@@ -201,6 +203,10 @@ std::vector<Rational> EvaluateBatchDyadicFixed(
         const int num_w = static_cast<int>(k1_64 - k0_64);
         std::vector<M> value(view.num_nodes * num_w);
         for (size_t id = 0; id < view.num_nodes; ++id) {
+          if (cancel != nullptr && (id % kCancelNodeStride) == 0 &&
+              cancel->Poll()) {
+            return;  // caller discards the batch — nnf_walk.h contract
+          }
           const FlatNode& node = view.nodes[id];
           M* out = value.data() + id * num_w;
           switch (static_cast<NnfKind>(node.kind)) {
@@ -258,6 +264,11 @@ std::vector<Rational> EvaluateBatchDyadicFixed(
         for (int k = 0; k < num_w; ++k) roots[k0 + k] = root[k];
       });
 
+  // Keep the size contract on cancellation (the caller discards) without
+  // converting partial mantissas.
+  if (cancel != nullptr && cancel->cancelled()) {
+    return std::vector<Rational>(num_k);
+  }
   const uint64_t root_exp = node_exp[view.root];
   std::vector<Rational> result;
   result.reserve(num_k);
@@ -280,7 +291,8 @@ bool NnfCircuit::FixedWidthDefaultEnabled() {
 std::vector<Rational> WalkEvaluateBatchDyadic(const CircuitWalkView& view,
                                               const WeightMatrix& weights,
                                               int num_threads,
-                                              DyadicBatchStats* stats) {
+                                              DyadicBatchStats* stats,
+                                              const CancelToken* cancel) {
   GMC_CHECK(weights.num_vars() >= view.num_vars);
   const int num_k = weights.num_vectors();
   const int num_vars = view.num_vars;
@@ -312,7 +324,7 @@ std::vector<Rational> WalkEvaluateBatchDyadic(const CircuitWalkView& view,
   if (!unit_range) {
     report(0, 0, num_k);
     return walk_internal::WalkEvaluateBatchDyadicBig(view, weights,
-                                                     num_threads);
+                                                     num_threads, cancel);
   }
 
   // Width selection: one fold with the batch-wide per-variable exponents.
@@ -321,12 +333,12 @@ std::vector<Rational> WalkEvaluateBatchDyadic(const CircuitWalkView& view,
   if (bound <= kFixed64MaxExponent) {
     report(num_k, 0, 0);
     return EvaluateBatchDyadicFixed<uint64_t>(view, weights, num_threads,
-                                              var_exp, node_exp);
+                                              var_exp, node_exp, cancel);
   }
   if (bound <= kFixed128MaxExponent) {
     report(0, num_k, 0);
     return EvaluateBatchDyadicFixed<UInt128>(view, weights, num_threads,
-                                             var_exp, node_exp);
+                                             var_exp, node_exp, cancel);
   }
 
   // Too wide as one batch — classify per column: a column's private
@@ -357,7 +369,7 @@ std::vector<Rational> WalkEvaluateBatchDyadic(const CircuitWalkView& view,
   if ((fits64.size() + fits128.size()) * 4 < static_cast<size_t>(num_k)) {
     report(0, 0, num_k);
     return walk_internal::WalkEvaluateBatchDyadicBig(view, weights,
-                                                     num_threads);
+                                                     num_threads, cancel);
   }
   report(static_cast<int>(fits64.size()), static_cast<int>(fits128.size()),
          static_cast<int>(needs_big.size()));
@@ -402,23 +414,26 @@ std::vector<Rational> WalkEvaluateBatchDyadic(const CircuitWalkView& view,
       std::vector<Rational> values =
           max_exponent <= kFixed64MaxExponent
               ? EvaluateBatchDyadicFixed<uint64_t>(view, sub, num_threads,
-                                                   sub_exp, sub_node_exp)
+                                                   sub_exp, sub_node_exp,
+                                                   cancel)
               : EvaluateBatchDyadicFixed<UInt128>(view, sub, num_threads,
-                                                  sub_exp, sub_node_exp);
+                                                  sub_exp, sub_node_exp,
+                                                  cancel);
       scatter(columns, std::move(values));
       return;
     }
     for (int k : columns) {
-      std::vector<Rational> one =
-          WalkEvaluateBatchDyadic(view, gather({k}), num_threads, nullptr);
+      if (cancel != nullptr && cancel->cancelled()) return;
+      std::vector<Rational> one = WalkEvaluateBatchDyadic(
+          view, gather({k}), num_threads, nullptr, cancel);
       result[k] = std::move(one[0]);
     }
   };
   run_fixed_class(fits64, kFixed64MaxExponent);
   run_fixed_class(fits128, kFixed128MaxExponent);
-  if (!needs_big.empty()) {
+  if (!needs_big.empty() && (cancel == nullptr || !cancel->cancelled())) {
     scatter(needs_big, walk_internal::WalkEvaluateBatchDyadicBig(
-                           view, gather(needs_big), num_threads));
+                           view, gather(needs_big), num_threads, cancel));
   }
   return result;
 }

@@ -37,9 +37,10 @@ namespace gmc {
 
 namespace {
 
-// Mirrors the slice sizing of nnf_walk.cc.
+// Mirrors the slice sizing (and the deadline-poll stride) of nnf_walk.cc.
 constexpr int64_t kMinColumnsPerSlice = 4;
 constexpr int64_t kMinVarsPerChunk = 8;
+constexpr size_t kCancelNodeStride = 64;
 
 double Down(double x) {
   return std::nextafter(x, -std::numeric_limits<double>::infinity());
@@ -78,10 +79,14 @@ ProbInterval BracketExact(const Rational& p) {
 // shape of nnf_walk.cc with outward rounding at every flop.
 void IntervalSlice(const CircuitWalkView& view, int k0, int k1, int num_k,
                    const ProbInterval* probability,
-                   const ProbInterval* complement, ProbInterval* out_roots) {
+                   const ProbInterval* complement, ProbInterval* out_roots,
+                   const CancelToken* cancel) {
   const int num_w = k1 - k0;
   std::vector<ProbInterval> value(view.num_nodes * num_w);
   for (size_t id = 0; id < view.num_nodes; ++id) {
+    if (cancel != nullptr && (id % kCancelNodeStride) == 0 && cancel->Poll()) {
+      return;  // caller discards the batch — nnf_walk.h cancel contract
+    }
     const FlatNode& node = view.nodes[id];
     ProbInterval* out = value.data() + id * num_w;
     switch (static_cast<NnfKind>(node.kind)) {
@@ -140,8 +145,8 @@ void IntervalSlice(const CircuitWalkView& view, int k0, int k1, int num_k,
 }  // namespace
 
 std::vector<ProbInterval> WalkEvaluateBatchInterval(
-    const CircuitWalkView& view, const WeightMatrix& weights,
-    int num_threads) {
+    const CircuitWalkView& view, const WeightMatrix& weights, int num_threads,
+    const CancelToken* cancel) {
   GMC_CHECK(weights.num_vars() >= view.num_vars);
   const int num_k = weights.num_vectors();
   const int num_vars = view.num_vars;
@@ -180,7 +185,7 @@ std::vector<ProbInterval> WalkEvaluateBatchInterval(
               [&](int64_t k0, int64_t k1, int /*chunk*/) {
                 IntervalSlice(view, static_cast<int>(k0),
                               static_cast<int>(k1), num_k, probability.data(),
-                              complement.data(), result.data());
+                              complement.data(), result.data(), cancel);
               });
   return result;
 }

@@ -29,16 +29,27 @@ bool IsZeroValue(double v) { return v == 0.0; }
 constexpr int64_t kMinColumnsPerSlice = 4;
 // Variables per chunk for the parallel conversion/complement preambles.
 constexpr int64_t kMinVarsPerChunk = 8;
+// Arena nodes between deadline polls (see util/cancel.h): the poll is one
+// relaxed load on the common path, so the stride exists only to amortize
+// the clock read of the worker that happens to observe expiry first.
+constexpr size_t kCancelNodeStride = 64;
 
 // One contiguous row-major arena per slice: within a slice of width
 // W = k1 - k0, the W values of node `id` live at value[id * W .. id*W + W).
+// A fired cancel token abandons the slice mid-pass: out_roots keeps its
+// previous (meaningless) contents and the CALLER discards the batch — see
+// the contract in nnf_walk.h.
 template <typename Value, typename ColumnFn>
 void EvaluateBatchSlice(const CircuitWalkView& view, int k0, int k1,
                         int num_k, ColumnFn column, const Value* complement,
-                        const Value& one, Value* out_roots) {
+                        const Value& one, Value* out_roots,
+                        const CancelToken* cancel) {
   const int num_w = k1 - k0;
   std::vector<Value> value(view.num_nodes * num_w);
   for (size_t id = 0; id < view.num_nodes; ++id) {
+    if (cancel != nullptr && (id % kCancelNodeStride) == 0 && cancel->Poll()) {
+      return;
+    }
     const FlatNode& node = view.nodes[id];
     Value* out = value.data() + id * num_w;
     switch (static_cast<NnfKind>(node.kind)) {
@@ -98,13 +109,15 @@ template <typename Value, typename ColumnFn>
 std::vector<Value> EvaluateBatchArena(const CircuitWalkView& view, int num_k,
                                       int num_threads, ColumnFn column,
                                       const Value* complement,
-                                      const Value& one) {
+                                      const Value& one,
+                                      const CancelToken* cancel = nullptr) {
   std::vector<Value> result(num_k);
   ParallelFor(num_k, num_threads, kMinColumnsPerSlice,
               [&](int64_t k0, int64_t k1, int /*chunk*/) {
                 EvaluateBatchSlice<Value>(view, static_cast<int>(k0),
                                           static_cast<int>(k1), num_k, column,
-                                          complement, one, result.data());
+                                          complement, one, result.data(),
+                                          cancel);
               });
   return result;
 }
@@ -126,7 +139,8 @@ std::vector<bool> WalkDecisionVars(const CircuitWalkView& view) {
 
 std::vector<Rational> WalkEvaluateBatchDyadicBig(const CircuitWalkView& view,
                                                  const WeightMatrix& weights,
-                                                 int num_threads) {
+                                                 int num_threads,
+                                                 const CancelToken* cancel) {
   GMC_CHECK(weights.num_vars() >= view.num_vars);
   const int num_k = weights.num_vectors();
   const int num_vars = view.num_vars;
@@ -164,7 +178,12 @@ std::vector<Rational> WalkEvaluateBatchDyadicBig(const CircuitWalkView& view,
       [&probability, num_k](int var) {
         return probability.data() + static_cast<size_t>(var) * num_k;
       },
-      complement.data(), one);
+      complement.data(), one, cancel);
+  // Keep the size contract on cancellation (values are discarded anyway)
+  // without paying the num_k ToRational conversions.
+  if (cancel != nullptr && cancel->cancelled()) {
+    return std::vector<Rational>(num_k);
+  }
   std::vector<Rational> result;
   result.reserve(num_k);
   for (const Dyadic& root : roots) result.push_back(root.ToRational());
@@ -211,7 +230,8 @@ Rational WalkEvaluate(const CircuitWalkView& view,
 
 std::vector<Rational> WalkEvaluateBatch(const CircuitWalkView& view,
                                         const WeightMatrix& weights,
-                                        int num_threads) {
+                                        int num_threads,
+                                        const CancelToken* cancel) {
   GMC_CHECK(weights.num_vars() >= view.num_vars);
   const int num_k = weights.num_vectors();
   const int num_vars = view.num_vars;
@@ -237,14 +257,15 @@ std::vector<Rational> WalkEvaluateBatch(const CircuitWalkView& view,
   return EvaluateBatchArena<Rational>(
       view, num_k, num_threads,
       [&weights](int var) { return weights.Column(var); }, complement.data(),
-      Rational::One());
+      Rational::One(), cancel);
 }
 
 std::vector<double> WalkEvaluateBatchDouble(const CircuitWalkView& view,
                                             const WeightMatrix& weights,
                                             int recheck_stride,
                                             double recheck_tolerance,
-                                            int num_threads) {
+                                            int num_threads,
+                                            const CancelToken* cancel) {
   GMC_CHECK(weights.num_vars() >= view.num_vars);
   const int num_k = weights.num_vectors();
   const int num_vars = view.num_vars;
@@ -272,15 +293,20 @@ std::vector<double> WalkEvaluateBatchDouble(const CircuitWalkView& view,
       [&probability, num_k](int var) {
         return probability.data() + static_cast<size_t>(var) * num_k;
       },
-      complement.data(), 1.0);
+      complement.data(), 1.0, cancel);
 
-  if (recheck_stride > 0) {
+  if (recheck_stride > 0 && (cancel == nullptr || !cancel->cancelled())) {
     // Re-checks are the expensive half (one exact Evaluate each), and each
-    // checks one column independently — chunk them over the pool too.
+    // checks one column independently — chunk them over the pool too. A
+    // cancelled main pass skips them (partial values would trip the drift
+    // abort on data the caller is about to discard); a cancellation DURING
+    // the re-checks only skips the remaining checks — never the abort on a
+    // check that already ran against real values.
     const int num_checks = (num_k + recheck_stride - 1) / recheck_stride;
     ParallelFor(num_checks, num_threads, 1,
                 [&](int64_t c0, int64_t c1, int /*chunk*/) {
                   for (int64_t c = c0; c < c1; ++c) {
+                    if (cancel != nullptr && cancel->Poll()) return;
                     const int k = static_cast<int>(c) * recheck_stride;
                     const double exact =
                         WalkEvaluate(view, weights.Row(k)).ToDouble();

@@ -31,6 +31,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/cancel.h"
 #include "util/rational.h"
 
 namespace gmc {
@@ -94,20 +95,28 @@ struct ProbInterval {
 /// The walks. Semantics, exactness, thread behaviour, and parameter
 /// meanings are those of the NnfCircuit methods of the same name (nnf.h),
 /// which are now thin Flatten-then-delegate wrappers over these.
+///
+/// `cancel` (optional, every batch walk): the request-deadline token,
+/// polled every 64 arena nodes inside each column-parallel slice. A pass
+/// that completes with the token unfired is bit-identical to one run with
+/// cancel == nullptr; once the token fires, workers abandon their slices
+/// and the returned values are MEANINGLESS (well-formed, but partial) —
+/// the caller owns the check: test cancel->cancelled() after the pass and
+/// discard the result on true. No walk ever returns wrong bits silently;
+/// the contract is "finished and exact, or flagged cancelled".
 Rational WalkEvaluate(const CircuitWalkView& view,
                       const std::vector<Rational>& probabilities);
 std::vector<Rational> WalkEvaluateBatch(const CircuitWalkView& view,
                                         const WeightMatrix& weights,
-                                        int num_threads);
-std::vector<Rational> WalkEvaluateBatchDyadic(const CircuitWalkView& view,
-                                              const WeightMatrix& weights,
-                                              int num_threads,
-                                              DyadicBatchStats* stats);
-std::vector<double> WalkEvaluateBatchDouble(const CircuitWalkView& view,
-                                            const WeightMatrix& weights,
-                                            int recheck_stride,
-                                            double recheck_tolerance,
-                                            int num_threads);
+                                        int num_threads,
+                                        const CancelToken* cancel = nullptr);
+std::vector<Rational> WalkEvaluateBatchDyadic(
+    const CircuitWalkView& view, const WeightMatrix& weights, int num_threads,
+    DyadicBatchStats* stats, const CancelToken* cancel = nullptr);
+std::vector<double> WalkEvaluateBatchDouble(
+    const CircuitWalkView& view, const WeightMatrix& weights,
+    int recheck_stride, double recheck_tolerance, int num_threads,
+    const CancelToken* cancel = nullptr);
 /// Directed-rounding interval pass (nnf_interval.cc): the double arena walk
 /// with every flop outward-rounded, so each returned interval PROVABLY
 /// contains the exact Rational answer — double speed with a guarantee
@@ -115,8 +124,8 @@ std::vector<double> WalkEvaluateBatchDouble(const CircuitWalkView& view,
 /// (aborts otherwise); column-parallel and deterministic at every thread
 /// count like the other batch walks.
 std::vector<ProbInterval> WalkEvaluateBatchInterval(
-    const CircuitWalkView& view, const WeightMatrix& weights,
-    int num_threads);
+    const CircuitWalkView& view, const WeightMatrix& weights, int num_threads,
+    const CancelToken* cancel = nullptr);
 
 /// Order-independent structural fingerprint: a 64-bit hash of the circuit
 /// REACHABLE from the root that is invariant under node renumbering (AND
@@ -130,9 +139,9 @@ namespace walk_internal {
 /// The BigInt Dyadic arena pass — exact at any exponent, the fallback of
 /// the fixed-width routing in nnf_fixed.cc. Exposed here only so the two
 /// walk translation units can share it.
-std::vector<Rational> WalkEvaluateBatchDyadicBig(const CircuitWalkView& view,
-                                                 const WeightMatrix& weights,
-                                                 int num_threads);
+std::vector<Rational> WalkEvaluateBatchDyadicBig(
+    const CircuitWalkView& view, const WeightMatrix& weights, int num_threads,
+    const CancelToken* cancel = nullptr);
 /// decides[v] iff some decision node tests v (those variables need
 /// complements 1 − p).
 std::vector<bool> WalkDecisionVars(const CircuitWalkView& view);

@@ -214,9 +214,17 @@ GmcStatus GfomcSession::EvaluateAnswers(const Query& query,
   }
 
   counters_.queries += tids.size();
+  // One deadline token per checked call, shared by every instance the call
+  // evaluates: compile, circuit passes, and sampling all poll it. 0 ms
+  // means no deadline — the token stays null and every poll site reduces
+  // to one pointer comparison.
+  const CancelToken deadline(options_.deadline_ms);
+  const CancelToken* cancel =
+      options_.deadline_ms > 0 ? &deadline : nullptr;
   std::vector<GmcAnswer> routed(tids.size());
   // Safe branch, exactly as EvaluateMany: safety is PTIME exact, so the
-  // anytime tiers never apply — there is nothing to trade away.
+  // anytime tiers never apply — there is nothing to trade away (and the
+  // lifted plan is polynomial, so the deadline has nothing to interrupt).
   const int compiled_before = safe_.stats().compiled_assignments;
   if (auto safe = safe_.EvaluateMany(query, tids); safe.has_value()) {
     const bool compiled =
@@ -237,7 +245,7 @@ GmcStatus GfomcSession::EvaluateAnswers(const Query& query,
   // Unsafe: ground and route each instance through the policy.
   for (size_t i = 0; i < tids.size(); ++i) {
     const Lineage lineage = Ground(query, tids[i]);
-    if (GmcStatus status = RouteUnsafe(lineage, policy, &routed[i]);
+    if (GmcStatus status = RouteUnsafe(lineage, policy, cancel, &routed[i]);
         !status.ok()) {
       status.message = "tid " + std::to_string(i) + ": " + status.message;
       return status;
@@ -249,6 +257,7 @@ GmcStatus GfomcSession::EvaluateAnswers(const Query& query,
 
 GmcStatus GfomcSession::RouteUnsafe(const Lineage& lineage,
                                     const RoutingPolicy& policy,
+                                    const CancelToken* cancel,
                                     GmcAnswer* answer) {
   if (lineage.is_false || lineage.cnf.HasEmptyClause()) {
     // Some ground clause is unsatisfiable: exactly 0, every mode.
@@ -257,39 +266,68 @@ GmcStatus GfomcSession::RouteUnsafe(const Lineage& lineage,
     ++counters_.unsafe_compiled;
     return GmcStatus::Ok();
   }
+  auto deadline_error = [this] {
+    ++counters_.deadline_exceeded;
+    return GmcStatus::Error(
+        GmcStatusCode::kDeadlineExceeded,
+        "deadline exceeded before an answer was produced (nothing is "
+        "memoized; retrying without a deadline may succeed)");
+  };
+  if (cancel != nullptr && cancel->Poll()) return deadline_error();
   // kExact with an unlimited budget reproduces the legacy routing verbatim:
   // the var-count gate picks circuits or recursion, both exact.
   if (policy.mode() == RoutingMode::kExact && policy.budget().Unlimited()) {
-    answer->tier = AnswerTier::kCompiledExact;
     if (lineage.variables.size() > kMaxCompiledLineageVars) {
+      // The recursive engine has no cancellation points — the entry check
+      // above is the deadline's only purchase on this tier.
       answer->tier = AnswerTier::kRecursiveExact;
       answer->exact = engine_.Probability(lineage);
       ++counters_.unsafe_recursive;
-    } else {
-      answer->exact = engine_.CompiledProbability(lineage);
-      ++counters_.unsafe_compiled;
+      return GmcStatus::Ok();
     }
+    // Unlimited budget: only a fired deadline can make this null.
+    const std::shared_ptr<const NnfCircuit> circuit =
+        engine_.TryGetCircuitShared(lineage.cnf, CompileBudget{}, cancel);
+    if (circuit == nullptr) return deadline_error();
+    const WeightMatrix weights =
+        WeightMatrix::FromRows({lineage.probabilities});
+    answer->exact =
+        circuit->EvaluateBatch(weights, options_.num_threads, cancel)[0];
+    if (cancel != nullptr && cancel->cancelled()) return deadline_error();
+    answer->tier = AnswerTier::kCompiledExact;
+    ++counters_.unsafe_compiled;
     return GmcStatus::Ok();
   }
   // Budgeted compile probe (skipped by kSample). Under a budget the var
   // gate is retired: the budget itself bounds compile work, which is a
-  // sharper admission test than counting variables.
-  const NnfCircuit* circuit =
+  // sharper admission test than counting variables. The shared_ptr pins
+  // the circuit across any concurrent eviction for the passes below.
+  const std::shared_ptr<const NnfCircuit> circuit =
       policy.WantsCompileProbe()
-          ? engine_.TryGetCircuit(lineage.cnf, policy.budget())
+          ? engine_.TryGetCircuitShared(lineage.cnf, policy.budget(), cancel)
           : nullptr;
+  // A null probe result is ambiguous until the token is consulted: budget
+  // exhaustion falls through to the anytime tiers, a fired deadline is the
+  // typed error (nothing memoized, nothing counted as exhausted).
+  if (circuit == nullptr && cancel != nullptr && cancel->cancelled() &&
+      policy.WantsCompileProbe()) {
+    return deadline_error();
+  }
   if (circuit != nullptr) {
     const WeightMatrix weights =
         WeightMatrix::FromRows({lineage.probabilities});
     if (policy.TierForCompiled() == AnswerTier::kCertifiedInterval) {
-      answer->tier = AnswerTier::kCertifiedInterval;
       answer->interval =
-          circuit->EvaluateBatchInterval(weights, options_.num_threads)[0];
+          circuit->EvaluateBatchInterval(weights, options_.num_threads,
+                                         cancel)[0];
+      if (cancel != nullptr && cancel->cancelled()) return deadline_error();
+      answer->tier = AnswerTier::kCertifiedInterval;
       ++counters_.anytime_interval;
     } else {
-      answer->tier = AnswerTier::kCompiledExact;
       answer->exact =
-          circuit->EvaluateBatch(weights, options_.num_threads)[0];
+          circuit->EvaluateBatch(weights, options_.num_threads, cancel)[0];
+      if (cancel != nullptr && cancel->cancelled()) return deadline_error();
+      answer->tier = AnswerTier::kCompiledExact;
       ++counters_.unsafe_compiled;
     }
     return GmcStatus::Ok();
@@ -303,11 +341,14 @@ GmcStatus GfomcSession::RouteUnsafe(const Lineage& lineage,
   }
   // (ε, δ) sampler — the anytime floor. The per-instance seed mixes the
   // session seed with the lineage structure, so fixed-seed runs reproduce
-  // per instance regardless of batch order.
+  // per instance regardless of batch order. A deadline firing mid-sampling
+  // degrades to the achieved-ε anytime report, never an error — samples
+  // already drawn are not thrown away (see approx/karp_luby.h).
   KarpLubyParams params;
   params.epsilon = options_.epsilon;
   params.delta = options_.delta;
   params.max_samples = options_.max_samples;
+  params.cancel = cancel;
   params.seed = approx_internal::SplitMix64(options_.sample_seed ^
                                             lineage.cnf.Hash64())
                     .Next();
@@ -334,6 +375,10 @@ GfomcSession::Stats GfomcSession::stats() const {
                      engine_.circuits().stats().store_misses;
   out.store_rejected = safe_.circuits().stats().store_rejected +
                        engine_.circuits().stats().store_rejected;
+  out.evictions = safe_.circuits().stats().evictions +
+                  engine_.circuits().stats().evictions;
+  out.resident_bytes = safe_.circuits().stats().resident_bytes +
+                       engine_.circuits().stats().resident_bytes;
   return out;
 }
 

@@ -108,6 +108,13 @@ enum class GmcStatusCode : uint8_t {
   kInvalidWeight,    ///< a tuple probability outside [0, 1]
   kInvalidOptions,   ///< epsilon/delta outside (0, 1)
   kBudgetExhausted,  ///< RoutingMode::kExact refused an over-budget instance
+  /// The request's end-to-end deadline (GmcOptions::deadline_ms) fired
+  /// before an answer was produced. Distinct from kBudgetExhausted: a
+  /// deadline says nothing about the instance's hardness, so nothing is
+  /// memoized and an unhurried retry is free to succeed. The sampled tier
+  /// never reports this — a deadline there degrades to the achieved-ε
+  /// anytime certificate instead (see approx/karp_luby.h).
+  kDeadlineExceeded,
 };
 struct GmcStatus {
   GmcStatusCode code = GmcStatusCode::kOk;
@@ -201,6 +208,9 @@ class GfomcSession {
     uint64_t anytime_sampled = 0;
     uint64_t budget_exhausted = 0;
     uint64_t invalid_requests = 0;
+    // Checked calls that returned kDeadlineExceeded (the configured
+    // deadline_ms fired before an exact or certified answer existed).
+    uint64_t deadline_exceeded = 0;
     // Aggregated over both embedded CircuitCaches: how often a grounded
     // lineage compiled vs was served from cache — the repeated-query win.
     uint64_t circuit_compiles = 0;
@@ -210,6 +220,11 @@ class GfomcSession {
     uint64_t store_hits = 0;
     uint64_t store_misses = 0;
     uint64_t store_rejected = 0;
+    // Memory governance, aggregated over both caches (zero unless
+    // max_resident_bytes is set): LRU evictions, and the current resident
+    // circuit bytes (a gauge).
+    uint64_t evictions = 0;
+    uint64_t resident_bytes = 0;
   };
 
   GfomcResult Evaluate(const Query& query, const Tid& tid);
@@ -287,9 +302,11 @@ class GfomcSession {
  private:
   // EvaluateAnswers helper: routes one unsafe grounded lineage per the
   // policy. Requires mu_ held; returns non-OK only when the policy refuses
-  // (kExact with a finite, exhausted budget).
+  // (kExact with a finite, exhausted budget) or `cancel` fires before an
+  // answer exists (kDeadlineExceeded; the sampled tier instead degrades to
+  // its achieved-ε report). `cancel` may be null (no deadline configured).
   GmcStatus RouteUnsafe(const Lineage& lineage, const RoutingPolicy& policy,
-                        GmcAnswer* answer);
+                        const CancelToken* cancel, GmcAnswer* answer);
 
   mutable std::mutex mu_;  // serializes Evaluate/EvaluateMany/stats
   SafeEvaluator safe_;

@@ -1,14 +1,18 @@
 #include "serve/serve.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <iomanip>
 #include <sstream>
 #include <utility>
+
+#include "util/fault.h"
 
 namespace gmc {
 namespace serve {
@@ -80,6 +84,12 @@ bool GmcServer::Start(std::string* error) {
     if (error != nullptr) *error = "server already running";
     return false;
   }
+
+  // Every send below passes MSG_NOSIGNAL, but that only covers send(2):
+  // any other descriptor write to a vanished peer (now or in future code)
+  // would still raise SIGPIPE and kill the process. A server must treat a
+  // disconnecting client as an error code, never as a fatal signal.
+  std::signal(SIGPIPE, SIG_IGN);
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -190,19 +200,57 @@ void GmcServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   std::string buffer;
   char chunk[4096];
   bool close_connection = false;
+  // A rejected input stream (over-long line, NUL byte) gets ONE typed
+  // error before the close: the framing itself is untrustworthy from that
+  // byte on, so nothing after it is parsed.
+  auto reject_input = [&](const std::string& detail) {
+    stats_.oversize_lines.fetch_add(1, std::memory_order_relaxed);
+    SendLine(conn, "ERR - INVALID " + detail);
+    close_connection = true;
+  };
   while (!close_connection) {
+    // Block in poll, never in a bare recv: read_idle_ms bounds how long
+    // an abandoned client may hold this thread. Stop()'s shutdown() makes
+    // the descriptor readable (EOF), so the poll wakes for it too.
+    if (options_.read_idle_ms > 0) {
+      pollfd pfd{};
+      pfd.fd = conn->fd;
+      pfd.events = POLLIN;
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(options_.read_idle_ms));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready == 0) {  // idle past the bound
+        stats_.idle_disconnects.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (ready < 0) break;
+    }
     const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF, error, or Stop()'s shutdown
+    if (std::memchr(chunk, '\0', static_cast<size_t>(n)) != nullptr) {
+      reject_input("NUL byte in input");
+      break;
+    }
     buffer.append(chunk, static_cast<size_t>(n));
-    if (buffer.size() > kMaxLineBytes) break;  // hostile line length
     size_t pos;
     while ((pos = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, pos);
       buffer.erase(0, pos + 1);
+      if (line.size() > kMaxLineBytes) {
+        reject_input("line exceeds " + std::to_string(kMaxLineBytes) +
+                     " bytes");
+        break;
+      }
       if (!line.empty() && line.back() == '\r') line.pop_back();
       HandleLine(conn, line, &close_connection);
       if (close_connection) break;
+    }
+    // An unterminated partial line past the cap is hostile too — reject
+    // it now instead of buffering toward an unbounded allocation.
+    if (!close_connection && buffer.size() > kMaxLineBytes) {
+      reject_input("line exceeds " + std::to_string(kMaxLineBytes) +
+                   " bytes");
     }
   }
   // The reader is the only closer; writers take write_mu and check fd, so
@@ -215,24 +263,49 @@ void GmcServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   }
 }
 
+void GmcServer::SendLine(const std::shared_ptr<Connection>& conn,
+                         const std::string& text) {
+  std::lock_guard<std::mutex> write_lock(conn->write_mu);
+  if (conn->fd < 0) return;  // client already gone
+  // Fault point: the peer vanished mid-send. The reply is simply lost —
+  // identical to a real dead socket — and the caller's counters still
+  // tick, exactly as they would for an undetected half-open peer.
+  if (fault::ShouldFail(fault::Point::kSocketWrite)) return;
+  const std::string out = text + "\n";
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(conn->fd, out.data() + off, out.size() - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full: give the peer write_timeout_ms to drain, then
+      // treat it as dead and drop the remainder — one stalled client must
+      // never wedge the batch loop for everyone else.
+      pollfd pfd{};
+      pfd.fd = conn->fd;
+      pfd.events = POLLOUT;
+      const int timeout = options_.write_timeout_ms == 0
+                              ? -1
+                              : static_cast<int>(options_.write_timeout_ms);
+      const int ready = ::poll(&pfd, 1, timeout);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) return;  // timed out or failed: peer is dead to us
+      continue;
+    }
+    return;  // hard send error: peer gone
+  }
+}
+
 void GmcServer::HandleLine(const std::shared_ptr<Connection>& conn,
                            const std::string& line, bool* close_connection) {
   const std::vector<std::string> words = SplitWords(line);
   if (words.empty()) return;
 
-  auto reply = [&](const std::string& text) {
-    std::lock_guard<std::mutex> write_lock(conn->write_mu);
-    if (conn->fd < 0) return;
-    const std::string out = text + "\n";
-    size_t off = 0;
-    while (off < out.size()) {
-      const ssize_t n =
-          ::send(conn->fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return;
-      off += static_cast<size_t>(n);
-    }
-  };
+  auto reply = [&](const std::string& text) { SendLine(conn, text); };
 
   if (words[0] == "QUIT") {
     reply("BYE");
@@ -258,16 +331,25 @@ void GmcServer::HandleLine(const std::shared_ptr<Connection>& conn,
 
   PendingEval eval{id, Tid(query_.vocab_ptr(), 0, 0), conn};
   size_t first = 2;  // index of <num_left> in `words`
-  if (approx) {
-    eval.approx = true;
-    first = 5;
-    if (words.size() < 8) {
-      parse_error(
-          "want: EVAL_APPROX <id> <mode> <eps> <delta> <num_left> "
-          "<num_right> <default_p> ...");
+  // Optional end-to-end deadline, directly after <id> on both verbs.
+  if (words.size() > first && words[first].rfind("deadline=", 0) == 0) {
+    int deadline_ms = 0;
+    if (!ParseSmallInt(words[first].substr(9), &deadline_ms)) {
+      parse_error("deadline must be a non-negative integer (milliseconds)");
       return;
     }
-    if (!ParseRoutingMode(words[2].c_str(), &eval.mode)) {
+    eval.deadline_ms = static_cast<uint64_t>(deadline_ms);
+    ++first;
+  }
+  if (approx) {
+    eval.approx = true;
+    if (words.size() < first + 6) {
+      parse_error(
+          "want: EVAL_APPROX <id> [deadline=<ms>] <mode> <eps> <delta> "
+          "<num_left> <num_right> <default_p> ...");
+      return;
+    }
+    if (!ParseRoutingMode(words[first].c_str(), &eval.mode)) {
       parse_error("mode must be auto, exact, interval, or sample");
       return;
     }
@@ -275,17 +357,20 @@ void GmcServer::HandleLine(const std::shared_ptr<Connection>& conn,
     // probabilities, then must land strictly inside (0, 1).
     Rational eps = Rational::Zero();
     Rational delta = Rational::Zero();
-    if (!internal::ParseProbability(words[3], &eps) ||
-        !internal::ParseProbability(words[4], &delta) || eps.IsZero() ||
-        delta.IsZero() || eps == Rational::One() ||
+    if (!internal::ParseProbability(words[first + 1], &eps) ||
+        !internal::ParseProbability(words[first + 2], &delta) ||
+        eps.IsZero() || delta.IsZero() || eps == Rational::One() ||
         delta == Rational::One()) {
       parse_error("eps and delta must be rationals strictly in (0, 1)");
       return;
     }
     eval.epsilon = eps.ToDouble();
     eval.delta = delta.ToDouble();
-  } else if (words.size() < 5) {
-    parse_error("want: EVAL <id> <num_left> <num_right> <default_p> ...");
+    first += 3;
+  } else if (words.size() < first + 3) {
+    parse_error(
+        "want: EVAL <id> [deadline=<ms>] <num_left> <num_right> "
+        "<default_p> ...");
     return;
   }
 
@@ -446,18 +531,7 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
 
   auto write_line = [&](const PendingEval& eval, const std::string& text,
                         bool is_ok) {
-    const std::shared_ptr<Connection>& conn = eval.conn;
-    std::lock_guard<std::mutex> write_lock(conn->write_mu);
-    if (conn->fd < 0) return;  // client already gone
-    const std::string out = text + "\n";
-    size_t off = 0;
-    while (off < out.size()) {
-      const ssize_t n =
-          ::send(conn->fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) break;
-      off += static_cast<size_t>(n);
-    }
+    SendLine(eval.conn, text);
     if (is_ok) {
       stats_.responses.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -468,12 +542,14 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
   // The coalescing payoff: every legacy EVAL in the drained queue goes
   // through ONE EvaluateMany call — requests sharing a grounded lineage
   // structure are answered by one batched circuit pass over a multi-column
-  // WeightMatrix instead of one walk each.
+  // WeightMatrix instead of one walk each. Deadline'd EVALs are excluded:
+  // one deadline must bound ONE request, not abort a whole coalesced
+  // round, so they run below as single checked evaluations.
   std::vector<Tid> tids;
   std::vector<size_t> exact_index;
   tids.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].approx) continue;
+    if (batch[i].approx || batch[i].deadline_ms > 0) continue;
     tids.push_back(batch[i].tid);
     exact_index.push_back(i);
   }
@@ -489,30 +565,51 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
     }
   }
 
-  // EVAL_APPROX requests carry per-request routing knobs, so each runs as
+  // EVAL_APPROX requests carry per-request routing knobs — and any
+  // deadline'd request carries a per-request deadline — so each runs as
   // one checked EvaluateAnswer with the session temporarily configured for
   // it (this loop is the only config writer; the base is restored after).
+  // A deadline'd legacy EVAL maps onto mode=exact with an unlimited
+  // compile budget: the same always-exact semantics as the coalesced
+  // path, interruptible by the deadline alone.
   const GmcOptions base = session_.options();
   bool reconfigured = false;
   for (const PendingEval& eval : batch) {
-    if (!eval.approx) continue;
+    if (!eval.approx && eval.deadline_ms == 0) continue;
     GmcOptions opts = base;
-    opts.routing_mode = eval.mode;
-    opts.epsilon = eval.epsilon;
-    opts.delta = eval.delta;
+    if (eval.approx) {
+      opts.routing_mode = eval.mode;
+      opts.epsilon = eval.epsilon;
+      opts.delta = eval.delta;
+    } else {
+      opts.routing_mode = RoutingMode::kExact;
+      opts.compile_budget = CompileBudget{};
+    }
+    opts.deadline_ms = eval.deadline_ms;
     session_.Configure(opts);
     reconfigured = true;
     GmcAnswer answer;
     const GmcStatus status = session_.EvaluateAnswer(query_, eval.tid, &answer);
     if (!status.ok()) {
-      const char* kind =
-          status.code == GmcStatusCode::kBudgetExhausted ? "BUDGET"
-                                                         : "INVALID";
+      const char* kind = "INVALID";
+      if (status.code == GmcStatusCode::kBudgetExhausted) kind = "BUDGET";
+      if (status.code == GmcStatusCode::kDeadlineExceeded) {
+        kind = "TIMEOUT";
+        stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
       write_line(eval, "ERR " + eval.id + " " + kind + " " + status.message,
                  /*is_ok=*/false);
       continue;
     }
     std::string line;
+    if (!eval.approx) {
+      // Deadline'd legacy EVAL: reply in the legacy EVAL shape so clients
+      // need not care which internal path served them.
+      line = "OK " + eval.id + " " + answer.exact.ToString() + " lifted=" +
+             (answer.tier == AnswerTier::kLifted ? "1" : "0");
+      write_line(eval, line, /*is_ok=*/true);
+      continue;
+    }
     switch (answer.tier) {
       case AnswerTier::kCertifiedInterval:
         line = "OK " + eval.id + " INTERVAL " +
@@ -551,6 +648,10 @@ GmcServer::Stats GmcServer::stats() const {
   out.batched_requests =
       stats_.batched_requests.load(std::memory_order_relaxed);
   out.max_batch = stats_.max_batch.load(std::memory_order_relaxed);
+  out.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
+  out.idle_disconnects =
+      stats_.idle_disconnects.load(std::memory_order_relaxed);
+  out.oversize_lines = stats_.oversize_lines.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -558,6 +659,10 @@ GmcServer::StatsSnapshot GmcServer::snapshot() const {
   StatsSnapshot snap;
   snap.server = stats();
   snap.session = session_.stats();
+  for (int p = 0; p < static_cast<int>(fault::Point::kNumPoints); ++p) {
+    snap.faults_injected +=
+        fault::InjectedCount(static_cast<fault::Point>(p));
+  }
   return snap;
 }
 
@@ -571,7 +676,11 @@ std::string GmcServer::StatsSnapshot::ToLine() const {
       << " eval_errors=" << server.eval_errors
       << " batches=" << server.batches
       << " batched_requests=" << server.batched_requests
-      << " max_batch=" << server.max_batch << " queries=" << session.queries
+      << " max_batch=" << server.max_batch
+      << " timeouts=" << server.timeouts
+      << " idle_disconnects=" << server.idle_disconnects
+      << " oversize_lines=" << server.oversize_lines
+      << " queries=" << session.queries
       << " safe_lifted=" << session.safe_lifted
       << " safe_compiled=" << session.safe_compiled
       << " unsafe_compiled=" << session.unsafe_compiled
@@ -584,7 +693,11 @@ std::string GmcServer::StatsSnapshot::ToLine() const {
       << " circuit_hits=" << session.circuit_hits
       << " store_hits=" << session.store_hits
       << " store_misses=" << session.store_misses
-      << " store_rejected=" << session.store_rejected;
+      << " store_rejected=" << session.store_rejected
+      << " deadline_exceeded=" << session.deadline_exceeded
+      << " evictions=" << session.evictions
+      << " resident_bytes=" << session.resident_bytes
+      << " faults_injected=" << faults_injected;
   return out.str();
 }
 

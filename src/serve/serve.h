@@ -23,14 +23,19 @@
 //   server → client on connect:
 //     HELLO gmc_serve 1
 //   client → server:
-//     EVAL <id> <num_left> <num_right> <default_p> [<tuple>=<p> ...]
+//     EVAL <id> [deadline=<ms>] <num_left> <num_right> <default_p>
+//          [<tuple>=<p> ...]
 //         one evaluation: a TID over a num_left × num_right bipartite
 //         domain, unassigned tuples at <default_p>; tuples are
 //         R(u), T(v), or S(u,v) with symbol names from the server's
 //         query, probabilities are non-negative rationals "a/b" or "a"
 //         in [0, 1]. <id> is an opaque token echoed in the response.
-//     EVAL_APPROX <id> <mode> <eps> <delta> <num_left> <num_right>
-//                 <default_p> [<tuple>=<p> ...]
+//         The optional deadline token bounds the request end to end; a
+//         request that cannot finish in time answers ERR TIMEOUT instead
+//         of stalling the connection (deadline'd EVALs skip the coalesced
+//         batch pass and run as single checked exact evaluations).
+//     EVAL_APPROX <id> [deadline=<ms>] <mode> <eps> <delta>
+//                 <num_left> <num_right> <default_p> [<tuple>=<p> ...]
 //         the checked, three-way-routed evaluation (GfomcSession::
 //         EvaluateAnswer; see docs/ANYTIME.md). <mode> is auto, exact,
 //         interval, or sample; <eps> and <delta> are rationals strictly
@@ -51,12 +56,21 @@
 //         sample cap bound — the anytime contract).
 //     ERR <id> SHED <detail>     admission control refused the request
 //     ERR <id> PARSE <detail>    malformed request (nothing evaluated)
-//     ERR <id> INVALID <detail>  EVAL_APPROX inputs failed validation
+//     ERR <id> INVALID <detail>  EVAL_APPROX inputs failed validation,
+//                                or the input line itself was rejected
+//                                (over-long line, embedded NUL byte)
 //     ERR <id> BUDGET <detail>   mode=exact refused an over-budget
 //                                instance (no anytime fallback)
+//     ERR <id> TIMEOUT <detail>  the request's deadline=<ms> fired before
+//                                an answer was produced (nothing is
+//                                memoized; retrying without a deadline
+//                                may succeed)
 //
 // Every malformed input yields an ERR line, never a crash or an abort —
-// the socket is a process boundary and its bytes are untrusted.
+// the socket is a process boundary and its bytes are untrusted. A line
+// that exceeds the length cap or carries a NUL byte gets one typed
+// ERR - INVALID reply and then the connection is closed: the framing
+// itself is no longer trustworthy, so no further bytes are parsed.
 //
 // Thread model: one accept thread, one reader thread per connection, one
 // batch loop. Responses are written under a per-connection mutex, so OK
@@ -103,6 +117,16 @@ struct GmcServerOptions {
   /// Start, warm-started from (if warm_start) and flushed to on Stop.
   std::string store_directory;
   bool warm_start = true;
+  /// Per-connection read idle timeout in milliseconds (0 = never): a
+  /// connection that sends no bytes for this long is closed, so an
+  /// abandoned client cannot hold a reader thread forever. Poll-based —
+  /// the reader blocks in poll(2), never in a bare recv.
+  uint64_t read_idle_ms = 0;
+  /// Per-reply write timeout in milliseconds (0 = block forever): a peer
+  /// that stops draining its socket gets this long before the remainder
+  /// of the reply is dropped — exactly the dead-peer behaviour — so one
+  /// stalled client can never wedge the batch loop for everyone else.
+  uint64_t write_timeout_ms = 5000;
 };
 
 class GmcServer {
@@ -121,6 +145,9 @@ class GmcServer {
     uint64_t batches = 0;     ///< coalesced rounds executed
     uint64_t batched_requests = 0;  ///< EVALs those rounds served
     uint64_t max_batch = 0;
+    uint64_t timeouts = 0;          ///< ERR TIMEOUT lines written
+    uint64_t idle_disconnects = 0;  ///< connections closed by read_idle_ms
+    uint64_t oversize_lines = 0;    ///< lines rejected (length cap / NUL)
   };
 
   /// One coherent picture of the whole serving stack, taken in a single
@@ -130,6 +157,10 @@ class GmcServer {
   struct StatsSnapshot {
     Stats server;
     GfomcSession::Stats session;
+    /// Fault-injection crossings that fired process-wide (all points
+    /// summed; zero unless GMC_FAULT is active) — lets an operator see at
+    /// a glance whether observed errors are injected or organic.
+    uint64_t faults_injected = 0;
     /// The STATS wire line: every field above as "key=value", in struct
     /// order, single space separated, prefixed "STATS".
     std::string ToLine() const;
@@ -170,6 +201,10 @@ class GmcServer {
     RoutingMode mode = RoutingMode::kAuto;
     double epsilon = 0.05;
     double delta = 0.01;
+    // End-to-end deadline for this one request (0 = none); see the
+    // deadline=<ms> wire token. Deadline'd requests run as single checked
+    // evaluations, never inside the coalesced EvaluateMany pass.
+    uint64_t deadline_ms = 0;
   };
 
   void AcceptLoop();
@@ -183,6 +218,11 @@ class GmcServer {
   std::optional<Tid> ParseTidSpec(const std::vector<std::string>& words,
                                   size_t first, std::string* detail);
   void RunBatch(std::vector<PendingEval> batch);
+  // The one reply writer: whole-line send under the connection's write
+  // mutex, bounded by options_.write_timeout_ms, instrumented with the
+  // socket.write fault point.
+  void SendLine(const std::shared_ptr<Connection>& conn,
+                const std::string& text);
   std::string StatsLine() const;
 
   Query query_;
@@ -214,6 +254,9 @@ class GmcServer {
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> batched_requests{0};
     std::atomic<uint64_t> max_batch{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> idle_disconnects{0};
+    std::atomic<uint64_t> oversize_lines{0};
   };
   mutable AtomicStats stats_;
 };

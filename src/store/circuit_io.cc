@@ -7,17 +7,52 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "store/circuit_format.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace gmc {
 namespace store {
 
 namespace {
+
+// Bounded retry policy for TRANSIENT I/O errors. EINTR retries immediately
+// and never consumes an attempt (a signal is not a resource problem);
+// EAGAIN and ENOSPC back off exponentially — 1, 4, 16 ms plus a
+// deterministic per-process jitter so N replicas hammering one full disk
+// don't retry in lockstep — for up to three attempts before the error is
+// surfaced to the caller as permanent. Everything else fails immediately:
+// retrying EIO or EBADF only hides real bugs.
+class TransientRetry {
+ public:
+  bool ShouldRetry(int err) {
+    if (err == EINTR) return true;
+    if (err != EAGAIN && err != ENOSPC) return false;
+    if (attempts_ >= kMaxAttempts) return false;
+    const uint64_t base_us = 1000ull << (2 * attempts_);
+    // splitmix64 finalizer of (pid, attempt): deterministic for a process,
+    // decorrelated across processes — no wall clock, no global RNG.
+    uint64_t z = (static_cast<uint64_t>(::getpid()) << 8) |
+                 static_cast<uint64_t>(attempts_);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    const uint64_t jitter_us = (z ^ (z >> 31)) % 500;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(base_us + jitter_us));
+    ++attempts_;
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxAttempts = 3;
+  int attempts_ = 0;
+};
 
 // One decoded-and-validated image: typed pointers into the caller's bytes.
 // Produced only by ValidateImage; every field is safe to walk afterwards.
@@ -304,6 +339,9 @@ bool DecodeCircuit(const uint8_t* data, size_t size, LoadedCircuit* out,
 bool SaveCircuit(const NnfCircuit& circuit, const Cnf& cnf,
                  OrderHeuristic order, const std::string& path,
                  std::string* error) {
+  if (fault::ShouldFail(fault::Point::kStoreWrite)) {
+    return Fail(error, "fault injection: store.write");
+  }
   const std::vector<uint8_t> bytes = EncodeCircuit(circuit, cnf, order);
 
   // Unique temp name per (process, call) so concurrent writers of the same
@@ -317,12 +355,13 @@ bool SaveCircuit(const NnfCircuit& circuit, const Cnf& cnf,
   if (fd < 0) {
     return Fail(error, "open(" + tmp + "): " + std::strerror(errno));
   }
+  TransientRetry retry;
   size_t written = 0;
   while (written < bytes.size()) {
     const ssize_t n =
         ::write(fd, bytes.data() + written, bytes.size() - written);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (retry.ShouldRetry(errno)) continue;
       const std::string msg = std::strerror(errno);
       ::close(fd);
       ::unlink(tmp.c_str());
@@ -345,6 +384,9 @@ bool SaveCircuit(const NnfCircuit& circuit, const Cnf& cnf,
 
 bool LoadCircuit(const std::string& path, LoadedCircuit* out,
                  std::string* error) {
+  if (fault::ShouldFail(fault::Point::kStoreRead)) {
+    return Fail(error, "fault injection: store.read");
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Fail(error, "open(" + path + "): " + std::strerror(errno));
@@ -356,10 +398,11 @@ bool LoadCircuit(const std::string& path, LoadedCircuit* out,
     return Fail(error, "fstat(" + path + "): " + msg);
   }
   std::vector<uint8_t> bytes(static_cast<size_t>(st.st_size));
+  TransientRetry retry;
   size_t got = 0;
   while (got < bytes.size()) {
     const ssize_t n = ::read(fd, bytes.data() + got, bytes.size() - got);
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && retry.ShouldRetry(errno)) continue;
     if (n <= 0) {
       ::close(fd);
       return Fail(error, "read(" + path + "): short read");

@@ -1,0 +1,75 @@
+// Cooperative cancellation with an optional steady-clock deadline.
+//
+// One CancelToken is shared by every worker participating in a request:
+// the compiler's recursion, the column-parallel arena slices, the sampler
+// loop, and store I/O all poll the same token, so a single deadline bounds
+// the whole pipeline instead of one stage. The contract mirrors the thread
+// pool's determinism rule (util/parallel.h): cancellation changes WHEN a
+// pass stops, never what a completed pass computes — a pass that runs to
+// completion under a token is bit-identical to one run without, and a
+// cancelled pass's partial output must be discarded by the caller (check
+// cancelled() after the pass returns, not the pass's return value).
+//
+// Polling discipline: cancelled() is one relaxed atomic load — cheap
+// enough for any loop. Poll() additionally reads the steady clock when a
+// deadline is armed, so hot loops amortize it (the arena passes poll every
+// 64 nodes, the compiler every 256 recursive calls, the sampler every 64
+// samples); once any poller observes the deadline expired it latches the
+// shared flag and every other worker converges on the next flag check.
+
+#ifndef GMC_UTIL_CANCEL_H_
+#define GMC_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gmc {
+
+class CancelToken {
+ public:
+  // No deadline; fires only on an explicit Cancel().
+  CancelToken() = default;
+  // Fires once `deadline_ms` milliseconds of steady-clock time elapse
+  // (0 keeps the token deadline-free). Tokens are pinned to their storage
+  // (workers hold pointers), hence neither copyable nor movable.
+  explicit CancelToken(uint64_t deadline_ms) {
+    if (deadline_ms > 0) {
+      has_deadline_ = true;
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms);
+    }
+  }
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() const { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // True once Cancel() was called or any poller observed the deadline
+  // expired. One relaxed load; never reads the clock.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // The full check: flag first, then the deadline (latching the flag on
+  // expiry so other workers stop on their next cancelled() check). Reads
+  // the clock when a deadline is armed — amortize calls in hot loops.
+  bool Poll() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_) return false;
+    if (std::chrono::steady_clock::now() < deadline_) return false;
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace gmc
+
+#endif  // GMC_UTIL_CANCEL_H_

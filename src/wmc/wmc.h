@@ -86,6 +86,17 @@ class WmcEngine {
     return circuits_.TryGet(cnf, budget);
   }
 
+  // Pinning, cancellable probe (see CircuitCache::TryGetShared): the
+  // shared_ptr keeps the circuit alive across eviction, and a non-null
+  // `cancel` turns the compile into a deadline-bounded attempt — null with
+  // cancel->cancelled() set means the deadline fired (not memoized), null
+  // otherwise means the budget was exhausted (memoized).
+  std::shared_ptr<const NnfCircuit> TryGetCircuitShared(
+      const Cnf& cnf, const CompileBudget& budget,
+      const CancelToken* cancel = nullptr) {
+    return circuits_.TryGetShared(cnf, budget, cancel);
+  }
+
   // Worker bound for the embedded circuit cache's batch passes (see
   // CircuitCache::set_num_threads); 0 defers to the process default
   // (GMC_THREADS / DefaultNumThreads). Results are identical either way.

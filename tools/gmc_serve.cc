@@ -7,7 +7,8 @@
 //
 // Usage:
 //   gmc_serve --socket=/tmp/gmc.sock --query='Ax Ay (R(x) | S(x,y))' \
-//             [--store=DIR] [--threads=N] [--max-pending=N] [--no-warm]
+//             [--store=DIR] [--threads=N] [--max-pending=N] [--no-warm] \
+//             [--read-idle-ms=N] [--write-timeout-ms=N]
 //
 // Talk to it with any line client, e.g.:
 //   printf 'EVAL q1 2 2 1/2\nQUIT\n' | nc -U /tmp/gmc.sock
@@ -44,7 +45,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH --query=QUERY [--store=DIR] "
                "[--threads=N] [--max-pending=N] [--max-domain=N] "
-               "[--no-warm]\n",
+               "[--no-warm] [--read-idle-ms=N] [--write-timeout-ms=N]\n",
                argv0);
   return 2;
 }
@@ -70,6 +71,13 @@ int main(int argc, char** argv) {
       options.max_pending = static_cast<size_t>(std::atol(value.c_str()));
     } else if (FlagValue(argv[i], "--max-domain", &value)) {
       options.max_domain = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--read-idle-ms", &value)) {
+      // 0 = never reap idle connections (the default).
+      options.read_idle_ms = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argv[i], "--write-timeout-ms", &value)) {
+      // 0 = block forever on a stalled peer.
+      options.write_timeout_ms =
+          static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (std::strcmp(argv[i], "--no-warm") == 0) {
       options.warm_start = false;
     } else {
