@@ -16,6 +16,10 @@
 //     on a DIFFERENT point it additionally pays the crossing counter.
 //     Both are measured per call (BM_FaultPointDormant / Armed) so the
 //     baselines pin them at nanoseconds, not microseconds.
+//   - the brownout governor: every admission pays one RecordQueueDepth,
+//     every drain one RecordQueueWait, every shed/degrade decision one
+//     level()+retry_after_ms() read (BM_Governor*). All lock-free; the
+//     baselines pin them at nanoseconds alongside the fault points.
 //
 // BM_RobustCrossCheck also pins the cancellation semantics the overhead
 // numbers depend on: a pass completed under an unfired token is
@@ -34,6 +38,7 @@
 #include "hardness/reduction_type1.h"
 #include "lineage/grounder.h"
 #include "logic/parser.h"
+#include "serve/overload.h"
 #include "util/cancel.h"
 #include "util/fault.h"
 #include "util/rational.h"
@@ -133,6 +138,55 @@ void BM_FaultPointArmed(benchmark::State& state) {
   gmc::fault::Reset();
 }
 BENCHMARK(BM_FaultPointArmed);
+
+// The brownout governor's hot-admission cost: every admitted request pays
+// one RecordQueueDepth (an atomic load, a handful of float ops, and a
+// level CAS that almost never moves) inside the queue critical section.
+// Pinned here next to the fault-point budget: both must stay nanoseconds,
+// or admission — the path every request crosses — inherits the cost.
+void BM_GovernorRecordDepth(benchmark::State& state) {
+  gmc::serve::OverloadOptions options;
+  options.capacity = 64;
+  gmc::serve::LoadGovernor governor(options);
+  uint64_t depth = 0;
+  for (auto _ : state) {
+    // Sweep depths below yellow_exit so the level never transitions —
+    // the steady-state (GREEN, no CAS retry) cost the admission path
+    // pays on every request.
+    governor.RecordQueueDepth(depth);
+    depth = (depth + 1) & 7;
+  }
+  state.counters["transitions"] =
+      static_cast<double>(governor.transitions());
+}
+BENCHMARK(BM_GovernorRecordDepth);
+
+// The per-request drain-side feed: one EWMA fold (CAS loop, uncontended
+// here) plus the same recompute.
+void BM_GovernorRecordWait(benchmark::State& state) {
+  gmc::serve::OverloadOptions options;
+  options.wait_budget_ms = 250;
+  gmc::serve::LoadGovernor governor(options);
+  uint64_t wait_ms = 0;
+  for (auto _ : state) {
+    governor.RecordQueueWait(wait_ms);
+    wait_ms = (wait_ms + 1) & 15;  // well under the budget: stays GREEN
+  }
+  state.counters["transitions"] =
+      static_cast<double>(governor.transitions());
+}
+BENCHMARK(BM_GovernorRecordWait);
+
+// The read everyone else pays: level() + retry_after_ms() on a shed or
+// degrade decision — two relaxed loads and a shift.
+void BM_GovernorDecision(benchmark::State& state) {
+  gmc::serve::LoadGovernor governor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(governor.level());
+    benchmark::DoNotOptimize(governor.retry_after_ms());
+  }
+}
+BENCHMARK(BM_GovernorDecision);
 
 // Correctness + overhead guard, registered as a benchmark so a violation
 // fails the bench run loudly:

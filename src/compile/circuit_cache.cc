@@ -4,6 +4,7 @@
 #include <bit>
 #include <utility>
 
+#include "store/scrub.h"
 #include "util/fault.h"
 
 namespace gmc {
@@ -29,6 +30,7 @@ void CircuitCache::Configure(const GmcOptions& options) {
   dyadic_enabled_.store(options.dyadic_enabled, std::memory_order_relaxed);
   max_resident_bytes_.store(options.max_resident_bytes,
                             std::memory_order_relaxed);
+  self_heal_.store(options.store_self_heal, std::memory_order_relaxed);
   const bool store_changed =
       options.store_directory != options_.store_directory ||
       options.store_write_through != options_.store_write_through;
@@ -117,6 +119,13 @@ size_t CircuitCache::WarmFrom(const std::string& directory) {
     std::string load_error;
     if (!store::LoadCircuit(path, &loaded, &load_error)) {
       stats_.store_rejected.fetch_add(1, std::memory_order_relaxed);
+      // Same self-heal as the read-through path: quarantine only what
+      // re-validates as durably corrupt (an injected store.read failure
+      // must not cost a healthy warm-start entry its place on disk).
+      if (self_heal_.load(std::memory_order_relaxed) &&
+          store::QuarantineIfCorrupt(path)) {
+        stats_.store_quarantined.fetch_add(1, std::memory_order_relaxed);
+      }
       continue;
     }
     Stripe& stripe = StripeFor(loaded.cnf);
@@ -255,6 +264,21 @@ std::shared_ptr<const NnfCircuit> CircuitCache::GetOrCompile(
           stats_.store_misses.fetch_add(1, std::memory_order_relaxed);
           break;
         case store::StoreLookup::kRejected:
+          stats_.store_rejected.fetch_add(1, std::memory_order_relaxed);
+          // Self-heal: a durably corrupt file is quarantined NOW, so this
+          // rejection is the last one it ever causes (the write-through
+          // below re-fills the path with a fresh circuit). The probe
+          // re-reads the bytes fault-point-free: a transient or injected
+          // read failure never quarantines a healthy file.
+          if (self_heal_.load(std::memory_order_relaxed) &&
+              store::QuarantineIfCorrupt(persistent->PathFor(cnf))) {
+            stats_.store_quarantined.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        case store::StoreLookup::kMismatch:
+          // A valid circuit for a DIFFERENT CNF (hash collision): counted
+          // as a rejection, never quarantined — it may be someone else's
+          // good entry.
           stats_.store_rejected.fetch_add(1, std::memory_order_relaxed);
           break;
       }
@@ -517,6 +541,8 @@ CircuitCache::Stats CircuitCache::stats() const {
   out.store_hits = stats_.store_hits.load(std::memory_order_relaxed);
   out.store_misses = stats_.store_misses.load(std::memory_order_relaxed);
   out.store_rejected = stats_.store_rejected.load(std::memory_order_relaxed);
+  out.store_quarantined =
+      stats_.store_quarantined.load(std::memory_order_relaxed);
   out.budget_exhausted =
       stats_.budget_exhausted.load(std::memory_order_relaxed);
   out.evictions = stats_.evictions.load(std::memory_order_relaxed);

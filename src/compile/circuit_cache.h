@@ -107,6 +107,13 @@ class CircuitCache {
     uint64_t store_hits = 0;
     uint64_t store_misses = 0;
     uint64_t store_rejected = 0;
+    /// Self-healing (store_self_heal, the default): rejected entries whose
+    /// bytes re-validated as durably corrupt and were moved into the
+    /// store's quarantine/ subdirectory (store/scrub.h) — each such file
+    /// costs ONE recompile total instead of one per cold process forever.
+    /// Valid-but-mismatched files (hash collisions) count store_rejected
+    /// but are never quarantined.
+    uint64_t store_quarantined = 0;
     /// TryGet probes that came back empty: the compile hit its
     /// CompileBudget (or a memoized earlier failure under an
     /// equal-or-larger budget short-circuited it) and the caller was sent
@@ -335,6 +342,7 @@ class CircuitCache {
     std::atomic<uint64_t> store_hits{0};
     std::atomic<uint64_t> store_misses{0};
     std::atomic<uint64_t> store_rejected{0};
+    std::atomic<uint64_t> store_quarantined{0};
     std::atomic<uint64_t> budget_exhausted{0};
     std::atomic<uint64_t> evictions{0};
   };
@@ -365,6 +373,7 @@ class CircuitCache {
   mutable std::mutex store_mu_;  // guards store_ (the pointer, not the store)
   std::shared_ptr<const store::CircuitStore> store_;
   std::atomic<bool> write_through_{true};
+  std::atomic<bool> self_heal_{true};
   // Memory governance: byte cap (0 = unlimited), current footprint, and
   // the monotone use-clock every hit/insert stamps entries with.
   std::atomic<uint64_t> max_resident_bytes_{0};

@@ -20,6 +20,19 @@ void EnvU64(const char* name, uint64_t* out) {
   if (end != nullptr && *end == '\0') *out = parsed;
 }
 
+void EnvBool(const char* name, bool* out) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return;
+  if (std::strcmp(value, "0") == 0 || std::strcmp(value, "false") == 0 ||
+      std::strcmp(value, "off") == 0 || std::strcmp(value, "no") == 0) {
+    *out = false;
+  } else if (std::strcmp(value, "1") == 0 ||
+             std::strcmp(value, "true") == 0 ||
+             std::strcmp(value, "on") == 0 || std::strcmp(value, "yes") == 0) {
+    *out = true;
+  }
+}
+
 void EnvUnitDouble(const char* name, double* out) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return;
@@ -102,6 +115,7 @@ GmcOptions GmcOptions::FromEnv() {
   EnvU64("GMC_SEED", &options.sample_seed);
   EnvU64("GMC_DEADLINE_MS", &options.deadline_ms);
   EnvU64("GMC_CACHE_BYTES", &options.max_resident_bytes);
+  EnvBool("GMC_STORE_SELF_HEAL", &options.store_self_heal);
   return options;
 }
 

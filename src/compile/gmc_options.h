@@ -109,6 +109,13 @@ struct GmcOptions {
   /// fresh compile.
   std::string store_directory;
   bool store_write_through = true;
+  /// Self-healing store reads (on by default): a read-path rejection whose
+  /// file is durably corrupt quarantines the file (store/scrub.h) instead
+  /// of leaving it to be re-read, re-rejected, and re-compiled by every
+  /// cold process forever. Valid-but-mismatched files (hash collisions)
+  /// are never quarantined regardless of this flag. GMC_STORE_SELF_HEAL=0
+  /// disables (a read-only store mount must not be written to).
+  bool store_self_heal = true;
 
   /// Routing-mode and anytime-tier knobs (GfomcSession only; see
   /// docs/ANYTIME.md for the guarantee semantics).
@@ -154,7 +161,8 @@ struct GmcOptions {
   /// GMC_EPSILON / GMC_DELTA (decimals strictly in (0, 1)),
   /// GMC_MAX_SAMPLES and GMC_SEED (unsigned), GMC_DEADLINE_MS →
   /// deadline_ms and GMC_CACHE_BYTES → max_resident_bytes (unsigned;
-  /// 0 = off). Unset or malformed values keep the struct defaults. Every
+  /// 0 = off), GMC_STORE_SELF_HEAL → store_self_heal (0/false/off to
+  /// disable). Unset or malformed values keep the struct defaults. Every
   /// default-constructed CircuitCache / session Configures itself with
   /// this value.
   static GmcOptions FromEnv();

@@ -375,6 +375,8 @@ GfomcSession::Stats GfomcSession::stats() const {
                      engine_.circuits().stats().store_misses;
   out.store_rejected = safe_.circuits().stats().store_rejected +
                        engine_.circuits().stats().store_rejected;
+  out.store_quarantined = safe_.circuits().stats().store_quarantined +
+                          engine_.circuits().stats().store_quarantined;
   out.evictions = safe_.circuits().stats().evictions +
                   engine_.circuits().stats().evictions;
   out.resident_bytes = safe_.circuits().stats().resident_bytes +

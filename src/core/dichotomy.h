@@ -220,6 +220,9 @@ class GfomcSession {
     uint64_t store_hits = 0;
     uint64_t store_misses = 0;
     uint64_t store_rejected = 0;
+    // Rejected entries the self-healing read path quarantined (see
+    // CircuitCache::Stats::store_quarantined and store/scrub.h).
+    uint64_t store_quarantined = 0;
     // Memory governance, aggregated over both caches (zero unless
     // max_resident_bytes is set): LRU evictions, and the current resident
     // circuit bytes (a gauge).

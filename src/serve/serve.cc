@@ -5,13 +5,17 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "store/scrub.h"
 #include "util/fault.h"
 
 namespace gmc {
@@ -113,7 +117,7 @@ bool GmcServer::Start(std::string* error) {
   ::unlink(options_.socket_path.c_str());  // stale socket from a crash
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
-      ::listen(listen_fd_, 64) != 0) {
+      ::listen(listen_fd_, std::max(1, options_.listen_backlog)) != 0) {
     if (error != nullptr) {
       *error = "bind/listen(" + options_.socket_path +
                "): " + std::strerror(errno);
@@ -125,11 +129,29 @@ bool GmcServer::Start(std::string* error) {
 
   session_.set_num_threads(options_.num_threads);
   if (!options_.store_directory.empty()) {
+    // Recovery BEFORE attach/warm: quarantine torn or corrupt entries and
+    // sweep dead writers' temp files, so the warm start below only ever
+    // sees a healthy directory (and its counters stay organic).
+    const store::ScrubReport scrub =
+        store::ScrubStore(options_.store_directory);
+    stats_.scrubbed.fetch_add(scrub.scanned, std::memory_order_relaxed);
+    stats_.quarantined.fetch_add(scrub.quarantined,
+                                 std::memory_order_relaxed);
+    stats_.scrub_orphans.fetch_add(scrub.orphan_tmps_removed,
+                                   std::memory_order_relaxed);
     session_.set_store_directory(options_.store_directory);
     if (options_.warm_start) {
       session_.WarmCircuitsFrom(options_.store_directory);
     }
   }
+
+  // The governor's capacity defaults to the admission limit: "the queue
+  // is half full" is the natural meaning of signal 0.5 here.
+  OverloadOptions overload = options_.overload;
+  if (overload.capacity == 0) {
+    overload.capacity = options_.max_pending > 0 ? options_.max_pending : 1;
+  }
+  governor_.Configure(overload);
 
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -150,15 +172,14 @@ void GmcServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     std::lock_guard<std::mutex> lock(threads_mu_);
-    for (const auto& conn : connections_) {
-      std::lock_guard<std::mutex> write_lock(conn->write_mu);
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    for (const Reader& reader : readers_) {
+      std::lock_guard<std::mutex> write_lock(reader.conn->write_mu);
+      if (reader.conn->fd >= 0) ::shutdown(reader.conn->fd, SHUT_RDWR);
     }
-    for (std::thread& reader : readers_) {
-      if (reader.joinable()) reader.join();
+    for (Reader& reader : readers_) {
+      if (reader.thread.joinable()) reader.thread.join();
     }
     readers_.clear();
-    connections_.clear();
   }
   queue_cv_.notify_all();
   if (batch_thread_.joinable()) batch_thread_.join();  // drains the queue
@@ -175,24 +196,90 @@ void GmcServer::Stop() {
   }
 }
 
+void GmcServer::ReapFinishedReaders() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (size_t i = 0; i < readers_.size();) {
+    if (!readers_[i].conn->done.load(std::memory_order_acquire)) {
+      ++i;
+      continue;
+    }
+    // done is set as ReaderLoop's last act, so this join returns almost
+    // immediately — it only waits out the thread's epilogue.
+    if (readers_[i].thread.joinable()) readers_[i].thread.join();
+    readers_[i] = std::move(readers_.back());
+    readers_.pop_back();
+  }
+}
+
 void GmcServer::AcceptLoop() {
+  // Transient-failure backoff: EMFILE/ENFILE (fd exhaustion — very much a
+  // condition a loaded server hits and must outlive), ECONNABORTED (the
+  // peer gave up while queued), EAGAIN, ENOMEM/ENOBUFS. The old loop
+  // exited on ANY of these, silently killing accept forever while the
+  // rest of the server looked healthy. Now: bounded exponential backoff
+  // and retry; the only exit is shutdown.
+  uint64_t backoff_ms = 1;
+  constexpr uint64_t kMaxBackoffMs = 100;
+  auto backoff = [&] {
+    stats_.accept_retries.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, kMaxBackoffMs);
+  };
   while (!stopping_.load(std::memory_order_acquire)) {
+    // Reap between accepts: connection churn must not grow readers_
+    // without bound while the server runs (Stop used to be the only
+    // cleanup point).
+    ReapFinishedReaders();
+    // Fault point: a transient accept failure. Fired BEFORE the real
+    // accept so an injected failure never consumes (and drops) an actual
+    // client connection — it aliases ECONNABORTED exactly.
+    if (fault::ShouldFail(fault::Point::kServeAccept)) {
+      backoff();
+      continue;
+    }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
       if (errno == EINTR) continue;
-      break;  // listening socket shut down (Stop) or broken
+      // Transient or unknown: either way, dying here would be strictly
+      // worse than retrying (the listening socket itself only goes bad at
+      // shutdown, which the check above catches — including after Stop's
+      // SHUT_RDWR makes accept fail with EINVAL).
+      backoff();
+      continue;
+    }
+    backoff_ms = 1;  // a successful accept resets the backoff ladder
+    const size_t active =
+        active_connections_.load(std::memory_order_relaxed);
+    if (options_.max_connections > 0 &&
+        active >= options_.max_connections) {
+      // Greeting-then-close: the one line this client gets is a typed
+      // BUSY with a backoff hint, never a silent RST or an unbounded
+      // reader thread.
+      stats_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      const std::string busy =
+          "ERR - BUSY retry_after_ms=" +
+          std::to_string(governor_.retry_after_ms()) +
+          " server at connection limit (" +
+          std::to_string(options_.max_connections) + ")\n";
+      (void)!::send(fd, busy.data(), busy.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> write_lock(conn->write_mu);
       const std::string hello = "HELLO gmc_serve 1\n";
       (void)!::send(fd, hello.data(), hello.size(), MSG_NOSIGNAL);
     }
     std::lock_guard<std::mutex> lock(threads_mu_);
-    connections_.push_back(conn);
-    readers_.emplace_back(&GmcServer::ReaderLoop, this, conn);
+    Reader reader;
+    reader.conn = conn;
+    reader.thread = std::thread(&GmcServer::ReaderLoop, this, conn);
+    readers_.push_back(std::move(reader));
   }
 }
 
@@ -255,12 +342,19 @@ void GmcServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   }
   // The reader is the only closer; writers take write_mu and check fd, so
   // the descriptor can never be reused under a concurrent send.
-  std::lock_guard<std::mutex> write_lock(conn->write_mu);
-  if (conn->fd >= 0) {
-    ::shutdown(conn->fd, SHUT_RDWR);
-    ::close(conn->fd);
-    conn->fd = -1;
+  {
+    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    if (conn->fd >= 0) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
   }
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  // Last act: mark reapable. The release pairs with ReapFinishedReaders'
+  // acquire, so the reaper joins a thread that is provably past its fd
+  // teardown.
+  conn->done.store(true, std::memory_order_release);
 }
 
 void GmcServer::SendLine(const std::shared_ptr<Connection>& conn,
@@ -314,6 +408,11 @@ void GmcServer::HandleLine(const std::shared_ptr<Connection>& conn,
   }
   if (words[0] == "STATS") {
     reply(StatsLine());
+    return;
+  }
+  if (words[0] == "HEALTH") {
+    stats_.health_requests.fetch_add(1, std::memory_order_relaxed);
+    reply(HealthLine());
     return;
   }
   const bool approx = words[0] == "EVAL_APPROX";
@@ -382,23 +481,46 @@ void GmcServer::HandleLine(const std::shared_ptr<Connection>& conn,
   }
   eval.tid = std::move(*tid);
 
-  // Admission control: bounded queue, shed (typed, immediate) past the
-  // limit. The check and the push are one critical section, so the bound
-  // holds exactly under concurrent readers.
+  // Admission control: bounded queue, shed (typed, immediate, with a
+  // pressure-scaled backoff hint) past the limit. The check and the push
+  // are one critical section, so the bound holds exactly under concurrent
+  // readers. Every SHED reply carries retry_after_ms — a shed client
+  // knows WHEN a retry is worth attempting, not just that it lost.
+  auto shed = [&](const std::string& detail) {
+    stats_.shed.fetch_add(1, std::memory_order_relaxed);
+    reply("ERR " + id + " SHED retry_after_ms=" +
+          std::to_string(governor_.retry_after_ms()) + " " + detail);
+  };
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_.load(std::memory_order_acquire) ||
-        pending_.size() >= options_.max_pending) {
-      stats_.shed.fetch_add(1, std::memory_order_relaxed);
-      reply("ERR " + id + " SHED queue full (limit " +
-            std::to_string(options_.max_pending) + ")");
+    if (stopping_.load(std::memory_order_acquire)) {
+      shed("shutting down");
+      return;
+    }
+    if (pending_.size() >= options_.max_pending) {
+      governor_.RecordQueueDepth(pending_.size());
+      shed("queue full (limit " + std::to_string(options_.max_pending) +
+           ")");
+      return;
+    }
+    // Cross-client fairness: one connection pipelining requests may hold
+    // at most max_inflight_per_connection queue+work slots; past that ITS
+    // traffic sheds while other clients' still flows.
+    if (options_.max_inflight_per_connection > 0 &&
+        conn->inflight.load(std::memory_order_relaxed) >=
+            options_.max_inflight_per_connection) {
+      shed("per-connection limit (" +
+           std::to_string(options_.max_inflight_per_connection) + ")");
       return;
     }
     stats_.requests.fetch_add(1, std::memory_order_relaxed);
     if (approx) {
       stats_.approx_requests.fetch_add(1, std::memory_order_relaxed);
     }
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    eval.enqueued = std::chrono::steady_clock::now();
     pending_.push_back(std::move(eval));
+    governor_.RecordQueueDepth(pending_.size());
   }
   queue_cv_.notify_one();
 }
@@ -529,9 +651,23 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
                                     std::memory_order_relaxed)) {
   }
 
+  // Feed the governor: each request's time-in-queue updates the wait EWMA,
+  // and the whole batch counts as in-flight work until the batch ends.
+  // Both signals feed the SAME pressure level the admission path consults,
+  // so a slow evaluator raises pressure even when the queue looks short.
+  const auto now = std::chrono::steady_clock::now();
+  for (const PendingEval& eval : batch) {
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(now - eval.enqueued)
+            .count();
+    governor_.RecordQueueWait(waited_ms);
+  }
+  governor_.BeginWork(batch.size());
+
   auto write_line = [&](const PendingEval& eval, const std::string& text,
                         bool is_ok) {
     SendLine(eval.conn, text);
+    eval.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
     if (is_ok) {
       stats_.responses.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -578,7 +714,17 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
     if (!eval.approx && eval.deadline_ms == 0) continue;
     GmcOptions opts = base;
     if (eval.approx) {
-      opts.routing_mode = eval.mode;
+      // Brownout: under pressure, auto-routed requests degrade to the
+      // cheaper certified tiers (exact → interval → sample). An EXPLICIT
+      // mode is a contract and passes through untouched — the server may
+      // shed it, never silently weaken it. DegradeForPressure enforces
+      // exactly that.
+      RoutingMode effective =
+          DegradeForPressure(eval.mode, governor_.level());
+      if (effective != eval.mode) {
+        stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+      }
+      opts.routing_mode = effective;
       opts.epsilon = eval.epsilon;
       opts.delta = eval.delta;
     } else {
@@ -632,6 +778,14 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
     write_line(eval, line, /*is_ok=*/true);
   }
   if (reconfigured) session_.Configure(base);
+
+  governor_.EndWork(batch.size());
+  {
+    // Depth sample at batch end: pressure decays promptly once the queue
+    // drains instead of waiting for the next admission to refresh it.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    governor_.RecordQueueDepth(pending_.size());
+  }
 }
 
 GmcServer::Stats GmcServer::stats() const {
@@ -652,6 +806,14 @@ GmcServer::Stats GmcServer::stats() const {
   out.idle_disconnects =
       stats_.idle_disconnects.load(std::memory_order_relaxed);
   out.oversize_lines = stats_.oversize_lines.load(std::memory_order_relaxed);
+  out.accept_retries = stats_.accept_retries.load(std::memory_order_relaxed);
+  out.busy_rejected = stats_.busy_rejected.load(std::memory_order_relaxed);
+  out.degraded = stats_.degraded.load(std::memory_order_relaxed);
+  out.health_requests =
+      stats_.health_requests.load(std::memory_order_relaxed);
+  out.scrubbed = stats_.scrubbed.load(std::memory_order_relaxed);
+  out.quarantined = stats_.quarantined.load(std::memory_order_relaxed);
+  out.scrub_orphans = stats_.scrub_orphans.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -680,6 +842,13 @@ std::string GmcServer::StatsSnapshot::ToLine() const {
       << " timeouts=" << server.timeouts
       << " idle_disconnects=" << server.idle_disconnects
       << " oversize_lines=" << server.oversize_lines
+      << " accept_retries=" << server.accept_retries
+      << " busy_rejected=" << server.busy_rejected
+      << " degraded=" << server.degraded
+      << " health_requests=" << server.health_requests
+      << " scrubbed=" << server.scrubbed
+      << " quarantined=" << server.quarantined
+      << " scrub_orphans=" << server.scrub_orphans
       << " queries=" << session.queries
       << " safe_lifted=" << session.safe_lifted
       << " safe_compiled=" << session.safe_compiled
@@ -694,6 +863,7 @@ std::string GmcServer::StatsSnapshot::ToLine() const {
       << " store_hits=" << session.store_hits
       << " store_misses=" << session.store_misses
       << " store_rejected=" << session.store_rejected
+      << " store_quarantined=" << session.store_quarantined
       << " deadline_exceeded=" << session.deadline_exceeded
       << " evictions=" << session.evictions
       << " resident_bytes=" << session.resident_bytes
@@ -702,6 +872,31 @@ std::string GmcServer::StatsSnapshot::ToLine() const {
 }
 
 std::string GmcServer::StatsLine() const { return snapshot().ToLine(); }
+
+std::string GmcServer::HealthLine() {
+  // One machine-parseable line a load balancer or operator can poll
+  // cheaply: no mutex on the hot counters, one short queue_mu_ hold for
+  // the depth (the only non-atomic input).
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = pending_.size();
+  }
+  const GfomcSession::Stats session = session_.stats();
+  std::ostringstream out;
+  out << "HEALTH pressure=" << PressureName(governor_.level())
+      << " queue=" << depth << " inflight=" << governor_.inflight()
+      << " connections="
+      << active_connections_.load(std::memory_order_relaxed)
+      << " wait_ewma_ms=" << std::setprecision(4)
+      << governor_.wait_ewma_ms()
+      << " store=" << (options_.store_directory.empty() ? "none" : "attached")
+      << " scrubbed=" << stats_.scrubbed.load(std::memory_order_relaxed)
+      << " quarantined="
+      << (stats_.quarantined.load(std::memory_order_relaxed) +
+          session.store_quarantined);
+  return out.str();
+}
 
 }  // namespace serve
 }  // namespace gmc

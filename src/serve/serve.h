@@ -15,8 +15,21 @@
 //      against the same lineage structure cost one topological circuit
 //      pass over a K-column WeightMatrix instead of K walks.
 //   3. Shed, don't stall: past the admission limit a request is refused
-//      immediately with a typed SHED error — the client can retry or
-//      fail over; the queue never grows without bound.
+//      immediately with a typed SHED error carrying a retry_after_ms
+//      backoff hint — the client can retry or fail over; the queue never
+//      grows without bound.
+//   4. Degrade by tier, not by dropping: a LoadGovernor (serve/overload.h)
+//      folds queue depth, queue-wait EWMA, and in-flight work into a
+//      hysteresis-banded pressure level (GREEN/YELLOW/RED). Auto-routed
+//      EVAL_APPROX requests downshift exact → interval → sample as
+//      pressure rises; explicit-mode requests are never silently
+//      downgraded (the tier= field in OK replies keeps degradation
+//      observable). Per-connection in-flight caps keep one aggressive
+//      client from starving the rest.
+//   5. Recover, don't limp: with a store attached, Start() runs a scrub
+//      pass (store/scrub.h) that quarantines torn/corrupt entries and
+//      removes dead writers' temp files before warm-starting, and the
+//      session's caches self-heal on every read-path rejection.
 //
 // Wire protocol (UTF-8 lines, '\n'-terminated, over AF_UNIX SOCK_STREAM):
 //
@@ -42,6 +55,12 @@
 //         inside (0, 1) with the (ε, δ) semantics of the sampled tier.
 //         The TID tail is identical to EVAL's.
 //     STATS        one-line server + session counter dump
+//     HEALTH       one-line liveness probe, no evaluation cost:
+//                    HEALTH pressure=<green|yellow|red> queue=<n>
+//                           inflight=<n> connections=<n>
+//                           wait_ewma_ms=<x> store=<attached|none>
+//                           scrubbed=<n> quarantined=<n>
+//                  supervisors poll this instead of paying for an EVAL.
 //     QUIT         server answers BYE and closes the connection
 //   server → client:
 //     OK <id> <probability> lifted=<0|1>                      (EVAL)
@@ -54,7 +73,15 @@
 //         |p − Pr| <= e with probability >= 1 − d; e is the certificate
 //         actually achieved (it exceeds the requested eps when the
 //         sample cap bound — the anytime contract).
-//     ERR <id> SHED <detail>     admission control refused the request
+//     ERR <id> SHED retry_after_ms=<n> <detail>
+//                                admission control refused the request;
+//                                <n> is the backoff hint (scaled by the
+//                                pressure level) after which a retry is
+//                                worth attempting
+//     ERR - BUSY retry_after_ms=<n> <detail>
+//                                sent as the GREETING (instead of HELLO)
+//                                when the server is at max_connections;
+//                                the connection is then closed
 //     ERR <id> PARSE <detail>    malformed request (nothing evaluated)
 //     ERR <id> INVALID <detail>  EVAL_APPROX inputs failed validation,
 //                                or the input line itself was rejected
@@ -92,9 +119,12 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+
 #include "core/dichotomy.h"
 #include "logic/query.h"
 #include "prob/tid.h"
+#include "serve/overload.h"
 #include "util/rational.h"
 
 namespace gmc {
@@ -127,6 +157,22 @@ struct GmcServerOptions {
   /// of the reply is dropped — exactly the dead-peer behaviour — so one
   /// stalled client can never wedge the batch loop for everyone else.
   uint64_t write_timeout_ms = 5000;
+  /// listen(2) backlog for the accepting socket (the --backlog flag).
+  int listen_backlog = 64;
+  /// Connection cap (0 = unlimited): a client accepted past it receives a
+  /// typed "ERR - BUSY retry_after_ms=<n> ..." greeting instead of HELLO
+  /// and is closed — reader threads stay bounded no matter how many
+  /// clients pile on. The GMC_MAX_CONNECTIONS env default and
+  /// --max-connections flag plumb through tools/gmc_serve.
+  size_t max_connections = 0;
+  /// Cross-client fairness cap (0 = unlimited): one connection may have
+  /// at most this many admitted-but-unanswered requests; past it, its
+  /// requests shed with retry_after_ms while other clients' traffic still
+  /// flows — one pipelining client cannot fill the whole queue.
+  uint64_t max_inflight_per_connection = 0;
+  /// Brownout governor knobs (serve/overload.h). A zero capacity is
+  /// filled from max_pending at Start.
+  OverloadOptions overload;
 };
 
 class GmcServer {
@@ -148,6 +194,13 @@ class GmcServer {
     uint64_t timeouts = 0;          ///< ERR TIMEOUT lines written
     uint64_t idle_disconnects = 0;  ///< connections closed by read_idle_ms
     uint64_t oversize_lines = 0;    ///< lines rejected (length cap / NUL)
+    uint64_t accept_retries = 0;    ///< transient accept failures retried
+    uint64_t busy_rejected = 0;     ///< connections refused at the cap
+    uint64_t degraded = 0;     ///< auto requests downshifted by pressure
+    uint64_t health_requests = 0;   ///< HEALTH lines answered
+    uint64_t scrubbed = 0;          ///< store entries the startup scrub scanned
+    uint64_t quarantined = 0;       ///< entries the startup scrub quarantined
+    uint64_t scrub_orphans = 0;     ///< dead-writer temp files it removed
   };
 
   /// One coherent picture of the whole serving stack, taken in a single
@@ -191,6 +244,19 @@ class GmcServer {
   struct Connection {
     int fd = -1;
     std::mutex write_mu;
+    /// Admitted-but-unanswered requests from this connection (the
+    /// max_inflight_per_connection fairness cap); incremented under the
+    /// queue lock at admission, decremented as each reply is written.
+    std::atomic<uint64_t> inflight{0};
+    /// Set by ReaderLoop on exit — the reap signal: AcceptLoop joins the
+    /// reader thread and drops the connection entry between accepts, so
+    /// neither vector grows with connection churn.
+    std::atomic<bool> done{false};
+  };
+  /// One reader thread and the connection it serves, reaped together.
+  struct Reader {
+    std::thread thread;
+    std::shared_ptr<Connection> conn;
   };
   struct PendingEval {
     std::string id;
@@ -205,11 +271,18 @@ class GmcServer {
     // deadline=<ms> wire token. Deadline'd requests run as single checked
     // evaluations, never inside the coalesced EvaluateMany pass.
     uint64_t deadline_ms = 0;
+    // Admission time: the governor folds (drain − enqueued) into its
+    // queue-wait EWMA, the signal that catches cheap-queue-expensive-work
+    // overload a depth limit alone misses.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Connection> conn);
   void BatchLoop();
+  // Joins reader threads whose connection is done and drops their entries
+  // (threads_mu_ must NOT be held). Called between accepts and in Stop.
+  void ReapFinishedReaders();
   void HandleLine(const std::shared_ptr<Connection>& conn,
                   const std::string& line, bool* close_connection);
   // The shared TID tail parser of EVAL and EVAL_APPROX:
@@ -224,10 +297,12 @@ class GmcServer {
   void SendLine(const std::shared_ptr<Connection>& conn,
                 const std::string& text);
   std::string StatsLine() const;
+  std::string HealthLine();
 
   Query query_;
   GmcServerOptions options_;
   GfomcSession session_;
+  LoadGovernor governor_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
@@ -240,8 +315,10 @@ class GmcServer {
   std::mutex threads_mu_;
   std::thread accept_thread_;
   std::thread batch_thread_;
-  std::vector<std::thread> readers_;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<Reader> readers_;
+  // Live (accepted, not yet reaped) connections — the max_connections
+  // check and the HEALTH line read this instead of walking readers_.
+  std::atomic<size_t> active_connections_{0};
 
   struct AtomicStats {
     std::atomic<uint64_t> connections{0};
@@ -257,6 +334,13 @@ class GmcServer {
     std::atomic<uint64_t> timeouts{0};
     std::atomic<uint64_t> idle_disconnects{0};
     std::atomic<uint64_t> oversize_lines{0};
+    std::atomic<uint64_t> accept_retries{0};
+    std::atomic<uint64_t> busy_rejected{0};
+    std::atomic<uint64_t> degraded{0};
+    std::atomic<uint64_t> health_requests{0};
+    std::atomic<uint64_t> scrubbed{0};
+    std::atomic<uint64_t> quarantined{0};
+    std::atomic<uint64_t> scrub_orphans{0};
   };
   mutable AtomicStats stats_;
 };

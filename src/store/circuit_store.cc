@@ -101,7 +101,7 @@ StoreLookup CircuitStore::TryLoad(const Cnf& cnf, NnfCircuit* circuit,
     if (error != nullptr) {
       *error = path + ": embedded CNF does not match the requested formula";
     }
-    return StoreLookup::kRejected;
+    return StoreLookup::kMismatch;
   }
   *circuit = std::move(loaded.circuit);
   if (order != nullptr) *order = loaded.order;

@@ -30,10 +30,14 @@
 namespace gmc {
 namespace store {
 
-/// Outcome of a read-through probe. kMissing is the cold-cache case;
-/// kRejected covers everything present-but-unusable (corruption, version
-/// skew, hash collision) — CircuitCache counts the two separately.
-enum class StoreLookup { kLoaded, kMissing, kRejected };
+/// Outcome of a read-through probe. kMissing is the cold-cache case.
+/// kRejected means the file's BYTES are invalid (corruption, torn write,
+/// version skew) — a self-healing cache may quarantine it (store/scrub.h).
+/// kMismatch means the bytes are a perfectly valid circuit for a
+/// DIFFERENT CNF (a 64-bit hash collision, or a file hand-renamed into
+/// place) — it must never be quarantined: it may be someone else's valid
+/// entry. Both count as rejections in CircuitCache::Stats.
+enum class StoreLookup { kLoaded, kMissing, kRejected, kMismatch };
 
 class CircuitStore {
  public:
@@ -50,7 +54,8 @@ class CircuitStore {
   /// Probes the store for `cnf`'s circuit. kLoaded fills *circuit (and
   /// *order if non-null) after verifying the file's embedded CNF matches
   /// `cnf` clause-for-clause. kMissing: no file. kRejected: file present
-  /// but invalid or for a different CNF; *error says why.
+  /// but invalid. kMismatch: valid file for a different CNF. *error says
+  /// why for both rejection kinds.
   StoreLookup TryLoad(const Cnf& cnf, NnfCircuit* circuit,
                       OrderHeuristic* order, std::string* error) const;
 

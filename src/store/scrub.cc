@@ -1,0 +1,205 @@
+#include "store/scrub.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "store/circuit_format.h"
+#include "store/circuit_io.h"
+#include "store/circuit_store.h"
+#include "util/fault.h"
+
+namespace gmc {
+namespace store {
+
+namespace {
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Reads the whole file. False on any I/O failure (treated as transient by
+// callers: only bytes we actually READ can prove durable corruption).
+bool ReadAll(const std::string& path, std::vector<uint8_t>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return false;
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out->size()) {
+    const ssize_t n =
+        ::read(fd, out->data() + off, out->size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+// Validates `path`'s bytes with the read path's own decoder, fault-point
+// free. Returns true when the file is durably invalid and fills *reason;
+// false when healthy OR unreadable (unreadable is transient, not corrupt).
+bool DurablyInvalid(const std::string& path, std::string* reason) {
+  std::vector<uint8_t> bytes;
+  if (!ReadAll(path, &bytes)) return false;
+  LoadedCircuit decoded;
+  std::string error;
+  if (DecodeCircuit(bytes.data(), bytes.size(), &decoded, &error)) {
+    return false;
+  }
+  *reason = error;
+  return true;
+}
+
+// A SaveCircuit temp name is "<final>.tmp.<pid>.<counter>"; extracts the
+// writer pid. False on any other shape (not ours to judge — keep it).
+bool ParseTempWriterPid(const std::string& name, pid_t* pid) {
+  const size_t tag = name.rfind(".tmp.");
+  if (tag == std::string::npos) return false;
+  const size_t pid_start = tag + 5;
+  const size_t pid_end = name.find('.', pid_start);
+  if (pid_end == std::string::npos || pid_end == pid_start) return false;
+  long value = 0;
+  for (size_t i = pid_start; i < pid_end; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + (name[i] - '0');
+    if (value > 4194304 * 16) return false;  // way past any pid_max
+  }
+  // The counter tail must be digits too, or this is not a SaveCircuit temp.
+  if (pid_end + 1 >= name.size()) return false;
+  for (size_t i = pid_end + 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  *pid = static_cast<pid_t>(value);
+  return true;
+}
+
+}  // namespace
+
+bool QuarantineFile(const std::string& path, const std::string& reason,
+                    std::string* error) {
+  const std::string quarantine_dir =
+      DirName(path) + "/" + kQuarantineDirName;
+  std::string mkdir_error;
+  if (!EnsureDirectory(quarantine_dir, &mkdir_error)) {
+    if (error != nullptr) *error = mkdir_error;
+    return false;
+  }
+  const std::string target = quarantine_dir + "/" + BaseName(path);
+  // Fault point: the quarantine move is itself an I/O operation on a
+  // possibly sick filesystem. A fired point aliases a failed rename — the
+  // file stays where it is and the read path keeps degrading it to a
+  // miss, the pre-scrub backstop.
+  if (fault::ShouldFail(fault::Point::kStoreScrub) ||
+      ::rename(path.c_str(), target.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename(" + path + " -> " + target +
+               "): " + std::strerror(errno);
+    }
+    return false;
+  }
+  // The reason file is best-effort forensics: its loss never un-does the
+  // quarantine (the move above is the part correctness needs).
+  const std::string reason_path = target + ".reason";
+  const int fd =
+      ::open(reason_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    const std::string text = reason + "\n";
+    size_t off = 0;
+    while (off < text.size()) {
+      const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+  }
+  return true;
+}
+
+bool QuarantineIfCorrupt(const std::string& path) {
+  std::string reason;
+  if (!DurablyInvalid(path, &reason)) return false;
+  return QuarantineFile(path, reason, nullptr);
+}
+
+ScrubReport ScrubStore(const std::string& directory) {
+  ScrubReport report;
+  DIR* dir = ::opendir(directory.c_str());
+  if (dir == nullptr) return report;
+  const size_t ext_len = std::strlen(kFileExtension);
+  std::vector<std::string> entries;
+  std::vector<std::string> temps;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    if (name.size() > ext_len &&
+        name.compare(name.size() - ext_len, ext_len, kFileExtension) == 0) {
+      entries.push_back(name);
+    } else if (name.find(".tmp.") != std::string::npos) {
+      temps.push_back(name);
+    }
+  }
+  ::closedir(dir);
+
+  for (const std::string& name : entries) {
+    const std::string path = directory + "/" + name;
+    ++report.scanned;
+    std::string reason;
+    if (!DurablyInvalid(path, &reason)) {
+      ++report.healthy;
+      continue;
+    }
+    if (QuarantineFile(path, reason, nullptr)) {
+      ++report.quarantined;
+    } else {
+      ++report.quarantine_failures;
+    }
+  }
+
+  for (const std::string& name : temps) {
+    const std::string path = directory + "/" + name;
+    pid_t writer = 0;
+    if (!ParseTempWriterPid(name, &writer)) {
+      ++report.orphan_tmps_kept;  // not a SaveCircuit temp; not ours
+      continue;
+    }
+    // kill(pid, 0): 0 or EPERM mean the writer (or at least SOME process
+    // with that pid) is alive — a concurrent replica mid-save must keep
+    // its temp file. Only a provably dead writer's debris is removed.
+    if (::kill(writer, 0) == 0 || errno == EPERM) {
+      ++report.orphan_tmps_kept;
+      continue;
+    }
+    if (::unlink(path.c_str()) == 0) {
+      ++report.orphan_tmps_removed;
+    } else {
+      ++report.orphan_tmps_kept;
+    }
+  }
+  return report;
+}
+
+}  // namespace store
+}  // namespace gmc

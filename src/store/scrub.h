@@ -1,0 +1,86 @@
+// Crash-safe store recovery: scrub and quarantine for .gmcc directories.
+//
+// SaveCircuit's temp-file + fsync + rename protocol means a crash can
+// leave exactly two kinds of debris in a store directory:
+//
+//   * orphaned ".tmp.<pid>.<counter>" files — a writer died between open
+//     and rename; the bytes are garbage and the final path was never
+//     touched, and
+//   * invalid ".gmcc" files — torn by a filesystem without atomic rename,
+//     flipped by bit rot, or stale after a format-version bump.
+//
+// Before this layer, an invalid entry degraded to a per-read miss: every
+// cold process re-read, re-rejected, and re-compiled, forever — the
+// corruption was survived but never REPAIRED. ScrubStore is the repair:
+// it validates every entry with the same circuit_io validation the read
+// path trusts (magic, version, checksum, structural bounds, fingerprint),
+// moves invalid files into "<directory>/quarantine/" next to a
+// "<name>.reason" text file saying why (an operator can inspect or
+// restore them; nothing is silently deleted), and removes orphaned temp
+// files whose writing process is gone. CircuitStore consumers run it at
+// startup; CircuitCache additionally quarantines on every read-path
+// rejection (QuarantineIfCorrupt), so one bad file costs one recompile
+// total — self-healing instead of degrade-to-miss.
+//
+// Two deliberate safety properties:
+//
+//   * QuarantineIfCorrupt re-reads and re-validates WITHOUT the
+//     store.read fault point: an injected (or genuinely transient) read
+//     failure must never quarantine a healthy file. Only bytes that are
+//     durably invalid move.
+//   * Orphan removal checks writer liveness (kill(pid, 0) on the pid
+//     embedded in the temp name): a concurrent replica mid-save keeps its
+//     temp file.
+//
+// The quarantine move itself carries the store.scrub fault point; a
+// failed move leaves the file in place (counted, and the read path keeps
+// degrading it to a miss — the pre-scrub behaviour is the backstop).
+
+#ifndef GMC_STORE_SCRUB_H_
+#define GMC_STORE_SCRUB_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gmc {
+namespace store {
+
+/// Name of the quarantine subdirectory under a store root.
+inline constexpr char kQuarantineDirName[] = "quarantine";
+
+/// One scrub pass's outcome, all counters cumulative over that pass.
+struct ScrubReport {
+  uint64_t scanned = 0;      ///< .gmcc entries examined
+  uint64_t healthy = 0;      ///< entries that validated clean
+  uint64_t quarantined = 0;  ///< invalid entries moved to quarantine/
+  /// Invalid entries whose quarantine move failed (store.scrub fault or
+  /// real I/O failure) — left in place; reads degrade them to misses.
+  uint64_t quarantine_failures = 0;
+  uint64_t orphan_tmps_removed = 0;  ///< dead-writer temp files unlinked
+  uint64_t orphan_tmps_kept = 0;     ///< live-writer (or unparsable) temps
+};
+
+/// Full recovery pass over `directory` (no-op on a missing directory):
+/// validates every .gmcc entry, quarantines invalid ones, removes
+/// dead-writer temp files. Idempotent — a second pass over a healthy
+/// directory quarantines nothing. Safe to run while readers are active
+/// (reads of a just-moved file degrade to a miss, the pre-scrub path).
+ScrubReport ScrubStore(const std::string& directory);
+
+/// Moves one file into its directory's quarantine/ subdir and writes a
+/// sibling "<name>.reason" file containing `reason`. Returns false with
+/// *error (if non-null) when the move fails — the store.scrub fault
+/// point's failure mode — leaving the file in place.
+bool QuarantineFile(const std::string& path, const std::string& reason,
+                    std::string* error = nullptr);
+
+/// Read-path self-heal: re-reads `path` and re-validates the bytes
+/// (bypassing the store.read fault point — a transient or injected read
+/// failure must never quarantine a healthy file), quarantining only on
+/// durable invalidity. True iff the file was actually quarantined.
+bool QuarantineIfCorrupt(const std::string& path);
+
+}  // namespace store
+}  // namespace gmc
+
+#endif  // GMC_STORE_SCRUB_H_

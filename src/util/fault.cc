@@ -179,6 +179,10 @@ const char* PointName(Point point) {
       return "cache.insert";
     case Point::kSocketWrite:
       return "socket.write";
+    case Point::kServeAccept:
+      return "serve.accept";
+    case Point::kStoreScrub:
+      return "store.scrub";
     case Point::kNumPoints:
       break;
   }

@@ -15,6 +15,7 @@
 //   GMC_FAULT="store.write=0.1,cache.insert=0.01,seed=42"
 //
 //   point := store.read | store.write | cache.insert | socket.write
+//          | serve.accept | store.scrub
 //   rate  := decimal in [0, 1] (probability that one crossing fires)
 //   seed  := uint64 (default 0) — decisions are a pure function of
 //            (seed, point, per-point crossing index), so a given seed
@@ -40,6 +41,8 @@ enum class Point : int {
   kStoreWrite,      // SaveCircuit: the write is lost before rename
   kCacheInsert,     // CircuitCache: a compiled circuit misses the cache
   kSocketWrite,     // serve reply: the peer vanished mid-send
+  kServeAccept,     // accept(2): a transient ECONNABORTED-class failure
+  kStoreScrub,      // scrub: the quarantine rename fails
   kNumPoints,
 };
 

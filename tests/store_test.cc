@@ -32,6 +32,7 @@
 #include "store/circuit_format.h"
 #include "store/circuit_io.h"
 #include "store/circuit_store.h"
+#include "store/scrub.h"
 
 namespace gmc {
 namespace {
@@ -123,6 +124,13 @@ class StoreTest : public ::testing::Test {
     for (const std::string& path : store::CircuitStore(dir_).ListEntries()) {
       ::unlink(path.c_str());
     }
+    // Self-healing reads may have quarantined corrupt fixtures.
+    const std::string qdir = dir_ + "/" + store::kQuarantineDirName;
+    for (const std::string& path : store::CircuitStore(qdir).ListEntries()) {
+      ::unlink(path.c_str());
+      ::unlink((path + ".reason").c_str());
+    }
+    ::rmdir(qdir.c_str());
     ::rmdir(dir_.c_str());
   }
 

@@ -8,7 +8,13 @@
 // Usage:
 //   gmc_serve --socket=/tmp/gmc.sock --query='Ax Ay (R(x) | S(x,y))' \
 //             [--store=DIR] [--threads=N] [--max-pending=N] [--no-warm] \
-//             [--read-idle-ms=N] [--write-timeout-ms=N]
+//             [--read-idle-ms=N] [--write-timeout-ms=N] [--backlog=N] \
+//             [--max-connections=N] [--max-inflight-per-conn=N]
+//
+// --max-connections defaults from the GMC_MAX_CONNECTIONS environment
+// variable (the flag wins when both are set); 0 means unlimited. Clients
+// accepted past the cap get one typed "ERR - BUSY retry_after_ms=<n>"
+// greeting and are closed.
 //
 // Talk to it with any line client, e.g.:
 //   printf 'EVAL q1 2 2 1/2\nQUIT\n' | nc -U /tmp/gmc.sock
@@ -45,7 +51,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH --query=QUERY [--store=DIR] "
                "[--threads=N] [--max-pending=N] [--max-domain=N] "
-               "[--no-warm] [--read-idle-ms=N] [--write-timeout-ms=N]\n",
+               "[--no-warm] [--read-idle-ms=N] [--write-timeout-ms=N] "
+               "[--backlog=N] [--max-connections=N] "
+               "[--max-inflight-per-conn=N]\n",
                argv0);
   return 2;
 }
@@ -56,6 +64,12 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string query_text;
   gmc::serve::GmcServerOptions options;
+
+  // Environment default for deployments that cannot edit the command line
+  // (service managers with fixed unit files); the flag overrides it.
+  if (const char* env = std::getenv("GMC_MAX_CONNECTIONS")) {
+    options.max_connections = static_cast<size_t>(std::atol(env));
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -77,6 +91,15 @@ int main(int argc, char** argv) {
     } else if (FlagValue(argv[i], "--write-timeout-ms", &value)) {
       // 0 = block forever on a stalled peer.
       options.write_timeout_ms =
+          static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argv[i], "--backlog", &value)) {
+      options.listen_backlog = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--max-connections", &value)) {
+      // 0 = unlimited.
+      options.max_connections = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (FlagValue(argv[i], "--max-inflight-per-conn", &value)) {
+      // 0 = unlimited.
+      options.max_inflight_per_connection =
           static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (std::strcmp(argv[i], "--no-warm") == 0) {
       options.warm_start = false;
