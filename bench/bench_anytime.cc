@@ -9,10 +9,19 @@
 // GfomcSession — probe, budget exhaustion, sampler — the latency a serving
 // client sees when an instance blows its compile budget.
 //
+// BM_KarpLubyParallel scales the chunk-parallel sampler across worker
+// counts on one plan (substreams are indexed by sample chunk, so every
+// thread count draws the SAME samples — the bench refuses to report a
+// number that isn't bit-identical to serial), and BM_SessionSampledBatch
+// times the batched serving shape: K same-structure sampled requests
+// through one EvaluateAnswers call, where the session's plan cache pays
+// the disjunct-weight setup once (plan_hits/plan_misses ride as counters).
+//
 // BM_AnytimeCrossCheck fails the run loudly if any certified answer is
 // wrong: an interval that does not enclose the exact probability (checked
 // with exact rational arithmetic), interval results that differ across
-// thread counts, a fixed-seed estimate outside its ε certificate, or an
+// thread counts, a fixed-seed estimate outside its ε certificate — or not
+// bit-identical between the serial and 8-worker sampler — or an
 // over-budget instance that fails to come back certified. This is the
 // acceptance bar of the anytime tier, enforced on every CI run.
 
@@ -155,6 +164,84 @@ void BM_KarpLuby(benchmark::State& state) {
 }
 BENCHMARK(BM_KarpLuby)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// The chunk-parallel sampler on the Type-II d=4 gadget, one shared plan,
+// Arg = worker count. The wall-clock ratio Arg(1)/Arg(8) is the headline
+// speedup; the bench aborts rather than time a wrong answer — every
+// thread count must reproduce the serial run bit for bit (that is the
+// whole determinism contract, so a scheduling bug can never hide behind a
+// throughput win).
+void BM_KarpLubyParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  gmc::Lineage lineage = Type2Lineage(4);
+  const std::shared_ptr<const gmc::KarpLubyPlan> plan =
+      gmc::BuildKarpLubyPlan(lineage.cnf, lineage.probabilities);
+  gmc::KarpLubyParams params;
+  params.epsilon = 0.1;
+  params.delta = 0.01;
+  params.max_samples = 0;  // run to the (ε, δ) target
+  params.seed = 0x1234abcdull;
+  params.num_threads = 1;
+  const gmc::KarpLubyResult serial = gmc::KarpLubyEstimate(*plan, params);
+  params.num_threads = threads;
+  uint64_t total_samples = 0;
+  for (auto _ : state) {
+    gmc::KarpLubyResult result = gmc::KarpLubyEstimate(*plan, params);
+    if (result.estimate != serial.estimate ||
+        result.successes != serial.successes ||
+        result.samples != serial.samples) {
+      state.SkipWithError(
+          "parallel sampler diverged from the serial fixed-seed run");
+      return;
+    }
+    total_samples += result.samples;
+    benchmark::DoNotOptimize(result.estimate);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["samples_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_samples), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KarpLubyParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->UseRealTime()  // wall-clock rate: the speedup a caller observes
+    ->Unit(benchmark::kMillisecond);
+
+// The batched serving shape: K same-structure sampled requests through ONE
+// EvaluateAnswers call — what a serve coalescing round runs. The session's
+// plan cache pays the per-instance setup once per structure (the counters
+// prove it: misses stay at 1 while hits grow with K × iterations).
+void BM_SessionSampledBatch(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  gmc::Query query = ExampleC9();
+  gmc::Tid tid(query.vocab_ptr(), 4, 4, gmc::Rational(3, 7));
+  const std::vector<gmc::Tid> tids(static_cast<size_t>(k), tid);
+  gmc::GfomcSession session;
+  gmc::GmcOptions options = session.options();
+  options.routing_mode = gmc::RoutingMode::kSample;
+  options.epsilon = 0.2;
+  options.delta = 0.05;
+  session.Configure(options);
+  for (auto _ : state) {
+    std::vector<gmc::GmcAnswer> answers;
+    const gmc::GmcStatus status =
+        session.EvaluateAnswers(query, tids, &answers);
+    if (!status.ok() || answers.size() != tids.size()) {
+      state.SkipWithError("sampled batch failed to answer");
+      return;
+    }
+    benchmark::DoNotOptimize(answers.data());
+  }
+  const gmc::GfomcSession::Stats stats = session.stats();
+  state.counters["requests"] = static_cast<double>(k);
+  state.counters["plan_hits"] = static_cast<double>(stats.plan_hits);
+  state.counters["plan_misses"] = static_cast<double>(stats.plan_misses);
+}
+BENCHMARK(BM_SessionSampledBatch)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 // --- End-to-end degraded routing --------------------------------------
 
 // The serving-path latency of an over-budget instance in kAuto: compile
@@ -231,6 +318,19 @@ void BM_AnytimeCrossCheck(benchmark::State& state) {
       if (std::fabs(sampled.estimate - truth) > params.epsilon) {
         state.SkipWithError(
             "fixed-seed Karp–Luby estimate missed its epsilon certificate");
+        return;
+      }
+      // The parallel sampler is the SAME sampler: 8 workers, same seed,
+      // bit-identical estimate/successes/count or the run fails.
+      params.num_threads = 8;
+      const gmc::KarpLubyResult resampled =
+          gmc::KarpLubyEstimate(lineage, params);
+      params.num_threads = 0;
+      if (resampled.estimate != sampled.estimate ||
+          resampled.successes != sampled.successes ||
+          resampled.samples != sampled.samples) {
+        state.SkipWithError(
+            "parallel Karp–Luby diverged from the serial fixed-seed run");
         return;
       }
     }

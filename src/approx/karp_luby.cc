@@ -1,10 +1,13 @@
 #include "approx/karp_luby.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "util/bigint.h"
 #include "util/check.h"
+#include "util/fault.h"
+#include "util/parallel.h"
 
 namespace gmc {
 
@@ -84,10 +87,113 @@ uint64_t KarpLubySampleTarget(uint64_t num_clauses, double epsilon,
   return static_cast<uint64_t>(target);
 }
 
-KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
-                                const std::vector<Rational>& probabilities,
-                                const KarpLubyParams& params) {
+std::shared_ptr<const KarpLubyPlan> BuildKarpLubyPlan(
+    const Cnf& cnf, const std::vector<Rational>& probabilities) {
   GMC_CHECK(static_cast<int>(probabilities.size()) >= cnf.num_vars);
+  auto plan = std::make_shared<KarpLubyPlan>();
+  plan->cnf = cnf;
+  plan->probabilities = probabilities;
+  // Disjunct weights w_i = Π_{v ∈ clause_i} (1 − p_v), their prefix sums,
+  // and W — all exact.
+  const size_t m = cnf.clauses.size();
+  plan->prefix.assign(m + 1, Rational::Zero());
+  for (size_t i = 0; i < m; ++i) {
+    Rational weight = Rational::One();
+    for (int v : cnf.clauses[i]) {
+      GMC_CHECK_MSG(
+          probabilities[v].sign() >= 0 && probabilities[v] <= Rational::One(),
+          "BuildKarpLubyPlan needs probabilities in [0, 1]");
+      weight *= Rational::One() - probabilities[v];
+      if (weight.IsZero()) break;
+    }
+    plan->prefix[i + 1] = plan->prefix[i] + weight;
+  }
+  return plan;
+}
+
+namespace {
+
+// Per-chunk tallies, written only by the chunk's owning worker and read by
+// the caller after the pool joins; `completed` distinguishes a chunk that
+// drew its full range from one a fired deadline cut short (or that never
+// started), which is what the ordered prefix reduction truncates on.
+struct ChunkTally {
+  uint64_t drawn = 0;
+  uint64_t successes = 0;
+  bool completed = false;
+};
+
+// Draws samples [begin, end) of the global index space into `tally`,
+// from the chunk's own substream. Returns false iff the deadline fired
+// mid-chunk (the tally then holds a valid partial count). The substream
+// seed is the instance seed XOR the CHUNK index — not the worker index
+// directly, which would tie the stream to the schedule; a "worker" in the
+// determinism contract is the logical owner of one fixed chunk.
+bool SampleChunk(const KarpLubyPlan& plan, const KarpLubyParams& params,
+                 uint64_t chunk, uint64_t begin, uint64_t end,
+                 std::vector<char>* assigned_scratch,
+                 std::vector<char>* value_scratch, ChunkTally* tally) {
+  const Cnf& cnf = plan.cnf;
+  const Rational& total = plan.total_weight();
+  std::vector<char>& assigned = *assigned_scratch;
+  std::vector<char>& value = *value_scratch;
+  approx_internal::SplitMix64 rng(params.seed ^ chunk);
+  for (uint64_t n = begin; n < end; ++n) {
+    // A fired deadline degrades to the anytime report — the samples
+    // already drawn stay valid (each is i.i.d.; stopping is oblivious to
+    // their outcomes, so no bias). Poll every 64 samples of THIS chunk,
+    // and never before its first: chunk 0 always completes one sample,
+    // keeping μ̂ well-defined, and the poll cadence is a pure function of
+    // the chunk-local index, not of which worker runs the chunk.
+    const uint64_t local = n - begin;
+    if (params.cancel != nullptr && local > 0 && (local & 63) == 0 &&
+        params.cancel->Poll()) {
+      return false;
+    }
+    // 1. Disjunct i ∝ w_i.
+    approx_internal::LazyUniform pick(&rng);
+    const size_t i = pick.Categorical(plan.prefix, total);
+    // 2. Assignment conditioned on D_i: clause_i's variables are false;
+    //    everything else is sampled lazily on first read in step 3 —
+    //    variables in no earlier clause never consume randomness. To keep
+    //    the stream deterministic per sample, reset the scratch marks.
+    std::fill(assigned.begin(), assigned.end(), 0);
+    for (int v : cnf.clauses[i]) {
+      assigned[v] = 1;
+      value[v] = 0;
+    }
+    auto is_true = [&](int v) {
+      if (!assigned[v]) {
+        assigned[v] = 1;
+        approx_internal::LazyUniform draw(&rng);
+        value[v] = draw.LessThan(plan.probabilities[v]) ? 1 : 0;
+      }
+      return value[v] != 0;
+    };
+    // 3. Success iff no EARLIER disjunct is also satisfied (all-false).
+    bool minimal = true;
+    for (size_t j = 0; j < i && minimal; ++j) {
+      bool clause_all_false = true;
+      for (int v : cnf.clauses[j]) {
+        if (is_true(v)) {
+          clause_all_false = false;
+          break;
+        }
+      }
+      if (clause_all_false) minimal = false;
+    }
+    if (minimal) ++tally->successes;
+    ++tally->drawn;
+  }
+  tally->completed = true;
+  return true;
+}
+
+}  // namespace
+
+KarpLubyResult KarpLubyEstimate(const KarpLubyPlan& plan,
+                                const KarpLubyParams& params) {
+  const Cnf& cnf = plan.cnf;
   KarpLubyResult result;
   result.delta = params.delta;
 
@@ -104,22 +210,8 @@ KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
     return result;
   }
 
-  // Disjunct weights w_i = Π_{v ∈ clause_i} (1 − p_v), their prefix sums,
-  // and W — all exact.
-  const size_t m = cnf.clauses.size();
-  std::vector<Rational> prefix(m + 1, Rational::Zero());
-  for (size_t i = 0; i < m; ++i) {
-    Rational weight = Rational::One();
-    for (int v : cnf.clauses[i]) {
-      GMC_CHECK_MSG(
-          probabilities[v].sign() >= 0 && probabilities[v] <= Rational::One(),
-          "KarpLubyEstimate needs probabilities in [0, 1]");
-      weight *= Rational::One() - probabilities[v];
-      if (weight.IsZero()) break;
-    }
-    prefix[i + 1] = prefix[i] + weight;
-  }
-  const Rational& total = prefix[m];
+  const size_t m = plan.num_clauses();
+  const Rational& total = plan.total_weight();
   result.failure_weight = total.ToDouble();
 
   if (total.IsZero()) {
@@ -146,54 +238,63 @@ KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
                                static_cast<double>(target));
   }
 
-  approx_internal::SplitMix64 rng(params.seed);
-  std::vector<char> assigned(cnf.num_vars);   // sampled this round?
-  std::vector<char> value(cnf.num_vars);      // the sampled truth value
+  // The chunked, thread-count-invariant sample loop (see the header
+  // comment): chunk c owns global sample indices [c·K, (c+1)·K) and its
+  // own substream; workers claim chunks from a shared counter, so the
+  // SCHEDULE is dynamic but every per-chunk computation — and the ordered
+  // reduction below — is a pure function of (plan, seed, target).
+  const uint64_t chunk_size = approx_internal::kSamplesPerChunk;
+  const uint64_t num_chunks = (target + chunk_size - 1) / chunk_size;
+  std::vector<ChunkTally> tallies(num_chunks);
+  std::atomic<uint64_t> next_chunk{0};
+  const int requested = params.num_threads > 0 ? params.num_threads
+                                               : DefaultNumThreads();
+  const int workers = static_cast<int>(
+      std::min<uint64_t>(static_cast<uint64_t>(std::max(requested, 1)),
+                         num_chunks));
+  auto drain_chunks = [&](int) {
+    // Scratch is per worker, reused across the chunks it claims — the
+    // sample body resets it per draw, so reuse cannot leak state.
+    std::vector<char> assigned(cnf.num_vars);  // sampled this round?
+    std::vector<char> value(cnf.num_vars);     // the sampled truth value
+    for (;;) {
+      const uint64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      // Deadline check BEFORE starting a claimed chunk — except chunk 0,
+      // which always runs so at least one sample exists. Chunks the fired
+      // token skips stay !completed and the prefix reduction discards
+      // everything at and past the first of them, so a token fired before
+      // sampling began yields the same truncation at every thread count.
+      if (c > 0 && params.cancel != nullptr && params.cancel->Poll()) {
+        return;
+      }
+      const uint64_t begin = c * chunk_size;
+      const uint64_t end = std::min(target, begin + chunk_size);
+      if (!SampleChunk(plan, params, c, begin, end, &assigned, &value,
+                       &tallies[c])) {
+        return;  // deadline fired mid-chunk; partial tally kept
+      }
+    }
+  };
+  if (workers <= 1) {
+    drain_chunks(0);
+  } else {
+    ThreadPool::Shared().Run(workers, drain_chunks);
+  }
+
+  // Ordered reduction, the determinism anchor: sum chunk tallies in chunk-
+  // index order and keep only the contiguous prefix of completed chunks
+  // plus the first incomplete one's partial draws. Later chunks a racing
+  // worker happened to finish are discarded — the kept set is then a
+  // prefix of the sample index space, chosen obliviously to the sample
+  // outcomes, so the estimator stays unbiased and a pre-fired token
+  // truncates identically at every thread count.
   uint64_t successes = 0;
   uint64_t drawn = 0;
-  for (uint64_t n = 0; n < target; ++n) {
-    // A fired deadline degrades to the anytime report below — the samples
-    // already drawn stay valid (each is i.i.d.; stopping is oblivious to
-    // their outcomes, so no bias). Poll every 64 samples, and never before
-    // the first: one sample always completes, keeping μ̂ well-defined.
-    if (params.cancel != nullptr && n > 0 && (n & 63) == 0 &&
-        params.cancel->Poll()) {
-      break;
-    }
-    // 1. Disjunct i ∝ w_i.
-    approx_internal::LazyUniform pick(&rng);
-    const size_t i = pick.Categorical(prefix, total);
-    // 2. Assignment conditioned on D_i: clause_i's variables are false;
-    //    everything else is sampled lazily on first read in step 3 —
-    //    variables in no earlier clause never consume randomness. To keep
-    //    the stream deterministic per sample, reset the scratch marks.
-    std::fill(assigned.begin(), assigned.end(), 0);
-    for (int v : cnf.clauses[i]) {
-      assigned[v] = 1;
-      value[v] = 0;
-    }
-    auto is_true = [&](int v) {
-      if (!assigned[v]) {
-        assigned[v] = 1;
-        approx_internal::LazyUniform draw(&rng);
-        value[v] = draw.LessThan(probabilities[v]) ? 1 : 0;
-      }
-      return value[v] != 0;
-    };
-    // 3. Success iff no EARLIER disjunct is also satisfied (all-false).
-    bool minimal = true;
-    for (size_t j = 0; j < i && minimal; ++j) {
-      bool clause_all_false = true;
-      for (int v : cnf.clauses[j]) {
-        if (is_true(v)) {
-          clause_all_false = false;
-          break;
-        }
-      }
-      if (clause_all_false) minimal = false;
-    }
-    if (minimal) ++successes;
-    ++drawn;
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    drawn += tallies[c].drawn;
+    successes += tallies[c].successes;
+    if (!tallies[c].completed) break;
   }
   if (drawn < target) {
     // Deadline fired mid-run: certify the epsilon the drawn count buys,
@@ -214,6 +315,12 @@ KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
   return result;
 }
 
+KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
+                                const std::vector<Rational>& probabilities,
+                                const KarpLubyParams& params) {
+  return KarpLubyEstimate(*BuildKarpLubyPlan(cnf, probabilities), params);
+}
+
 KarpLubyResult KarpLubyEstimate(const Lineage& lineage,
                                 const KarpLubyParams& params) {
   if (lineage.is_false) {
@@ -224,6 +331,93 @@ KarpLubyResult KarpLubyEstimate(const Lineage& lineage,
     return result;
   }
   return KarpLubyEstimate(lineage.cnf, lineage.probabilities, params);
+}
+
+namespace {
+
+// Order-free fold for the plan-cache key (seed the cnf hash, fold each
+// marginal's hash in sequence — boost::hash_combine's recipe widened).
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4));
+}
+
+}  // namespace
+
+std::shared_ptr<const KarpLubyPlan> KarpLubyPlanCache::Get(
+    const Cnf& cnf, const std::vector<Rational>& probabilities) {
+  // Key over structure AND weights: two TIDs sharing a lineage but not its
+  // marginals must not share disjunct weights.
+  uint64_t key = cnf.Hash64();
+  for (const Rational& p : probabilities) {
+    key = HashCombine(key, static_cast<uint64_t>(p.Hash()));
+  }
+  // approx.plan aliases "the cached plan was lost": a fired crossing skips
+  // the lookup and the insert, so the plan rebuilds below — identical
+  // results, just the setup cost paid again (self-healing, which the
+  // faults CI job exercises across the whole suite).
+  const bool dropped = fault::ShouldFail(fault::Point::kApproxPlan);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dropped && max_entries_ > 0) {
+      const auto it = entries_.find(key);
+      // Exact-equality probe: a 64-bit collision costs one rebuild below,
+      // never a wrong plan.
+      if (it != entries_.end() &&
+          it->second.plan->cnf.num_vars == cnf.num_vars &&
+          it->second.plan->cnf.clauses == cnf.clauses &&
+          it->second.plan->probabilities == probabilities) {
+        ++stats_.hits;
+        it->second.last_used = ++clock_;
+        return it->second.plan;
+      }
+    }
+    ++stats_.misses;
+  }
+  std::shared_ptr<const KarpLubyPlan> plan =
+      BuildKarpLubyPlan(cnf, probabilities);
+  if (!dropped) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_entries_ > 0) {
+      if (entries_.size() >= max_entries_ &&
+          entries_.find(key) == entries_.end()) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+          if (it->second.last_used < victim->second.last_used) victim = it;
+        }
+        entries_.erase(victim);
+        ++stats_.evictions;
+      }
+      Entry& entry = entries_[key];
+      entry.plan = plan;
+      entry.last_used = ++clock_;
+    }
+  }
+  return plan;
+}
+
+void KarpLubyPlanCache::set_max_entries(uint64_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = max_entries;
+  while (entries_.size() > max_entries_) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+KarpLubyPlanCache::Stats KarpLubyPlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void KarpLubyPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = Stats{};
+  clock_ = 0;
 }
 
 }  // namespace gmc

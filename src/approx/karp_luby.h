@@ -31,13 +31,45 @@
 // Anytime contract: when max_samples caps N below the target, the sampler
 // still runs and reports the LARGER epsilon it actually achieved at that
 // sample count (same δ) — a weaker certificate, never a silent lie.
+//
+// Parallelism and determinism: the sample index space is cut into
+// fixed-size chunks (kSamplesPerChunk), chunk c draws from its own
+// splitmix64 substream seeded `params.seed ^ c`, and workers claim chunks
+// from a shared counter. Chunk boundaries and substreams depend only on
+// (seed, target) — never on the worker count or the schedule — and the
+// caller reduces the per-chunk counts in chunk-index order, so a fixed
+// seed is bit-reproducible at EVERY thread count (the same contract the
+// batch evaluators honor, pinned by the reproducibility matrix in
+// tests/approx_test.cc). A fired deadline truncates the reduction to the
+// contiguous prefix of completed chunks (plus the partial chunk that
+// observed the deadline), which keeps even cancelled runs thread-count-
+// invariant when the token was fired before sampling began.
+//
+// Setup reuse: the per-instance work that dominates short runs — copying
+// the CNF, the exact disjunct weights, their prefix sums — is factored
+// into a KarpLubyPlan. Build one with BuildKarpLubyPlan (or share them
+// through a KarpLubyPlanCache, as GfomcSession does) and run
+// KarpLubyEstimate(plan, params) any number of times: same-structure
+// requests in one serve coalescing round pay for one plan, not N.
+//
+// Default precedence (see approx/anytime_defaults.h for the shared
+// constants): a default-constructed KarpLubyParams equals a
+// default-constructed GmcOptions field for field. For configured runs
+// GmcOptions::FromEnv() is the single source of truth — GfomcSession
+// forwards its configured epsilon/delta/max_samples/seed/threads into the
+// params it builds per request — and an explicitly set KarpLubyParams
+// field overrides everything for that one call.
 
 #ifndef GMC_APPROX_KARP_LUBY_H_
 #define GMC_APPROX_KARP_LUBY_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "approx/anytime_defaults.h"
 #include "lineage/boolean_formula.h"
 #include "lineage/grounder.h"
 #include "util/cancel.h"
@@ -45,21 +77,29 @@
 
 namespace gmc {
 
-/// Sampler knobs. The defaults mirror GmcOptions; GfomcSession forwards
-/// its configured values and derives `seed` per instance from the base
-/// seed and the lineage hash, so fixed-seed runs reproduce exactly.
+/// Sampler knobs. The defaults mirror GmcOptions (both sides read
+/// approx/anytime_defaults.h; see the precedence note in the header
+/// comment); GfomcSession forwards its configured values and derives
+/// `seed` per instance from the base seed and the lineage hash, so
+/// fixed-seed runs reproduce exactly.
 struct KarpLubyParams {
-  double epsilon = 0.05;  ///< target additive error on Pr(F), in (0, 1)
-  double delta = 0.01;    ///< failure probability, in (0, 1)
+  double epsilon = kDefaultSampleEpsilon;  ///< target additive error
+  double delta = kDefaultSampleDelta;      ///< failure probability
   /// Hard cap on samples (0 = none): the anytime knob. When it binds, the
   /// result reports the epsilon actually achieved at the capped count.
-  uint64_t max_samples = 1 << 20;
-  uint64_t seed = 0x9e3779b97f4a7c15ull;
-  /// Optional request-deadline token, polled every few samples. A fired
-  /// deadline stops the loop at however many samples were drawn and
-  /// certifies the epsilon THAT count buys — the same anytime degradation
-  /// as a binding max_samples, never an error (the one tier where a
-  /// deadline costs certificate strength instead of the answer).
+  uint64_t max_samples = kDefaultMaxSamples;
+  uint64_t seed = kDefaultSampleSeed;
+  /// Worker bound for the chunk-parallel sample loop: 0 defers to the
+  /// process default (GMC_THREADS, else the hardware count), 1 forces
+  /// serial, n allows at most n workers. Results are bit-identical at
+  /// every setting — chunking is by sample index, never by worker.
+  int num_threads = 0;
+  /// Optional request-deadline token, polled inside every chunk and before
+  /// each chunk claim. A fired deadline stops the loop at however many
+  /// samples the kept chunk prefix drew and certifies the epsilon THAT
+  /// count buys — the same anytime degradation as a binding max_samples,
+  /// never an error (the one tier where a deadline costs certificate
+  /// strength instead of the answer).
   const CancelToken* cancel = nullptr;
 };
 
@@ -82,10 +122,36 @@ struct KarpLubyResult {
   bool exact = false;
 };
 
-/// Runs the estimator on one lineage CNF with per-variable marginals
-/// `probabilities` (index = variable id; all entries must be in [0, 1] and
-/// the vector at least cnf.num_vars long — aborts otherwise, so callers
-/// validate first). Deterministic given (cnf, probabilities, params).
+/// The reusable per-instance setup of a sampling run: the formula, the
+/// marginals, and the exact disjunct-weight prefix sums that dominate
+/// setup cost for short runs. Immutable once built, so one shared_ptr can
+/// back any number of concurrent KarpLubyEstimate calls.
+struct KarpLubyPlan {
+  Cnf cnf;
+  std::vector<Rational> probabilities;
+  /// prefix[0] = 0, prefix[i + 1] = prefix[i] + w_i, prefix[m] = W. Size
+  /// m + 1 (size 1 for a clause-free formula). Exact.
+  std::vector<Rational> prefix;
+
+  size_t num_clauses() const { return cnf.clauses.size(); }
+  const Rational& total_weight() const { return prefix.back(); }
+};
+
+/// Builds the plan for one (cnf, probabilities) instance. Same input
+/// contract as KarpLubyEstimate below (probabilities indexed by variable
+/// id, all in [0, 1], size >= cnf.num_vars — aborts otherwise, so callers
+/// validate first).
+std::shared_ptr<const KarpLubyPlan> BuildKarpLubyPlan(
+    const Cnf& cnf, const std::vector<Rational>& probabilities);
+
+/// Runs the estimator against a prebuilt plan — the batched entry point:
+/// amortize one BuildKarpLubyPlan across every same-structure request.
+/// Deterministic given (plan, params).
+KarpLubyResult KarpLubyEstimate(const KarpLubyPlan& plan,
+                                const KarpLubyParams& params);
+
+/// Convenience one-shot form: builds a throwaway plan and runs it.
+/// Bit-identical to the plan form for the same inputs.
 KarpLubyResult KarpLubyEstimate(const Cnf& cnf,
                                 const std::vector<Rational>& probabilities,
                                 const KarpLubyParams& params);
@@ -100,7 +166,61 @@ KarpLubyResult KarpLubyEstimate(const Lineage& lineage,
 uint64_t KarpLubySampleTarget(uint64_t num_clauses, double epsilon,
                               double delta);
 
+/// A small LRU cache of KarpLubyPlans keyed by (cnf, probabilities) —
+/// structure alone is NOT enough, because the disjunct weights depend on
+/// the marginals. GfomcSession holds one so the EVAL_APPROX coalescing
+/// round in serve.cc pays one plan build for N same-structure requests;
+/// hits/misses surface through GfomcSession::Stats (plan_hits /
+/// plan_misses) and the STATS wire line.
+///
+/// Probes verify full key equality (exact Rational comparison), so a hash
+/// collision costs one rebuild, never a wrong plan. The approx.plan fault
+/// point (util/fault.h) aliases "the cached plan was lost": a fired
+/// crossing skips both the lookup and the insert, forcing a rebuild whose
+/// result is identical — self-healing by construction.
+///
+/// Thread-safe (one mutex; plan builds run outside it only on the fault
+/// path — cached builds are cheap enough that holding it is simpler).
+class KarpLubyPlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// The cached plan for (cnf, probabilities), building and inserting on a
+  /// miss. Never returns null.
+  std::shared_ptr<const KarpLubyPlan> Get(
+      const Cnf& cnf, const std::vector<Rational>& probabilities);
+
+  /// Capacity in plans; 0 disables caching (every Get builds fresh).
+  /// Shrinking evicts least-recently-used entries immediately.
+  void set_max_entries(uint64_t max_entries);
+
+  Stats stats() const;
+  void Clear();  ///< drops every entry and zeroes the stats
+
+ private:
+  struct Entry {
+    std::shared_ptr<const KarpLubyPlan> plan;
+    uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  uint64_t max_entries_ = kDefaultSamplePlanEntries;
+  uint64_t clock_ = 0;
+  Stats stats_;
+};
+
 namespace approx_internal {
+
+/// The fixed sample-chunk size of the parallel loop. Chunk count and
+/// substream seeds depend only on (target, seed) — the thread-count-
+/// invariance anchor. Small enough that modest targets still spread over
+/// the pool, large enough that the claim counter stays cold.
+inline constexpr uint64_t kSamplesPerChunk = 1024;
 
 /// splitmix64 — the per-instance PRNG stream. Deterministic, seedable,
 /// passes BigCrush as a 64-bit mixer; quality is ample for Monte Carlo

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "approx/anytime_defaults.h"
 #include "compile/vtree.h"
 
 namespace gmc {
@@ -88,7 +89,8 @@ bool ParseRoutingMode(const char* name, RoutingMode* out);
 ///                  store_write_through
 ///   SafeEvaluator / WmcEngine: forward the above to their embedded cache
 ///   GfomcSession:  all of the above plus routing_mode, compile_budget,
-///                  epsilon, delta, max_samples, sample_seed
+///                  epsilon, delta, max_samples, sample_seed,
+///                  sample_threads, sample_plan_entries
 /// Configure(options) on any of those classes applies the fields that
 /// class understands and ignores the rest, so one options value can
 /// configure the whole stack.
@@ -125,15 +127,27 @@ struct GmcOptions {
   CompileBudget compile_budget = DefaultCompileBudget();
   /// Sampler target: with probability >= 1 - delta the estimate is within
   /// epsilon * Pr(lineage fails) <= epsilon of the exact probability.
-  double epsilon = 0.05;
-  double delta = 0.01;
+  /// Defaults shared with KarpLubyParams via approx/anytime_defaults.h
+  /// (precedence is documented in approx/karp_luby.h).
+  double epsilon = kDefaultSampleEpsilon;
+  double delta = kDefaultSampleDelta;
   /// Hard cap on samples per instance (0 = derived from epsilon/delta).
   /// When the cap binds, the answer reports the larger epsilon it actually
   /// achieved — the anytime contract.
-  uint64_t max_samples = 1 << 20;
+  uint64_t max_samples = kDefaultMaxSamples;
   /// Base PRNG seed; per-instance streams derive deterministically from it
   /// and the lineage structure, so fixed-seed runs reproduce exactly.
-  uint64_t sample_seed = 0x9e3779b97f4a7c15ull;
+  uint64_t sample_seed = kDefaultSampleSeed;
+  /// Worker bound for the chunk-parallel Karp–Luby sample loop: 0 follows
+  /// num_threads (whose own 0 defers to the process default), n caps the
+  /// sampler independently of the circuit passes. Results are
+  /// bit-identical at every setting — the sampler's substreams are indexed
+  /// by sample chunk, never by worker (see approx/karp_luby.h).
+  int sample_threads = 0;
+  /// Capacity of the session's KarpLubyPlan cache, in plans (0 disables):
+  /// same-structure sampled requests reuse one exact disjunct-weight
+  /// prefix-sum build instead of paying it per request.
+  uint64_t sample_plan_entries = kDefaultSamplePlanEntries;
 
   /// End-to-end wall-clock deadline per checked request, in milliseconds
   /// (0 = none). One CancelToken armed with this deadline covers grounding,
@@ -159,12 +173,15 @@ struct GmcOptions {
   /// GMC_ROUTING (exact/auto/interval/sample), GMC_BUDGET_NODES /
   /// GMC_BUDGET_CALLS / GMC_BUDGET_MS (unsigned; 0 = unlimited),
   /// GMC_EPSILON / GMC_DELTA (decimals strictly in (0, 1)),
-  /// GMC_MAX_SAMPLES and GMC_SEED (unsigned), GMC_DEADLINE_MS →
-  /// deadline_ms and GMC_CACHE_BYTES → max_resident_bytes (unsigned;
-  /// 0 = off), GMC_STORE_SELF_HEAL → store_self_heal (0/false/off to
-  /// disable). Unset or malformed values keep the struct defaults. Every
-  /// default-constructed CircuitCache / session Configures itself with
-  /// this value.
+  /// GMC_MAX_SAMPLES and GMC_SEED (unsigned), GMC_SAMPLE_THREADS →
+  /// sample_threads (positive, clamped to the pool maximum; 0/unset keeps
+  /// the num_threads-following default) and GMC_PLAN_ENTRIES →
+  /// sample_plan_entries (unsigned; 0 disables the plan cache),
+  /// GMC_DEADLINE_MS → deadline_ms and GMC_CACHE_BYTES →
+  /// max_resident_bytes (unsigned; 0 = off), GMC_STORE_SELF_HEAL →
+  /// store_self_heal (0/false/off to disable). Unset or malformed values
+  /// keep the struct defaults. Every default-constructed CircuitCache /
+  /// session Configures itself with this value.
   static GmcOptions FromEnv();
 };
 

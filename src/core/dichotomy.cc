@@ -152,6 +152,7 @@ void GfomcSession::Configure(const GmcOptions& options) {
   options_ = options;
   safe_.Configure(options);
   engine_.Configure(options);
+  sample_plans_.set_max_entries(options.sample_plan_entries);
 }
 
 GmcOptions GfomcSession::options() const {
@@ -242,7 +243,11 @@ GmcStatus GfomcSession::EvaluateAnswers(const Query& query,
     *answers = std::move(routed);
     return GmcStatus::Ok();
   }
-  // Unsafe: ground and route each instance through the policy.
+  // Unsafe: ground and route each instance through the policy. Instances
+  // the sampler answers share this session's plan cache, so a batch of
+  // same-structure tids pays one plan build — the coalesced-round win the
+  // sampler_batches counter makes observable.
+  const uint64_t sampled_before = counters_.anytime_sampled;
   for (size_t i = 0; i < tids.size(); ++i) {
     const Lineage lineage = Ground(query, tids[i]);
     if (GmcStatus status = RouteUnsafe(lineage, policy, cancel, &routed[i]);
@@ -251,6 +256,7 @@ GmcStatus GfomcSession::EvaluateAnswers(const Query& query,
       return status;
     }
   }
+  if (counters_.anytime_sampled > sampled_before) ++counters_.sampler_batches;
   *answers = std::move(routed);
   return GmcStatus::Ok();
 }
@@ -349,10 +355,19 @@ GmcStatus GfomcSession::RouteUnsafe(const Lineage& lineage,
   params.delta = options_.delta;
   params.max_samples = options_.max_samples;
   params.cancel = cancel;
+  // sample_threads caps the sampler's workers independently of the
+  // circuit passes; 0 falls through to num_threads (whose 0 defers to
+  // the process default inside the sampler). Bit-identical either way.
+  params.num_threads = options_.sample_threads != 0 ? options_.sample_threads
+                                                    : options_.num_threads;
   params.seed = approx_internal::SplitMix64(options_.sample_seed ^
                                             lineage.cnf.Hash64())
                     .Next();
-  const KarpLubyResult sampled = KarpLubyEstimate(lineage, params);
+  // lineage.is_false was handled at entry, so the plan covers every
+  // remaining case; same-structure requests share one build via the cache.
+  const std::shared_ptr<const KarpLubyPlan> plan =
+      sample_plans_.Get(lineage.cnf, lineage.probabilities);
+  const KarpLubyResult sampled = KarpLubyEstimate(*plan, params);
   answer->tier = AnswerTier::kSampled;
   answer->estimate = sampled.estimate;
   answer->epsilon = sampled.epsilon;
@@ -381,6 +396,9 @@ GfomcSession::Stats GfomcSession::stats() const {
                   engine_.circuits().stats().evictions;
   out.resident_bytes = safe_.circuits().stats().resident_bytes +
                        engine_.circuits().stats().resident_bytes;
+  const KarpLubyPlanCache::Stats plans = sample_plans_.stats();
+  out.plan_hits = plans.hits;
+  out.plan_misses = plans.misses;
   return out;
 }
 

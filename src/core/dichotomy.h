@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "approx/karp_luby.h"
 #include "compile/gmc_options.h"
 #include "compile/nnf_walk.h"
 #include "hardness/reduction_type1.h"
@@ -228,6 +229,15 @@ class GfomcSession {
     // circuit bytes (a gauge).
     uint64_t evictions = 0;
     uint64_t resident_bytes = 0;
+    // Karp–Luby plan-cache traffic (the sampled tier's per-instance
+    // setup): a hit reuses another request's exact disjunct-weight prefix
+    // sums instead of rebuilding them (see KarpLubyPlanCache).
+    uint64_t plan_hits = 0;
+    uint64_t plan_misses = 0;
+    // Checked EvaluateAnswers calls in which the sampler answered at
+    // least one instance — with serve's coalescing, N same-round sampled
+    // requests surface here as ONE batch (vs anytime_sampled counting N).
+    uint64_t sampler_batches = 0;
   };
 
   GfomcResult Evaluate(const Query& query, const Tid& tid);
@@ -314,6 +324,11 @@ class GfomcSession {
   mutable std::mutex mu_;  // serializes Evaluate/EvaluateMany/stats
   SafeEvaluator safe_;
   WmcEngine engine_;
+  // Cached per-instance sampler setup, keyed by (cnf, probabilities) —
+  // same-structure sampled requests (one serve coalescing round, or a
+  // probability sweep re-hitting one lineage) build the exact disjunct-
+  // weight prefix sums once. Capacity follows sample_plan_entries.
+  KarpLubyPlanCache sample_plans_;
   Stats counters_;
   // The session-level routing fields; the cache-level fields live in the
   // embedded caches (kept in sync by Configure). Starts from FromEnv(),

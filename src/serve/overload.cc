@@ -51,6 +51,7 @@ void LoadGovernor::Configure(const OverloadOptions& options) {
   options_.red_exit = std::min(options_.red_exit, options_.red_enter);
   inflight_.store(0, std::memory_order_relaxed);
   ewma_fixed_.store(0, std::memory_order_relaxed);
+  work_fixed_.store(0, std::memory_order_relaxed);
   level_.store(static_cast<int>(Pressure::kGreen), std::memory_order_relaxed);
   transitions_.store(0, std::memory_order_relaxed);
 }
@@ -72,13 +73,30 @@ void LoadGovernor::RecordQueueWait(uint64_t wait_ms) {
   Recompute(0);
 }
 
+void LoadGovernor::RecordWorkCost(double cost_ms) {
+  const uint64_t sample =
+      static_cast<uint64_t>(std::max(cost_ms, 0.0) * kEwmaScale);
+  uint64_t seen = work_fixed_.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = static_cast<uint64_t>((1.0 - options_.ewma_alpha) *
+                                     static_cast<double>(seen) +
+                                 options_.ewma_alpha *
+                                     static_cast<double>(sample));
+  } while (!work_fixed_.compare_exchange_weak(seen, next,
+                                              std::memory_order_relaxed));
+  Recompute(0);
+}
+
 void LoadGovernor::Recompute(uint64_t depth) {
   const double occupancy =
       static_cast<double>(depth + inflight_.load(std::memory_order_relaxed)) /
       static_cast<double>(options_.capacity);
   const double wait = wait_ewma_ms() /
                       static_cast<double>(options_.wait_budget_ms);
-  const double signal = std::max(occupancy, wait);
+  const double work = work_ewma_ms() /
+                      static_cast<double>(options_.wait_budget_ms);
+  const double signal = std::max({occupancy, wait, work});
   // Hysteresis step: rise to any met enter band immediately, fall only
   // once the current band's exit no longer holds. The CAS keeps the
   // transition count honest under concurrent feeds; a lost race just
@@ -102,6 +120,11 @@ uint64_t LoadGovernor::retry_after_ms() const {
 
 double LoadGovernor::wait_ewma_ms() const {
   return static_cast<double>(ewma_fixed_.load(std::memory_order_relaxed)) /
+         kEwmaScale;
+}
+
+double LoadGovernor::work_ewma_ms() const {
+  return static_cast<double>(work_fixed_.load(std::memory_order_relaxed)) /
          kEwmaScale;
 }
 

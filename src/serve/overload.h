@@ -64,12 +64,19 @@ const char* PressureName(Pressure level);
 /// The governor's knobs. The load signal is normalized:
 ///
 ///   signal = max((queue_depth + inflight) / capacity,
-///                wait_ewma_ms / wait_budget_ms)
+///                wait_ewma_ms / wait_budget_ms,
+///                work_ewma_ms / wait_budget_ms)
 ///
-/// so both "the queue is deep" and "requests sit in the queue too long"
-/// (the cheap-queue-expensive-work case a depth limit alone misses) can
-/// raise pressure. Thresholds are fractions of that signal; exits must be
-/// at or below their enters (Configure clamps them there).
+/// so "the queue is deep", "requests sit in the queue too long" (the
+/// cheap-queue-expensive-work case a depth limit alone misses), and
+/// "each request COSTS too much to evaluate" can all raise pressure. The
+/// third term exists for the RED-tier blind spot: once auto traffic has
+/// been downshifted to the sampler, the batch loop drains the queue fast
+/// enough that depth and wait both collapse — without a per-request work
+/// cost feed the signal would drop, the level would flap back to GREEN,
+/// and the expensive tier would return. Thresholds are fractions of that
+/// signal; exits must be at or below their enters (Configure clamps them
+/// there).
 struct OverloadOptions {
   /// Queue slots the depth term is normalized against (>= 1; the serve
   /// layer fills this from max_pending when left 0).
@@ -103,6 +110,12 @@ class LoadGovernor {
   /// Feed: one request's time spent queued, folded into the EWMA.
   /// Recomputes the pressure level.
   void RecordQueueWait(uint64_t wait_ms);
+  /// Feed: the average per-request evaluation cost of one drained batch
+  /// (the serve loop feeds batch_ms / batch_size), folded into its own
+  /// EWMA and normalized against wait_budget_ms — a request whose WORK
+  /// alone eats the whole wait budget saturates the signal even when the
+  /// queue stays empty. Recomputes the pressure level.
+  void RecordWorkCost(double cost_ms);
   /// In-flight tracking: requests handed to the evaluation session and not
   /// yet answered count toward the depth term (the queue empties the
   /// moment a batch drains it — without this term a huge drained batch
@@ -120,6 +133,7 @@ class LoadGovernor {
   /// The SHED backoff hint at the current level (base << level).
   uint64_t retry_after_ms() const;
   double wait_ewma_ms() const;
+  double work_ewma_ms() const;
   uint64_t inflight() const {
     return inflight_.load(std::memory_order_relaxed);
   }
@@ -135,9 +149,10 @@ class LoadGovernor {
 
   OverloadOptions options_;
   std::atomic<uint64_t> inflight_{0};
-  // EWMA in micro-milliseconds (ms * 1024) so the CAS loop runs on an
-  // integer; precision far below anything the bands can resolve.
-  std::atomic<uint64_t> ewma_fixed_{0};
+  // EWMAs in micro-milliseconds (ms * 1024) so the CAS loops run on
+  // integers; precision far below anything the bands can resolve.
+  std::atomic<uint64_t> ewma_fixed_{0};       // queue wait
+  std::atomic<uint64_t> work_fixed_{0};       // per-request work cost
   std::atomic<int> level_{0};
   std::atomic<uint64_t> transitions_{0};
 };

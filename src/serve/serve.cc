@@ -663,6 +663,7 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
     governor_.RecordQueueWait(waited_ms);
   }
   governor_.BeginWork(batch.size());
+  const auto work_started = std::chrono::steady_clock::now();
 
   auto write_line = [&](const PendingEval& eval, const std::string& text,
                         bool is_ok) {
@@ -701,30 +702,122 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
     }
   }
 
-  // EVAL_APPROX requests carry per-request routing knobs — and any
-  // deadline'd request carries a per-request deadline — so each runs as
-  // one checked EvaluateAnswer with the session temporarily configured for
-  // it (this loop is the only config writer; the base is restored after).
-  // A deadline'd legacy EVAL maps onto mode=exact with an unlimited
-  // compile budget: the same always-exact semantics as the coalesced
-  // path, interruptible by the deadline alone.
+  // Brownout: under pressure, auto-routed requests degrade to the cheaper
+  // certified tiers (exact → interval → sample). An EXPLICIT mode is a
+  // contract and passes through untouched — the server may shed it, never
+  // silently weaken it. DegradeForPressure enforces exactly that. The
+  // effective route is resolved ONCE per request here so the sampled-tier
+  // grouping below and the singles loop agree on it (and the degraded
+  // counter cannot double-count).
+  std::vector<RoutingMode> effective(batch.size(), RoutingMode::kAuto);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!batch[i].approx) continue;
+    effective[i] = DegradeForPressure(batch[i].mode, governor_.level());
+    if (effective[i] != batch[i].mode) {
+      stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // One reply formatter for every EVAL_APPROX answer, shared by the
+  // grouped and single paths so the two are byte-identical by construction.
+  auto format_approx_reply = [](const PendingEval& eval,
+                                const GmcAnswer& answer) {
+    switch (answer.tier) {
+      case AnswerTier::kCertifiedInterval:
+        return "OK " + eval.id + " INTERVAL " +
+               FormatDouble(answer.interval.lo) + " " +
+               FormatDouble(answer.interval.hi) + " tier=interval";
+      case AnswerTier::kSampled:
+        return "OK " + eval.id + " ESTIMATE " +
+               FormatDouble(answer.estimate) +
+               " eps=" + FormatDouble(answer.epsilon) +
+               " delta=" + FormatDouble(answer.delta) +
+               " samples=" + std::to_string(answer.samples) +
+               " tier=sampled";
+      default:
+        return "OK " + eval.id + " EXACT " + answer.exact.ToString() +
+               " tier=" + AnswerTierName(answer.tier);
+    }
+  };
+
   const GmcOptions base = session_.options();
   bool reconfigured = false;
-  for (const PendingEval& eval : batch) {
+
+  // Sampled-tier coalescing: EVAL_APPROX requests whose effective route is
+  // the sampler — and that carry no deadline — group by (eps, delta) and
+  // run as ONE EvaluateAnswers call per group, so same-structure requests
+  // in one round share one Karp–Luby plan build (the session's plan cache)
+  // and one batched sample pass. Grouping is safe exactly here: kSample
+  // never returns BUDGET or TIMEOUT (no compile probe, no deadline), and
+  // the inputs were parse-validated at admission, so one group-wide status
+  // suffices — on the unexpected !ok every member gets the same typed
+  // INVALID the single path would produce. Deadline'd requests stay
+  // single: one deadline must bound ONE request, not abort a group.
+  std::vector<size_t> sampled;
+  std::vector<char> grouped(batch.size(), 0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].approx && effective[i] == RoutingMode::kSample &&
+        batch[i].deadline_ms == 0) {
+      sampled.push_back(i);
+    }
+  }
+  for (size_t g = 0; g < sampled.size(); ++g) {
+    if (grouped[sampled[g]]) continue;
+    std::vector<size_t> members;
+    for (size_t h = g; h < sampled.size(); ++h) {
+      const size_t i = sampled[h];
+      if (grouped[i]) continue;
+      if (batch[i].epsilon == batch[sampled[g]].epsilon &&
+          batch[i].delta == batch[sampled[g]].delta) {
+        members.push_back(i);
+        grouped[i] = 1;
+      }
+    }
+    stats_.approx_batches.fetch_add(1, std::memory_order_relaxed);
+    uint64_t largest = stats_.max_approx_batch.load(std::memory_order_relaxed);
+    while (largest < members.size() &&
+           !stats_.max_approx_batch.compare_exchange_weak(
+               largest, members.size(), std::memory_order_relaxed)) {
+    }
+    GmcOptions opts = base;
+    opts.routing_mode = RoutingMode::kSample;
+    opts.epsilon = batch[members[0]].epsilon;
+    opts.delta = batch[members[0]].delta;
+    opts.deadline_ms = 0;
+    session_.Configure(opts);
+    reconfigured = true;
+    std::vector<Tid> group_tids;
+    group_tids.reserve(members.size());
+    for (const size_t i : members) group_tids.push_back(batch[i].tid);
+    std::vector<GmcAnswer> answers;
+    const GmcStatus status =
+        session_.EvaluateAnswers(query_, group_tids, &answers);
+    for (size_t m = 0; m < members.size(); ++m) {
+      const PendingEval& eval = batch[members[m]];
+      if (!status.ok()) {
+        write_line(eval, "ERR " + eval.id + " INVALID " + status.message,
+                   /*is_ok=*/false);
+      } else {
+        write_line(eval, format_approx_reply(eval, answers[m]),
+                   /*is_ok=*/true);
+      }
+    }
+  }
+
+  // Remaining EVAL_APPROX requests (exact/interval routes, or deadline'd)
+  // and deadline'd legacy EVALs carry per-request knobs, so each runs as
+  // one checked EvaluateAnswer with the session temporarily configured for
+  // it (this function is the only config writer; the base is restored
+  // after). A deadline'd legacy EVAL maps onto mode=exact with an
+  // unlimited compile budget: the same always-exact semantics as the
+  // coalesced path, interruptible by the deadline alone.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const PendingEval& eval = batch[i];
+    if (grouped[i]) continue;
     if (!eval.approx && eval.deadline_ms == 0) continue;
     GmcOptions opts = base;
     if (eval.approx) {
-      // Brownout: under pressure, auto-routed requests degrade to the
-      // cheaper certified tiers (exact → interval → sample). An EXPLICIT
-      // mode is a contract and passes through untouched — the server may
-      // shed it, never silently weaken it. DegradeForPressure enforces
-      // exactly that.
-      RoutingMode effective =
-          DegradeForPressure(eval.mode, governor_.level());
-      if (effective != eval.mode) {
-        stats_.degraded.fetch_add(1, std::memory_order_relaxed);
-      }
-      opts.routing_mode = effective;
+      opts.routing_mode = effective[i];
       opts.epsilon = eval.epsilon;
       opts.delta = eval.delta;
     } else {
@@ -747,37 +840,28 @@ void GmcServer::RunBatch(std::vector<PendingEval> batch) {
                  /*is_ok=*/false);
       continue;
     }
-    std::string line;
     if (!eval.approx) {
       // Deadline'd legacy EVAL: reply in the legacy EVAL shape so clients
       // need not care which internal path served them.
-      line = "OK " + eval.id + " " + answer.exact.ToString() + " lifted=" +
-             (answer.tier == AnswerTier::kLifted ? "1" : "0");
-      write_line(eval, line, /*is_ok=*/true);
+      write_line(eval,
+                 "OK " + eval.id + " " + answer.exact.ToString() + " lifted=" +
+                     (answer.tier == AnswerTier::kLifted ? "1" : "0"),
+                 /*is_ok=*/true);
       continue;
     }
-    switch (answer.tier) {
-      case AnswerTier::kCertifiedInterval:
-        line = "OK " + eval.id + " INTERVAL " +
-               FormatDouble(answer.interval.lo) + " " +
-               FormatDouble(answer.interval.hi) + " tier=interval";
-        break;
-      case AnswerTier::kSampled:
-        line = "OK " + eval.id + " ESTIMATE " +
-               FormatDouble(answer.estimate) +
-               " eps=" + FormatDouble(answer.epsilon) +
-               " delta=" + FormatDouble(answer.delta) +
-               " samples=" + std::to_string(answer.samples) +
-               " tier=sampled";
-        break;
-      default:
-        line = "OK " + eval.id + " EXACT " + answer.exact.ToString() +
-               " tier=" + AnswerTierName(answer.tier);
-        break;
-    }
-    write_line(eval, line, /*is_ok=*/true);
+    write_line(eval, format_approx_reply(eval, answer), /*is_ok=*/true);
   }
   if (reconfigured) session_.Configure(base);
+
+  // Feed the governor the batch's per-request evaluation cost: under a
+  // RED-tier downshift the sampler drains the queue fast enough that the
+  // depth and wait signals collapse; without this feed the level would
+  // flap back to GREEN and the expensive tier would return (the work term
+  // in serve/overload.h).
+  const double batch_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - work_started)
+                              .count();
+  governor_.RecordWorkCost(batch_ms / static_cast<double>(batch.size()));
 
   governor_.EndWork(batch.size());
   {
@@ -814,6 +898,9 @@ GmcServer::Stats GmcServer::stats() const {
   out.scrubbed = stats_.scrubbed.load(std::memory_order_relaxed);
   out.quarantined = stats_.quarantined.load(std::memory_order_relaxed);
   out.scrub_orphans = stats_.scrub_orphans.load(std::memory_order_relaxed);
+  out.approx_batches = stats_.approx_batches.load(std::memory_order_relaxed);
+  out.max_approx_batch =
+      stats_.max_approx_batch.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -849,6 +936,8 @@ std::string GmcServer::StatsSnapshot::ToLine() const {
       << " scrubbed=" << server.scrubbed
       << " quarantined=" << server.quarantined
       << " scrub_orphans=" << server.scrub_orphans
+      << " approx_batches=" << server.approx_batches
+      << " max_approx_batch=" << server.max_approx_batch
       << " queries=" << session.queries
       << " safe_lifted=" << session.safe_lifted
       << " safe_compiled=" << session.safe_compiled
@@ -867,6 +956,9 @@ std::string GmcServer::StatsSnapshot::ToLine() const {
       << " deadline_exceeded=" << session.deadline_exceeded
       << " evictions=" << session.evictions
       << " resident_bytes=" << session.resident_bytes
+      << " plan_hits=" << session.plan_hits
+      << " plan_misses=" << session.plan_misses
+      << " sampler_batches=" << session.sampler_batches
       << " faults_injected=" << faults_injected;
   return out.str();
 }

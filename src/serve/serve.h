@@ -13,7 +13,13 @@
 //      single batch loop drains the WHOLE queue each round and answers it
 //      with ONE GfomcSession::EvaluateMany call, so K concurrent requests
 //      against the same lineage structure cost one topological circuit
-//      pass over a K-column WeightMatrix instead of K walks.
+//      pass over a K-column WeightMatrix instead of K walks. Sampled-tier
+//      EVAL_APPROX traffic coalesces the same way: requests in one round
+//      whose effective route is the sampler (and that carry no deadline)
+//      are grouped by (eps, delta) and answered with ONE
+//      GfomcSession::EvaluateAnswers call per group, so same-structure
+//      requests share one Karp–Luby plan build (plan_hits in STATS) —
+//      with answers byte-identical to serial single-request serving.
 //   3. Shed, don't stall: past the admission limit a request is refused
 //      immediately with a typed SHED error carrying a retry_after_ms
 //      backoff hint — the client can retry or fail over; the queue never
@@ -201,6 +207,11 @@ class GmcServer {
     uint64_t scrubbed = 0;          ///< store entries the startup scrub scanned
     uint64_t quarantined = 0;       ///< entries the startup scrub quarantined
     uint64_t scrub_orphans = 0;     ///< dead-writer temp files it removed
+    /// Sampled-tier coalescing: (eps, delta) groups answered with one
+    /// EvaluateAnswers call each, and the largest such group — >1 proves
+    /// concurrent sampled requests shared one Karp–Luby plan build.
+    uint64_t approx_batches = 0;
+    uint64_t max_approx_batch = 0;
   };
 
   /// One coherent picture of the whole serving stack, taken in a single
@@ -341,6 +352,8 @@ class GmcServer {
     std::atomic<uint64_t> scrubbed{0};
     std::atomic<uint64_t> quarantined{0};
     std::atomic<uint64_t> scrub_orphans{0};
+    std::atomic<uint64_t> approx_batches{0};
+    std::atomic<uint64_t> max_approx_batch{0};
   };
   mutable AtomicStats stats_;
 };

@@ -183,6 +183,8 @@ const char* PointName(Point point) {
       return "serve.accept";
     case Point::kStoreScrub:
       return "store.scrub";
+    case Point::kApproxPlan:
+      return "approx.plan";
     case Point::kNumPoints:
       break;
   }

@@ -1,0 +1,132 @@
+// Statistical calibration of the Karp–Luby sampler: does the certified
+// (ε, δ) contract hold EMPIRICALLY, not just derivationally?
+//
+// For each corpus instance we know the exact probability μ (the recursive
+// WMC engine computes it as a rational), so we can run the sampler many
+// times under independent seeds and count how often the certificate lies:
+// |estimate − μ| > ε_achieved. The contract promises that fraction is at
+// most δ. With N runs the violation count is Binomial(N, q) for some true
+// rate q ≤ δ, so we accept up to
+//
+//     δ·N + 5·sqrt(N·δ·(1−δ))
+//
+// — the mean plus five standard deviations of the WORST allowed sampler.
+// A correct sampler (whose true rate sits far below δ; the Chernoff bound
+// behind the target is loose) passes with enormous margin; a broken
+// reduction — double-counted chunk, worker-dependent stream, biased
+// truncation — shows up as a violation rate near 0.5 and fails by miles.
+// Five sigmas keeps the false-failure odds below ~3e-7 even at the worst
+// allowed rate, so the test is deterministic in practice yet genuinely
+// sensitive to calibration bugs.
+//
+// Every run executes BOTH the serial and the parallel sampler and also
+// asserts them bit-identical — the statistical harness doubles as a
+// 200-seed reproducibility sweep, which is exactly the property that makes
+// one calibration pass cover both paths.
+//
+// Sized for CI: 2 instances × 200 seeds × ≤1024 samples per run stays a
+// few seconds even under TSAN/ASAN (the 300 s ctest timeout is far away).
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "approx/karp_luby.h"
+#include "lineage/grounder.h"
+#include "logic/parser.h"
+#include "prob/tid.h"
+#include "util/rational.h"
+#include "wmc/wmc.h"
+
+namespace gmc {
+namespace {
+
+Query H1() {
+  return ParseQueryOrDie("Ax Ay (R(x) | S(x,y)) & Ax Ay (S(x,y) | T(y))");
+}
+
+Query ExampleC9() {
+  return ParseQueryOrDie(
+      "Ax (Ay (S1(x,y)) | Ay (S2(x,y))) & Ax Ay (S1(x,y) | S3(x,y)) & "
+      "Ay (Ax (S3(x,y)) | Ax (S4(x,y)))");
+}
+
+// A TID over the query's vocabulary with varied non-dyadic weights (the
+// same corpus profile tests/approx_test.cc uses).
+Tid CorpusTid(const Query& query, int num_left, int num_right, int salt) {
+  Tid tid(query.vocab_ptr(), num_left, num_right, Rational::Half());
+  const Vocabulary& vocab = query.vocab();
+  for (SymbolId s = 0; s < vocab.size(); ++s) {
+    switch (vocab.kind(s)) {
+      case SymbolKind::kUnaryLeft:
+        tid.SetUnaryLeft(s, 0, Rational(1 + (salt % 6), 7));
+        break;
+      case SymbolKind::kUnaryRight:
+        tid.SetUnaryRight(s, 0, Rational(2 + (salt % 5), 9));
+        break;
+      case SymbolKind::kBinary:
+        tid.SetBinary(s, 0, 0, Rational(1 + (salt % 10), 11));
+        if (num_left > 1 && num_right > 1) {
+          tid.SetBinary(s, 1, 1, Rational(3, 13));
+        }
+        break;
+    }
+  }
+  return tid;
+}
+
+void RunCalibration(const Query& query, int salt) {
+  const Lineage lineage = Ground(query, CorpusTid(query, 3, 3, salt));
+  ASSERT_FALSE(lineage.is_false);
+  ASSERT_FALSE(lineage.cnf.clauses.empty());
+  const double exact = WmcEngine().Probability(lineage).ToDouble();
+
+  const int kRuns = 200;
+  const double kDelta = 0.25;
+  int violations = 0;
+  for (int k = 0; k < kRuns; ++k) {
+    KarpLubyParams params;
+    // The cap binds (1024 < the ε-target), so every run certifies the
+    // achieved epsilon for exactly 1024 draws — one fixed certificate to
+    // test the violation rate against.
+    params.epsilon = 0.01;
+    params.delta = kDelta;
+    params.max_samples = 1024;
+    params.seed = 0xca11b7a7e0000000ull + static_cast<uint64_t>(k) * 8191u +
+                  static_cast<uint64_t>(salt);
+    params.num_threads = 1;
+    const KarpLubyResult serial = KarpLubyEstimate(lineage, params);
+    params.num_threads = 4;
+    const KarpLubyResult parallel = KarpLubyEstimate(lineage, params);
+
+    // The reproducibility half: serial and parallel are ONE sampler.
+    ASSERT_EQ(parallel.estimate, serial.estimate) << "seed=" << params.seed;
+    ASSERT_EQ(parallel.successes, serial.successes);
+    ASSERT_EQ(parallel.samples, serial.samples);
+    ASSERT_EQ(parallel.epsilon, serial.epsilon);
+
+    ASSERT_FALSE(serial.exact);
+    ASSERT_EQ(serial.samples, 1024u);
+    ASSERT_GT(serial.epsilon, params.epsilon);  // the cap bound
+    if (std::abs(serial.estimate - exact) > serial.epsilon) ++violations;
+  }
+
+  // Binomial acceptance at the worst allowed rate δ, plus five sigmas.
+  const double bound =
+      kDelta * kRuns + 5.0 * std::sqrt(kRuns * kDelta * (1.0 - kDelta));
+  EXPECT_LE(violations, static_cast<int>(bound))
+      << "violation rate " << (static_cast<double>(violations) / kRuns)
+      << " vs certified delta " << kDelta;
+}
+
+TEST(KarpLubyCalibrationTest, H1HoldsItsCertificateEmpirically) {
+  RunCalibration(H1(), 0);
+}
+
+TEST(KarpLubyCalibrationTest, ExampleC9HoldsItsCertificateEmpirically) {
+  RunCalibration(ExampleC9(), 0);
+}
+
+}  // namespace
+}  // namespace gmc

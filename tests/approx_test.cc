@@ -17,6 +17,8 @@
 #include "lineage/grounder.h"
 #include "logic/parser.h"
 #include "prob/tid.h"
+#include "util/cancel.h"
+#include "util/fault.h"
 #include "util/rational.h"
 #include "wmc/wmc.h"
 
@@ -589,6 +591,210 @@ TEST(SessionRouterTest, GfomcCheckedOneShotMatchesTheSession) {
   ASSERT_TRUE(GfomcChecked(h1, tid, options, &answer).ok());
   EXPECT_EQ(answer.tier, AnswerTier::kCompiledExact);
   EXPECT_EQ(answer.exact, Gfomc(h1, tid).probability);
+}
+
+TEST(AnytimeDefaultsTest, ParamsAndOptionsShareOneSourceOfTruth) {
+  // Satellite contract: KarpLubyParams and GmcOptions must not drift —
+  // both default from approx/anytime_defaults.h (precedence documented in
+  // approx/karp_luby.h: FromEnv per process, session per request, explicit
+  // KarpLubyParams per call).
+  const KarpLubyParams params;
+  const GmcOptions options;
+  EXPECT_EQ(params.epsilon, options.epsilon);
+  EXPECT_EQ(params.delta, options.delta);
+  EXPECT_EQ(params.max_samples, options.max_samples);
+  EXPECT_EQ(params.seed, options.sample_seed);
+  EXPECT_EQ(params.epsilon, kDefaultSampleEpsilon);
+  EXPECT_EQ(params.delta, kDefaultSampleDelta);
+  EXPECT_EQ(params.max_samples, kDefaultMaxSamples);
+  EXPECT_EQ(params.seed, kDefaultSampleSeed);
+  EXPECT_EQ(options.sample_plan_entries, kDefaultSamplePlanEntries);
+  EXPECT_EQ(params.num_threads, 0);   // both follow the process default
+  EXPECT_EQ(options.sample_threads, 0);
+}
+
+// The tentpole's headline pin: the reproducibility matrix. Fixed-seed
+// estimates must be bit-identical at EVERY thread count, across the gadget
+// corpus, with and without a binding sample cap — substreams are indexed
+// by sample chunk, never by worker, so the schedule cannot leak into the
+// arithmetic.
+TEST(KarpLubyParallelTest, FixedSeedIsBitIdenticalAtEveryThreadCount) {
+  const Query queries[] = {H1(), ExampleC9()};
+  int checked = 0;
+  for (const Query& query : queries) {
+    for (int salt : {0, 2}) {
+      const Lineage lineage = Ground(query, CorpusTid(query, 3, 3, salt));
+      if (lineage.is_false || lineage.cnf.clauses.empty()) continue;
+      for (uint64_t cap : {uint64_t{0}, uint64_t{500}}) {
+        KarpLubyParams params;
+        params.epsilon = 0.2;  // keeps the uncapped target test-sized
+        params.delta = 0.05;
+        params.max_samples = cap;
+        params.seed = 0x5eed0000u + static_cast<uint64_t>(salt);
+        params.num_threads = 1;
+        const KarpLubyResult serial = KarpLubyEstimate(lineage, params);
+        EXPECT_FALSE(serial.exact);
+        for (int threads : {2, 4, 8}) {
+          params.num_threads = threads;
+          const KarpLubyResult r = KarpLubyEstimate(lineage, params);
+          EXPECT_EQ(r.estimate, serial.estimate)
+              << "threads=" << threads << " cap=" << cap;
+          EXPECT_EQ(r.successes, serial.successes);
+          EXPECT_EQ(r.samples, serial.samples);
+          EXPECT_EQ(r.epsilon, serial.epsilon);
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GE(checked, 12);  // at least one query × both caps × all counts
+}
+
+TEST(KarpLubyParallelTest, PreFiredDeadlineIsThreadCountInvariant) {
+  // A token fired before sampling begins is observed at the SAME point at
+  // every thread count: chunk 0 always runs (its claim skips the poll) and
+  // its first in-chunk poll sits at local index 64, while every other
+  // chunk's pre-claim poll refuses — so exactly 64 samples are drawn and
+  // the achieved-ε certificate is identical no matter the worker count.
+  const Lineage lineage = Ground(H1(), CorpusTid(H1(), 3, 3, 0));
+  ASSERT_FALSE(lineage.is_false);
+  CancelToken token;
+  token.Cancel();
+  KarpLubyParams params;
+  params.max_samples = 0;
+  params.seed = 77;
+  params.cancel = &token;
+  params.num_threads = 1;
+  const KarpLubyResult serial = KarpLubyEstimate(lineage, params);
+  const uint64_t target = KarpLubySampleTarget(
+      lineage.cnf.clauses.size(), params.epsilon, params.delta);
+  EXPECT_EQ(serial.samples, 64u);
+  EXPECT_LT(serial.samples, target);
+  EXPECT_GT(serial.epsilon, params.epsilon);  // the anytime degradation
+  const double achieved = std::sqrt(
+      3.0 * static_cast<double>(lineage.cnf.clauses.size()) *
+      std::log(2.0 / params.delta) / 64.0);
+  EXPECT_DOUBLE_EQ(serial.epsilon, achieved);
+  for (int threads : {2, 4, 8}) {
+    params.num_threads = threads;
+    const KarpLubyResult r = KarpLubyEstimate(lineage, params);
+    EXPECT_EQ(r.samples, serial.samples) << "threads=" << threads;
+    EXPECT_EQ(r.estimate, serial.estimate);
+    EXPECT_EQ(r.successes, serial.successes);
+    EXPECT_EQ(r.epsilon, serial.epsilon);
+  }
+}
+
+// Every test below that pins plan hit/miss counts calls fault::Reset()
+// first: an ambient GMC_FAULT spec (the CI faults job arms approx.plan)
+// would perturb the counters, and a Reset must stay reset — so these are
+// declared at the tail of the file to leave as much of the suite as
+// possible running under the env faults before the first Reset lands.
+TEST(KarpLubyPlanTest, CacheSharesOneBuildAndKeysOnWeights) {
+  fault::Reset();
+  const Lineage lineage = Ground(H1(), CorpusTid(H1(), 3, 3, 1));
+  ASSERT_FALSE(lineage.is_false);
+  KarpLubyPlanCache cache;
+  const std::shared_ptr<const KarpLubyPlan> a =
+      cache.Get(lineage.cnf, lineage.probabilities);
+  const std::shared_ptr<const KarpLubyPlan> b =
+      cache.Get(lineage.cnf, lineage.probabilities);
+  EXPECT_EQ(a.get(), b.get());  // pointer identity: one build served both
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Same structure, different marginals: a DIFFERENT plan — the key covers
+  // the weights, not just the CNF.
+  std::vector<Rational> other = lineage.probabilities;
+  other[0] = Rational(1, 3);
+  const std::shared_ptr<const KarpLubyPlan> c =
+      cache.Get(lineage.cnf, other);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Plan-based estimation is the primary path; the (cnf, probabilities)
+  // overload must be a thin wrapper over it — bit-identical.
+  KarpLubyParams params;
+  params.max_samples = 2048;
+  params.seed = 5;
+  const KarpLubyResult via_plan = KarpLubyEstimate(*a, params);
+  const KarpLubyResult one_shot =
+      KarpLubyEstimate(lineage.cnf, lineage.probabilities, params);
+  EXPECT_EQ(via_plan.estimate, one_shot.estimate);
+  EXPECT_EQ(via_plan.successes, one_shot.successes);
+  EXPECT_EQ(via_plan.samples, one_shot.samples);
+
+  // Capacity 0 disables: every Get builds fresh, nothing is retained.
+  cache.set_max_entries(0);
+  const std::shared_ptr<const KarpLubyPlan> d =
+      cache.Get(lineage.cnf, lineage.probabilities);
+  EXPECT_NE(d.get(), a.get());
+}
+
+TEST(KarpLubyPlanTest, DroppedPlanFaultRebuildsIdentically) {
+  fault::Reset();
+  const Lineage lineage = Ground(H1(), CorpusTid(H1(), 3, 3, 1));
+  KarpLubyPlanCache cache;
+  const std::shared_ptr<const KarpLubyPlan> a =
+      cache.Get(lineage.cnf, lineage.probabilities);
+  KarpLubyParams params;
+  params.max_samples = 1024;
+  params.seed = 9;
+  const KarpLubyResult before = KarpLubyEstimate(*a, params);
+  // approx.plan at rate 1: every Get loses the cached plan and rebuilds —
+  // the answer must not change (self-healing by construction).
+  std::string error;
+  ASSERT_TRUE(fault::Configure("approx.plan=1", &error)) << error;
+  const std::shared_ptr<const KarpLubyPlan> b =
+      cache.Get(lineage.cnf, lineage.probabilities);
+  EXPECT_NE(a.get(), b.get());  // rebuilt, not served from cache
+  EXPECT_GT(fault::InjectedCount(fault::Point::kApproxPlan), 0u);
+  const KarpLubyResult after = KarpLubyEstimate(*b, params);
+  EXPECT_EQ(after.estimate, before.estimate);
+  EXPECT_EQ(after.successes, before.successes);
+  fault::Reset();
+}
+
+TEST(SessionRouterTest, SampledRequestsShareOnePlanBuildPerStructure) {
+  fault::Reset();
+  const Query h1 = H1();
+  const Tid tid = CorpusTid(h1, 3, 3, 1);
+  const std::vector<Tid> tids = {tid, tid, tid};
+
+  GfomcSession session;
+  GmcOptions options = session.options();
+  options.routing_mode = RoutingMode::kSample;
+  options.max_samples = 2048;
+  session.Configure(options);
+  std::vector<GmcAnswer> answers;
+  ASSERT_TRUE(session.EvaluateAnswers(h1, tids, &answers).ok());
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_EQ(answers[0].tier, AnswerTier::kSampled);
+  // Same structure + same weights + same per-instance seed: identical
+  // answers, ONE plan build, one sampler batch.
+  EXPECT_EQ(answers[1].estimate, answers[0].estimate);
+  EXPECT_EQ(answers[2].estimate, answers[0].estimate);
+  const GfomcSession::Stats stats = session.stats();
+  EXPECT_EQ(stats.anytime_sampled, 3u);
+  EXPECT_EQ(stats.plan_misses, 1u);
+  EXPECT_EQ(stats.plan_hits, 2u);
+  EXPECT_EQ(stats.sampler_batches, 1u);
+
+  // A disabled plan cache (sample_plan_entries = 0) must not change a
+  // single bit of the answers — only the setup cost.
+  GfomcSession uncached;
+  GmcOptions plain = uncached.options();
+  plain.routing_mode = RoutingMode::kSample;
+  plain.max_samples = 2048;
+  plain.sample_plan_entries = 0;
+  uncached.Configure(plain);
+  std::vector<GmcAnswer> fresh;
+  ASSERT_TRUE(uncached.EvaluateAnswers(h1, tids, &fresh).ok());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i].estimate, answers[i].estimate);
+    EXPECT_EQ(fresh[i].samples, answers[i].samples);
+  }
+  EXPECT_EQ(uncached.stats().plan_hits, 0u);
 }
 
 }  // namespace

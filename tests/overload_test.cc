@@ -215,6 +215,35 @@ TEST_F(OverloadTest, QueueWaitEwmaRaisesPressureWithoutDepth) {
   EXPECT_EQ(governor.level(), Pressure::kGreen);
 }
 
+TEST_F(OverloadTest, WorkCostRaisesPressureWithoutAnyQueueSignal) {
+  // The RED-tier blind spot: a sampler-downshifted server drains its queue
+  // instantly (depth ~0, waits ~0), but each request still COSTS real
+  // work. The per-request work-cost term must carry the signal alone so
+  // the level cannot flap back to GREEN and re-admit the expensive tier.
+  OverloadOptions options;
+  options.capacity = 1000000;   // depth term is ~0 throughout
+  options.wait_budget_ms = 100;
+  options.ewma_alpha = 1.0;     // no smoothing: ewma == last sample
+  LoadGovernor governor(options);
+
+  governor.RecordWorkCost(60.0);  // 0.6 of the budget, queue untouched
+  EXPECT_EQ(governor.level(), Pressure::kYellow);
+  EXPECT_DOUBLE_EQ(governor.work_ewma_ms(), 60.0);
+  governor.RecordWorkCost(95.0);
+  EXPECT_EQ(governor.level(), Pressure::kRed);
+  governor.RecordWorkCost(10.0);  // cheap batches again: decays to GREEN
+  EXPECT_EQ(governor.level(), Pressure::kGreen);
+  // Negative samples (clock skew) clamp to zero instead of wrapping the
+  // fixed-point EWMA around.
+  governor.RecordWorkCost(-5.0);
+  EXPECT_DOUBLE_EQ(governor.work_ewma_ms(), 0.0);
+  // Configure resets the work EWMA like every other feed.
+  governor.RecordWorkCost(95.0);
+  governor.Configure(options);
+  EXPECT_DOUBLE_EQ(governor.work_ewma_ms(), 0.0);
+  EXPECT_EQ(governor.level(), Pressure::kGreen);
+}
+
 TEST_F(OverloadTest, EwmaActuallySmooths) {
   OverloadOptions options;
   options.ewma_alpha = 0.5;

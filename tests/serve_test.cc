@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -31,6 +32,7 @@
 #include "serve/serve.h"
 #include "store/circuit_store.h"
 #include "store/scrub.h"
+#include "util/fault.h"
 
 namespace gmc {
 namespace serve {
@@ -507,6 +509,90 @@ TEST_F(ServeTest, OverBudgetInstanceDegradesOverTheWire) {
         "budget_exhausted=", "invalid_requests=0", "eval_errors=1"}) {
     EXPECT_NE(stats_line.find(field), std::string::npos)
         << "missing " << field << " in: " << stats_line;
+  }
+}
+
+TEST_F(ServeTest, SampledRequestsCoalesceAndShareOnePlanBuild) {
+  // The serving-tier half of the batched-sampler tentpole: N concurrent
+  // same-structure EVAL_APPROX sample requests must (a) land in ONE
+  // coalescing group (max_approx_batch >= 2), (b) report exactly one plan
+  // build across the whole test (plan_misses=1 — every later sampled
+  // request reused it), and (c) answer bytes IDENTICAL to a serial
+  // in-process session on the same TID — coalescing must not move a bit.
+  //
+  // This test pins plan hit/miss counts, so it neutralizes any ambient
+  // GMC_FAULT spec first (approx.plan would skew them; a Reset must stay
+  // reset, which is why this test runs LAST in the binary).
+  fault::Reset();
+  GmcServerOptions options;
+  options.socket_path = TestSocketPath("planshare");
+  options.max_pending = 256;
+  GmcServer server(H1(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // The in-process reference: the same defaults the server's session
+  // starts from (FromEnv; the test env sets no GMC_* knobs), mode=sample
+  // at the wire request's (ε, δ). The reply payload is formatted exactly
+  // as serve.cc does — setprecision(17) doubles.
+  Query query = H1();
+  GfomcSession reference;
+  GmcOptions ropts = reference.options();
+  ropts.routing_mode = RoutingMode::kSample;
+  ropts.epsilon = 0.1;   // the wire's 1/10
+  ropts.delta = 0.01;    // the wire's 1/100
+  reference.Configure(ropts);
+  Tid uniform(query.vocab_ptr(), 2, 2, Rational::Half());
+  GmcAnswer answer;
+  ASSERT_TRUE(reference.EvaluateAnswer(query, uniform, &answer).ok());
+  ASSERT_EQ(answer.tier, AnswerTier::kSampled);
+  std::ostringstream payload;
+  payload << std::setprecision(17) << "ESTIMATE " << answer.estimate
+          << " eps=" << answer.epsilon << " delta=" << answer.delta
+          << " samples=" << answer.samples << " tier=sampled";
+  const std::string want = payload.str();
+
+  constexpr int kClients = 8;
+  for (int round = 0;
+       round < 20 && server.stats().max_approx_batch < 2; ++round) {
+    std::vector<std::thread> workers;
+    std::vector<std::string> got(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      workers.emplace_back([&, c] {
+        LineClient client;
+        if (!client.Connect(server.socket_path())) return;
+        got[c] = client.Roundtrip("EVAL_APPROX s" + std::to_string(c) +
+                                  " sample 1/10 1/100 2 2 1/2");
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (int c = 0; c < kClients; ++c) {
+      // Byte-identical to the serial reference, whatever the grouping.
+      EXPECT_EQ(got[c], "OK s" + std::to_string(c) + " " + want)
+          << "client " << c << " round " << round;
+    }
+  }
+
+  server.Stop();
+  const GmcServer::StatsSnapshot snap = server.snapshot();
+  EXPECT_GE(snap.server.max_approx_batch, 2u)
+      << "no coalesced sampler group after 20 rounds of " << kClients
+      << " concurrent clients";
+  EXPECT_GE(snap.server.approx_batches, 1u);
+  // ONE plan build served every sampled request in this test.
+  EXPECT_EQ(snap.session.plan_misses, 1u);
+  EXPECT_GE(snap.session.plan_hits, snap.session.anytime_sampled - 1);
+  EXPECT_GE(snap.session.anytime_sampled, static_cast<uint64_t>(kClients));
+  // Coalescing visibly beats per-request sampling: fewer sampler batches
+  // than sampled answers.
+  EXPECT_LT(snap.session.sampler_batches, snap.session.anytime_sampled);
+  // The new keys ride the STATS line (the docs/SERVING.md vocabulary).
+  const std::string line = snap.ToLine();
+  for (const char* field :
+       {"approx_batches=", "max_approx_batch=", "plan_hits=",
+        "plan_misses=1", "sampler_batches="}) {
+    EXPECT_NE(line.find(field), std::string::npos)
+        << "missing " << field << " in: " << line;
   }
 }
 
